@@ -1,0 +1,116 @@
+//===--- ablation_context_depth.cpp - §3.2.1 partial-context depth -*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for the paper's central profiling hypothesis (§3.2.1):
+/// "usage patterns of collection objects allocated at the same allocation
+/// context are similar", where the context must include a (small) call
+/// stack because real code allocates through factories.
+///
+/// The workload allocates HashMaps through one factory line from two
+/// callers: one makes small, stable, get-dominated maps (ArrayMap
+/// material), the other makes large maps that must stay hashed. At
+/// context depth 1 (allocation site only) the two populations merge into
+/// a single unstable context and the stability gate of Definition 3.1
+/// rightly suppresses any replacement; at depth >= 2 the callers separate
+/// and the small-map context gets its ArrayMap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Chameleon.h"
+#include "support/Format.h"
+#include "support/SplitMix64.h"
+
+#include <cstdio>
+
+using namespace chameleon;
+
+namespace {
+
+void factoryWorkload(CollectionRuntime &RT) {
+  FrameId Site = RT.site("util.MapFactory.make:31");
+  FrameId FactoryFrame = RT.profiler().internFrame("util.MapFactory.make");
+  FrameId SmallCaller = RT.profiler().internFrame("core.SmallState:50");
+  FrameId BigCaller = RT.profiler().internFrame("core.BigIndex:90");
+  SplitMix64 Rng(3);
+
+  std::vector<Map> Live;
+  for (int I = 0; I < 800; ++I) {
+    if (RT.heap().outOfMemory())
+      return;
+    {
+      CallFrame Caller(RT.profiler(), SmallCaller);
+      CallFrame Factory(RT.profiler(), FactoryFrame);
+      Map M = RT.newHashMap(Site);
+      for (int E = 0; E < 3; ++E)
+        M.put(Value::ofInt(E), Value::ofInt(I));
+      for (int Q = 0; Q < 10; ++Q)
+        (void)M.get(Value::ofInt(static_cast<int64_t>(Rng.nextBelow(4))));
+      Live.push_back(std::move(M));
+    }
+    if (I % 10 == 0) {
+      CallFrame Caller(RT.profiler(), BigCaller);
+      CallFrame Factory(RT.profiler(), FactoryFrame);
+      Map M = RT.newHashMap(Site);
+      for (int E = 0; E < 300; ++E)
+        M.put(Value::ofInt(E), Value::ofInt(E));
+      Live.push_back(std::move(M));
+    }
+    if (Live.size() > 400)
+      Live.erase(Live.begin());
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("== ablation: partial allocation-context depth (§3.2.1) "
+              "==\n\n");
+
+  TextTable Table({"depth", "contexts", "maxSize stddev (site ctx)",
+                   "small-map suggestion"});
+
+  for (unsigned Depth : {1u, 2u, 3u}) {
+    ChameleonConfig Config;
+    Config.Runtime.Profiler.ContextDepth = Depth;
+    Chameleon Tool(Config);
+    RunResult R = Tool.profile(factoryWorkload, 4 << 20);
+
+    // Reproduce the profiler state for inspection.
+    RuntimeConfig RtConfig = Config.Runtime;
+    RtConfig.HeapLimitBytes = 4 << 20;
+    CollectionRuntime RT(RtConfig);
+    factoryWorkload(RT);
+    RT.harvestLiveStatistics();
+
+    double WorstStddev = 0;
+    for (const ContextInfo *Info : RT.profiler().contexts())
+      WorstStddev =
+          std::max(WorstStddev, Info->maxSizeStat().stddev());
+
+    std::string SmallFix = "(none)";
+    for (const rules::Suggestion &S : R.Suggestions) {
+      if (S.Action == rules::ActionKind::Replace
+          && S.NewImpl == ImplKind::ArrayMap) {
+        SmallFix = S.fixDescription();
+        break;
+      }
+    }
+
+    Table.addRow({std::to_string(Depth),
+                  std::to_string(RT.profiler().contexts().size()),
+                  formatDouble(WorstStddev, 1), SmallFix});
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("shape: until the context is deep enough to see past the "
+              "factory frame\n(depth 3 here — the paper's \"depth two or "
+              "three\"), the two caller\npopulations merge into one "
+              "unstable context and Definition 3.1 rightly\nsuppresses "
+              "replacement; once separated, the small-map context is "
+              "safely\nreplaced with ArrayMap.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===--- ablation_sampling.cpp - §4.2 context-capture sampling -*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for §4.2 "Sampling of Allocation Context": capturing the
+/// context of only 1-in-N allocations mitigates capture cost. The
+/// question is what it does to suggestion quality. This bench profiles
+/// the TVLA simulacrum at increasing sampling periods and reports capture
+/// counts, profiling wall time, and whether the headline suggestions
+/// survive.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSpec.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+int main() {
+  std::printf("== ablation: allocation-context sampling (§4.2) ==\n\n");
+
+  const AppSpec &App = getApp("tvla");
+  TextTable Table({"period", "captures", "profile time", "suggestions",
+                   "ArrayMap contexts found"});
+
+  for (unsigned Period : {1u, 4u, 16u, 64u, 256u}) {
+    ChameleonConfig Config;
+    Config.Runtime.Profiler.SamplingPeriod = Period;
+    // Sampling exists to make *expensive* capture affordable; emulate it.
+    Config.Runtime.Profiler.ExpensiveContextCapture = true;
+    Chameleon Tool(Config);
+
+    // Time the profiled run itself.
+    RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+
+    unsigned ArrayMapContexts = 0;
+    for (const rules::Suggestion &S : R.Suggestions)
+      if (S.Action == rules::ActionKind::Replace
+          && S.NewImpl == ImplKind::ArrayMap)
+        ++ArrayMapContexts;
+
+    // Captures are not surfaced through RunResult; re-run a bare profiled
+    // runtime to read the counters.
+    RuntimeConfig RtConfig = Config.Runtime;
+    RtConfig.HeapLimitBytes = App.ProfileHeapLimit;
+    CollectionRuntime RT(RtConfig);
+    App.Run(RT);
+
+    Table.addRow({std::to_string(Period),
+                  std::to_string(RT.profiler().contextAcquisitions()),
+                  formatDouble(R.Seconds, 3) + "s",
+                  std::to_string(R.Suggestions.size()),
+                  std::to_string(ArrayMapContexts)});
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("shape: captures drop linearly with the period while the "
+              "headline ArrayMap\nsuggestions survive deep sampling — "
+              "per-context statistics need samples, not\ncensus — until "
+              "the per-context sample count falls below the engine's\n"
+              "MinSamples floor.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+# Benchmark harness targets. Defined through include() rather than
+# add_subdirectory() so that ${CMAKE_BINARY_DIR}/bench contains only the
+# runnable binaries ("for b in build/bench/*; do $b; done" regenerates
+# every table and figure).
+
+function(chameleon_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE chameleon_apps)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+chameleon_bench(ablation_context_depth)
+chameleon_bench(ablation_gc_threads)
+chameleon_bench(ablation_sampling)
+chameleon_bench(fig2_tvla_livedata)
+chameleon_bench(fig3_top_contexts)
+chameleon_bench(fig6_min_heap)
+chameleon_bench(fig7_runtime)
+chameleon_bench(fig8_bloat_spike)
+chameleon_bench(table2_rules)
+chameleon_bench(sec23_hybrid_threshold)
+chameleon_bench(sec51_screening)
+chameleon_bench(sec54_online_overhead)
+
+# Micro benchmarks use google-benchmark.
+add_executable(micro_collection_ops
+  ${CMAKE_SOURCE_DIR}/bench/micro_collection_ops.cpp)
+target_link_libraries(micro_collection_ops PRIVATE
+  chameleon_apps benchmark::benchmark)
+set_target_properties(micro_collection_ops PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

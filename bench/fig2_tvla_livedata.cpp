@@ -1,0 +1,60 @@
+//===--- fig2_tvla_livedata.cpp - Reproduces paper Fig. 2 ------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Fig. 2: "percentage of live-data that is consumed by collections
+/// in TVLA" — three series per GC cycle: total collection live data, its
+/// used part, and the core lower bound. The paper's reading: collections
+/// reach ~70% of live data while only ~40% is used — a large saving
+/// potential. The same gap (live well above used, used above core) must
+/// appear here; absolute percentages depend on the simulacrum's payload
+/// mix and are not claimed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSpec.h"
+#include "profiler/Report.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+int main() {
+  std::printf("== Fig. 2: collection share of live data per GC cycle "
+              "(TVLA) ==\n\n");
+
+  const AppSpec &App = getApp("tvla");
+  Chameleon Tool;
+  RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+
+  std::vector<LiveDataPoint> Series = liveDataSeries(R.Cycles);
+  std::printf("%s\n", renderLiveDataSeries(Series).c_str());
+
+  double PeakLive = 0, PeakUsed = 0, PeakCore = 0;
+  for (const LiveDataPoint &P : Series) {
+    PeakLive = std::max(PeakLive, P.LiveFraction);
+    PeakUsed = std::max(PeakUsed, P.UsedFraction);
+    PeakCore = std::max(PeakCore, P.CoreFraction);
+  }
+  std::printf("peak collection live share: %s (paper: ~70%%)\n",
+              formatPercent(PeakLive).c_str());
+  std::printf("peak used share:            %s (paper: ~40%%)\n",
+              formatPercent(PeakUsed).c_str());
+  std::printf("peak core share:            %s (paper: below used)\n",
+              formatPercent(PeakCore).c_str());
+  std::printf("\nshape check: live > used > core on every cycle: %s\n",
+              [&] {
+                for (const LiveDataPoint &P : Series)
+                  if (P.LiveFraction + 1e-9 < P.UsedFraction
+                      || P.UsedFraction + 1e-9 < P.CoreFraction)
+                    return "NO";
+                return "yes";
+              }());
+  return 0;
+}

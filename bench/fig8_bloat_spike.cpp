@@ -1,0 +1,95 @@
+//===--- fig8_bloat_spike.cpp - Reproduces paper Fig. 8 --------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Fig. 8: "Percentage of collections in original version of bloat"
+/// per GC cycle — bloat's footprint is dominated by a spike of collections
+/// in one phase (GC#656 in the paper), where "the true required space for
+/// the collections is significantly lower" and ~25% of the heap is
+/// LinkedList$Entry heads of empty lists.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSpec.h"
+#include "profiler/Report.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+int main() {
+  std::printf("== Fig. 8: collection share of live data per GC cycle "
+              "(bloat) ==\n\n");
+
+  const AppSpec &App = getApp("bloat");
+  // Run with Table-3 type-distribution recording on, through an explicit
+  // runtime so the type registry stays available for name resolution.
+  RuntimeConfig Config;
+  Config.HeapLimitBytes = App.ProfileHeapLimit;
+  Config.GcSampleEveryBytes = 128 * 1024;
+  Config.RecordTypeDistribution = true;
+  CollectionRuntime RT(Config);
+  App.Run(RT);
+  RT.harvestLiveStatistics();
+
+  struct {
+    std::vector<GcCycleRecord> Cycles;
+  } R{RT.heap().cycles()};
+
+  std::vector<LiveDataPoint> Series = liveDataSeries(R.Cycles);
+  std::printf("%s\n", renderLiveDataSeries(Series).c_str());
+
+  // Locate the spike and the quiet baseline.
+  double Peak = 0, Base = 1;
+  uint64_t PeakCycle = 0;
+  for (const LiveDataPoint &P : Series) {
+    if (P.LiveFraction > Peak) {
+      Peak = P.LiveFraction;
+      PeakCycle = P.Cycle;
+    }
+    Base = std::min(Base, P.LiveFraction);
+  }
+  std::printf("spike: collection share peaks at %s in GC#%llu "
+              "(baseline %s)\n",
+              formatPercent(Peak).c_str(),
+              static_cast<unsigned long long>(PeakCycle),
+              formatPercent(Base).c_str());
+
+  // At the spike, "the true required space for the collections is
+  // significantly lower" — used (entry-storing bytes) and core (ideal)
+  // sit far below live, because most of it is empty-list overhead.
+  for (const LiveDataPoint &P : Series) {
+    if (P.Cycle == PeakCycle) {
+      std::printf("at the spike: live=%s used=%s core=%s\n",
+                  formatPercent(P.LiveFraction).c_str(),
+                  formatPercent(P.UsedFraction).c_str(),
+                  formatPercent(P.CoreFraction).c_str());
+      break;
+    }
+  }
+
+  // Table-3 type distribution at the spike cycle: the paper found ~25% of
+  // the heap to be LinkedList$Entry objects serving as heads of empty
+  // lists.
+  const GcCycleRecord &Spike = R.Cycles[PeakCycle - 1];
+  std::vector<TypeShare> Shares =
+      typeDistribution(Spike, RT.heap().types());
+  std::printf("\n-- type distribution at the spike (Table 3) --\n%s",
+              renderTypeDistribution(Shares, 6).c_str());
+  for (const TypeShare &Share : Shares)
+    if (Share.Name == "LinkedList$Entry")
+      std::printf("\nLinkedList$Entry share: %s of live data "
+                  "(paper: ~25%%, mostly heads of empty lists)\n",
+                  formatPercent(Share.Fraction).c_str());
+  std::printf("\nshape check: a dominant spike over the baseline, with "
+              "used and core far\nbelow live at the spike (paper: "
+              "mostly-empty LinkedLists, ~25%% of the\nheap being entry "
+              "heads).\n");
+  return 0;
+}

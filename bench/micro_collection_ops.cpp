@@ -1,0 +1,131 @@
+//===--- micro_collection_ops.cpp - §2.2 operation-cost tradeoffs -*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §2.2 "Tradeoffs in Collection Implementations": asymptotic
+/// complexity is a bad guide at small sizes — "In the realm of small
+/// sizes, constants matter." These google-benchmark microbenches measure
+/// the crossovers that justify the Table-2 rules:
+///
+///  * map get: ArrayMap (linear) vs HashMap (hashed) across sizes — the
+///    small-hashmap rule's time argument;
+///  * list contains: ArrayList (linear) vs HashedList (hashed) across
+///    sizes — the arraylist-contains rule;
+///  * positional get: ArrayList vs LinkedList — the
+///    linkedlist-random-access rule;
+///  * construct+fill+drop: HashMap vs ArrayMap at small sizes — entry
+///    allocation pressure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/CollectionRuntime.h"
+#include "collections/Handles.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace chameleon;
+
+namespace {
+
+RuntimeConfig bareConfig() {
+  RuntimeConfig Config;
+  Config.Profiler.Enabled = false;
+  return Config;
+}
+
+void BM_MapGet(benchmark::State &State, ImplKind Kind) {
+  CollectionRuntime RT(bareConfig());
+  uint32_t Size = static_cast<uint32_t>(State.range(0));
+  Map M = RT.newMapOf(Kind, RT.site("bench:1"), Size * 2);
+  for (uint32_t I = 0; I < Size; ++I)
+    M.put(Value::ofInt(I), Value::ofInt(I));
+  uint64_t Key = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        M.get(Value::ofInt(static_cast<int64_t>(Key++ % Size))));
+  }
+}
+
+void BM_ListContains(benchmark::State &State, ImplKind Kind) {
+  CollectionRuntime RT(bareConfig());
+  uint32_t Size = static_cast<uint32_t>(State.range(0));
+  List L = RT.newListOf(Kind, RT.site("bench:1"), Size);
+  for (uint32_t I = 0; I < Size; ++I)
+    L.add(Value::ofInt(I));
+  uint64_t Probe = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        L.contains(Value::ofInt(static_cast<int64_t>(Probe++ % Size))));
+  }
+}
+
+void BM_ListGetIndex(benchmark::State &State, ImplKind Kind) {
+  CollectionRuntime RT(bareConfig());
+  uint32_t Size = static_cast<uint32_t>(State.range(0));
+  List L = RT.newListOf(Kind, RT.site("bench:1"), Size);
+  for (uint32_t I = 0; I < Size; ++I)
+    L.add(Value::ofInt(I));
+  uint64_t Index = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        L.get(static_cast<uint32_t>((Index += 7) % Size)));
+  }
+}
+
+void BM_MapFillAndDrop(benchmark::State &State, ImplKind Kind) {
+  CollectionRuntime RT(bareConfig());
+  uint32_t Size = static_cast<uint32_t>(State.range(0));
+  FrameId Site = RT.site("bench:1");
+  for (auto _ : State) {
+    Map M = RT.newMapOf(Kind, Site);
+    for (uint32_t I = 0; I < Size; ++I)
+      M.put(Value::ofInt(I), Value::ofInt(I));
+    benchmark::DoNotOptimize(M.size());
+    // M dies here; reclaim occasionally so the heap stays bounded.
+    if (RT.heap().bytesInUse() > (16u << 20))
+      RT.heap().collect(true);
+  }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_MapGet, HashMap, ImplKind::HashMap)
+    ->RangeMultiplier(4)
+    ->Range(2, 512)
+    ->MinTime(0.02);
+BENCHMARK_CAPTURE(BM_MapGet, ArrayMap, ImplKind::ArrayMap)
+    ->RangeMultiplier(4)
+    ->Range(2, 512)
+    ->MinTime(0.02);
+
+BENCHMARK_CAPTURE(BM_ListContains, ArrayList, ImplKind::ArrayList)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->MinTime(0.02);
+BENCHMARK_CAPTURE(BM_ListContains, HashedList, ImplKind::HashedList)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->MinTime(0.02);
+
+BENCHMARK_CAPTURE(BM_ListGetIndex, ArrayList, ImplKind::ArrayList)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->MinTime(0.02);
+BENCHMARK_CAPTURE(BM_ListGetIndex, LinkedList, ImplKind::LinkedList)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->MinTime(0.02);
+
+BENCHMARK_CAPTURE(BM_MapFillAndDrop, HashMap, ImplKind::HashMap)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->MinTime(0.02);
+BENCHMARK_CAPTURE(BM_MapFillAndDrop, ArrayMap, ImplKind::ArrayMap)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->MinTime(0.02);
+
+BENCHMARK_MAIN();

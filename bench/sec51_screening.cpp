@@ -1,0 +1,66 @@
+//===--- sec51_screening.cpp - Reproduces the §5.1/§5.2 screening -*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first step of the paper's methodology (§5.2): "Run CHAMELEON on the
+/// application. Based on the results, evaluate whether there is any saving
+/// potential. If there is no potential, move on to the next application."
+/// §5.1 reports that most DaCapo benchmarks screened out, while bloat,
+/// FOP and PMD (plus the space-critical TVLA/SOOT/FindBugs) showed
+/// potential. This bench screens the six paper benchmarks plus an
+/// antlr-style neutral application whose collections are already
+/// well-shaped — the verdict column is the paper's "move on" decision.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSpec.h"
+#include "apps/NeutralSim.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+int main() {
+  std::printf("== §5.1/§5.2 step 1: saving-potential screening ==\n\n");
+
+  constexpr double Threshold = 0.04; // 4% of live heap
+  TextTable Table({"application", "collections live", "collections used",
+                   "potential", "suggestions", "verdict"});
+
+  auto Screen = [&](const std::string &Name, const Workload &Run,
+                    uint64_t HeapLimit) {
+    Chameleon Tool;
+    RunResult R = Tool.profile(Run, HeapLimit);
+    ScreeningResult S = screenPotential(R, Threshold);
+    unsigned Actionable = 0;
+    for (const rules::Suggestion &Sugg : R.Suggestions)
+      if (Sugg.Action != rules::ActionKind::Warn)
+        ++Actionable;
+    Table.addRow({Name, formatPercent(S.CollectionLiveShare),
+                  formatPercent(S.CollectionUsedShare),
+                  formatPercent(S.PotentialShare),
+                  std::to_string(Actionable),
+                  S.WorthOptimizing ? "optimize" : "move on"});
+    return S;
+  };
+
+  for (const AppSpec &App : allApps())
+    Screen(App.Name, App.Run, App.ProfileHeapLimit);
+  ScreeningResult Neutral =
+      Screen("antlr (neutral)",
+             [](CollectionRuntime &RT) { runNeutral(RT); },
+             /*HeapLimit=*/8 << 20);
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("shape to check against §5.1: the six studied benchmarks "
+              "show real potential;\nthe neutral application screens out "
+              "(%s potential -> \"move on\"), exactly the\nDaCapo "
+              "majority the paper skips.\n",
+              formatPercent(Neutral.PotentialShare).c_str());
+  return Neutral.WorthOptimizing ? 1 : 0;
+}

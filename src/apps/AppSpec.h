@@ -1,0 +1,51 @@
+//===--- AppSpec.h - Registry of benchmark workloads -----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry of workload simulacra standing in for the paper's
+/// benchmarks (§5.1): TVLA, bloat, FOP, FindBugs, PMD, and SOOT. Each spec
+/// bundles the workload with the heap parameters its experiments use:
+/// a profiling heap limit (so allocation pressure produces GC cycles, as a
+/// real JVM heap would) and the bisection range for the minimal-heap-size
+/// experiments of Fig. 6. DESIGN.md §5 documents which collection-usage
+/// pathology each simulacrum encodes and why that preserves the paper's
+/// per-benchmark result shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_APPS_APPSPEC_H
+#define CHAMELEON_APPS_APPSPEC_H
+
+#include "core/Chameleon.h"
+
+#include <string>
+#include <vector>
+
+namespace chameleon::apps {
+
+/// One registered benchmark workload.
+struct AppSpec {
+  std::string Name;
+  /// Short description of the encoded pathology.
+  std::string Description;
+  Workload Run;
+  /// Heap limit for profiled runs (bytes).
+  uint64_t ProfileHeapLimit = 0;
+  /// Bisection range and tolerance for minimal-heap search (bytes).
+  uint64_t MinHeapLo = 0;
+  uint64_t MinHeapHi = 0;
+  uint64_t MinHeapTolerance = 0;
+};
+
+/// All six benchmark simulacra, in the paper's presentation order.
+const std::vector<AppSpec> &allApps();
+
+/// Looks up a benchmark by name; aborts on unknown names.
+const AppSpec &getApp(const std::string &Name);
+
+} // namespace chameleon::apps
+
+#endif // CHAMELEON_APPS_APPSPEC_H

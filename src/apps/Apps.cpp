@@ -1,0 +1,92 @@
+//===--- Apps.cpp - Registry of benchmark workloads -----------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSpec.h"
+
+#include "apps/BloatSim.h"
+#include "apps/FindbugsSim.h"
+#include "apps/FopSim.h"
+#include "apps/PmdSim.h"
+#include "apps/SootSim.h"
+#include "apps/TvlaSim.h"
+#include "support/Assert.h"
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+static std::vector<AppSpec> buildApps() {
+  constexpr uint64_t KiB = 1024;
+  constexpr uint64_t MiB = 1024 * KiB;
+
+  std::vector<AppSpec> Apps;
+
+  Apps.push_back({"bloat",
+                  "mostly-empty per-node LinkedLists; one-phase spike",
+                  [](CollectionRuntime &RT) { runBloat(RT); },
+                  /*ProfileHeapLimit=*/5 * MiB,
+                  /*MinHeapLo=*/64 * KiB,
+                  /*MinHeapHi=*/12 * MiB,
+                  /*MinHeapTolerance=*/32 * KiB});
+
+  Apps.push_back({"fop",
+                  "small trait maps + never-used layout lists; footprint "
+                  "mostly non-collection data",
+                  [](CollectionRuntime &RT) { runFop(RT); },
+                  /*ProfileHeapLimit=*/14 * MiB,
+                  /*MinHeapLo=*/1 * MiB,
+                  /*MinHeapHi=*/24 * MiB,
+                  /*MinHeapTolerance=*/96 * KiB});
+
+  Apps.push_back({"findbugs",
+                  "small per-class maps/sets, many empty annotation maps",
+                  [](CollectionRuntime &RT) { runFindbugs(RT); },
+                  /*ProfileHeapLimit=*/8 * MiB,
+                  /*MinHeapLo=*/512 * KiB,
+                  /*MinHeapHi=*/12 * MiB,
+                  /*MinHeapTolerance=*/48 * KiB});
+
+  Apps.push_back({"pmd",
+                  "rapid short-lived tuned collections; large stable "
+                  "long-lived sets",
+                  [](CollectionRuntime &RT) { runPmd(RT); },
+                  /*ProfileHeapLimit=*/4 * MiB,
+                  /*MinHeapLo=*/256 * KiB,
+                  /*MinHeapHi=*/8 * MiB,
+                  /*MinHeapTolerance=*/32 * KiB});
+
+  Apps.push_back({"soot",
+                  "singleton use-lists, useBoxes addAll temporaries, "
+                  "~25%-utilised ArrayLists",
+                  [](CollectionRuntime &RT) { runSoot(RT); },
+                  /*ProfileHeapLimit=*/12 * MiB,
+                  /*MinHeapLo=*/1 * MiB,
+                  /*MinHeapHi=*/16 * MiB,
+                  /*MinHeapTolerance=*/64 * KiB});
+
+  Apps.push_back({"tvla",
+                  "small stable get-dominated factory HashMaps dominate "
+                  "the live heap",
+                  [](CollectionRuntime &RT) { runTvla(RT); },
+                  /*ProfileHeapLimit=*/6 * MiB,
+                  /*MinHeapLo=*/128 * KiB,
+                  /*MinHeapHi=*/12 * MiB,
+                  /*MinHeapTolerance=*/32 * KiB});
+
+  return Apps;
+}
+
+const std::vector<AppSpec> &chameleon::apps::allApps() {
+  // Built on first use; no static constructor runs at program start.
+  static const std::vector<AppSpec> Apps = buildApps();
+  return Apps;
+}
+
+const AppSpec &chameleon::apps::getApp(const std::string &Name) {
+  for (const AppSpec &App : allApps())
+    if (App.Name == Name)
+      return App;
+  CHAM_UNREACHABLE("unknown benchmark name");
+}

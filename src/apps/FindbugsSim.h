@@ -1,0 +1,45 @@
+//===--- FindbugsSim.h - FindBugs analyser simulacrum ----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulacrum of FindBugs analysing a source tree (§5.3): per-class
+/// analysis records built from small HashMaps and HashSets, a large share
+/// of which stay empty. The paper's fixes — ArrayMaps/ArraySets for the
+/// small ones, lazy allocation where most stay empty, tuned capacities —
+/// bought a 13.79% minimal-heap reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_APPS_FINDBUGSSIM_H
+#define CHAMELEON_APPS_FINDBUGSSIM_H
+
+#include "collections/Handles.h"
+
+#include <cstdint>
+
+namespace chameleon::apps {
+
+/// FindBugs simulacrum parameters.
+struct FindbugsConfig {
+  uint64_t Seed = 0xF1B6;
+  /// Classes analysed; their reports stay live until the end.
+  uint32_t Classes = 2200;
+  /// Fields per class (entries of the field-info map).
+  uint32_t FieldsPerClass = 4;
+  /// Fraction of classes with no annotations (empty annotation map).
+  double NoAnnotationsFraction = 0.8;
+  /// Membership queries per class during detector execution. Detector
+  /// work dominates FindBugs' runtime, so this is deliberately high.
+  uint32_t QueriesPerClass = 160;
+};
+
+/// Runs the FindBugs simulacrum on \p RT.
+void runFindbugs(CollectionRuntime &RT,
+                 const FindbugsConfig &Config = FindbugsConfig());
+
+} // namespace chameleon::apps
+
+#endif // CHAMELEON_APPS_FINDBUGSSIM_H

@@ -1,0 +1,90 @@
+//===--- FopSim.cpp - FOP formatter simulacrum ---------------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/FopSim.h"
+
+#include "support/SplitMix64.h"
+
+#include <vector>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+namespace {
+
+/// One laid-out area: payload, a small trait map, and the layout-manager
+/// child list that this workload never uses.
+struct Area {
+  RootedValue Payload;
+  RootedValue Glyphs;
+  Map Traits;
+  List PendingInlines; ///< never used (InlineStackingLayoutManager:312)
+};
+
+} // namespace
+
+void chameleon::apps::runFop(CollectionRuntime &RT, const FopConfig &Config) {
+  SplitMix64 Rng(Config.Seed);
+  SemanticProfiler &Prof = RT.profiler();
+
+  FrameId RenderFrame = Prof.internFrame("org.apache.fop.Render.render");
+  FrameId TraitSite = RT.site("area.Area.getTraits:167");
+  FrameId PendingSite = RT.site("InlineStackingLayoutManager:312");
+  FrameId LineSite = RT.site("LineLayoutManager.getLines:98");
+  FrameId TraitKeySite = RT.site("fo.properties.Property:40");
+
+  CallFrame Render(Prof, RenderFrame);
+
+  uint32_t NumTraitKeys = 24;
+  List TraitKeys = RT.newArrayList(TraitKeySite, NumTraitKeys);
+  for (uint32_t I = 0; I < NumTraitKeys; ++I)
+    TraitKeys.add(RT.allocData(1));
+
+  // The finished area tree (kept live; dominates the footprint).
+  std::vector<Area> AreaTree;
+  AreaTree.reserve(Config.Pages * Config.AreasPerPage);
+
+  for (uint32_t P = 0; P < Config.Pages; ++P) {
+    if (RT.heap().outOfMemory())
+      return;
+
+    for (uint32_t A = 0; A < Config.AreasPerPage; ++A) {
+      Area Ar;
+      Ar.Payload =
+          RootedValue(RT, RT.allocData(Config.AreaPayloadFields));
+      Ar.Glyphs =
+          RootedValue(RT, RT.allocData(0, Config.GlyphBytesPerArea));
+      Ar.Traits = RT.newHashMap(TraitSite);
+      for (uint32_t T = 0; T < Config.TraitsPerArea; ++T) {
+        Value Key = TraitKeys.get(
+            static_cast<uint32_t>(Rng.nextBelow(NumTraitKeys)));
+        Ar.Traits.put(Key, Value::ofInt(static_cast<int64_t>(T)));
+      }
+      Ar.PendingInlines = RT.newArrayList(PendingSite);
+      AreaTree.push_back(std::move(Ar));
+    }
+
+    // Line-breaking scratch: lists whose eventual size exceeds the default
+    // capacity (the "tune initial sizes" fix).
+    List Lines = RT.newArrayList(LineSite);
+    for (uint32_t L = 0; L < 30; ++L)
+      Lines.add(Value::ofInt(static_cast<int64_t>(L)));
+    ValueIter It = Lines.iterate();
+    Value V;
+    while (It.next(V))
+      (void)V;
+
+    // Rendering: resolve traits of earlier areas repeatedly (the bulk of
+    // FOP's actual work is layout resolution, not allocation).
+    for (uint32_t Q = 0; Q < 4000; ++Q) {
+      const Area &Ar = AreaTree[Rng.nextBelow(AreaTree.size())];
+      Value Key = TraitKeys.get(
+          static_cast<uint32_t>(Rng.nextBelow(NumTraitKeys)));
+      (void)Ar.Traits.get(Key);
+      (void)Ar.Traits.containsKey(Key);
+    }
+  }
+}

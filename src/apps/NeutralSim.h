@@ -1,0 +1,44 @@
+//===--- NeutralSim.h - A benchmark with nothing to fix --------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulacrum of the DaCapo benchmarks the paper screens out (§5.1:
+/// "Most of the Dacapo benchmarks do not make intensive use of
+/// collections, and hence our tool showed little potential saving for
+/// those"): an antlr-style parser whose heap is dominated by
+/// non-collection data and whose few collections are exactly-sized and
+/// well used. Chameleon's step-1 screening (§5.2) should report little
+/// potential, and the rule engine should stay quiet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_APPS_NEUTRALSIM_H
+#define CHAMELEON_APPS_NEUTRALSIM_H
+
+#include "collections/Handles.h"
+
+#include <cstdint>
+
+namespace chameleon::apps {
+
+/// Neutral (antlr-style) simulacrum parameters.
+struct NeutralConfig {
+  uint64_t Seed = 0xA27;
+  /// Grammar rules processed; their automata stay live.
+  uint32_t GrammarRules = 700;
+  /// Non-collection automaton payload per rule, bytes.
+  uint32_t AutomatonBytes = 2600;
+  /// Transitions per rule, stored in an exactly-sized ArrayList.
+  uint32_t TransitionsPerRule = 6;
+};
+
+/// Runs the neutral simulacrum on \p RT.
+void runNeutral(CollectionRuntime &RT,
+                const NeutralConfig &Config = NeutralConfig());
+
+} // namespace chameleon::apps
+
+#endif // CHAMELEON_APPS_NEUTRALSIM_H

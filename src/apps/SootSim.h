@@ -1,0 +1,54 @@
+//===--- SootSim.h - SOOT bytecode-framework simulacrum --------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulacrum of SOOT (§5.3): a long-lived intermediate representation of
+/// many small objects making intensive use of ArrayLists "for flexibility"
+/// with rarely-provided capacities (~25% utilisation). Encoded pathologies:
+///
+/// * by-construction singleton use-lists (JIfStmt-style) that are never
+///   modified — suggestion: SingletonList;
+/// * the useBoxes idiom: every node builds an ArrayList of its uses and
+///   rolls child lists in via addAll, creating temporaries — the paper
+///   settles for proper initial sizes, as does our plan;
+/// * per-method unit lists sized 2-3 under the default capacity 10 —
+///   suggestion: smaller initial capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_APPS_SOOTSIM_H
+#define CHAMELEON_APPS_SOOTSIM_H
+
+#include "collections/Handles.h"
+
+#include <cstdint>
+
+namespace chameleon::apps {
+
+/// SOOT simulacrum parameters.
+struct SootConfig {
+  uint64_t Seed = 0x5007;
+  /// Methods whose IR stays live (the loaded Scene).
+  uint32_t Methods = 500;
+  /// Statements per method.
+  uint32_t StmtsPerMethod = 14;
+  /// Fraction of statements that are branch statements with a singleton
+  /// use-list.
+  double BranchFraction = 0.4;
+  /// Children aggregated per useBoxes() call. Large enough that the
+  /// aggregate outgrows the default ArrayList capacity — the incremental
+  /// resizing the paper fixes by "selecting proper initial sizes".
+  uint32_t UseBoxChildren = 6;
+  /// useBoxes() sweeps over the whole scene after construction.
+  uint32_t UseBoxSweeps = 4;
+};
+
+/// Runs the SOOT simulacrum on \p RT.
+void runSoot(CollectionRuntime &RT, const SootConfig &Config = SootConfig());
+
+} // namespace chameleon::apps
+
+#endif // CHAMELEON_APPS_SOOTSIM_H

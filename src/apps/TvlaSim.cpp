@@ -1,0 +1,152 @@
+//===--- TvlaSim.cpp - TVLA abstract-interpretation simulacrum -----------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/TvlaSim.h"
+
+#include "support/SplitMix64.h"
+
+#include <deque>
+#include <vector>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+namespace {
+
+/// One abstract state: its predicate maps, a constraint list, and the
+/// state's own node structure (the non-collection ~30% of TVLA's heap).
+struct AbstractState {
+  RootedValue Node;
+  std::vector<Map> PredicateMaps;
+  List Constraints;
+};
+
+/// The collection factory TVLA routes allocations through; the allocation
+/// site is inside the factory, so callers are only separable through the
+/// partial calling context (paper §2.1's factory observation).
+class HashMapFactory {
+public:
+  explicit HashMapFactory(CollectionRuntime &RT)
+      : RT(RT), Site(RT.site("tvla.util.HashMapFactory.make:31")),
+        Frame(RT.profiler().internFrame("tvla.util.HashMapFactory.make")) {}
+
+  Map make() {
+    CallFrame F(RT.profiler(), Frame);
+    return RT.newHashMap(Site);
+  }
+
+private:
+  CollectionRuntime &RT;
+  FrameId Site;
+  FrameId Frame;
+};
+
+} // namespace
+
+void chameleon::apps::runTvla(CollectionRuntime &RT,
+                              const TvlaConfig &Config) {
+  SplitMix64 Rng(Config.Seed);
+  SemanticProfiler &Prof = RT.profiler();
+  HashMapFactory Factory(RT);
+
+  // Caller frames through which the factory is reached (one context each).
+  std::vector<FrameId> Callers;
+  for (uint32_t I = 0; I < Config.FactoryContexts; ++I)
+    Callers.push_back(Prof.internFrame(
+        "tvla.core.base.BaseTVS.update:" + std::to_string(50 + 7 * I)));
+
+  FrameId MainFrame = Prof.internFrame("tvla.Engine.evaluate");
+  FrameId JoinFrame = Prof.internFrame("tvla.core.Join.apply");
+  FrameId WorklistSite = RT.site("tvla.Engine.worklist:204");
+  FrameId ConstraintSite = RT.site("tvla.core.Constraints.<init>:77");
+  FrameId PredKeySite = RT.site("tvla.predicates.Vocabulary:19");
+
+  CallFrame Main(Prof, MainFrame);
+
+  // Shared predicate keys (the vocabulary), kept in a rooted list.
+  uint32_t NumPreds = Config.EntriesPerMap * 4;
+  List Vocabulary = RT.newArrayList(PredKeySite, NumPreds);
+  for (uint32_t I = 0; I < NumPreds; ++I)
+    Vocabulary.add(RT.allocData(1));
+
+  // Join worklists (one per analysed CFG location): LinkedLists randomly
+  // accessed by position — the LinkedList-to-ArrayList context of §5.3.
+  std::vector<List> Worklists;
+  for (uint32_t I = 0; I < 8; ++I)
+    Worklists.push_back(RT.newLinkedList(WorklistSite));
+
+  std::deque<AbstractState> StateSpace;
+
+  for (uint32_t S = 0; S < Config.NumStates; ++S) {
+    if (RT.heap().outOfMemory())
+      return;
+
+    AbstractState State;
+    State.Node = RootedValue(RT, RT.allocData(6, 120));
+    // Predicate maps via the factory, under this state's caller context.
+    for (uint32_t M = 0; M < Config.MapsPerState; ++M) {
+      CallFrame Caller(Prof, Callers[(S + M) % Callers.size()]);
+      Map PredMap = Factory.make();
+      for (uint32_t E = 0; E < Config.EntriesPerMap; ++E) {
+        Value Key = Vocabulary.get(
+            static_cast<uint32_t>(Rng.nextBelow(NumPreds)));
+        PredMap.put(Key, Value::ofInt(static_cast<int64_t>(E & 3)));
+      }
+      State.PredicateMaps.push_back(std::move(PredMap));
+    }
+
+    // Constraint list: grows past the default ArrayList capacity, so the
+    // incremental-resizing rule has something to tune.
+    State.Constraints = RT.newArrayList(ConstraintSite);
+    for (uint32_t C = 0; C < Config.ConstraintsPerState; ++C)
+      State.Constraints.add(Value::ofInt(static_cast<int64_t>(C)));
+
+    // Join against the retained state space: get-dominated lookups.
+    if (!StateSpace.empty()) {
+      for (uint32_t L = 0; L < Config.LookupsPerState; ++L) {
+        AbstractState &Other =
+            StateSpace[Rng.nextBelow(StateSpace.size())];
+        Map &M = Other.PredicateMaps[Rng.nextBelow(
+            Other.PredicateMaps.size())];
+        Value Key = Vocabulary.get(
+            static_cast<uint32_t>(Rng.nextBelow(NumPreds)));
+        (void)M.get(Key);
+      }
+    }
+
+    // Join scratch: short-lived update maps built, merged, and dropped —
+    // the garbage that makes TVLA's tight-heap runs GC-bound and that the
+    // ArrayMap fix makes dramatically cheaper (the Fig. 7 2.5x).
+    {
+      CallFrame Join(Prof, JoinFrame);
+      for (uint32_t T = 0; T < 2; ++T) {
+        CallFrame Caller(Prof, Callers[(S + T) % Callers.size()]);
+        Map Scratch = Factory.make();
+        Map &Base = State.PredicateMaps[T % State.PredicateMaps.size()];
+        Scratch.putAll(Base);
+        Scratch.put(Vocabulary.get(static_cast<uint32_t>(
+                        Rng.nextBelow(NumPreds))),
+                    Value::ofInt(static_cast<int64_t>(S & 7)));
+        (void)Scratch.get(Vocabulary.get(
+            static_cast<uint32_t>(Rng.nextBelow(NumPreds))));
+        // Scratch dies here.
+      }
+    }
+
+    // Worklist traffic: positional access on the LinkedLists.
+    List &Worklist = Worklists[S % Worklists.size()];
+    Worklist.add(Value::ofInt(static_cast<int64_t>(S)));
+    if (Worklist.size() > 48)
+      (void)Worklist.removeAt(Worklist.size() - 1);
+    for (uint32_t A = 0; A < 6 && Worklist.size() > 0; ++A)
+      (void)Worklist.get(
+          static_cast<uint32_t>(Rng.nextBelow(Worklist.size())));
+
+    StateSpace.push_back(std::move(State));
+    if (StateSpace.size() > Config.LiveWindow)
+      StateSpace.pop_front();
+  }
+}

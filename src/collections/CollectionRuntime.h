@@ -1,0 +1,288 @@
+//===--- CollectionRuntime.h - Heap + profiler + factory -------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collection runtime bundles everything a program needs to use
+/// Chameleon collections: the managed heap, the semantic profiler wired
+/// into its GC, the registered semantic ADT maps for every built-in
+/// implementation, and the allocation factory. The factory is where
+/// selection happens: it captures the allocation context, then consults —
+/// in order — the offline `ReplacementPlan` and the online selector
+/// (§3.3.2) before choosing the backing implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_COLLECTIONS_COLLECTIONRUNTIME_H
+#define CHAMELEON_COLLECTIONS_COLLECTIONRUNTIME_H
+
+#include "collections/ImplBase.h"
+#include "collections/Internals.h"
+#include "collections/Kinds.h"
+#include "collections/ReplacementPlan.h"
+#include "collections/Wrapper.h"
+#include "profiler/SemanticProfiler.h"
+#include "runtime/GcHeap.h"
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace chameleon {
+
+class List;
+class Set;
+class Map;
+
+/// Configuration of a collection runtime.
+struct RuntimeConfig {
+  MemoryModel Model = MemoryModel::jvm32();
+  /// Heap limit in model bytes (0 = unlimited).
+  uint64_t HeapLimitBytes = 0;
+  ProfilerConfig Profiler;
+  /// Simulated bytes charged per profiled wrapper for its per-instance
+  /// statistics record ("usually very small (few words)", §4.4). Set to 0
+  /// for uninstrumented measurement runs.
+  uint32_t ObjectInfoSimBytes = 32;
+  /// Record the per-type live breakdown each GC cycle (Table 3).
+  bool RecordTypeDistribution = false;
+  /// Force a statistics-sampling GC every this many allocated bytes
+  /// (0 = only allocation-pressure GCs).
+  uint64_t GcSampleEveryBytes = 0;
+  /// Return one shared iterator object for iterations over empty
+  /// collections instead of allocating a fresh one — the optimisation
+  /// §5.4 proposes for the "massive creation of iterator objects" it
+  /// observes (safe here: iterators cannot insert). Off by default, which
+  /// matches java.util semantics.
+  bool ShareEmptyIterators = false;
+  /// Parallel marker threads (§4.3.2); statistics are identical at any
+  /// count, only GC wall time changes.
+  unsigned GcThreads = 1;
+};
+
+/// TypeIds of the registered internal and implementation types.
+struct CollectionTypeIds {
+  TypeId ValueArray = 0;
+  TypeId IntArray = 0;
+  TypeId MapEntry = 0;
+  TypeId LinkedEntry = 0;
+  TypeId LinkedHashEntry = 0;
+  TypeId Iterator = 0;
+  TypeId Data = 0;
+  std::array<TypeId, NumImplKinds> Impl{};
+};
+
+/// A user-supplied backing implementation (paper §4.2: alternative
+/// implementations "obtained from other sources" — Trove, Javolution,
+/// Apache/Google collections — can be swapped in; §5.1: custom collection
+/// classes can be profiled "with very little manual effort"). The class
+/// behind `Make` derives SeqImpl or MapImpl; because the collection-aware
+/// GC is parametric on semantic maps that simply call the implementation's
+/// own `sizes()`, a custom implementation is profiled exactly like a
+/// built-in one.
+struct CustomImpl {
+  std::string Name;
+  AdtKind Adt = AdtKind::List;
+  /// The TypeId the runtime registered for this implementation.
+  TypeId Type = 0;
+  /// Creates a bare implementation object (not yet in the heap).
+  std::function<std::unique_ptr<CollectionImplBase>(
+      CollectionRuntime &RT, TypeId Type, uint32_t Capacity)>
+      Make;
+  /// Optional eager initialisation, run once the object is rooted (for
+  /// implementations that allocate internals up front).
+  std::function<void(CollectionRuntime &RT, ObjectRef Impl)> InitEager;
+};
+
+/// Identifies a registered custom implementation.
+using CustomImplId = uint32_t;
+
+/// Decides the implementation for an allocation while the program runs —
+/// the fully-automatic mode of §3.3.2. Implemented by the core layer's
+/// OnlineAdaptor; the runtime only knows the interface.
+class OnlineSelector {
+public:
+  virtual ~OnlineSelector();
+
+  /// Chooses the implementation for an allocation at \p Info (null when
+  /// the allocation was not profiled). \p Requested is the source-level
+  /// default; \p Capacity may be adjusted in place.
+  virtual ImplKind chooseImpl(const ContextInfo *Info, AdtKind Adt,
+                              ImplKind Requested, uint32_t &Capacity) = 0;
+};
+
+/// The collection runtime. One per simulated program run.
+class CollectionRuntime {
+public:
+  explicit CollectionRuntime(RuntimeConfig Config = RuntimeConfig());
+  ~CollectionRuntime();
+
+  CollectionRuntime(const CollectionRuntime &) = delete;
+  CollectionRuntime &operator=(const CollectionRuntime &) = delete;
+
+  GcHeap &heap() { return Heap; }
+  const GcHeap &heap() const { return Heap; }
+  SemanticProfiler &profiler() { return Profiler; }
+  const SemanticProfiler &profiler() const { return Profiler; }
+  const RuntimeConfig &config() const { return Config; }
+  const CollectionTypeIds &typeIds() const { return Types; }
+
+  /// Interns an allocation-site label (e.g. "BaseTVS.java:50").
+  FrameId site(const std::string &Label) {
+    return Profiler.internFrame(Label);
+  }
+
+  /// -- Source-level allocations (subject to plan / online selection) ------
+
+  /// `new ArrayList()` / `new ArrayList(Cap)`.
+  List newArrayList(FrameId Site, uint32_t Capacity = 0);
+  /// `new LinkedList()`.
+  List newLinkedList(FrameId Site);
+  /// A list whose source explicitly names the implementation (the
+  /// "programmer indicated" choice of §4.2).
+  List newListOf(ImplKind Impl, FrameId Site, uint32_t Capacity = 0);
+  /// `new HashSet()` / `new HashSet(Cap)`.
+  Set newHashSet(FrameId Site, uint32_t Capacity = 0);
+  Set newSetOf(ImplKind Impl, FrameId Site, uint32_t Capacity = 0);
+  /// `new HashMap()` / `new HashMap(Cap)`.
+  Map newHashMap(FrameId Site, uint32_t Capacity = 0);
+  Map newMapOf(ImplKind Impl, FrameId Site, uint32_t Capacity = 0);
+
+  /// Copy constructors: record the copy interaction counters on both sides.
+  List newArrayListCopy(FrameId Site, const List &Source);
+  Set newHashSetCopy(FrameId Site, const Set &Source);
+
+  /// Rebuilds a typed handle for a wrapper reference obtained earlier
+  /// (e.g. one stored as a Value inside a data object). The wrapper's ADT
+  /// must match.
+  List adoptList(ObjectRef Wrapper);
+  Set adoptSet(ObjectRef Wrapper);
+  Map adoptMap(ObjectRef Wrapper);
+
+  /// -- Custom implementations ------------------------------------------------
+
+  /// Registers a user implementation under \p Name; allocations through
+  /// newCustom* are profiled per context like any built-in, and the
+  /// replacement plan can redirect them to built-ins (the paper's flow for
+  /// replacing a poorly-chosen custom structure).
+  CustomImplId registerCustomImpl(CustomImpl Impl);
+
+  /// The registered descriptor.
+  const CustomImpl &customImpl(CustomImplId Id) const {
+    assert(Id < CustomImpls.size() && "unknown CustomImplId");
+    return CustomImpls[Id];
+  }
+
+  List newCustomList(CustomImplId Impl, FrameId Site,
+                     uint32_t Capacity = 0);
+  Set newCustomSet(CustomImplId Impl, FrameId Site, uint32_t Capacity = 0);
+  Map newCustomMap(CustomImplId Impl, FrameId Site, uint32_t Capacity = 0);
+
+  /// How many wrappers were allocated with a given custom backing.
+  uint64_t allocationsWithCustomImpl(CustomImplId Id) const {
+    assert(Id < CustomAllocCounts.size() && "unknown CustomImplId");
+    return CustomAllocCounts[Id];
+  }
+
+  /// -- Plan and online selection -------------------------------------------
+
+  ReplacementPlan &plan() { return Plan; }
+  const ReplacementPlan &plan() const { return Plan; }
+
+  /// Installs the online selector (null disables online mode).
+  void setOnlineSelector(OnlineSelector *Selector) {
+    this->Selector = Selector;
+  }
+
+  /// -- Application payloads -------------------------------------------------
+
+  /// Allocates a plain data object and returns it as a Value. The caller
+  /// must ensure it is reachable (insert it into a rooted collection or
+  /// hold a Handle) before the next allocation.
+  Value allocData(uint32_t PointerFields, uint32_t ScalarBytes = 0);
+
+  /// -- Internal allocations (for implementation classes) -------------------
+
+  ObjectRef allocValueArray(uint32_t Length);
+  ObjectRef allocIntArray(uint32_t Length);
+  ObjectRef allocMapEntry(Value Key, Value Val, ObjectRef Next);
+  ObjectRef allocLinkedEntry(Value Item, ObjectRef Prev, ObjectRef Next);
+  ObjectRef allocLinkedHashEntry(Value Item, ObjectRef Chain);
+  /// Allocates the per-iteration iterator object; when the collection is
+  /// empty and ShareEmptyIterators is on, returns the shared instance.
+  ObjectRef allocIterator(ObjectRef Coll, bool CollectionIsEmpty = false);
+
+  /// Allocates a bare implementation object of \p Kind (post-initialised by
+  /// the caller; eager representations allocate their internals via
+  /// `SeqImpl`/`MapImpl` methods once the object is rooted).
+  ObjectRef makeImpl(ImplKind Kind, uint32_t Capacity);
+
+  /// -- Lifecycle -------------------------------------------------------------
+
+  /// Folds the statistics of still-live profiled collections into their
+  /// contexts — the end-of-execution completion of the paper's §3.3.2
+  /// operation mode. Idempotent.
+  void harvestLiveStatistics();
+
+  /// -- Introspection (tests, reports) ---------------------------------------
+
+  /// How many wrappers were allocated with each backing implementation.
+  uint64_t allocationsWithImpl(ImplKind Kind) const {
+    return ImplAllocCounts[implIndex(Kind)];
+  }
+
+private:
+  friend class List;
+  friend class Set;
+  friend class Map;
+
+  /// Allocates wrapper + backing impl for a source-level request, running
+  /// context capture, plan lookup, and online selection. When \p Custom is
+  /// non-null it provides the default backing instead of \p Requested
+  /// (the plan may still redirect to a built-in).
+  ObjectRef allocateCollection(AdtKind Adt, const char *SourceType,
+                               ImplKind Requested, FrameId Site,
+                               uint32_t Capacity,
+                               const CustomImpl *Custom = nullptr);
+
+  /// The effective decision for a context, memoised per ContextInfo.
+  const PlanDecision *lookupPlan(const ContextInfo *Info);
+
+  void registerTypes();
+
+  RuntimeConfig Config;
+  GcHeap Heap;
+  SemanticProfiler Profiler;
+  CollectionTypeIds Types;
+  /// Wrapper TypeIds per source-level type name (created on demand).
+  std::unordered_map<std::string, TypeId> WrapperTypes;
+  ReplacementPlan Plan;
+  OnlineSelector *Selector = nullptr;
+  /// Memoised plan lookups (label building is the expensive part), tagged
+  /// with the plan version so mid-run plan edits invalidate them.
+  struct CachedDecision {
+    uint64_t PlanVersion = 0;
+    const PlanDecision *Decision = nullptr;
+  };
+  std::unordered_map<const ContextInfo *, CachedDecision> PlanCache;
+  std::array<uint64_t, NumImplKinds> ImplAllocCounts{};
+  /// EmptyList is immutable and stateless, so all wrappers backed by it
+  /// share one flyweight implementation object — this is what makes the
+  /// "collection never used" fix eliminate nearly the whole per-instance
+  /// cost, like the paper's manual lazy-allocation fix for bloat.
+  Handle SharedEmptyList;
+  /// The shared iterator returned for empty iterations when
+  /// ShareEmptyIterators is on (§5.4).
+  Handle SharedEmptyIterator;
+  std::vector<CustomImpl> CustomImpls;
+  std::vector<uint64_t> CustomAllocCounts;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_COLLECTIONS_COLLECTIONRUNTIME_H

@@ -1,0 +1,300 @@
+//===--- Handles.cpp - Program-facing List / Set / Map --------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/Handles.h"
+
+using namespace chameleon;
+
+std::string CollectionHandleBase::backingName() const {
+  const CollectionObject &W = obj();
+  if (W.CustomId >= 0)
+    return RT->customImpl(static_cast<CustomImplId>(W.CustomId)).Name;
+  return implKindName(W.CurrentImpl);
+}
+
+//===----------------------------------------------------------------------===//
+// Iterators
+//===----------------------------------------------------------------------===//
+
+ValueIter::ValueIter(CollectionRuntime &RT, ObjectRef Wrapper,
+                     ObjectRef IterObj, uint32_t ModCount)
+    : RT(&RT), Wrapper(RT.heap(), Wrapper), IterObj(RT.heap(), IterObj),
+      ModAtStart(ModCount) {}
+
+bool ValueIter::next(Value &Out) {
+  CollectionObject &W = RT->heap().getAs<CollectionObject>(Wrapper.ref());
+  SeqImpl &Impl = RT->heap().getAs<SeqImpl>(W.Impl);
+  assert(Impl.modCount() == ModAtStart
+         && "collection modified during iteration");
+  return Impl.iterNext(State, Out);
+}
+
+EntryIter::EntryIter(CollectionRuntime &RT, ObjectRef Wrapper,
+                     ObjectRef IterObj, uint32_t ModCount)
+    : RT(&RT), Wrapper(RT.heap(), Wrapper), IterObj(RT.heap(), IterObj),
+      ModAtStart(ModCount) {}
+
+bool EntryIter::next(Value &Key, Value &Val) {
+  CollectionObject &W = RT->heap().getAs<CollectionObject>(Wrapper.ref());
+  MapImpl &Impl = RT->heap().getAs<MapImpl>(W.Impl);
+  assert(Impl.modCount() == ModAtStart
+         && "map modified during iteration");
+  return Impl.iterNext(State, Key, Val);
+}
+
+//===----------------------------------------------------------------------===//
+// List
+//===----------------------------------------------------------------------===//
+
+void List::add(Value V) {
+  TempRootScope Guard(RT->heap(), V.refOrNull());
+  countOp(OpKind::Add);
+  SeqImpl &I = impl();
+  I.add(V);
+  noteSize(I.size());
+}
+
+void List::add(uint32_t Index, Value V) {
+  TempRootScope Guard(RT->heap(), V.refOrNull());
+  countOp(OpKind::AddAtIndex);
+  SeqImpl &I = impl();
+  I.addAt(Index, V);
+  noteSize(I.size());
+}
+
+Value List::get(uint32_t Index) const {
+  countOp(OpKind::GetAtIndex);
+  return impl().get(Index);
+}
+
+Value List::set(uint32_t Index, Value V) {
+  TempRootScope Guard(RT->heap(), V.refOrNull());
+  countOp(OpKind::Set);
+  return impl().setAt(Index, V);
+}
+
+Value List::removeAt(uint32_t Index) {
+  countOp(OpKind::RemoveAtIndex);
+  SeqImpl &I = impl();
+  Value Old = I.removeAt(Index);
+  noteSize(I.size());
+  return Old;
+}
+
+Value List::removeFirst() {
+  countOp(OpKind::RemoveFirst);
+  SeqImpl &I = impl();
+  Value Old = I.removeFirst();
+  noteSize(I.size());
+  return Old;
+}
+
+bool List::remove(Value V) {
+  countOp(OpKind::RemoveObject);
+  SeqImpl &I = impl();
+  bool Removed = I.removeValue(V);
+  noteSize(I.size());
+  return Removed;
+}
+
+bool List::contains(Value V) const {
+  countOp(OpKind::Contains);
+  return impl().contains(V);
+}
+
+void List::addAll(const List &Source) {
+  countOp(OpKind::AddAll);
+  Source.countOp(OpKind::CopiedInto);
+  SeqImpl &Dst = impl();
+  const SeqImpl &Src = Source.impl();
+  IterState It;
+  Value V;
+  while (Src.iterNext(It, V)) {
+    TempRootScope Guard(RT->heap(), V.refOrNull());
+    Dst.add(V);
+  }
+  noteSize(Dst.size());
+}
+
+void List::addAll(uint32_t Index, const List &Source) {
+  countOp(OpKind::AddAllAtIndex);
+  Source.countOp(OpKind::CopiedInto);
+  SeqImpl &Dst = impl();
+  const SeqImpl &Src = Source.impl();
+  IterState It;
+  Value V;
+  uint32_t At = Index;
+  while (Src.iterNext(It, V)) {
+    TempRootScope Guard(RT->heap(), V.refOrNull());
+    Dst.addAt(At++, V);
+  }
+  noteSize(Dst.size());
+}
+
+uint32_t List::size() const {
+  countOp(OpKind::Size);
+  return impl().size();
+}
+
+bool List::isEmpty() const {
+  countOp(OpKind::IsEmpty);
+  return impl().size() == 0;
+}
+
+void List::clear() {
+  countOp(OpKind::Clear);
+  SeqImpl &I = impl();
+  I.clear();
+  noteSize(0);
+}
+
+ValueIter List::iterate() const {
+  SeqImpl &I = impl();
+  bool Empty = I.size() == 0;
+  countOp(Empty ? OpKind::IterateEmpty : OpKind::Iterate);
+  ObjectRef IterObj = RT->allocIterator(wrapperRef(), Empty);
+  return ValueIter(*RT, wrapperRef(), IterObj, impl().modCount());
+}
+
+//===----------------------------------------------------------------------===//
+// Set
+//===----------------------------------------------------------------------===//
+
+bool Set::add(Value V) {
+  TempRootScope Guard(RT->heap(), V.refOrNull());
+  countOp(OpKind::Add);
+  SeqImpl &I = impl();
+  bool New = I.add(V);
+  noteSize(I.size());
+  return New;
+}
+
+bool Set::remove(Value V) {
+  countOp(OpKind::RemoveObject);
+  SeqImpl &I = impl();
+  bool Removed = I.removeValue(V);
+  noteSize(I.size());
+  return Removed;
+}
+
+bool Set::contains(Value V) const {
+  countOp(OpKind::Contains);
+  return impl().contains(V);
+}
+
+void Set::addAll(const Set &Source) {
+  countOp(OpKind::AddAll);
+  Source.countOp(OpKind::CopiedInto);
+  SeqImpl &Dst = impl();
+  const SeqImpl &Src = Source.impl();
+  IterState It;
+  Value V;
+  while (Src.iterNext(It, V)) {
+    TempRootScope Guard(RT->heap(), V.refOrNull());
+    Dst.add(V);
+  }
+  noteSize(Dst.size());
+}
+
+uint32_t Set::size() const {
+  countOp(OpKind::Size);
+  return impl().size();
+}
+
+bool Set::isEmpty() const {
+  countOp(OpKind::IsEmpty);
+  return impl().size() == 0;
+}
+
+void Set::clear() {
+  countOp(OpKind::Clear);
+  SeqImpl &I = impl();
+  I.clear();
+  noteSize(0);
+}
+
+ValueIter Set::iterate() const {
+  SeqImpl &I = impl();
+  bool Empty = I.size() == 0;
+  countOp(Empty ? OpKind::IterateEmpty : OpKind::Iterate);
+  ObjectRef IterObj = RT->allocIterator(wrapperRef(), Empty);
+  return ValueIter(*RT, wrapperRef(), IterObj, impl().modCount());
+}
+
+//===----------------------------------------------------------------------===//
+// Map
+//===----------------------------------------------------------------------===//
+
+bool Map::put(Value Key, Value Val) {
+  TempRootScope Guard(RT->heap(), Key.refOrNull(), Val.refOrNull());
+  countOp(OpKind::Put);
+  MapImpl &I = impl();
+  bool New = I.put(Key, Val);
+  noteSize(I.size());
+  return New;
+}
+
+Value Map::get(Value Key) const {
+  countOp(OpKind::Get);
+  return impl().get(Key);
+}
+
+bool Map::containsKey(Value Key) const {
+  countOp(OpKind::ContainsKey);
+  return impl().containsKey(Key);
+}
+
+bool Map::containsValue(Value Val) const {
+  countOp(OpKind::ContainsValue);
+  return impl().containsValue(Val);
+}
+
+bool Map::remove(Value Key) {
+  countOp(OpKind::RemoveKey);
+  MapImpl &I = impl();
+  bool Removed = I.removeKey(Key);
+  noteSize(I.size());
+  return Removed;
+}
+
+void Map::putAll(const Map &Source) {
+  countOp(OpKind::AddAll);
+  Source.countOp(OpKind::CopiedInto);
+  MapImpl &Dst = impl();
+  const MapImpl &Src = Source.impl();
+  IterState It;
+  Value Key, Val;
+  while (Src.iterNext(It, Key, Val)) {
+    TempRootScope Guard(RT->heap(), Key.refOrNull(), Val.refOrNull());
+    Dst.put(Key, Val);
+  }
+  noteSize(Dst.size());
+}
+
+uint32_t Map::size() const {
+  countOp(OpKind::Size);
+  return impl().size();
+}
+
+bool Map::isEmpty() const {
+  countOp(OpKind::IsEmpty);
+  return impl().size() == 0;
+}
+
+void Map::clear() {
+  countOp(OpKind::Clear);
+  MapImpl &I = impl();
+  I.clear();
+  noteSize(0);
+}
+
+EntryIter Map::iterate() const {
+  MapImpl &I = impl();
+  bool Empty = I.size() == 0;
+  countOp(Empty ? OpKind::IterateEmpty : OpKind::Iterate);
+  ObjectRef IterObj = RT->allocIterator(wrapperRef(), Empty);
+  return EntryIter(*RT, wrapperRef(), IterObj, impl().modCount());
+}

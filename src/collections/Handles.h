@@ -1,0 +1,224 @@
+//===--- Handles.h - Program-facing List / Set / Map -----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program-facing collection API. A `List` / `Set` / `Map` is a rooted
+/// reference to a wrapper object; copying a handle aliases the same
+/// collection (Java reference semantics). Every operation (i) records its
+/// counter in the wrapper's per-instance usage record when the allocation
+/// was profiled, and (ii) delegates to the backing implementation — the
+/// delegation wrappers of the paper's §4.2 (cf. Google Collections'
+/// Forwarding types).
+///
+/// Iterators allocate a heap-visible iterator object per `iterate()` call,
+/// reproducing the iterator allocation pressure §5.4 discusses, and fail
+/// fast on concurrent structural modification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_COLLECTIONS_HANDLES_H
+#define CHAMELEON_COLLECTIONS_HANDLES_H
+
+#include "collections/CollectionRuntime.h"
+
+namespace chameleon {
+
+/// Iterator over element collections. C++-side object; the paired heap
+/// iterator object it roots exists for allocation-pressure realism.
+class ValueIter {
+public:
+  /// Advances; returns false at the end. Aborts if the collection was
+  /// structurally modified since the iterator was created.
+  bool next(Value &Out);
+
+private:
+  friend class List;
+  friend class Set;
+
+  ValueIter(CollectionRuntime &RT, ObjectRef Wrapper, ObjectRef IterObj,
+            uint32_t ModCount);
+
+  CollectionRuntime *RT;
+  Handle Wrapper;
+  Handle IterObj;
+  IterState State;
+  uint32_t ModAtStart;
+};
+
+/// Iterator over map entries.
+class EntryIter {
+public:
+  /// Advances; returns false at the end.
+  bool next(Value &Key, Value &Val);
+
+private:
+  friend class Map;
+
+  EntryIter(CollectionRuntime &RT, ObjectRef Wrapper, ObjectRef IterObj,
+            uint32_t ModCount);
+
+  CollectionRuntime *RT;
+  Handle Wrapper;
+  Handle IterObj;
+  IterState State;
+  uint32_t ModAtStart;
+};
+
+/// Roots a Value held in plain C++ memory. The collector cannot see C++
+/// data structures, so a program keeping a reference Value outside a
+/// rooted collection must hold it through one of these.
+class RootedValue {
+public:
+  RootedValue() = default;
+
+  RootedValue(CollectionRuntime &RT, Value V) : V(V) {
+    if (V.isRef())
+      H.set(RT.heap(), V.asRef());
+  }
+
+  Value get() const { return V; }
+
+private:
+  Value V;
+  Handle H;
+};
+
+/// Common handle plumbing for the three ADT handles.
+class CollectionHandleBase {
+public:
+  /// True for a default-constructed (null) handle.
+  bool isNull() const { return H.isNull(); }
+
+  /// The wrapper object's reference.
+  ObjectRef wrapperRef() const { return H.ref(); }
+
+  /// The current backing implementation kind (built-in backings only;
+  /// check isCustomBacked first when custom implementations are in play).
+  ImplKind backing() const {
+    assert(!isCustomBacked() && "custom backing has no ImplKind");
+    return obj().CurrentImpl;
+  }
+
+  /// True when a registered custom implementation backs this collection.
+  bool isCustomBacked() const { return obj().CustomId >= 0; }
+
+  /// Display name of the backing implementation (built-in or custom).
+  std::string backingName() const;
+
+  /// The allocation context (null when the allocation was unprofiled).
+  ContextInfo *context() const { return obj().Ctx; }
+
+  /// True when both handles alias the same collection.
+  bool sameAs(const CollectionHandleBase &Other) const {
+    return H.ref() == Other.H.ref();
+  }
+
+protected:
+  CollectionHandleBase() = default;
+  CollectionHandleBase(CollectionRuntime &RT, ObjectRef Wrapper)
+      : RT(&RT), H(RT.heap(), Wrapper) {}
+
+  CollectionObject &obj() const {
+    assert(RT && !H.isNull() && "null collection handle");
+    return RT->heap().getAs<CollectionObject>(H.ref());
+  }
+
+  /// Counts \p Op when profiled.
+  void countOp(OpKind Op) const {
+    CollectionObject &W = obj();
+    if (W.Ctx)
+      W.Usage.count(Op);
+  }
+
+  /// Records the size after a mutation when profiled.
+  void noteSize(uint32_t Size) const {
+    CollectionObject &W = obj();
+    if (W.Ctx)
+      W.Usage.noteSize(Size);
+  }
+
+  CollectionRuntime *RT = nullptr;
+  Handle H;
+};
+
+/// The List ADT handle.
+class List : public CollectionHandleBase {
+public:
+  List() = default;
+
+  void add(Value V);
+  void add(uint32_t Index, Value V);
+  Value get(uint32_t Index) const;
+  Value set(uint32_t Index, Value V);
+  Value removeAt(uint32_t Index);
+  Value removeFirst();
+  bool remove(Value V);
+  bool contains(Value V) const;
+  /// Appends all of \p Source (records the copy interaction on both sides).
+  void addAll(const List &Source);
+  void addAll(uint32_t Index, const List &Source);
+  uint32_t size() const;
+  bool isEmpty() const;
+  void clear();
+  ValueIter iterate() const;
+
+private:
+  friend class CollectionRuntime;
+  using CollectionHandleBase::CollectionHandleBase;
+
+  SeqImpl &impl() const { return RT->heap().getAs<SeqImpl>(obj().Impl); }
+};
+
+/// The Set ADT handle.
+class Set : public CollectionHandleBase {
+public:
+  Set() = default;
+
+  /// Returns true when the element was new.
+  bool add(Value V);
+  bool remove(Value V);
+  bool contains(Value V) const;
+  void addAll(const Set &Source);
+  uint32_t size() const;
+  bool isEmpty() const;
+  void clear();
+  ValueIter iterate() const;
+
+private:
+  friend class CollectionRuntime;
+  using CollectionHandleBase::CollectionHandleBase;
+
+  SeqImpl &impl() const { return RT->heap().getAs<SeqImpl>(obj().Impl); }
+};
+
+/// The Map ADT handle.
+class Map : public CollectionHandleBase {
+public:
+  Map() = default;
+
+  /// Returns true when the key was new.
+  bool put(Value Key, Value Val);
+  /// The bound value, or Value::null() when absent.
+  Value get(Value Key) const;
+  bool containsKey(Value Key) const;
+  bool containsValue(Value Val) const;
+  bool remove(Value Key);
+  void putAll(const Map &Source);
+  uint32_t size() const;
+  bool isEmpty() const;
+  void clear();
+  EntryIter iterate() const;
+
+private:
+  friend class CollectionRuntime;
+  using CollectionHandleBase::CollectionHandleBase;
+
+  MapImpl &impl() const { return RT->heap().getAs<MapImpl>(obj().Impl); }
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_COLLECTIONS_HANDLES_H

@@ -1,0 +1,54 @@
+//===--- ImplBase.cpp - Backing-implementation interfaces ------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/ImplBase.h"
+
+#include "support/Assert.h"
+
+using namespace chameleon;
+
+void SeqImpl::addAt(uint32_t Index, Value V) {
+  (void)Index;
+  (void)V;
+  CHAM_UNREACHABLE("positional insert unsupported by this implementation; "
+                   "the selection rules only install it where the profile "
+                   "shows add(int,Object) is never used");
+}
+
+Value SeqImpl::get(uint32_t Index) const {
+  // Generic positional read: walk the iteration order. Set-shaped backings
+  // installed behind a List interface use this O(n) fallback.
+  assert(Index < size() && "index out of bounds");
+  IterState State;
+  Value Out;
+  for (uint32_t I = 0; I <= Index; ++I) {
+    [[maybe_unused]] bool Ok = iterNext(State, Out);
+    assert(Ok && "iteration ended before the requested index");
+  }
+  return Out;
+}
+
+Value SeqImpl::setAt(uint32_t Index, Value V) {
+  (void)Index;
+  (void)V;
+  CHAM_UNREACHABLE("positional update unsupported by this implementation; "
+                   "the selection rules only install it where the profile "
+                   "shows set(int,Object) is never used");
+}
+
+Value SeqImpl::removeAt(uint32_t Index) {
+  // Generic positional removal: find the Index-th element in iteration
+  // order, then remove it by value.
+  Value Victim = get(Index);
+  [[maybe_unused]] bool Removed = removeValue(Victim);
+  assert(Removed && "element vanished between lookup and removal");
+  return Victim;
+}
+
+Value SeqImpl::removeFirst() {
+  assert(size() > 0 && "removeFirst on an empty collection");
+  return removeAt(0);
+}

@@ -1,0 +1,89 @@
+//===--- Value.h - Tagged element values -----------------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Value` is what Chameleon collections store: the simulated analogue of a
+/// Java reference. A value is null, a small integer (an unboxed constant —
+/// we do not model auto-boxing), or a reference to a managed heap object.
+/// Equality is identity equality, as for Java references (boxed-style
+/// `equals` content comparison is not modelled; workloads use identity keys,
+/// which is also what TVLA-style canonicalised data does).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_COLLECTIONS_VALUE_H
+#define CHAMELEON_COLLECTIONS_VALUE_H
+
+#include "runtime/ObjectRef.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace chameleon {
+
+/// A collection element: null, an inline integer, or an object reference.
+class Value {
+public:
+  /// Constructs null.
+  Value() = default;
+
+  /// The null value.
+  static Value null() { return Value(); }
+
+  /// An inline 63-bit integer value.
+  static Value ofInt(int64_t X) {
+    Value V;
+    V.Bits = (static_cast<uint64_t>(X) << 1) | 1;
+    return V;
+  }
+
+  /// A reference value. \p Ref must be non-null.
+  static Value ofRef(ObjectRef Ref) {
+    assert(!Ref.isNull() && "use Value::null() for null");
+    Value V;
+    V.Bits = static_cast<uint64_t>(Ref.raw()) << 1;
+    return V;
+  }
+
+  bool isNull() const { return Bits == 0; }
+  bool isInt() const { return (Bits & 1) != 0; }
+  bool isRef() const { return Bits != 0 && (Bits & 1) == 0; }
+
+  /// The integer payload; must be an int value.
+  int64_t asInt() const {
+    assert(isInt() && "not an int value");
+    return static_cast<int64_t>(Bits) >> 1;
+  }
+
+  /// The reference payload; must be a ref value.
+  ObjectRef asRef() const {
+    assert(isRef() && "not a ref value");
+    return ObjectRef::fromRaw(static_cast<uint32_t>(Bits >> 1));
+  }
+
+  /// The reference payload, or null for non-ref values (GC tracing helper).
+  ObjectRef refOrNull() const {
+    return isRef() ? asRef() : ObjectRef::null();
+  }
+
+  /// Identity hash (SplitMix64 finaliser over the raw bits).
+  uint64_t hash() const {
+    uint64_t Z = Bits + 0x9E3779B97F4A7C15ULL;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  friend bool operator==(Value A, Value B) { return A.Bits == B.Bits; }
+  friend bool operator!=(Value A, Value B) { return A.Bits != B.Bits; }
+
+private:
+  uint64_t Bits = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_COLLECTIONS_VALUE_H

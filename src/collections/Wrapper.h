@@ -1,0 +1,55 @@
+//===--- Wrapper.h - The collection wrapper object -------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wrapper object of the paper's library architecture (§4.1-4.2): one
+/// level of indirection between the program and the collection
+/// implementation. "The only information kept in the wrapper object is a
+/// reference to the particular implementation" — plus, when the allocation
+/// was profiled, the allocation-context record and the per-instance
+/// `ObjectContextInfo` whose simulated bytes are charged to the wrapper
+/// (the paper allocates it as a separate few-words object).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_COLLECTIONS_WRAPPER_H
+#define CHAMELEON_COLLECTIONS_WRAPPER_H
+
+#include "collections/Kinds.h"
+#include "profiler/ContextInfo.h"
+#include "runtime/HeapObject.h"
+
+namespace chameleon {
+
+/// A collection wrapper. The program-facing List / Set / Map handles point
+/// at one of these; replacement swaps `Impl` without the program's type
+/// ever changing.
+class CollectionObject : public HeapObject {
+public:
+  CollectionObject(TypeId Type, uint64_t Bytes, AdtKind Adt, ImplKind Impl)
+      : HeapObject(Type, Bytes), Adt(Adt), CurrentImpl(Impl) {}
+
+  /// The backing implementation object (a SeqImpl or MapImpl).
+  ObjectRef Impl;
+  /// The abstract type this wrapper exposes.
+  AdtKind Adt;
+  /// Mirror of the backing implementation's kind, for cheap queries.
+  /// Meaningless when CustomId >= 0.
+  ImplKind CurrentImpl;
+  /// Index of the custom backing implementation, or -1 for built-ins.
+  int32_t CustomId = -1;
+  /// The allocation context, or null when the allocation was not profiled.
+  ContextInfo *Ctx = nullptr;
+  /// Per-instance usage counters; mutated by logically-const reads, folded
+  /// into Ctx when the wrapper dies.
+  mutable ObjectContextInfo Usage;
+
+  void trace(GcTracer &Tracer) const override { Tracer.visit(Impl); }
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_COLLECTIONS_WRAPPER_H

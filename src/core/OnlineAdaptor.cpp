@@ -1,0 +1,52 @@
+//===--- OnlineAdaptor.cpp - Fully-automatic online selection ------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OnlineAdaptor.h"
+
+using namespace chameleon;
+
+ImplKind OnlineAdaptor::chooseImpl(const ContextInfo *Info, AdtKind Adt,
+                                   ImplKind Requested, uint32_t &Capacity) {
+  if (!Info)
+    return Requested;
+  if (Info->foldedInstances() < Config.WarmupDeaths)
+    return Requested;
+
+  auto It = Cache.find(Info);
+  bool NeedEval =
+      It == Cache.end()
+      || Info->allocations() - It->second.AtAllocationCount
+             >= Config.ReevaluatePeriod;
+
+  if (NeedEval) {
+    ++Evaluations;
+    Decision Fresh;
+    Fresh.AtAllocationCount = Info->allocations();
+    std::vector<rules::Suggestion> Suggs;
+    Engine.evaluateContext(*Info, Profiler, Suggs);
+    for (const rules::Suggestion &S : Suggs) {
+      if (S.Action == rules::ActionKind::Replace && !Fresh.Impl) {
+        if (std::optional<ImplKind> Adapted = adaptImplToAdt(S.NewImpl, Adt))
+          Fresh.Impl = Adapted;
+        if (S.Capacity && !Fresh.Capacity)
+          Fresh.Capacity = S.Capacity;
+      } else if (S.Action == rules::ActionKind::SetCapacity
+                 && !Fresh.Capacity) {
+        Fresh.Capacity = S.Capacity;
+      }
+    }
+    It = Cache.insert_or_assign(Info, Fresh).first;
+  }
+
+  const Decision &D = It->second;
+  if (D.Capacity)
+    Capacity = *D.Capacity;
+  if (D.Impl && *D.Impl != Requested) {
+    ++Replacements;
+    return *D.Impl;
+  }
+  return Requested;
+}

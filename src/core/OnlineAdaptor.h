@@ -1,0 +1,73 @@
+//===--- OnlineAdaptor.h - Fully-automatic online selection ----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fully-automatic replacement mode of §3.3.2 / §5.4: an
+/// `OnlineSelector` that, at allocation time, evaluates the selection rules
+/// against the context's profile accumulated *so far* (dead instances only)
+/// and redirects the allocation to the suggested implementation. Decisions
+/// are cached per context and periodically re-evaluated, addressing the
+/// paper's "lack of stability" motivation: a context whose behaviour
+/// drifts gets a fresh decision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_CORE_ONLINEADAPTOR_H
+#define CHAMELEON_CORE_ONLINEADAPTOR_H
+
+#include "collections/CollectionRuntime.h"
+#include "rules/RuleEngine.h"
+
+#include <unordered_map>
+
+namespace chameleon {
+
+/// Online-mode configuration.
+struct OnlineConfig {
+  /// Do not decide before this many instances have died at the context
+  /// (partial-information guard: "at what point of the execution can we
+  /// decide", §3.3.2).
+  uint64_t WarmupDeaths = 8;
+  /// Re-evaluate a cached decision after this many further allocations.
+  uint64_t ReevaluatePeriod = 256;
+};
+
+/// Rule-engine-backed online selector. Install on a CollectionRuntime via
+/// `setOnlineSelector`; the profiler it reads must be that runtime's.
+class OnlineAdaptor : public OnlineSelector {
+public:
+  OnlineAdaptor(const rules::RuleEngine &Engine,
+                const SemanticProfiler &Profiler,
+                OnlineConfig Config = OnlineConfig())
+      : Engine(Engine), Profiler(Profiler), Config(Config) {}
+
+  ImplKind chooseImpl(const ContextInfo *Info, AdtKind Adt,
+                      ImplKind Requested, uint32_t &Capacity) override;
+
+  /// Number of allocations redirected to a different implementation.
+  uint64_t replacements() const { return Replacements; }
+
+  /// Number of rule-engine evaluations performed.
+  uint64_t evaluations() const { return Evaluations; }
+
+private:
+  struct Decision {
+    std::optional<ImplKind> Impl;
+    std::optional<uint32_t> Capacity;
+    uint64_t AtAllocationCount = 0;
+  };
+
+  const rules::RuleEngine &Engine;
+  const SemanticProfiler &Profiler;
+  OnlineConfig Config;
+  std::unordered_map<const ContextInfo *, Decision> Cache;
+  uint64_t Replacements = 0;
+  uint64_t Evaluations = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_CORE_ONLINEADAPTOR_H

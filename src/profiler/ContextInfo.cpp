@@ -1,0 +1,50 @@
+//===--- ContextInfo.cpp - Per-allocation-context statistics -------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiler/ContextInfo.h"
+
+using namespace chameleon;
+
+void ContextInfo::recordDeath(ObjectContextInfo &Info) {
+  if (Info.Folded)
+    return;
+  Info.Folded = true;
+  for (unsigned I = 0; I < NumOpKinds; ++I)
+    OpStats[I].add(Info.Counts[I]);
+  MaxSizeStat.add(Info.MaxSize);
+  FinalSizeStat.add(Info.CurrentSize);
+  ++Folded;
+}
+
+bool ContextInfo::accumulateCycle(uint64_t Cycle,
+                                  const CollectionSizes &Sizes) {
+  bool FirstTouch = CycleStamp != Cycle;
+  if (FirstTouch) {
+    CycleStamp = Cycle;
+    CycleSizes = CollectionSizes();
+    CycleObjects = 0;
+  }
+  CycleSizes += Sizes;
+  ++CycleObjects;
+  return FirstTouch;
+}
+
+void ContextInfo::finishCycle() {
+  Live.observe(CycleSizes.Live);
+  Used.observe(CycleSizes.Used);
+  Core.observe(CycleSizes.Core);
+  Objects.observe(CycleObjects);
+  CycleSizes = CollectionSizes();
+  CycleObjects = 0;
+}
+
+double ContextInfo::avgAllOps() const {
+  double Sum = 0;
+  for (unsigned I = 0; I < NumOpKinds; ++I)
+    if (countsTowardAllOps(static_cast<OpKind>(I)))
+      Sum += OpStats[I].mean();
+  return Sum;
+}

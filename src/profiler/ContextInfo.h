@@ -1,0 +1,168 @@
+//===--- ContextInfo.h - Per-allocation-context statistics -----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two statistics records of the paper's library architecture (§4.2):
+///
+/// * `ObjectContextInfo` — the small per-instance record a wrapper keeps
+///   while its collection is alive: one counter per operation kind, the
+///   maximal and current size, and the requested initial capacity.
+/// * `ContextInfo` — the per-allocation-context aggregate into which
+///   instance records are folded when their collection dies (at sweep time,
+///   per §4.4), and into which the collection-aware GC folds the heap
+///   measures of Table 1 at the end of every cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_PROFILER_CONTEXTINFO_H
+#define CHAMELEON_PROFILER_CONTEXTINFO_H
+
+#include "profiler/OpKind.h"
+#include "runtime/SemanticMap.h"
+#include "support/Statistics.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chameleon {
+
+/// Interned identifier of a stack-frame / allocation-site label.
+using FrameId = uint32_t;
+
+/// Per-instance usage record, embedded in every profiled wrapper.
+struct ObjectContextInfo {
+  std::array<uint32_t, NumOpKinds> Counts{};
+  /// Largest size the collection reached during its lifetime.
+  uint32_t MaxSize = 0;
+  /// Size right now (folded as the final size at death).
+  uint32_t CurrentSize = 0;
+  /// Capacity requested at construction (0 = implementation default).
+  uint32_t InitialCapacity = 0;
+  /// Set once folded into the ContextInfo, to make end-of-run harvesting
+  /// idempotent with sweep-time folding.
+  bool Folded = false;
+
+  /// Counts one occurrence of \p Op.
+  void count(OpKind Op) { ++Counts[opIndex(Op)]; }
+
+  /// Records the collection's size after a mutation.
+  void noteSize(uint32_t Size) {
+    CurrentSize = Size;
+    if (Size > MaxSize)
+      MaxSize = Size;
+  }
+
+  /// Sum of all counters that are operations (see countsTowardAllOps).
+  uint64_t allOps() const {
+    uint64_t Sum = 0;
+    for (unsigned I = 0; I < NumOpKinds; ++I)
+      if (countsTowardAllOps(static_cast<OpKind>(I)))
+        Sum += Counts[I];
+    return Sum;
+  }
+};
+
+/// Aggregate statistics for one allocation context (paper Table 1).
+///
+/// Trace statistics are distributions over the *instances* allocated at the
+/// context: each dead instance contributes its per-op counts and sizes as
+/// one sample, which directly yields the Avg/Var rows of Table 1 and the
+/// stability measure of Definition 3.1. Heap statistics are Total/Max pairs
+/// over GC cycles, fed by the collector.
+class ContextInfo {
+public:
+  ContextInfo(uint32_t Id, std::vector<FrameId> Frames, std::string TypeName)
+      : Id(Id), Frames(std::move(Frames)), TypeName(std::move(TypeName)) {}
+
+  /// Dense id in allocation order (used for stable report labels).
+  uint32_t id() const { return Id; }
+
+  /// The partial allocation context: allocation site first, then callers
+  /// outward, up to the configured depth.
+  const std::vector<FrameId> &frames() const { return Frames; }
+
+  /// The source-level collection type allocated here ("HashMap", ...).
+  const std::string &typeName() const { return TypeName; }
+
+  /// -- Recording ---------------------------------------------------------
+
+  /// Notes one allocation with the requested initial capacity.
+  void recordAllocation(uint32_t InitialCapacity) {
+    ++Allocations;
+    InitialCapacityStat.add(InitialCapacity);
+  }
+
+  /// Folds one finished instance record (at death or final harvest).
+  void recordDeath(ObjectContextInfo &Info);
+
+  /// Accumulates this context's collection sizes for the current GC cycle.
+  /// \p Cycle deduplicates scratch resets across wrappers of one cycle.
+  /// \returns true when this was the context's first wrapper in the cycle.
+  bool accumulateCycle(uint64_t Cycle, const CollectionSizes &Sizes);
+
+  /// Folds the per-cycle scratch into the Total/Max aggregates. Called by
+  /// the profiler at cycle end for every context touched in the cycle.
+  void finishCycle();
+
+  /// -- Trace metrics (Table 1, trace rows) --------------------------------
+
+  const RunningStat &opStat(OpKind Op) const { return OpStats[opIndex(Op)]; }
+  const RunningStat &maxSizeStat() const { return MaxSizeStat; }
+  const RunningStat &finalSizeStat() const { return FinalSizeStat; }
+  const RunningStat &initialCapacityStat() const {
+    return InitialCapacityStat;
+  }
+
+  /// Total number of instances allocated / folded at this context.
+  uint64_t allocations() const { return Allocations; }
+  uint64_t foldedInstances() const { return Folded; }
+
+  /// Average per-instance count of every op summed — the `#allOps` metric.
+  double avgAllOps() const;
+
+  /// Total operations of \p Op across all folded instances.
+  double totalOps(OpKind Op) const { return OpStats[opIndex(Op)].sum(); }
+
+  /// -- Heap metrics (Table 1, heap rows) ----------------------------------
+
+  const TotalMax &liveData() const { return Live; }
+  const TotalMax &usedData() const { return Used; }
+  const TotalMax &coreData() const { return Core; }
+  const TotalMax &liveObjects() const { return Objects; }
+
+  /// The rule-engine space-saving potential: totLive - totUsed (§3.3).
+  uint64_t savingPotential() const {
+    return Live.total() >= Used.total() ? Live.total() - Used.total() : 0;
+  }
+
+private:
+  uint32_t Id;
+  std::vector<FrameId> Frames;
+  std::string TypeName;
+
+  std::array<RunningStat, NumOpKinds> OpStats;
+  RunningStat MaxSizeStat;
+  RunningStat FinalSizeStat;
+  RunningStat InitialCapacityStat;
+  uint64_t Allocations = 0;
+  uint64_t Folded = 0;
+
+  TotalMax Live;
+  TotalMax Used;
+  TotalMax Core;
+  TotalMax Objects;
+
+  // Scratch for the cycle currently being marked.
+  CollectionSizes CycleSizes;
+  uint64_t CycleObjects = 0;
+  uint64_t CycleStamp = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_PROFILER_CONTEXTINFO_H

@@ -1,0 +1,70 @@
+//===--- OpKind.cpp - Collection operation vocabulary --------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiler/OpKind.h"
+
+#include "support/Assert.h"
+
+using namespace chameleon;
+
+const char *chameleon::opKindName(OpKind Op) {
+  switch (Op) {
+  case OpKind::Add:
+    return "add";
+  case OpKind::AddAtIndex:
+    return "add(int,Object)";
+  case OpKind::AddAll:
+    return "addAll";
+  case OpKind::AddAllAtIndex:
+    return "addAll(int,Collection)";
+  case OpKind::Get:
+    return "get(Object)";
+  case OpKind::GetAtIndex:
+    return "get(int)";
+  case OpKind::Set:
+    return "set";
+  case OpKind::Put:
+    return "put";
+  case OpKind::RemoveAtIndex:
+    return "remove(int)";
+  case OpKind::RemoveObject:
+    return "remove(Object)";
+  case OpKind::RemoveFirst:
+    return "removeFirst";
+  case OpKind::RemoveKey:
+    return "remove(key)";
+  case OpKind::Contains:
+    return "contains";
+  case OpKind::ContainsKey:
+    return "containsKey";
+  case OpKind::ContainsValue:
+    return "containsValue";
+  case OpKind::Iterate:
+    return "iterator";
+  case OpKind::IterateEmpty:
+    return "iteratorEmpty";
+  case OpKind::Size:
+    return "size";
+  case OpKind::IsEmpty:
+    return "isEmpty";
+  case OpKind::Clear:
+    return "clear";
+  case OpKind::CopiedFrom:
+    return "copiedFrom";
+  case OpKind::CopiedInto:
+    return "copied";
+  }
+  CHAM_UNREACHABLE("unknown OpKind");
+}
+
+std::optional<OpKind> chameleon::parseOpKind(const std::string &Name) {
+  for (unsigned I = 0; I < NumOpKinds; ++I) {
+    OpKind Op = static_cast<OpKind>(I);
+    if (Name == opKindName(Op))
+      return Op;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,80 @@
+//===--- OpKind.h - Collection operation vocabulary ------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vocabulary of collection operations the semantic profiler counts per
+/// instance and aggregates per allocation context (paper Table 1 "Avg/Var
+/// operation count", and the `opCount` / `opVar` productions of the rule
+/// language in Fig. 4). The names mirror the paper's: `#get(int)` is the
+/// positional list access, `#get(Object)` the map lookup, and `#copied`
+/// counts the *other side* of collection-copy interactions (being the
+/// argument of `addAll` or of a copy constructor), which the paper singles
+/// out for identifying temporary collections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_PROFILER_OPKIND_H
+#define CHAMELEON_PROFILER_OPKIND_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace chameleon {
+
+/// One counted collection operation.
+enum class OpKind : uint8_t {
+  Add,           ///< list/set add(E)
+  AddAtIndex,    ///< list add(int, E)
+  AddAll,        ///< addAll(Collection) / putAll receiving side
+  AddAllAtIndex, ///< list addAll(int, Collection)
+  Get,           ///< map get(Object)
+  GetAtIndex,    ///< list get(int)
+  Set,           ///< list set(int, E)
+  Put,           ///< map put(K, V)
+  RemoveAtIndex, ///< list remove(int)
+  RemoveObject,  ///< list/set remove(Object)
+  RemoveFirst,   ///< deque-style removeFirst
+  RemoveKey,     ///< map remove(key)
+  Contains,      ///< list/set contains(Object)
+  ContainsKey,   ///< map containsKey(Object)
+  ContainsValue, ///< map containsValue(Object)
+  Iterate,       ///< iterator() / entry iteration started
+  IterateEmpty,  ///< iterator() over an empty collection (§5.4 discussion)
+  Size,          ///< size()
+  IsEmpty,       ///< isEmpty()
+  Clear,         ///< clear()
+  CopiedFrom,    ///< this collection was born as a copy of another
+  CopiedInto,    ///< this collection was the source of addAll/copy-ctor
+};
+
+/// Number of OpKind values.
+inline constexpr unsigned NumOpKinds =
+    static_cast<unsigned>(OpKind::CopiedInto) + 1;
+
+/// Index of an OpKind into dense per-op arrays.
+inline constexpr unsigned opIndex(OpKind Op) {
+  return static_cast<unsigned>(Op);
+}
+
+/// The rule-language spelling of \p Op (the text after '#' or '@').
+const char *opKindName(OpKind Op);
+
+/// Parses a rule-language operation name; std::nullopt when unknown.
+std::optional<OpKind> parseOpKind(const std::string &Name);
+
+/// True for counters that are *events on the collection* and therefore
+/// included in the `#allOps` aggregate. `CopiedFrom` is a birth annotation,
+/// not an operation, and is excluded so that the paper's
+/// "#allOps == #copied" temporary-detection rule works for collections
+/// created by copy construction.
+inline constexpr bool countsTowardAllOps(OpKind Op) {
+  return Op != OpKind::CopiedFrom;
+}
+
+} // namespace chameleon
+
+#endif // CHAMELEON_PROFILER_OPKIND_H

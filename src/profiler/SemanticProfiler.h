@@ -1,0 +1,190 @@
+//===--- SemanticProfiler.h - The semantic collections profiler -*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic collections profiler (paper §3.2). It owns:
+///
+/// * a string interner and a simulated call stack (`CallFrame` RAII), from
+///   which partial allocation contexts of configurable depth are captured —
+///   the stand-in for the paper's JVMTI / Throwable stack walking (§4.2);
+/// * the registry of `ContextInfo` records keyed by (type, partial context);
+/// * the `HeapProfilerHooks` implementation through which the collection-
+///   aware GC feeds per-cycle heap statistics and sweep-time death events.
+///
+/// Context capture can be sampled (§4.2 "Sampling of Allocation Context")
+/// and can emulate the expensive Throwable-based walk, which is what makes
+/// the fully-automatic online mode measurably slower (§5.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_PROFILER_SEMANTICPROFILER_H
+#define CHAMELEON_PROFILER_SEMANTICPROFILER_H
+
+#include "profiler/ContextInfo.h"
+#include "runtime/HeapHooks.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace chameleon {
+
+/// Profiler configuration.
+struct ProfilerConfig {
+  /// Partial-context depth: the allocation site plus Depth-1 caller frames
+  /// (paper §3.2.1: "a call stack of depth two or three").
+  unsigned ContextDepth = 3;
+  /// Capture the context of 1 in SamplingPeriod allocations (1 = all).
+  unsigned SamplingPeriod = 1;
+  /// Master switch; when off, contextForAllocation always returns null and
+  /// collections run unprofiled.
+  bool Enabled = true;
+  /// Emulates the Throwable-based capture of §4.2: walks and hashes the
+  /// *entire* stack's frame strings on every capture instead of copying a
+  /// bounded number of interned ids. Used by the §5.4 overhead experiments.
+  bool ExpensiveContextCapture = false;
+};
+
+/// The semantic profiler. Single-threaded, like the workloads.
+class SemanticProfiler : public HeapProfilerHooks {
+public:
+  explicit SemanticProfiler(ProfilerConfig Config = ProfilerConfig());
+  ~SemanticProfiler() override;
+
+  const ProfilerConfig &config() const { return Config; }
+
+  /// -- Frames and the simulated call stack --------------------------------
+
+  /// Interns \p Name and returns its id. Idempotent.
+  FrameId internFrame(const std::string &Name);
+
+  /// The spelling of an interned frame id.
+  const std::string &frameName(FrameId Id) const;
+
+  /// Pushes / pops a frame; use `CallFrame` instead of calling directly.
+  void pushFrame(FrameId Id) { Stack.push_back(Id); }
+  void popFrame() {
+    assert(!Stack.empty() && "popping an empty call stack");
+    Stack.pop_back();
+  }
+
+  /// Current simulated stack depth.
+  size_t stackDepth() const { return Stack.size(); }
+
+  /// -- Allocation-context capture ------------------------------------------
+
+  /// Captures the partial allocation context for an allocation of type
+  /// \p TypeNameId at site \p SiteId and returns the context record — or
+  /// null when profiling is off or the allocation was sampled out. The
+  /// caller records the allocation (`ContextInfo::recordAllocation`) once
+  /// it knows the effective initial capacity, which may still be adjusted
+  /// by plan or online selection.
+  ContextInfo *contextForAllocation(FrameId SiteId, FrameId TypeNameId);
+
+  /// -- HeapProfilerHooks (fed by the collection-aware GC) ------------------
+
+  void onLiveCollection(const HeapObject &Obj, const CollectionSizes &Sizes,
+                        void *ContextTag) override;
+  void onCollectionDeath(const HeapObject &Obj, void *ContextTag,
+                         void *ObjectInfoTag) override;
+  void onCycleEnd(const GcCycleRecord &Record) override;
+
+  /// -- Queries --------------------------------------------------------------
+
+  /// All contexts, in creation order.
+  const std::vector<ContextInfo *> &contexts() const { return Ordered; }
+
+  /// Contexts sorted by decreasing space-saving potential (totLive-totUsed),
+  /// the order of the paper's ranked report (Fig. 3).
+  std::vector<ContextInfo *> rankedByPotential() const;
+
+  /// "Type:frame;frame" label in the format of the paper's §2.1 report.
+  std::string contextLabel(const ContextInfo &Info) const;
+
+  /// Whole-heap Total/Max aggregates over all observed cycles, for
+  /// potential-relative-to-heap thresholds and Fig. 2 style ratios.
+  const TotalMax &heapLiveData() const { return HeapLive; }
+  const TotalMax &heapCollectionLiveData() const { return HeapCollLive; }
+  const TotalMax &heapCollectionUsedData() const { return HeapCollUsed; }
+  const TotalMax &heapCollectionCoreData() const { return HeapCollCore; }
+
+  /// Number of GC cycles observed through the hooks.
+  uint64_t cyclesSeen() const { return CyclesSeen; }
+
+  /// Profiling-cost counters (for the overhead experiments).
+  uint64_t contextAcquisitions() const { return Acquisitions; }
+  uint64_t allocationsSampledOut() const { return SampledOut; }
+
+private:
+  struct ContextKey {
+    FrameId TypeNameId = 0;
+    std::vector<FrameId> Frames;
+
+    bool operator==(const ContextKey &O) const {
+      return TypeNameId == O.TypeNameId && Frames == O.Frames;
+    }
+  };
+
+  struct ContextKeyHash {
+    size_t operator()(const ContextKey &Key) const {
+      uint64_t H = 0x9E3779B97F4A7C15ULL ^ Key.TypeNameId;
+      for (FrameId F : Key.Frames) {
+        H ^= F + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+      }
+      return static_cast<size_t>(H);
+    }
+  };
+
+  ProfilerConfig Config;
+
+  std::vector<std::string> FrameNames;
+  std::unordered_map<std::string, FrameId> FrameIds;
+  std::vector<FrameId> Stack;
+
+  std::unordered_map<ContextKey, std::unique_ptr<ContextInfo>, ContextKeyHash>
+      Registry;
+  std::vector<ContextInfo *> Ordered;
+
+  std::vector<ContextInfo *> TouchedThisCycle;
+  uint64_t CyclesSeen = 0;
+
+  TotalMax HeapLive;
+  TotalMax HeapCollLive;
+  TotalMax HeapCollUsed;
+  TotalMax HeapCollCore;
+
+  uint64_t AllocationTick = 0;
+  uint64_t Acquisitions = 0;
+  uint64_t SampledOut = 0;
+};
+
+/// RAII frame on the simulated call stack. Prefer the pre-interned-id form
+/// in hot code: the string form pays an interning lookup per call, exactly
+/// the kind of cost the paper attributes to naive context capture.
+class CallFrame {
+public:
+  CallFrame(SemanticProfiler &Profiler, FrameId Id) : Profiler(Profiler) {
+    Profiler.pushFrame(Id);
+  }
+
+  CallFrame(SemanticProfiler &Profiler, const std::string &Name)
+      : Profiler(Profiler) {
+    Profiler.pushFrame(Profiler.internFrame(Name));
+  }
+
+  CallFrame(const CallFrame &) = delete;
+  CallFrame &operator=(const CallFrame &) = delete;
+
+  ~CallFrame() { Profiler.popFrame(); }
+
+private:
+  SemanticProfiler &Profiler;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_PROFILER_SEMANTICPROFILER_H

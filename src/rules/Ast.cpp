@@ -1,0 +1,86 @@
+//===--- Ast.cpp - AST of the rule language -------------------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Ast.h"
+
+#include "support/Assert.h"
+
+using namespace chameleon;
+using namespace chameleon::rules;
+
+Expr::~Expr() = default;
+Cond::~Cond() = default;
+
+const char *chameleon::rules::metricKindName(MetricKind Kind) {
+  switch (Kind) {
+  case MetricKind::AllOps:
+    return "allOps";
+  case MetricKind::MaxSize:
+    return "maxSize";
+  case MetricKind::MaxSizeStddev:
+    return "maxSizeStddev";
+  case MetricKind::FinalSize:
+    return "size";
+  case MetricKind::FinalSizeStddev:
+    return "sizeStddev";
+  case MetricKind::InitialCapacity:
+    return "initialCapacity";
+  case MetricKind::AllocCount:
+    return "allocCount";
+  case MetricKind::TotLive:
+    return "totLive";
+  case MetricKind::MaxLive:
+    return "maxLive";
+  case MetricKind::TotUsed:
+    return "totUsed";
+  case MetricKind::MaxUsed:
+    return "maxUsed";
+  case MetricKind::TotCore:
+    return "totCore";
+  case MetricKind::MaxCore:
+    return "maxCore";
+  case MetricKind::TotObjects:
+    return "totObjects";
+  case MetricKind::MaxObjects:
+    return "maxObjects";
+  case MetricKind::Potential:
+    return "potential";
+  case MetricKind::HeapTotLive:
+    return "heapTotLive";
+  case MetricKind::HeapMaxLive:
+    return "heapMaxLive";
+  }
+  CHAM_UNREACHABLE("unknown MetricKind");
+}
+
+std::optional<MetricKind>
+chameleon::rules::parseMetricKind(const std::string &Name) {
+  static constexpr MetricKind All[] = {
+      MetricKind::AllOps,          MetricKind::MaxSize,
+      MetricKind::MaxSizeStddev,   MetricKind::FinalSize,
+      MetricKind::FinalSizeStddev, MetricKind::InitialCapacity,
+      MetricKind::AllocCount,      MetricKind::TotLive,
+      MetricKind::MaxLive,         MetricKind::TotUsed,
+      MetricKind::MaxUsed,         MetricKind::TotCore,
+      MetricKind::MaxCore,         MetricKind::TotObjects,
+      MetricKind::MaxObjects,      MetricKind::Potential,
+      MetricKind::HeapTotLive,     MetricKind::HeapMaxLive,
+  };
+  for (MetricKind Kind : All)
+    if (Name == metricKindName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
+bool chameleon::rules::isSizeMetric(MetricKind Kind) {
+  switch (Kind) {
+  case MetricKind::MaxSize:
+  case MetricKind::FinalSize:
+    return true;
+  default:
+    return false;
+  }
+}

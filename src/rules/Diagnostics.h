@@ -1,0 +1,46 @@
+//===--- Diagnostics.h - Rule-language diagnostics -------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Position-carrying diagnostics for malformed rules, in the standard
+/// "line:col: message" shape (messages start lowercase and carry no final
+/// period, per the coding guide's error-message style).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RULES_DIAGNOSTICS_H
+#define CHAMELEON_RULES_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace chameleon::rules {
+
+/// One parse-time or evaluation-time problem.
+struct Diagnostic {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+
+  /// "line:col: message".
+  std::string format() const {
+    return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Message;
+  }
+};
+
+/// Renders a diagnostic list, one per line.
+inline std::string formatDiagnostics(const std::vector<Diagnostic> &Diags) {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.format();
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace chameleon::rules
+
+#endif // CHAMELEON_RULES_DIAGNOSTICS_H

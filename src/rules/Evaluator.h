@@ -1,0 +1,67 @@
+//===--- Evaluator.h - Rule evaluation over context metrics ----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates rule expressions and conditions against one allocation
+/// context's Table-1 metrics. The evaluator also records *which* size
+/// metrics a rule consulted, so the engine can apply the stability gate of
+/// Definition 3.1 only to rules that actually depend on sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RULES_EVALUATOR_H
+#define CHAMELEON_RULES_EVALUATOR_H
+
+#include "profiler/ContextInfo.h"
+#include "profiler/SemanticProfiler.h"
+#include "rules/Ast.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace chameleon::rules {
+
+/// Bindings for $-parameters (§3.3.1 tunable constants).
+using RuleParams = std::unordered_map<std::string, double>;
+
+/// Evaluates expressions / conditions for one context.
+class Evaluator {
+public:
+  Evaluator(const ContextInfo &Info, const SemanticProfiler &Profiler,
+            const RuleParams *Params = nullptr)
+      : Info(Info), Profiler(Profiler), Params(Params) {}
+
+  /// Numeric value of an expression.
+  double evalExpr(const Expr &E);
+
+  /// Truth value of a condition.
+  bool evalCond(const Cond &C);
+
+  /// The value of a non-operation metric.
+  double metricValue(MetricKind Kind);
+
+  /// True when evaluation consulted the avg max-size metric.
+  bool usedMaxSize() const { return UsedMaxSize; }
+
+  /// True when evaluation consulted the avg final-size metric.
+  bool usedFinalSize() const { return UsedFinalSize; }
+
+  /// True when evaluation referenced a parameter with no binding; a rule
+  /// in that state must not fire.
+  bool missingParam() const { return MissingParam; }
+
+private:
+  const ContextInfo &Info;
+  const SemanticProfiler &Profiler;
+  const RuleParams *Params;
+  bool UsedMaxSize = false;
+  bool UsedFinalSize = false;
+  bool MissingParam = false;
+};
+
+} // namespace chameleon::rules
+
+#endif // CHAMELEON_RULES_EVALUATOR_H

@@ -1,0 +1,299 @@
+//===--- Lexer.cpp - Lexer for the rule language --------------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Lexer.h"
+
+#include "support/Assert.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace chameleon;
+using namespace chameleon::rules;
+
+const char *chameleon::rules::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::OpCount:
+    return "operation counter";
+  case TokenKind::OpVar:
+    return "operation variance";
+  case TokenKind::Param:
+    return "parameter";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Error:
+    return "error";
+  }
+  CHAM_UNREACHABLE("unknown TokenKind");
+}
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advancing past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::make(TokenKind Kind, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Line = TokLine;
+  T.Col = TokCol;
+  return T;
+}
+
+Token Lexer::error(const std::string &Message) {
+  return make(TokenKind::Error, Message);
+}
+
+Token Lexer::lexNumber() {
+  std::string Text;
+  while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.')
+    Text += advance();
+  Token T = make(TokenKind::Number, Text);
+  T.NumberValue = std::strtod(Text.c_str(), nullptr);
+  return T;
+}
+
+Token Lexer::lexIdent() {
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+  return make(TokenKind::Ident, Text);
+}
+
+Token Lexer::lexString() {
+  advance(); // opening quote
+  std::string Text;
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\n')
+      return error("unterminated string literal");
+    Text += advance();
+  }
+  if (atEnd())
+    return error("unterminated string literal");
+  advance(); // closing quote
+  return make(TokenKind::String, Text);
+}
+
+Token Lexer::lexOpName(TokenKind Kind) {
+  advance(); // '#' or '@'
+  if (!std::isalpha(static_cast<unsigned char>(peek())))
+    return error("expected operation name after counter sigil");
+  std::string Name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Name += advance();
+  // A Java-style parameter list is part of the operation name:
+  // #get(int), #addAll(int,Collection).
+  if (peek() == '(') {
+    Name += advance();
+    while (!atEnd() && peek() != ')') {
+      char C = peek();
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != ','
+          && C != '_')
+        return error("malformed operation parameter list");
+      Name += advance();
+    }
+    if (atEnd())
+      return error("unterminated operation parameter list");
+    Name += advance(); // ')'
+  }
+  return make(Kind, Name);
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokLine = Line;
+  TokCol = Col;
+  if (atEnd())
+    return make(TokenKind::Eof);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdent();
+  if (C == '"')
+    return lexString();
+  if (C == '#')
+    return lexOpName(TokenKind::OpCount);
+  if (C == '@')
+    return lexOpName(TokenKind::OpVar);
+  if (C == '$') {
+    advance();
+    if (!std::isalpha(static_cast<unsigned char>(peek())))
+      return error("expected parameter name after '$'");
+    std::string Name;
+    while (std::isalnum(static_cast<unsigned char>(peek()))
+           || peek() == '_')
+      Name += advance();
+    return make(TokenKind::Param, Name);
+  }
+
+  advance();
+  switch (C) {
+  case ':':
+    return make(TokenKind::Colon);
+  case '(':
+    return make(TokenKind::LParen);
+  case ')':
+    return make(TokenKind::RParen);
+  case '[':
+    return make(TokenKind::LBracket);
+  case ']':
+    return make(TokenKind::RBracket);
+  case ',':
+    return make(TokenKind::Comma);
+  case ';':
+    return make(TokenKind::Semicolon);
+  case '+':
+    return make(TokenKind::Plus);
+  case '*':
+    return make(TokenKind::Star);
+  case '/':
+    return make(TokenKind::Slash);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return make(TokenKind::Arrow);
+    }
+    return make(TokenKind::Minus);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return make(TokenKind::AndAnd);
+    }
+    return error("expected '&&'");
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return make(TokenKind::OrOr);
+    }
+    return error("expected '||'");
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::NotEq);
+    }
+    return make(TokenKind::Not);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::LessEq);
+    }
+    return make(TokenKind::Less);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::GreaterEq);
+    }
+    return make(TokenKind::Greater);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::EqEq);
+    }
+    // Fig. 4 writes single '=' comparisons; accept it as equality.
+    return make(TokenKind::EqEq);
+  default:
+    return error(std::string("unexpected character '") + C + "'");
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof)
+        || Tokens.back().is(TokenKind::Error))
+      break;
+  }
+  if (Tokens.back().is(TokenKind::Error)) {
+    // Still terminate the stream so the parser can stop cleanly.
+    Token Eof;
+    Eof.Kind = TokenKind::Eof;
+    Eof.Line = Line;
+    Eof.Col = Col;
+    Tokens.push_back(Eof);
+  }
+  return Tokens;
+}

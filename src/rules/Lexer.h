@@ -1,0 +1,58 @@
+//===--- Lexer.h - Lexer for the rule language -----------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the rule language. `//` starts a line comment;
+/// whitespace (including newlines) only separates tokens — rules need no
+/// terminator, though `;` is accepted and skipped by the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RULES_LEXER_H
+#define CHAMELEON_RULES_LEXER_H
+
+#include "rules/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace chameleon::rules {
+
+/// Lexes rule-language source into tokens. Errors become Error tokens so
+/// the parser can report them with positions.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the whole input; the last token is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  Token make(TokenKind Kind, std::string Text = std::string());
+  Token error(const std::string &Message);
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  void skipTrivia();
+  Token lexNumber();
+  Token lexIdent();
+  Token lexString();
+  /// Lexes the operation name after '#' or '@', including an optional
+  /// (param,list).
+  Token lexOpName(TokenKind Kind);
+
+  std::string Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  unsigned TokLine = 1;
+  unsigned TokCol = 1;
+};
+
+} // namespace chameleon::rules
+
+#endif // CHAMELEON_RULES_LEXER_H

@@ -1,0 +1,418 @@
+//===--- Parser.cpp - Parser for the rule language ------------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Parser.h"
+
+#include "rules/Lexer.h"
+
+using namespace chameleon;
+using namespace chameleon::rules;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  ParseResult run() {
+    ParseResult Result;
+    while (!peek().is(TokenKind::Eof)) {
+      if (peek().is(TokenKind::Semicolon)) {
+        consume();
+        continue;
+      }
+      if (peek().is(TokenKind::Error)) {
+        diag(peek(), peek().Text);
+        consume();
+        continue;
+      }
+      size_t Before = Diags.size();
+      std::optional<Rule> R = parseRule();
+      if (R) {
+        R->Name = R->Name.empty()
+                      ? "rule" + std::to_string(Result.Rules.size() + 1)
+                      : R->Name;
+        Result.Rules.push_back(std::move(*R));
+      } else {
+        (void)Before;
+        recover();
+      }
+    }
+    Result.Diags = std::move(Diags);
+    return Result;
+  }
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Cursor + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+
+  Token consume() { return Tokens[Cursor < Tokens.size() - 1 ? Cursor++
+                                                             : Cursor]; }
+
+  bool consumeIf(TokenKind Kind) {
+    if (!peek().is(Kind))
+      return false;
+    consume();
+    return true;
+  }
+
+  void diag(const Token &At, const std::string &Message) {
+    Diags.push_back({At.Line, At.Col, Message});
+  }
+
+  /// Requires a token of \p Kind; diagnoses and returns false otherwise.
+  bool expect(TokenKind Kind, const char *What) {
+    if (consumeIf(Kind))
+      return true;
+    diag(peek(), std::string("expected ") + What + " but found "
+                     + tokenKindName(peek().Kind));
+    return false;
+  }
+
+  /// Skips to what looks like the start of the next rule.
+  void recover() {
+    while (!peek().is(TokenKind::Eof)) {
+      if (peek().is(TokenKind::Semicolon)) {
+        consume();
+        return;
+      }
+      if (peek().is(TokenKind::LBracket))
+        return;
+      if (peek().is(TokenKind::Ident) && peek(1).is(TokenKind::Colon))
+        return;
+      consume();
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Grammar productions
+  //===--------------------------------------------------------------------===//
+
+  std::optional<Rule> parseRule() {
+    Rule R;
+    R.Line = peek().Line;
+
+    if (peek().is(TokenKind::LBracket)) {
+      consume();
+      do {
+        if (!peek().is(TokenKind::Ident)) {
+          diag(peek(), "expected attribute name");
+          return std::nullopt;
+        }
+        Token Attr = consume();
+        std::string Name = Attr.Text;
+        // Attribute names may be kebab-case; '-' lexes as minus, so join
+        // the pieces back together here.
+        while (peek().is(TokenKind::Minus) && peek(1).is(TokenKind::Ident)) {
+          consume();
+          Name += '-';
+          Name += consume().Text;
+        }
+        if (Name == "unstable")
+          R.IgnoreStability = true;
+        else
+          R.Name = Name;
+      } while (consumeIf(TokenKind::Comma));
+      if (!expect(TokenKind::RBracket, "']'"))
+        return std::nullopt;
+    }
+
+    if (!peek().is(TokenKind::Ident)) {
+      diag(peek(), std::string("expected source type but found ")
+                       + tokenKindName(peek().Kind));
+      return std::nullopt;
+    }
+    Token Src = consume();
+    R.SrcType = Src.Text;
+    if (R.SrcType != "Collection" && R.SrcType != "List"
+        && R.SrcType != "Set" && R.SrcType != "Map"
+        && !defaultImplForSourceType(R.SrcType)) {
+      diag(Src, "unknown source type '" + R.SrcType + "'");
+      return std::nullopt;
+    }
+
+    if (!expect(TokenKind::Colon, "':' after the source type"))
+      return std::nullopt;
+
+    R.Condition = parseCond();
+    if (!R.Condition)
+      return std::nullopt;
+
+    if (!expect(TokenKind::Arrow, "'->' before the action"))
+      return std::nullopt;
+
+    if (!parseAction(R))
+      return std::nullopt;
+
+    if (peek().is(TokenKind::String)) {
+      R.Message = consume().Text;
+      size_t ColonPos = R.Message.find(':');
+      if (ColonPos != std::string::npos && ColonPos > 0)
+        R.Category = R.Message.substr(0, ColonPos);
+    }
+    return R;
+  }
+
+  bool parseAction(Rule &R) {
+    if (!peek().is(TokenKind::Ident)) {
+      diag(peek(), std::string("expected an action but found ")
+                       + tokenKindName(peek().Kind));
+      return false;
+    }
+    Token Action = consume();
+    if (Action.Text == "warn") {
+      R.Action = ActionKind::Warn;
+      return true;
+    }
+    if (Action.Text == "setCapacity") {
+      R.Action = ActionKind::SetCapacity;
+      if (!expect(TokenKind::LParen, "'(' after setCapacity"))
+        return false;
+      R.Capacity = parseExpr();
+      if (!R.Capacity)
+        return false;
+      return expect(TokenKind::RParen, "')' after the capacity expression");
+    }
+    std::optional<ImplKind> Impl = parseImplKind(Action.Text);
+    if (!Impl) {
+      diag(Action, "unknown implementation type '" + Action.Text + "'");
+      return false;
+    }
+    R.Action = ActionKind::Replace;
+    R.NewImpl = *Impl;
+    if (consumeIf(TokenKind::LParen)) {
+      R.Capacity = parseExpr();
+      if (!R.Capacity)
+        return false;
+      return expect(TokenKind::RParen, "')' after the capacity expression");
+    }
+    return true;
+  }
+
+  CondPtr parseCond() {
+    CondPtr Lhs = parseAndCond();
+    if (!Lhs)
+      return nullptr;
+    while (peek().is(TokenKind::OrOr)) {
+      consume();
+      CondPtr Rhs = parseAndCond();
+      if (!Rhs)
+        return nullptr;
+      Lhs = std::make_unique<OrCond>(std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  CondPtr parseAndCond() {
+    CondPtr Lhs = parseNotCond();
+    if (!Lhs)
+      return nullptr;
+    while (peek().is(TokenKind::AndAnd)) {
+      consume();
+      CondPtr Rhs = parseNotCond();
+      if (!Rhs)
+        return nullptr;
+      Lhs = std::make_unique<AndCond>(std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  CondPtr parseNotCond() {
+    if (consumeIf(TokenKind::Not)) {
+      CondPtr Inner = parseNotCond();
+      if (!Inner)
+        return nullptr;
+      return std::make_unique<NotCond>(std::move(Inner));
+    }
+    // '(' is ambiguous: it may group a condition or start an expression.
+    // Speculatively try the condition reading and roll back on failure.
+    if (peek().is(TokenKind::LParen)) {
+      size_t SavedCursor = Cursor;
+      size_t SavedDiags = Diags.size();
+      consume();
+      if (CondPtr Grouped = parseCond()) {
+        if (consumeIf(TokenKind::RParen)
+            && !isComparisonOperator(peek().Kind)
+            && !isArithmeticOperator(peek().Kind))
+          return Grouped;
+      }
+      Cursor = SavedCursor;
+      Diags.resize(SavedDiags);
+    }
+    return parseCompare();
+  }
+
+  static bool isComparisonOperator(TokenKind Kind) {
+    switch (Kind) {
+    case TokenKind::Less:
+    case TokenKind::LessEq:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEq:
+    case TokenKind::EqEq:
+    case TokenKind::NotEq:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static bool isArithmeticOperator(TokenKind Kind) {
+    switch (Kind) {
+    case TokenKind::Plus:
+    case TokenKind::Minus:
+    case TokenKind::Star:
+    case TokenKind::Slash:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  CondPtr parseCompare() {
+    ExprPtr Lhs = parseExpr();
+    if (!Lhs)
+      return nullptr;
+    if (!isComparisonOperator(peek().Kind)) {
+      diag(peek(), std::string("expected a comparison operator but found ")
+                       + tokenKindName(peek().Kind));
+      return nullptr;
+    }
+    Token Op = consume();
+    ExprPtr Rhs = parseExpr();
+    if (!Rhs)
+      return nullptr;
+    CompareCond::Operator CmpOp;
+    switch (Op.Kind) {
+    case TokenKind::Less:
+      CmpOp = CompareCond::Operator::Lt;
+      break;
+    case TokenKind::LessEq:
+      CmpOp = CompareCond::Operator::Le;
+      break;
+    case TokenKind::Greater:
+      CmpOp = CompareCond::Operator::Gt;
+      break;
+    case TokenKind::GreaterEq:
+      CmpOp = CompareCond::Operator::Ge;
+      break;
+    case TokenKind::EqEq:
+      CmpOp = CompareCond::Operator::Eq;
+      break;
+    default:
+      CmpOp = CompareCond::Operator::Ne;
+      break;
+    }
+    return std::make_unique<CompareCond>(CmpOp, std::move(Lhs),
+                                         std::move(Rhs));
+  }
+
+  ExprPtr parseExpr() {
+    ExprPtr Lhs = parseTerm();
+    if (!Lhs)
+      return nullptr;
+    while (peek().is(TokenKind::Plus) || peek().is(TokenKind::Minus)) {
+      Token Op = consume();
+      ExprPtr Rhs = parseTerm();
+      if (!Rhs)
+        return nullptr;
+      Lhs = std::make_unique<BinaryExpr>(Op.is(TokenKind::Plus)
+                                             ? BinaryExpr::Operator::Add
+                                             : BinaryExpr::Operator::Sub,
+                                         std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseTerm() {
+    ExprPtr Lhs = parseFactor();
+    if (!Lhs)
+      return nullptr;
+    while (peek().is(TokenKind::Star) || peek().is(TokenKind::Slash)) {
+      Token Op = consume();
+      ExprPtr Rhs = parseFactor();
+      if (!Rhs)
+        return nullptr;
+      Lhs = std::make_unique<BinaryExpr>(Op.is(TokenKind::Star)
+                                             ? BinaryExpr::Operator::Mul
+                                             : BinaryExpr::Operator::Div,
+                                         std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseFactor() {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokenKind::Number: {
+      Token N = consume();
+      return std::make_unique<NumberExpr>(N.NumberValue);
+    }
+    case TokenKind::OpCount: {
+      Token Op = consume();
+      if (Op.Text == "allOps")
+        return std::make_unique<MetricExpr>(MetricKind::AllOps);
+      std::optional<OpKind> Kind = parseOpKind(Op.Text);
+      if (!Kind) {
+        diag(Op, "unknown operation '" + Op.Text + "'");
+        return nullptr;
+      }
+      return std::make_unique<OpCountExpr>(*Kind);
+    }
+    case TokenKind::OpVar: {
+      Token Op = consume();
+      if (Op.Text == "maxSize")
+        return std::make_unique<MetricExpr>(MetricKind::MaxSizeStddev);
+      if (Op.Text == "size")
+        return std::make_unique<MetricExpr>(MetricKind::FinalSizeStddev);
+      std::optional<OpKind> Kind = parseOpKind(Op.Text);
+      if (!Kind) {
+        diag(Op, "unknown operation '" + Op.Text + "'");
+        return nullptr;
+      }
+      return std::make_unique<OpStddevExpr>(*Kind);
+    }
+    case TokenKind::Param: {
+      Token P = consume();
+      return std::make_unique<ParamExpr>(P.Text);
+    }
+    case TokenKind::Ident: {
+      Token Id = consume();
+      std::optional<MetricKind> Metric = parseMetricKind(Id.Text);
+      if (!Metric) {
+        diag(Id, "unknown metric '" + Id.Text + "'");
+        return nullptr;
+      }
+      return std::make_unique<MetricExpr>(*Metric);
+    }
+    case TokenKind::LParen: {
+      consume();
+      ExprPtr Inner = parseExpr();
+      if (!Inner)
+        return nullptr;
+      if (!expect(TokenKind::RParen, "')'"))
+        return nullptr;
+      return Inner;
+    }
+    default:
+      diag(T, std::string("expected an expression but found ")
+                  + tokenKindName(T.Kind));
+      return nullptr;
+    }
+  }
+
+  std::vector<Token> Tokens;
+  size_t Cursor = 0;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace
+
+ParseResult chameleon::rules::parseRules(const std::string &Source) {
+  Lexer Lex(Source);
+  return Parser(Lex.lexAll()).run();
+}

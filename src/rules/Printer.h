@@ -1,0 +1,39 @@
+//===--- Printer.h - Pretty-printer for the rule language ------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical pretty-printer for rule-language ASTs. Printing a parsed
+/// rule yields source that parses back to the same tree (round-trip
+/// property, pinned by tests), which makes rule sets diffable and lets
+/// tools echo the rules they are running.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RULES_PRINTER_H
+#define CHAMELEON_RULES_PRINTER_H
+
+#include "rules/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace chameleon::rules {
+
+/// Renders an expression in canonical form (minimal parentheses).
+std::string printExpr(const Expr &E);
+
+/// Renders a condition in canonical form.
+std::string printCond(const Cond &C);
+
+/// Renders one rule, including attributes, action, and message.
+std::string printRule(const Rule &R);
+
+/// Renders a whole rule set, one rule per line.
+std::string printRules(const std::vector<Rule> &Rules);
+
+} // namespace chameleon::rules
+
+#endif // CHAMELEON_RULES_PRINTER_H

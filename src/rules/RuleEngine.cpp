@@ -1,0 +1,305 @@
+//===--- RuleEngine.cpp - The collection-selection rule engine -----------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/RuleEngine.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace chameleon;
+using namespace chameleon::rules;
+
+std::string Suggestion::fixDescription() const {
+  switch (Action) {
+  case ActionKind::Replace: {
+    std::string Fix = std::string("replace with ") + implKindName(NewImpl);
+    if (Capacity)
+      Fix += "(" + std::to_string(*Capacity) + ")";
+    return Fix;
+  }
+  case ActionKind::SetCapacity:
+    return "set initial capacity ("
+           + std::to_string(Capacity.value_or(0)) + ")";
+  case ActionKind::Warn:
+    return Message.empty() ? std::string("see report") : Message;
+  }
+  CHAM_UNREACHABLE("unknown ActionKind");
+}
+
+RuleEngine::RuleEngine(RuleEngineConfig Config) : Config(Config) {}
+
+ParseResult RuleEngine::addRules(const std::string &Source) {
+  ParseResult Result = parseRules(Source);
+  for (Rule &R : Result.Rules)
+    Rules.push_back(std::move(R));
+  Result.Rules.clear();
+  return Result;
+}
+
+const char *RuleEngine::builtinRulesText() {
+  // The built-in rule set (paper Table 2, plus the refinements its case
+  // studies apply by hand). Constants are the tuned defaults; they "may be
+  // tuned per specific environment" (§3.3.1).
+  return R"rules(
+// -- Redundant / empty collections ---------------------------------------
+[never-used-lists] List : #allOps == 0 && maxSize == 0 && allocCount >= 8
+    -> EmptyList
+  "Space: collection never used — share an immutable empty instance"
+[empty-lists] List : maxSize == 0 && allocCount >= 8 -> LazyArrayList
+  "Space: redundant collection allocation"
+[empty-maps] Map : maxSize == 0 && allocCount >= 8 -> LazyMap
+  "Space: redundant map allocation"
+[empty-sets] Set : maxSize == 0 && allocCount >= 8 -> LazySet
+  "Space: redundant set allocation"
+[mostly-empty-lists] List : maxSize < 1 && allocCount >= 8
+    -> LazyArrayList
+  "Space: most collections at this context stay empty — allocate lazily"
+[mostly-empty-maps] Map : maxSize < 1 && allocCount >= 8 -> LazyMap
+  "Space: most maps at this context stay empty — allocate lazily"
+[mostly-empty-sets] Set : maxSize < 1 && allocCount >= 8 -> LazySet
+  "Space: most sets at this context stay empty — allocate lazily"
+
+// -- Shape-specialised replacements ---------------------------------------
+[singleton-lists] ArrayList : maxSize == 1 && @maxSize == 0
+    && #remove(Object) + #remove(int) + #add(int,Object) < 1
+    && allocCount >= 8 -> SingletonList
+  "Space: list always holds a single element"
+[arraylist-contains] ArrayList : #contains > 32 && maxSize > 32
+    -> LinkedHashSet
+  "Time: inefficient use of an ArrayList: large volume of contains operations on a large sized list"
+[linkedlist-random-access] LinkedList : #get(int) > 32 && maxSize > 8
+    -> ArrayList
+  "Time: inefficient use of a LinkedList: large volume of random accesses using get(i)"
+[small-linkedlists, unstable] LinkedList : maxSize <= 1
+    && #add(int,Object) + #addAll(int,Collection) + #remove(int) + #removeFirst < 1
+    -> LazyArrayList
+  "Space: LinkedList overhead not justified for lists that are mostly empty"
+[linkedlist-overhead] LinkedList : maxSize > 1
+    && #add(int,Object) + #addAll(int,Collection) + #remove(int) + #removeFirst < 1
+    -> ArrayList
+  "Space: LinkedList overhead not justified when adding/removing elements from the middle/head of the list is hardly performed"
+[small-hashmap] HashMap : maxSize > 0 && maxSize <= 8 -> ArrayMap
+  "Space: ArrayMap more efficient than a HashMap; Time: operations on a small array might be faster than on a HashMap"
+[small-hashset] HashSet : maxSize > 0 && maxSize <= 8 -> ArraySet
+  "Space: ArraySet more efficient than a HashSet; Time: operations on a small array might be faster than on a HashSet"
+
+// -- Capacity tuning ---------------------------------------------------
+// Restricted to capacity-backed source types: an initial capacity means
+// nothing for a LinkedList.
+[incremental-resizing] ArrayList : maxSize > initialCapacity
+    -> setCapacity(maxSize)
+  "Space/Time: incremental resizing — set initial capacity"
+[incremental-resizing-maps] Map : maxSize > initialCapacity
+    -> setCapacity(maxSize)
+  "Space/Time: incremental resizing — set initial capacity"
+[incremental-resizing-sets] Set : maxSize > initialCapacity
+    -> setCapacity(maxSize)
+  "Space/Time: incremental resizing — set initial capacity"
+[oversized-capacity] ArrayList : maxSize > 0
+    && initialCapacity > 2 * maxSize + 4 -> setCapacity(maxSize)
+  "Space: oversized initial capacity — set initial capacity"
+[oversized-capacity-maps] Map : maxSize > 0
+    && initialCapacity > 2 * maxSize + 4 -> setCapacity(maxSize)
+  "Space: oversized initial capacity — set initial capacity"
+[oversized-capacity-sets] Set : maxSize > 0
+    && initialCapacity > 2 * maxSize + 4 -> setCapacity(maxSize)
+  "Space: oversized initial capacity — set initial capacity"
+
+// -- Advisories ------------------------------------------------------------
+[never-used] Collection : #allOps == 0 && allocCount >= 8 -> warn
+  "Space/Time: redundant collection — avoid allocation"
+[redundant-copies] Collection : #allOps == #copied && #copied > 0 -> warn
+  "Space/Time: redundant copying of collections — eliminate temporaries"
+[empty-iterators] Collection : #iteratorEmpty > 8 -> warn
+  "Space: redundant iterators over empty collections"
+)rules";
+}
+
+void RuleEngine::addBuiltinRules() {
+  ParseResult Result = addRules(builtinRulesText());
+  assert(Result.succeeded() && "built-in rules must parse");
+  (void)Result;
+}
+
+bool RuleEngine::srcTypeMatches(const std::string &SrcType,
+                                const std::string &TypeName) const {
+  if (SrcType == "Collection" || SrcType == TypeName)
+    return true;
+  // ADT-level match: "List" matches ArrayList, LinkedList, and any custom
+  // list-shaped type registered via registerSourceType.
+  std::optional<AdtKind> Adt;
+  if (std::optional<ImplKind> Impl = defaultImplForSourceType(TypeName)) {
+    Adt = adtOfImpl(*Impl);
+  } else {
+    auto It = CustomSourceAdts.find(TypeName);
+    if (It != CustomSourceAdts.end())
+      Adt = It->second;
+  }
+  return Adt && SrcType == adtKindName(*Adt);
+}
+
+bool RuleEngine::isStable(const ContextInfo &Info, bool UsedMaxSize,
+                          bool UsedFinalSize) const {
+  auto Stable = [&](const RunningStat &Stat) {
+    return Stat.stddev()
+           <= Config.Stability.MaxAbsStddev
+                  + Config.Stability.MaxRelStddev * Stat.mean();
+  };
+  if (UsedMaxSize && !Stable(Info.maxSizeStat()))
+    return false;
+  if (UsedFinalSize && !Stable(Info.finalSizeStat()))
+    return false;
+  return true;
+}
+
+const char *RuleEngine::ruleOutcomeName(RuleOutcome Outcome) {
+  switch (Outcome) {
+  case RuleOutcome::Fired:
+    return "fired";
+  case RuleOutcome::SrcTypeMismatch:
+    return "source type mismatch";
+  case RuleOutcome::TooFewSamples:
+    return "too few folded instances";
+  case RuleOutcome::ConditionFalse:
+    return "condition false";
+  case RuleOutcome::MissingParam:
+    return "unbound $-parameter";
+  case RuleOutcome::Unstable:
+    return "suppressed by stability gate";
+  case RuleOutcome::GatedByPotential:
+    return "below the potential threshold";
+  }
+  CHAM_UNREACHABLE("unknown RuleOutcome");
+}
+
+RuleEngine::RuleOutcome
+RuleEngine::evaluateRule(const Rule &R, const ContextInfo &Info,
+                         const SemanticProfiler &Profiler,
+                         Suggestion *Out) const {
+  if (Info.foldedInstances() < Config.MinSamples)
+    return RuleOutcome::TooFewSamples;
+  if (!srcTypeMatches(R.SrcType, Info.typeName()))
+    return RuleOutcome::SrcTypeMismatch;
+
+  Evaluator Eval(Info, Profiler, &Params);
+  bool CondHolds = Eval.evalCond(*R.Condition);
+  if (Eval.missingParam())
+    return RuleOutcome::MissingParam;
+  if (!CondHolds)
+    return RuleOutcome::ConditionFalse;
+  if (!R.IgnoreStability
+      && !isStable(Info, Eval.usedMaxSize(), Eval.usedFinalSize()))
+    return RuleOutcome::Unstable;
+  if (Config.MinPotentialBytes != 0
+      && R.Category.find("Space") != std::string::npos
+      && R.Category.find("Time") == std::string::npos
+      && Info.savingPotential() < Config.MinPotentialBytes)
+    return RuleOutcome::GatedByPotential;
+
+  std::optional<uint32_t> Capacity;
+  if (R.Capacity) {
+    double Cap = Eval.evalExpr(*R.Capacity);
+    if (Eval.missingParam())
+      return RuleOutcome::MissingParam;
+    Capacity = static_cast<uint32_t>(std::max(1.0, std::ceil(Cap)));
+  }
+
+  if (Out) {
+    Out->Context = &Info;
+    Out->ContextLabel = Profiler.contextLabel(Info);
+    Out->RuleName = R.Name;
+    Out->Action = R.Action;
+    Out->NewImpl = R.NewImpl;
+    Out->Category = R.Category;
+    Out->Message = R.Message;
+    Out->PotentialBytes = Info.savingPotential();
+    Out->Capacity = Capacity;
+  }
+  return RuleOutcome::Fired;
+}
+
+void RuleEngine::evaluateContext(const ContextInfo &Info,
+                                 const SemanticProfiler &Profiler,
+                                 std::vector<Suggestion> &Out) const {
+  for (const Rule &R : Rules) {
+    Suggestion S;
+    if (evaluateRule(R, Info, Profiler, &S) == RuleOutcome::Fired)
+      Out.push_back(std::move(S));
+  }
+}
+
+std::string
+RuleEngine::explainContext(const ContextInfo &Info,
+                           const SemanticProfiler &Profiler) const {
+  std::string Text = "rules for " + Profiler.contextLabel(Info) + ":\n";
+  for (const Rule &R : Rules) {
+    Suggestion S;
+    RuleOutcome Outcome = evaluateRule(R, Info, Profiler, &S);
+    Text += "  [";
+    Text += R.Name;
+    Text += "] ";
+    Text += ruleOutcomeName(Outcome);
+    if (Outcome == RuleOutcome::Fired) {
+      Text += " -> ";
+      Text += S.fixDescription();
+    }
+    Text += '\n';
+  }
+  return Text;
+}
+
+std::vector<Suggestion>
+RuleEngine::evaluate(const SemanticProfiler &Profiler) const {
+  std::vector<Suggestion> Out;
+  for (ContextInfo *Info : Profiler.rankedByPotential())
+    evaluateContext(*Info, Profiler, Out);
+  return Out;
+}
+
+ReplacementPlan
+RuleEngine::buildPlan(const std::vector<Suggestion> &Suggs) {
+  ReplacementPlan Plan;
+  for (const Suggestion &S : Suggs) {
+    if (S.Action == ActionKind::Warn)
+      continue;
+    const PlanDecision *Existing = Plan.lookup(S.ContextLabel);
+    PlanDecision Decision = Existing ? *Existing : PlanDecision();
+    if (S.Action == ActionKind::Replace && !Decision.Impl) {
+      Decision.Impl = S.NewImpl;
+      if (S.Capacity && !Decision.Capacity)
+        Decision.Capacity = S.Capacity;
+    } else if (S.Action == ActionKind::SetCapacity && !Decision.Capacity) {
+      Decision.Capacity = S.Capacity;
+    }
+    if (!Decision.empty())
+      Plan.add(S.ContextLabel, Decision);
+  }
+  return Plan;
+}
+
+std::string
+RuleEngine::renderReport(const std::vector<Suggestion> &Suggs) {
+  std::string Out;
+  unsigned Index = 1;
+  for (const Suggestion &S : Suggs) {
+    Out += std::to_string(Index++);
+    Out += ": ";
+    Out += S.ContextLabel;
+    Out += ' ';
+    Out += S.fixDescription();
+    if (!S.Category.empty() && S.Action != ActionKind::Warn) {
+      Out += "  [";
+      Out += S.Category;
+      Out += ": ";
+      Out += S.RuleName;
+      Out += ']';
+    }
+    Out += '\n';
+  }
+  return Out;
+}

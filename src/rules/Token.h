@@ -1,0 +1,72 @@
+//===--- Token.h - Tokens of the rule language -----------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of the implementation-selection rule language (paper Fig. 4).
+/// Operation-counter references lex as single tokens carrying the full
+/// operation name, including Java-style parameter lists:
+/// `#addAll(int,Collection)` is one OpCount token with text
+/// "addAll(int,Collection)".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RULES_TOKEN_H
+#define CHAMELEON_RULES_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace chameleon::rules {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Ident,   ///< type names and metric names
+  Number,  ///< integer or decimal literal
+  String,  ///< double-quoted message
+  OpCount, ///< #name or #name(params)
+  OpVar,   ///< @name or @name(params)
+  Param,   ///< $name — a tunable constant (§3.3.1)
+  Colon,
+  Arrow, ///< ->
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  AndAnd,
+  OrOr,
+  Not,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  EqEq,
+  NotEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Error, ///< lexing error; Text holds the message
+};
+
+/// Printable name of a token kind (diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token with its source position (1-based).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  double NumberValue = 0.0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace chameleon::rules
+
+#endif // CHAMELEON_RULES_TOKEN_H

@@ -1,0 +1,488 @@
+//===--- GcHeap.cpp - Managed heap with a collection-aware GC ------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace chameleon;
+
+GcTracer::~GcTracer() = default;
+HeapObject::~HeapObject() = default;
+HeapProfilerHooks::~HeapProfilerHooks() = default;
+
+void HeapObject::trace(GcTracer &Tracer) const { (void)Tracer; }
+
+GcHeap::GcHeap(MemoryModel Model, uint64_t HeapLimitBytes)
+    : Model(Model), HeapLimitBytes(HeapLimitBytes) {}
+
+GcHeap::~GcHeap() = default;
+
+ObjectRef GcHeap::allocate(std::unique_ptr<HeapObject> Obj) {
+  assert(Obj && "allocating a null object");
+  assert(!InCollection && "allocation during a GC cycle");
+
+  uint64_t Bytes = Obj->shallowBytes();
+  if (GcSampleEveryBytes != 0
+      && TotalAllocatedBytes - LastSampleAt >= GcSampleEveryBytes) {
+    LastSampleAt = TotalAllocatedBytes;
+    collect(/*Forced=*/true);
+  }
+  // Once out of memory the run is already failed; collecting on every
+  // further allocation would only slow the program's (short) path to
+  // noticing the flag.
+  if (!OomFlag && HeapLimitBytes != 0
+      && BytesInUse + Bytes > HeapLimitBytes) {
+    const GcCycleRecord &Rec = collect(/*Forced=*/false);
+    if (BytesInUse + Bytes > HeapLimitBytes) {
+      OomFlag = true;
+    } else if (MinFreeFraction > 0.0
+               && HeapLimitBytes - (BytesInUse + Bytes)
+                      < static_cast<uint64_t>(MinFreeFraction
+                                              * static_cast<double>(
+                                                  HeapLimitBytes))) {
+      // Too little breathing room: the program would spend its remaining
+      // life collecting. Fail fast, as HotSpot's overhead criterion does.
+      OomFlag = true;
+    }
+    // Second overhead guard: repeated pressure collections that reclaim
+    // almost nothing.
+    if (Rec.FreedBytes < HeapLimitBytes / 64) {
+      if (++LowYieldStreak >= GcOverheadLimit)
+        OomFlag = true;
+    } else {
+      LowYieldStreak = 0;
+    }
+  }
+
+  uint32_t Slot;
+  if (!FreeSlots.empty()) {
+    Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+    assert(!Slots[Slot] && "free slot still occupied");
+    Slots[Slot] = std::move(Obj);
+  } else {
+    Slot = static_cast<uint32_t>(Slots.size());
+    Slots.push_back(std::move(Obj));
+  }
+
+  HeapObject &Placed = *Slots[Slot];
+  Placed.Self = ObjectRef::fromSlot(Slot);
+  BytesInUse += Bytes;
+  ++ObjectsInUse;
+  TotalAllocatedBytes += Bytes;
+  ++TotalAllocatedObjects;
+  return Placed.Self;
+}
+
+/// Worklist-based marker. Recursion would overflow the C++ stack on long
+/// linked-list chains, so tracing is iterative.
+class GcHeap::Marker : public GcTracer {
+public:
+  Marker(GcHeap &Heap, uint64_t Epoch) : Heap(Heap), Epoch(Epoch) {}
+
+  void visit(ObjectRef Ref) override {
+    if (Ref.isNull())
+      return;
+    HeapObject &Obj = Heap.get(Ref);
+    if (Obj.MarkEpoch.load(std::memory_order_relaxed) == Epoch)
+      return;
+    Obj.MarkEpoch.store(Epoch, std::memory_order_relaxed);
+    Worklist.push_back(&Obj);
+  }
+
+  /// Drains the worklist, invoking \p OnMarked for each newly marked object.
+  template <typename CallbackT> void run(CallbackT OnMarked) {
+    while (!Worklist.empty()) {
+      HeapObject *Obj = Worklist.back();
+      Worklist.pop_back();
+      OnMarked(*Obj);
+      Obj->trace(*this);
+    }
+  }
+
+private:
+  GcHeap &Heap;
+  uint64_t Epoch;
+  std::vector<HeapObject *> Worklist;
+};
+
+void GcHeap::markPhase(GcCycleRecord &Record) {
+  if (GcThreads > 1) {
+    markPhaseParallel(Record);
+    return;
+  }
+  Marker M(*this, CurrentEpoch);
+  for (RootNode *Node = RootsHead.Next; Node; Node = Node->Next)
+    M.visit(Node->Ref);
+  for (unsigned I = 0; I < TempRootDepth; ++I)
+    M.visit(TempRoots[I]);
+
+  std::vector<uint64_t> TypeBytes;
+  if (RecordTypeDistribution)
+    TypeBytes.resize(Types.size(), 0);
+
+  M.run([&](HeapObject &Obj) {
+    Record.LiveBytes += Obj.shallowBytes();
+    ++Record.LiveObjects;
+    if (RecordTypeDistribution)
+      TypeBytes[Obj.typeId()] += Obj.shallowBytes();
+
+    const SemanticMap &Map = Types.get(Obj.typeId());
+    if (Map.Kind != TypeKind::CollectionWrapper)
+      return;
+
+    CollectionSizes Sizes = Map.ComputeSizes(Obj, *this);
+    Record.CollectionLiveBytes += Sizes.Live;
+    Record.CollectionUsedBytes += Sizes.Used;
+    Record.CollectionCoreBytes += Sizes.Core;
+    ++Record.CollectionObjects;
+    if (Hooks) {
+      void *Tag = Map.ContextTagOf ? Map.ContextTagOf(Obj) : nullptr;
+      Hooks->onLiveCollection(Obj, Sizes, Tag);
+    }
+  });
+
+  if (RecordTypeDistribution) {
+    for (TypeId T = 0; T < TypeBytes.size(); ++T)
+      if (TypeBytes[T] != 0)
+        Record.TypeDistribution.emplace_back(T, TypeBytes[T]);
+  }
+}
+
+/// The multi-threaded tracing phase (paper §4.3.2). Objects are claimed
+/// with a compare-and-swap on their mark epoch, so each is processed by
+/// exactly one worker; every statistic is a commutative sum, so the cycle
+/// record is identical to the sequential marker's. Collection events
+/// (wrapper, sizes, context tag) are buffered per worker and replayed on
+/// the calling thread after the join, because the profiler hooks are not
+/// thread-safe.
+class GcHeap::ParallelMarker {
+public:
+  struct CollectionEvent {
+    const HeapObject *Obj;
+    CollectionSizes Sizes;
+    void *Tag;
+  };
+
+  struct WorkerState {
+    uint64_t LiveBytes = 0;
+    uint64_t LiveObjects = 0;
+    std::vector<uint64_t> TypeBytes;
+    std::vector<CollectionEvent> Events;
+  };
+
+  ParallelMarker(GcHeap &Heap, uint64_t Epoch, unsigned Threads)
+      : Heap(Heap), Epoch(Epoch), Threads(Threads), States(Threads) {
+    if (Heap.RecordTypeDistribution)
+      for (WorkerState &State : States)
+        State.TypeBytes.resize(Heap.Types.size(), 0);
+  }
+
+  /// Claims \p Ref for this epoch; returns the object on success.
+  HeapObject *claim(ObjectRef Ref) {
+    if (Ref.isNull())
+      return nullptr;
+    HeapObject &Obj = Heap.get(Ref);
+    uint64_t Expected = Obj.MarkEpoch.load(std::memory_order_relaxed);
+    if (Expected == Epoch)
+      return nullptr;
+    if (!Obj.MarkEpoch.compare_exchange_strong(
+            Expected, Epoch, std::memory_order_acq_rel))
+      return nullptr; // another worker got it
+    return &Obj;
+  }
+
+  /// Seeds the shared worklist from the roots (calling thread).
+  void seed() {
+    for (RootNode *Node = Heap.RootsHead.Next; Node; Node = Node->Next)
+      if (HeapObject *Obj = claim(Node->Ref))
+        Shared.push_back(Obj);
+    for (unsigned I = 0; I < Heap.TempRootDepth; ++I)
+      if (HeapObject *Obj = claim(Heap.TempRoots[I]))
+        Shared.push_back(Obj);
+  }
+
+  void run() {
+    std::vector<std::thread> Workers;
+    Workers.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      Workers.emplace_back([this, T] { workerLoop(States[T]); });
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  /// Folds the per-worker results into \p Record and replays collection
+  /// events through the profiler hooks. Calling thread only.
+  void finish(GcCycleRecord &Record, std::vector<uint64_t> *TypeBytes) {
+    for (WorkerState &State : States) {
+      Record.LiveBytes += State.LiveBytes;
+      Record.LiveObjects += State.LiveObjects;
+      if (TypeBytes)
+        for (size_t I = 0; I < State.TypeBytes.size(); ++I)
+          (*TypeBytes)[I] += State.TypeBytes[I];
+      for (const CollectionEvent &Event : State.Events) {
+        Record.CollectionLiveBytes += Event.Sizes.Live;
+        Record.CollectionUsedBytes += Event.Sizes.Used;
+        Record.CollectionCoreBytes += Event.Sizes.Core;
+        ++Record.CollectionObjects;
+        if (Heap.Hooks)
+          Heap.Hooks->onLiveCollection(*Event.Obj, Event.Sizes,
+                                       Event.Tag);
+      }
+    }
+  }
+
+private:
+  /// A tracer that claims children into the worker's local stack.
+  class WorkerTracer : public GcTracer {
+  public:
+    WorkerTracer(ParallelMarker &Parent,
+                 std::vector<HeapObject *> &Local)
+        : Parent(Parent), Local(Local) {}
+
+    void visit(ObjectRef Ref) override {
+      if (HeapObject *Obj = Parent.claim(Ref))
+        Local.push_back(Obj);
+    }
+
+  private:
+    ParallelMarker &Parent;
+    std::vector<HeapObject *> &Local;
+  };
+
+  void process(HeapObject &Obj, WorkerState &State,
+               WorkerTracer &Tracer) {
+    State.LiveBytes += Obj.shallowBytes();
+    ++State.LiveObjects;
+    if (!State.TypeBytes.empty())
+      State.TypeBytes[Obj.typeId()] += Obj.shallowBytes();
+
+    const SemanticMap &Map = Heap.Types.get(Obj.typeId());
+    if (Map.Kind == TypeKind::CollectionWrapper) {
+      CollectionEvent Event;
+      Event.Obj = &Obj;
+      Event.Sizes = Map.ComputeSizes(Obj, Heap);
+      Event.Tag = Map.ContextTagOf ? Map.ContextTagOf(Obj) : nullptr;
+      State.Events.push_back(Event);
+    }
+    Obj.trace(Tracer);
+  }
+
+  void workerLoop(WorkerState &State) {
+    std::vector<HeapObject *> Local;
+    WorkerTracer Tracer(*this, Local);
+    while (true) {
+      if (Local.empty() && !refill(Local))
+        return;
+      HeapObject *Obj = Local.back();
+      Local.pop_back();
+      process(*Obj, State, Tracer);
+      // Share surplus work so idle workers can steal it.
+      if (Local.size() > SpillThreshold)
+        spill(Local);
+    }
+  }
+
+  /// Moves half of an oversized local stack into the shared queue.
+  void spill(std::vector<HeapObject *> &Local) {
+    std::unique_lock<std::mutex> Lock(Mu, std::try_to_lock);
+    if (!Lock.owns_lock())
+      return; // contended: keep the work local, try again later
+    size_t Half = Local.size() / 2;
+    Shared.insert(Shared.end(), Local.begin(),
+                  Local.begin() + static_cast<long>(Half));
+    Local.erase(Local.begin(), Local.begin() + static_cast<long>(Half));
+    Cv.notify_all();
+  }
+
+  /// Blocks until shared work arrives or all workers are idle.
+  /// \returns false when marking is complete.
+  bool refill(std::vector<HeapObject *> &Local) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    ++Waiting;
+    while (Shared.empty()) {
+      if (Waiting == Threads) {
+        Done = true;
+        Cv.notify_all();
+      }
+      if (Done)
+        return false;
+      Cv.wait(Lock);
+    }
+    --Waiting;
+    size_t Take = std::min<size_t>(Shared.size(), ChunkSize);
+    Local.insert(Local.end(), Shared.end() - static_cast<long>(Take),
+                 Shared.end());
+    Shared.resize(Shared.size() - Take);
+    return true;
+  }
+
+  static constexpr size_t SpillThreshold = 2048;
+  static constexpr size_t ChunkSize = 512;
+
+  GcHeap &Heap;
+  uint64_t Epoch;
+  unsigned Threads;
+  std::vector<WorkerState> States;
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::vector<HeapObject *> Shared;
+  unsigned Waiting = 0;
+  bool Done = false;
+};
+
+void GcHeap::markPhaseParallel(GcCycleRecord &Record) {
+  ParallelMarker Marker(*this, CurrentEpoch, GcThreads);
+  Marker.seed();
+  Marker.run();
+
+  std::vector<uint64_t> TypeBytes;
+  if (RecordTypeDistribution)
+    TypeBytes.resize(Types.size(), 0);
+  Marker.finish(Record, RecordTypeDistribution ? &TypeBytes : nullptr);
+
+  if (RecordTypeDistribution) {
+    for (TypeId T = 0; T < TypeBytes.size(); ++T)
+      if (TypeBytes[T] != 0)
+        Record.TypeDistribution.emplace_back(T, TypeBytes[T]);
+  }
+}
+
+void GcHeap::sweepPhase(GcCycleRecord &Record) {
+  for (uint32_t Slot = 0, E = static_cast<uint32_t>(Slots.size()); Slot != E;
+       ++Slot) {
+    HeapObject *Obj = Slots[Slot].get();
+    if (!Obj
+        || Obj->MarkEpoch.load(std::memory_order_relaxed) == CurrentEpoch)
+      continue;
+
+    const SemanticMap &Map = Types.get(Obj->typeId());
+    if (Map.Kind == TypeKind::CollectionWrapper && Hooks) {
+      void *Tag = Map.ContextTagOf ? Map.ContextTagOf(*Obj) : nullptr;
+      void *Info = Map.ObjectInfoOf ? Map.ObjectInfoOf(*Obj) : nullptr;
+      Hooks->onCollectionDeath(*Obj, Tag, Info);
+    }
+
+    Record.FreedBytes += Obj->shallowBytes();
+    ++Record.FreedObjects;
+    BytesInUse -= Obj->shallowBytes();
+    --ObjectsInUse;
+    Slots[Slot].reset();
+    FreeSlots.push_back(Slot);
+  }
+}
+
+const GcCycleRecord &GcHeap::collect(bool Forced) {
+  assert(!InCollection && "re-entrant collection");
+  InCollection = true;
+  auto Start = std::chrono::steady_clock::now();
+
+  ++CurrentEpoch;
+  GcCycleRecord Record;
+  Record.Cycle = CycleRecords.size() + 1;
+  Record.Forced = Forced;
+
+  markPhase(Record);
+  sweepPhase(Record);
+
+  auto End = std::chrono::steady_clock::now();
+  Record.DurationNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+          .count());
+
+  CycleRecords.push_back(std::move(Record));
+  InCollection = false;
+  if (Hooks)
+    Hooks->onCycleEnd(CycleRecords.back());
+  return CycleRecords.back();
+}
+
+void GcHeap::forEachObject(const std::function<void(HeapObject &)> &Fn) {
+  for (auto &Slot : Slots)
+    if (Slot)
+      Fn(*Slot);
+}
+
+namespace {
+/// Tracer that validates outgoing references instead of marking.
+class VerifyTracer : public GcTracer {
+public:
+  VerifyTracer(const std::vector<std::unique_ptr<HeapObject>> &Slots)
+      : Slots(Slots) {}
+
+  void visit(ObjectRef Ref) override {
+    if (Ref.isNull() || !Problem.empty())
+      return;
+    if (Ref.slot() >= Slots.size() || !Slots[Ref.slot()])
+      Problem = "dangling reference to slot "
+                + std::to_string(Ref.slot());
+  }
+
+  std::string Problem;
+
+private:
+  const std::vector<std::unique_ptr<HeapObject>> &Slots;
+};
+} // namespace
+
+bool GcHeap::verifyHeap(std::string *ErrorOut) const {
+  auto Fail = [&](const std::string &Message) {
+    if (ErrorOut)
+      *ErrorOut = Message;
+    return false;
+  };
+
+  uint64_t Bytes = 0;
+  uint64_t Objects = 0;
+  VerifyTracer Tracer(Slots);
+  for (uint32_t Slot = 0, E = static_cast<uint32_t>(Slots.size()); Slot != E;
+       ++Slot) {
+    const HeapObject *Obj = Slots[Slot].get();
+    if (!Obj)
+      continue;
+    ++Objects;
+    Bytes += Obj->shallowBytes();
+    if (Obj->self().isNull() || Obj->self().slot() != Slot)
+      return Fail("object in slot " + std::to_string(Slot)
+                  + " has a mismatched self-reference");
+    if (Obj->typeId() >= Types.size())
+      return Fail("object in slot " + std::to_string(Slot)
+                  + " has an unregistered TypeId");
+    Obj->trace(Tracer);
+    if (!Tracer.Problem.empty())
+      return Fail("object in slot " + std::to_string(Slot) + ": "
+                  + Tracer.Problem);
+  }
+
+  if (Bytes != BytesInUse)
+    return Fail("byte accounting mismatch: tracked "
+                + std::to_string(BytesInUse) + ", actual "
+                + std::to_string(Bytes));
+  if (Objects != ObjectsInUse)
+    return Fail("object accounting mismatch: tracked "
+                + std::to_string(ObjectsInUse) + ", actual "
+                + std::to_string(Objects));
+
+  // Root list linkage.
+  const RootNode *Prev = &RootsHead;
+  for (const RootNode *Node = RootsHead.Next; Node; Node = Node->Next) {
+    if (Node->Prev != Prev)
+      return Fail("root list back-link is broken");
+    if (!Node->Ref.isNull()
+        && (Node->Ref.slot() >= Slots.size() || !Slots[Node->Ref.slot()]))
+      return Fail("root references an empty slot");
+    Prev = Node;
+  }
+  return true;
+}

@@ -1,0 +1,379 @@
+//===--- GcHeap.h - Managed heap with a collection-aware GC ----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The managed heap and its mark-and-sweep collector — the substrate that
+/// stands in for the paper's J9 JVM. The heap tracks a simulated byte size
+/// for every object under a `MemoryModel`, triggers a collection when an
+/// allocation would exceed the configured heap limit, and signals
+/// out-of-memory when live data alone exceeds the limit (the condition the
+/// minimal-heap-size experiments of Fig. 6 bisect on).
+///
+/// The collector follows the paper's base parallel mark-and-sweep design
+/// (§4.3.2): tracing runs on `gcThreads()` workers (1 by default) that
+/// claim objects with a CAS on the mark epoch; every cycle statistic is a
+/// commutative sum, so the recorded metrics are identical at any thread
+/// count. During marking it consults the semantic ADT map of every object
+/// and, for collection wrappers, computes the ADT's live / used / core sizes
+/// and reports them to the installed profiler hooks; during sweeping it
+/// reports dying collections so their per-instance statistics can be folded
+/// into their allocation context (the sweep-phase alternative to finalizers,
+/// §4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RUNTIME_GCHEAP_H
+#define CHAMELEON_RUNTIME_GCHEAP_H
+
+#include "runtime/GcCycle.h"
+#include "runtime/HeapHooks.h"
+#include "runtime/HeapObject.h"
+#include "runtime/MemoryModel.h"
+#include "runtime/SemanticMap.h"
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chameleon {
+
+/// Intrusive root-list node. Handles embed one; registration is O(1)
+/// pointer splicing, cheap enough that handles can be moved and copied in
+/// hot paths (vector reshuffles, per-iteration temporaries).
+struct RootNode {
+  ObjectRef Ref;
+  RootNode *Prev = nullptr;
+  RootNode *Next = nullptr;
+  /// True while linked into a heap's root list.
+  bool linked() const { return Prev != nullptr; }
+};
+
+/// A managed heap. Single-threaded; every workload in this repository is
+/// deterministic and single-threaded by design (DESIGN.md §4).
+class GcHeap {
+public:
+  /// Creates a heap with the given layout model and limit in model bytes
+  /// (0 = unlimited).
+  explicit GcHeap(MemoryModel Model = MemoryModel::jvm32(),
+                  uint64_t HeapLimitBytes = 0);
+  ~GcHeap();
+
+  GcHeap(const GcHeap &) = delete;
+  GcHeap &operator=(const GcHeap &) = delete;
+
+  /// The layout model used for all size accounting.
+  const MemoryModel &model() const { return Model; }
+
+  /// The semantic-map registry for this heap.
+  TypeRegistry &types() { return Types; }
+  const TypeRegistry &types() const { return Types; }
+
+  /// Installs (or clears) the profiler callback sink.
+  void setProfilerHooks(HeapProfilerHooks *NewHooks) { Hooks = NewHooks; }
+
+  /// Changes the heap limit (0 = unlimited). Does not trigger a collection.
+  void setHeapLimit(uint64_t Bytes) { HeapLimitBytes = Bytes; }
+  uint64_t heapLimit() const { return HeapLimitBytes; }
+
+  /// Minimum fraction of the heap limit that must be free after a
+  /// pressure collection; less means the program is effectively spending
+  /// its time collecting, and the heap declares OutOfMemory (HotSpot's
+  /// GC-overhead criterion). 0 disables the check.
+  void setMinFreeFraction(double Fraction) { MinFreeFraction = Fraction; }
+  double minFreeFraction() const { return MinFreeFraction; }
+
+  /// When nonzero, forces a (statistics-sampling) collection every time
+  /// this many bytes have been allocated. Profiled runs use it so that the
+  /// per-cycle collection statistics of Table 3 accumulate even when the
+  /// heap limit alone would trigger few collections.
+  void setGcSampleEveryBytes(uint64_t Bytes) { GcSampleEveryBytes = Bytes; }
+
+  /// When set, each cycle record carries a per-type live-size breakdown
+  /// (Table 3 "Type Distribution"). Off by default: it costs a vector per
+  /// cycle.
+  void setRecordTypeDistribution(bool On) { RecordTypeDistribution = On; }
+
+  /// Number of marker threads (paper §4.3.2: "several parallel collector
+  /// threads perform the tracing phase"). 1 (default) marks on the
+  /// calling thread. All cycle statistics are commutative sums, so the
+  /// recorded results are identical regardless of the thread count;
+  /// profiler hooks always run on the calling thread after the join.
+  void setGcThreads(unsigned Threads) {
+    assert(Threads >= 1 && "need at least one marker");
+    GcThreads = Threads;
+  }
+  unsigned gcThreads() const { return GcThreads; }
+
+  /// Moves \p Obj into the heap and returns its reference.
+  ///
+  /// If the allocation would push the heap past its limit, a collection runs
+  /// first; if live data still exceeds the limit afterwards the heap enters
+  /// the out-of-memory state (the allocation itself still succeeds so the
+  /// program remains structurally consistent — run drivers observe
+  /// `outOfMemory()` and abort the run, mirroring a JVM OutOfMemoryError).
+  ObjectRef allocate(std::unique_ptr<HeapObject> Obj);
+
+  /// Returns the object \p Ref points to. \p Ref must be non-null and live.
+  HeapObject &get(ObjectRef Ref) {
+    assert(!Ref.isNull() && "dereferencing null ObjectRef");
+    assert(Ref.slot() < Slots.size() && Slots[Ref.slot()]
+           && "dangling ObjectRef");
+    return *Slots[Ref.slot()];
+  }
+  const HeapObject &get(ObjectRef Ref) const {
+    return const_cast<GcHeap *>(this)->get(Ref);
+  }
+
+  /// Returns the object as \p T. Unchecked downcast: the caller must know
+  /// the object's dynamic type (collections always do — the reference was
+  /// produced by their own allocation).
+  template <typename T> T &getAs(ObjectRef Ref) {
+    return static_cast<T &>(get(Ref));
+  }
+  template <typename T> const T &getAs(ObjectRef Ref) const {
+    return static_cast<const T &>(get(Ref));
+  }
+
+  /// Links \p Node as a GC root; the referenced object (if any) stays
+  /// live. Use `Handle` rather than calling this directly.
+  void addRoot(RootNode *Node) {
+    assert(Node && !Node->linked() && "root node already linked");
+    Node->Prev = &RootsHead;
+    Node->Next = RootsHead.Next;
+    if (RootsHead.Next)
+      RootsHead.Next->Prev = Node;
+    RootsHead.Next = Node;
+  }
+
+  /// Unlinks a root previously added with addRoot.
+  void removeRoot(RootNode *Node) {
+    assert(Node && Node->linked() && "removing an unlinked root node");
+    Node->Prev->Next = Node->Next;
+    if (Node->Next)
+      Node->Next->Prev = Node->Prev;
+    Node->Prev = nullptr;
+    Node->Next = nullptr;
+  }
+
+  /// Maximum depth of the temp-root stack (see pushTempRoot).
+  static constexpr unsigned MaxTempRoots = 32;
+
+  /// Pushes a temporary root. Temp roots protect operands held only in C++
+  /// locals across an allocation that might trigger a collection (e.g. a
+  /// value being inserted while the map allocates its entry). They are a
+  /// bounded stack because their lifetime is one collection operation; use
+  /// `TempRootScope`, not these calls.
+  void pushTempRoot(ObjectRef Ref) {
+    assert(TempRootDepth < MaxTempRoots && "temp root stack overflow");
+    TempRoots[TempRootDepth++] = Ref;
+  }
+
+  /// Pops the \p Count most recent temp roots.
+  void popTempRoots(unsigned Count) {
+    assert(Count <= TempRootDepth && "temp root stack underflow");
+    TempRootDepth -= Count;
+  }
+
+  /// Runs one full mark-and-sweep cycle. \p Forced marks the record as an
+  /// explicit request (statistics sampling) rather than allocation pressure.
+  /// Returns the completed cycle record.
+  const GcCycleRecord &collect(bool Forced = false);
+
+  /// Applies \p Fn to every live-or-unswept object in the heap. Used by the
+  /// end-of-run harvest that folds statistics of still-live collections.
+  void forEachObject(const std::function<void(HeapObject &)> &Fn);
+
+  /// Structural validator (the analogue of an IR verifier): checks that
+  /// every object's self-reference matches its slot, that every traced
+  /// outgoing reference points at an occupied slot, that the root list is
+  /// well linked, and that the byte/object accounting matches the slots.
+  /// \returns true when consistent; otherwise false, with a description of
+  /// the first problem in \p ErrorOut (when non-null).
+  bool verifyHeap(std::string *ErrorOut = nullptr) const;
+
+  /// True once live data has exceeded the heap limit — or once the GC
+  /// overhead guard tripped (GcOverheadLimit consecutive pressure
+  /// collections each reclaiming less than 1/64 of the limit, the analogue
+  /// of HotSpot's "GC overhead limit exceeded"). Sticky until cleared.
+  bool outOfMemory() const { return OomFlag; }
+
+  /// Consecutive low-yield pressure collections tolerated before the heap
+  /// declares OutOfMemory. Prevents unbounded collect-per-allocation
+  /// thrashing when the limit sits just above the live size.
+  static constexpr unsigned GcOverheadLimit = 8;
+
+  /// Clears the out-of-memory flag (used between bisection probes that
+  /// reuse a heap; fresh heaps are the common case).
+  void clearOutOfMemory() { OomFlag = false; }
+
+  /// Bytes currently occupied by allocated (not yet swept) objects.
+  uint64_t bytesInUse() const { return BytesInUse; }
+
+  /// Number of allocated (not yet swept) objects.
+  uint64_t objectsInUse() const { return ObjectsInUse; }
+
+  /// Cumulative allocation volume since construction.
+  uint64_t totalAllocatedBytes() const { return TotalAllocatedBytes; }
+  uint64_t totalAllocatedObjects() const { return TotalAllocatedObjects; }
+
+  /// Number of completed GC cycles.
+  uint64_t cycleCount() const { return CycleRecords.size(); }
+
+  /// All completed cycle records, oldest first.
+  const std::vector<GcCycleRecord> &cycles() const { return CycleRecords; }
+
+private:
+  class Marker;
+  class ParallelMarker;
+
+  /// Marks from roots; fills the cycle record's live statistics.
+  void markPhase(GcCycleRecord &Record);
+  /// The multi-threaded tracing phase (GcThreads > 1).
+  void markPhaseParallel(GcCycleRecord &Record);
+  /// Sweeps unmarked objects; fills the record's freed statistics.
+  void sweepPhase(GcCycleRecord &Record);
+
+  MemoryModel Model;
+  uint64_t HeapLimitBytes;
+  double MinFreeFraction = 0.10;
+  uint64_t GcSampleEveryBytes = 0;
+  uint64_t LastSampleAt = 0;
+  TypeRegistry Types;
+  HeapProfilerHooks *Hooks = nullptr;
+
+  std::vector<std::unique_ptr<HeapObject>> Slots;
+  std::vector<uint32_t> FreeSlots;
+  /// Sentinel head of the intrusive root list.
+  RootNode RootsHead;
+  ObjectRef TempRoots[MaxTempRoots];
+  unsigned TempRootDepth = 0;
+
+  uint64_t BytesInUse = 0;
+  uint64_t ObjectsInUse = 0;
+  uint64_t TotalAllocatedBytes = 0;
+  uint64_t TotalAllocatedObjects = 0;
+  uint64_t CurrentEpoch = 0;
+  unsigned LowYieldStreak = 0;
+  bool OomFlag = false;
+  bool InCollection = false;
+  bool RecordTypeDistribution = false;
+  unsigned GcThreads = 1;
+  std::vector<GcCycleRecord> CycleRecords;
+};
+
+/// RAII scope for temp roots: pushes up to three references on construction
+/// and pops them on destruction. Null references are pushed too (the marker
+/// skips them); that keeps the pop count static.
+class TempRootScope {
+public:
+  TempRootScope(GcHeap &Heap, ObjectRef A,
+                ObjectRef B = ObjectRef::null(),
+                ObjectRef C = ObjectRef::null())
+      : Heap(Heap) {
+    Heap.pushTempRoot(A);
+    Heap.pushTempRoot(B);
+    Heap.pushTempRoot(C);
+  }
+
+  TempRootScope(const TempRootScope &) = delete;
+  TempRootScope &operator=(const TempRootScope &) = delete;
+
+  ~TempRootScope() { Heap.popTempRoots(3); }
+
+private:
+  GcHeap &Heap;
+};
+
+/// RAII GC root: keeps the object referenced by its embedded node alive
+/// while in scope. Copyable (each copy is an independent root), movable.
+class Handle {
+public:
+  Handle() = default;
+
+  Handle(GcHeap &Heap, ObjectRef Ref) : Heap(&Heap) {
+    Node.Ref = Ref;
+    Heap.addRoot(&Node);
+  }
+
+  Handle(const Handle &Other) : Heap(Other.Heap) {
+    Node.Ref = Other.Node.Ref;
+    if (Heap)
+      Heap->addRoot(&Node);
+  }
+
+  Handle(Handle &&Other) noexcept : Heap(Other.Heap) {
+    Node.Ref = Other.Node.Ref;
+    if (Heap) {
+      Heap->removeRoot(&Other.Node);
+      Heap->addRoot(&Node);
+    }
+    Other.Heap = nullptr;
+    Other.Node.Ref = ObjectRef::null();
+  }
+
+  Handle &operator=(const Handle &Other) {
+    if (this == &Other)
+      return *this;
+    reset();
+    Heap = Other.Heap;
+    Node.Ref = Other.Node.Ref;
+    if (Heap)
+      Heap->addRoot(&Node);
+    return *this;
+  }
+
+  Handle &operator=(Handle &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    reset();
+    Heap = Other.Heap;
+    Node.Ref = Other.Node.Ref;
+    if (Heap) {
+      Heap->removeRoot(&Other.Node);
+      Heap->addRoot(&Node);
+    }
+    Other.Heap = nullptr;
+    Other.Node.Ref = ObjectRef::null();
+    return *this;
+  }
+
+  ~Handle() { reset(); }
+
+  /// Drops the root (the handle becomes empty).
+  void reset() {
+    if (Heap)
+      Heap->removeRoot(&Node);
+    Heap = nullptr;
+    Node.Ref = ObjectRef::null();
+  }
+
+  /// Re-targets the handle.
+  void set(GcHeap &NewHeap, ObjectRef NewRef) {
+    reset();
+    Heap = &NewHeap;
+    Node.Ref = NewRef;
+    NewHeap.addRoot(&Node);
+  }
+
+  /// The referenced object, or null for an empty handle.
+  ObjectRef ref() const { return Node.Ref; }
+
+  /// True when the handle roots nothing.
+  bool isNull() const { return Node.Ref.isNull(); }
+
+  /// The heap this handle roots into (null when empty).
+  GcHeap *heap() const { return Heap; }
+
+private:
+  GcHeap *Heap = nullptr;
+  RootNode Node;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_RUNTIME_GCHEAP_H

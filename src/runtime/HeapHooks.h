@@ -1,0 +1,48 @@
+//===--- HeapHooks.h - Collector-to-profiler callback interface -*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The callback interface through which the collection-aware collector feeds
+/// the semantic profiler. The runtime layer knows nothing about the profiler
+/// types; it hands over the opaque context tag the semantic map extracted
+/// from the wrapper (paper §4.3: the collector "finds the ContextInfo object
+/// and records the necessary information for that allocation context").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RUNTIME_HEAPHOOKS_H
+#define CHAMELEON_RUNTIME_HEAPHOOKS_H
+
+#include "runtime/GcCycle.h"
+#include "runtime/SemanticMap.h"
+
+namespace chameleon {
+
+/// Implemented by the semantic profiler; installed on a `GcHeap`.
+class HeapProfilerHooks {
+public:
+  virtual ~HeapProfilerHooks();
+
+  /// Called during marking for every live collection wrapper.
+  /// \p ContextTag is the wrapper's ContextInfo (opaque), possibly null.
+  virtual void onLiveCollection(const HeapObject &Obj,
+                                const CollectionSizes &Sizes,
+                                void *ContextTag) = 0;
+
+  /// Called during sweeping for every dead collection wrapper, before it is
+  /// destroyed. \p ObjectInfoTag is its ObjectContextInfo (opaque), possibly
+  /// null. This is the sweep-phase alternative to finalizers that §4.4
+  /// recommends.
+  virtual void onCollectionDeath(const HeapObject &Obj, void *ContextTag,
+                                 void *ObjectInfoTag) = 0;
+
+  /// Called once at the end of each cycle with the cycle's record.
+  virtual void onCycleEnd(const GcCycleRecord &Record) = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_RUNTIME_HEAPHOOKS_H

@@ -1,0 +1,80 @@
+//===--- HeapObject.h - Base class of managed objects ----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Base class for every object living in the managed heap. An object carries
+/// the `TypeId` under which its semantic map was registered, its simulated
+/// size in bytes under the `MemoryModel`, and GC bookkeeping (slot index and
+/// mark epoch). Subclasses enumerate their outgoing references by overriding
+/// `trace`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RUNTIME_HEAPOBJECT_H
+#define CHAMELEON_RUNTIME_HEAPOBJECT_H
+
+#include "runtime/ObjectRef.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace chameleon {
+
+class GcHeap;
+
+/// Identifies a type registered in a heap's `TypeRegistry`.
+using TypeId = uint32_t;
+
+/// Visitor through which objects report their outgoing references during
+/// the marking phase.
+class GcTracer {
+public:
+  virtual ~GcTracer();
+
+  /// Marks \p Ref live and queues it for tracing. Null refs are ignored.
+  virtual void visit(ObjectRef Ref) = 0;
+};
+
+/// A managed heap object. C++-side ownership belongs to the heap; program
+/// code refers to objects only through `ObjectRef` (and roots them through
+/// `Handle`).
+class HeapObject {
+public:
+  HeapObject(TypeId Type, uint64_t ShallowBytes)
+      : Type(Type), ShallowBytes(ShallowBytes) {}
+  virtual ~HeapObject();
+
+  HeapObject(const HeapObject &) = delete;
+  HeapObject &operator=(const HeapObject &) = delete;
+
+  /// Reports every outgoing reference to \p Tracer. The default reports
+  /// nothing (leaf object).
+  virtual void trace(GcTracer &Tracer) const;
+
+  /// The type this object was allocated as.
+  TypeId typeId() const { return Type; }
+
+  /// Simulated size of this object alone, in model bytes.
+  uint64_t shallowBytes() const { return ShallowBytes; }
+
+  /// This object's own reference (valid once allocated into a heap).
+  ObjectRef self() const { return Self; }
+
+private:
+  friend class GcHeap;
+
+  TypeId Type;
+  uint64_t ShallowBytes;
+  ObjectRef Self;
+  /// Object is live in cycle N iff MarkEpoch == heap's current epoch.
+  /// Atomic so parallel marker threads can claim objects with a CAS; the
+  /// sequential path uses relaxed loads/stores (same cost as plain ones).
+  std::atomic<uint64_t> MarkEpoch{0};
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_RUNTIME_HEAPOBJECT_H

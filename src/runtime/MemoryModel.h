@@ -1,0 +1,77 @@
+//===--- MemoryModel.h - Simulated Java object layout ----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated object-layout model of the managed heap.
+///
+/// Chameleon's space metrics (live / used / core collection data, paper
+/// §3.2.2) are byte counts under the JVM's object layout. This repository
+/// replaces the JVM with a simulated heap, so the layout is made explicit
+/// and configurable here. The defaults model the 32-bit layout the paper
+/// reasons with in §2.3: an 8-byte object header, 4-byte references, 8-byte
+/// alignment — under which a `HashMap` entry (header + next + prev + data
+/// pointers) occupies exactly the 24 bytes the paper quotes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RUNTIME_MEMORYMODEL_H
+#define CHAMELEON_RUNTIME_MEMORYMODEL_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace chameleon {
+
+/// Describes how simulated objects are laid out in the managed heap.
+struct MemoryModel {
+  /// Bytes of header on every plain object (mark word + class pointer).
+  uint32_t ObjectHeaderBytes = 8;
+  /// Bytes of header on every array (object header + length word).
+  uint32_t ArrayHeaderBytes = 12;
+  /// Bytes per reference field / reference array slot.
+  uint32_t PointerBytes = 4;
+  /// Allocation granule; every object size is rounded up to a multiple.
+  uint32_t AlignmentBytes = 8;
+
+  /// Rounds \p N up to the alignment granule.
+  uint64_t align(uint64_t N) const {
+    assert(AlignmentBytes != 0 && (AlignmentBytes & (AlignmentBytes - 1)) == 0
+           && "alignment must be a nonzero power of two");
+    return (N + AlignmentBytes - 1) & ~static_cast<uint64_t>(AlignmentBytes
+                                                             - 1);
+  }
+
+  /// Size of a plain object with \p PointerFields reference fields and
+  /// \p ScalarBytes bytes of primitive fields.
+  uint64_t objectBytes(uint32_t PointerFields, uint32_t ScalarBytes = 0) const {
+    return align(ObjectHeaderBytes
+                 + static_cast<uint64_t>(PointerFields) * PointerBytes
+                 + ScalarBytes);
+  }
+
+  /// Size of a reference array of \p Length slots.
+  uint64_t arrayBytes(uint64_t Length) const {
+    return align(ArrayHeaderBytes + Length * PointerBytes);
+  }
+
+  /// The 32-bit layout used throughout the paper (default).
+  static MemoryModel jvm32() { return MemoryModel(); }
+
+  /// A 64-bit layout (16-byte headers, 8-byte references) for sensitivity
+  /// experiments; not used by the headline reproduction.
+  static MemoryModel jvm64() {
+    MemoryModel M;
+    M.ObjectHeaderBytes = 16;
+    M.ArrayHeaderBytes = 24;
+    M.PointerBytes = 8;
+    M.AlignmentBytes = 8;
+    return M;
+  }
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_RUNTIME_MEMORYMODEL_H

@@ -1,0 +1,70 @@
+//===--- ObjectRef.h - Handle to a managed heap object ---------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ObjectRef` is a compact reference to an object in the managed heap — the
+/// simulated analogue of a Java reference. The value 0 is the null reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RUNTIME_OBJECTREF_H
+#define CHAMELEON_RUNTIME_OBJECTREF_H
+
+#include <cstdint>
+#include <functional>
+
+namespace chameleon {
+
+/// A reference to a managed heap object, or null.
+class ObjectRef {
+public:
+  /// Constructs the null reference.
+  ObjectRef() = default;
+
+  /// Returns the null reference.
+  static ObjectRef null() { return ObjectRef(); }
+
+  /// Builds a reference from a heap slot index.
+  static ObjectRef fromSlot(uint32_t Slot) {
+    ObjectRef R;
+    R.Raw = Slot + 1;
+    return R;
+  }
+
+  /// True for the null reference.
+  bool isNull() const { return Raw == 0; }
+
+  /// The heap slot index; must not be called on null.
+  uint32_t slot() const { return Raw - 1; }
+
+  /// Raw encoded bits (0 for null); used by Value tagging.
+  uint32_t raw() const { return Raw; }
+
+  /// Rebuilds a reference from its raw bits.
+  static ObjectRef fromRaw(uint32_t Raw) {
+    ObjectRef R;
+    R.Raw = Raw;
+    return R;
+  }
+
+  friend bool operator==(ObjectRef A, ObjectRef B) { return A.Raw == B.Raw; }
+  friend bool operator!=(ObjectRef A, ObjectRef B) { return A.Raw != B.Raw; }
+
+private:
+  uint32_t Raw = 0;
+};
+
+} // namespace chameleon
+
+namespace std {
+template <> struct hash<chameleon::ObjectRef> {
+  size_t operator()(chameleon::ObjectRef R) const noexcept {
+    return std::hash<uint32_t>()(R.raw());
+  }
+};
+} // namespace std
+
+#endif // CHAMELEON_RUNTIME_OBJECTREF_H

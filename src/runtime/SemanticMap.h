@@ -1,0 +1,115 @@
+//===--- SemanticMap.h - Collection-aware type descriptors -----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic ADT maps (paper §4.3.2). A collection ADT typically consists of
+/// several heap objects (a wrapper, a backing structure, internal arrays,
+/// per-element entries). A blind heap walk cannot tell an `Object[]` that
+/// backs an `ArrayList` from an unrelated array; the semantic map registered
+/// for each type tells the collector how to compute, from the *wrapper*
+/// object, the aggregate live / used / core size of the whole ADT, and where
+/// to find its allocation-context record. The collector is parametric on
+/// these maps, so custom collection implementations profile exactly like the
+/// built-in ones — the property the paper emphasises for user-supplied
+/// collections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RUNTIME_SEMANTICMAP_H
+#define CHAMELEON_RUNTIME_SEMANTICMAP_H
+
+#include "runtime/HeapObject.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace chameleon {
+
+class GcHeap;
+
+/// The three space measures the collector computes per collection
+/// (paper §3.2.2): occupied, actually-used, and ideal lower bound.
+struct CollectionSizes {
+  /// Total bytes of the ADT: wrapper + implementation + internals.
+  uint64_t Live = 0;
+  /// Live minus reserved-but-unused capacity (empty array slots, etc.).
+  uint64_t Used = 0;
+  /// Ideal bytes if the content were stored in an exactly-sized pointer
+  /// array — the optimisation lower bound.
+  uint64_t Core = 0;
+
+  CollectionSizes &operator+=(const CollectionSizes &O) {
+    Live += O.Live;
+    Used += O.Used;
+    Core += O.Core;
+    return *this;
+  }
+};
+
+/// Classifies how the collector treats objects of a type.
+enum class TypeKind : uint8_t {
+  /// Ordinary application object; contributes only to overall live data.
+  Plain,
+  /// A collection wrapper: the collector computes ADT sizes from it and
+  /// attributes them to its allocation context.
+  CollectionWrapper,
+  /// An object owned by a collection ADT (backing array, entry, backing
+  /// implementation). Its bytes are accounted through its owner's semantic
+  /// map and must not be double-counted as an independent collection.
+  CollectionInternal,
+};
+
+/// Per-type descriptor consulted by the collector. Function pointers keep
+/// the runtime layer independent of the profiler and collections layers
+/// above it; the layers that register maps cast the opaque tags back to
+/// their own types.
+struct SemanticMap {
+  /// Human-readable type name, e.g. "HashMap" or "Object[]".
+  std::string Name;
+  TypeKind Kind = TypeKind::Plain;
+  /// For CollectionWrapper types: computes the ADT's aggregate sizes.
+  CollectionSizes (*ComputeSizes)(const HeapObject &Obj,
+                                  const GcHeap &Heap) = nullptr;
+  /// For CollectionWrapper types: returns the allocation-context record
+  /// (a `profiler::ContextInfo *`, opaque here), or null when the wrapper
+  /// was allocated with profiling off.
+  void *(*ContextTagOf)(const HeapObject &Obj) = nullptr;
+  /// For CollectionWrapper types: returns the per-instance usage record
+  /// (a `profiler::ObjectContextInfo *`, opaque here), or null.
+  void *(*ObjectInfoOf)(const HeapObject &Obj) = nullptr;
+};
+
+/// Registry of semantic maps for one heap. TypeIds are dense indices in
+/// registration order; registration happens during runtime construction
+/// (never from static constructors, per the coding guide).
+class TypeRegistry {
+public:
+  /// Registers \p Map and returns its TypeId.
+  TypeId registerType(SemanticMap Map) {
+    assert((Map.Kind != TypeKind::CollectionWrapper
+            || Map.ComputeSizes != nullptr)
+           && "collection wrappers must provide a size function");
+    Maps.push_back(std::move(Map));
+    return static_cast<TypeId>(Maps.size() - 1);
+  }
+
+  /// Looks up the map registered for \p Type.
+  const SemanticMap &get(TypeId Type) const {
+    assert(Type < Maps.size() && "unregistered TypeId");
+    return Maps[Type];
+  }
+
+  /// Number of registered types.
+  size_t size() const { return Maps.size(); }
+
+private:
+  std::vector<SemanticMap> Maps;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_RUNTIME_SEMANTICMAP_H

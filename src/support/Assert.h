@@ -1,0 +1,32 @@
+//===--- Assert.h - Assertion helpers for Chameleon ------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small assertion helpers shared by every Chameleon library. The project
+/// follows the LLVM convention of asserting liberally with a message and of
+/// marking impossible control flow with an unreachable macro instead of
+/// `assert(false)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_SUPPORT_ASSERT_H
+#define CHAMELEON_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in the code that must never be reached. Prints the message
+/// and aborts; in optimized builds this still aborts (cheap, and the library
+/// is a research tool where silent miscompiles are worse than an abort).
+#define CHAM_UNREACHABLE(Msg)                                                  \
+  do {                                                                         \
+    std::fprintf(stderr, "UNREACHABLE at %s:%d: %s\n", __FILE__, __LINE__,     \
+                 (Msg));                                                       \
+    std::abort();                                                              \
+  } while (false)
+
+#endif // CHAMELEON_SUPPORT_ASSERT_H

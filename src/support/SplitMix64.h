@@ -1,0 +1,64 @@
+//===--- SplitMix64.h - Deterministic random numbers -----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny deterministic PRNG (SplitMix64, Steele et al., OOPSLA'14 fast
+/// splittable generators). Every workload simulacrum and every property test
+/// in the repository draws randomness exclusively from this generator so that
+/// runs are bit-for-bit reproducible across machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_SUPPORT_SPLITMIX64_H
+#define CHAMELEON_SUPPORT_SPLITMIX64_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace chameleon {
+
+/// Deterministic 64-bit pseudo random number generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Modulo bias is irrelevant for workload generation purposes.
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in the inclusive range [Lo, Hi].
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_SUPPORT_SPLITMIX64_H

@@ -1,0 +1,54 @@
+//===--- Statistics.cpp - Streaming statistical accumulators -------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cmath>
+
+using namespace chameleon;
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+void RunningStat::merge(const RunningStat &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  double Delta = Other.Mean - Mean;
+  uint64_t Combined = N + Other.N;
+  double NA = static_cast<double>(N);
+  double NB = static_cast<double>(Other.N);
+  Mean += Delta * NB / static_cast<double>(Combined);
+  M2 += Other.M2 + Delta * Delta * NA * NB / static_cast<double>(Combined);
+  if (Other.Min < Min)
+    Min = Other.Min;
+  if (Other.Max > Max)
+    Max = Other.Max;
+  N = Combined;
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }

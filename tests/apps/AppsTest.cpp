@@ -1,0 +1,174 @@
+//===--- AppsTest.cpp - Benchmark simulacra integration tests -------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-benchmark integration tests: each simulacrum is deterministic,
+/// produces the suggestions its paper counterpart motivates (§5.3), and
+/// exhibits the paper's per-benchmark result shape — including PMD's
+/// deliberate negative result for the minimal-heap metric.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+namespace {
+
+/// True when any suggestion was produced by \p RuleName for a context
+/// whose label contains \p LabelPart.
+bool suggested(const RunResult &R, const std::string &RuleName,
+               const std::string &LabelPart) {
+  for (const rules::Suggestion &S : R.Suggestions)
+    if (S.RuleName == RuleName
+        && S.ContextLabel.find(LabelPart) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(Apps, RegistryHasTheSixPaperBenchmarks) {
+  ASSERT_EQ(allApps().size(), 6u);
+  for (const char *Name :
+       {"bloat", "fop", "findbugs", "pmd", "soot", "tvla"})
+    EXPECT_EQ(getApp(Name).Name, Name);
+}
+
+TEST(Apps, RunsAreDeterministic) {
+  const AppSpec &App = getApp("tvla");
+  Chameleon Tool;
+  RunResult A = Tool.profile(App.Run, App.ProfileHeapLimit);
+  RunResult B = Tool.profile(App.Run, App.ProfileHeapLimit);
+  EXPECT_EQ(A.TotalAllocatedBytes, B.TotalAllocatedBytes);
+  EXPECT_EQ(A.TotalAllocatedObjects, B.TotalAllocatedObjects);
+  EXPECT_EQ(A.GcCycles, B.GcCycles);
+  EXPECT_EQ(A.Report, B.Report);
+}
+
+TEST(Apps, AllBenchmarksCompleteUnderTheirProfileLimit) {
+  for (const AppSpec &App : allApps()) {
+    Chameleon Tool;
+    RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+    EXPECT_TRUE(R.Completed) << App.Name;
+    EXPECT_GT(R.GcCycles, 0u) << App.Name;
+    EXPECT_FALSE(R.Suggestions.empty()) << App.Name;
+  }
+}
+
+TEST(Apps, TvlaGetsTheFactoryArrayMapSuggestions) {
+  const AppSpec &App = getApp("tvla");
+  Chameleon Tool;
+  RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+  // §2.1: HashMaps from the factory contexts become ArrayMaps; the
+  // context label carries the factory frame and the caller frame.
+  EXPECT_TRUE(suggested(R, "small-hashmap", "HashMapFactory"));
+  EXPECT_TRUE(suggested(R, "linkedlist-random-access", "worklist"));
+  EXPECT_TRUE(suggested(R, "incremental-resizing", "Constraints"));
+  // Several distinct factory contexts must be separated by the partial
+  // calling context (the paper reports seven).
+  unsigned FactoryContexts = 0;
+  for (const rules::Suggestion &S : R.Suggestions)
+    if (S.RuleName == "small-hashmap"
+        && S.ContextLabel.find("HashMapFactory") != std::string::npos)
+      ++FactoryContexts;
+  EXPECT_EQ(FactoryContexts, 7u);
+}
+
+TEST(Apps, BloatGetsNeverUsedAndLazySuggestions) {
+  const AppSpec &App = getApp("bloat");
+  Chameleon Tool;
+  RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+  EXPECT_TRUE(suggested(R, "never-used-lists", "bloat.tree.Node"));
+  EXPECT_TRUE(suggested(R, "never-used", "bloat.tree.Node"));
+}
+
+TEST(Apps, BloatShowsTheFig8Spike) {
+  const AppSpec &App = getApp("bloat");
+  Chameleon Tool;
+  RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+  ASSERT_GT(R.Cycles.size(), 4u);
+  // The spike phase must push the collection share of live data well
+  // above the quiet phases (Fig. 8's single dominant spike).
+  double MinFrac = 1.0, MaxFrac = 0.0;
+  for (const GcCycleRecord &Rec : R.Cycles) {
+    if (Rec.LiveBytes == 0)
+      continue;
+    MinFrac = std::min(MinFrac, Rec.collectionLiveFraction());
+    MaxFrac = std::max(MaxFrac, Rec.collectionLiveFraction());
+  }
+  EXPECT_GT(MaxFrac, MinFrac + 0.15);
+}
+
+TEST(Apps, SootGetsSingletonAndCapacitySuggestions) {
+  const AppSpec &App = getApp("soot");
+  Chameleon Tool;
+  RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+  EXPECT_TRUE(suggested(R, "singleton-lists", "JIfStmt"));
+  EXPECT_TRUE(suggested(R, "oversized-capacity", "soot.Body"));
+}
+
+TEST(Apps, FindbugsGetsArrayMapAndLazySuggestions) {
+  const AppSpec &App = getApp("findbugs");
+  Chameleon Tool;
+  RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+  EXPECT_TRUE(suggested(R, "small-hashmap", "getFieldInfo"));
+  EXPECT_TRUE(suggested(R, "mostly-empty-maps", "getAnnotations"));
+  EXPECT_TRUE(suggested(R, "small-hashset", "CallGraph"));
+}
+
+TEST(Apps, FopGetsNeverUsedLayoutLists) {
+  const AppSpec &App = getApp("fop");
+  Chameleon Tool;
+  RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+  EXPECT_TRUE(suggested(R, "small-hashmap", "getTraits"));
+  EXPECT_TRUE(
+      suggested(R, "never-used-lists", "InlineStackingLayoutManager"));
+}
+
+TEST(Apps, PmdSuggestionsTargetOnlyShortLivedContexts) {
+  const AppSpec &App = getApp("pmd");
+  Chameleon Tool;
+  RunResult R = Tool.profile(App.Run, App.ProfileHeapLimit);
+  ASSERT_FALSE(R.Suggestions.empty());
+  for (const rules::Suggestion &S : R.Suggestions)
+    EXPECT_NE(S.ContextLabel.find("SimpleNode"), std::string::npos)
+        << "the long-lived symbol structures must not be flagged, got "
+        << S.ContextLabel;
+}
+
+TEST(Apps, PmdPlanCutsAllocationVolumeNotMinHeap) {
+  // The paper's negative result: no minimal-heap win, but a significant
+  // allocation-volume (hence GC count) reduction.
+  const AppSpec &App = getApp("pmd");
+  Chameleon Tool;
+  RunResult Profiled = Tool.profile(App.Run, App.ProfileHeapLimit);
+  RunResult Before = Tool.run(App.Run, nullptr, App.ProfileHeapLimit);
+  RunResult After =
+      Tool.run(App.Run, &Profiled.Plan, App.ProfileHeapLimit);
+  EXPECT_LT(After.TotalAllocatedBytes,
+            (Before.TotalAllocatedBytes * 3) / 4);
+  EXPECT_LT(After.GcCycles, Before.GcCycles);
+}
+
+TEST(Apps, TvlaPlanHalvesTheMinimalHeap) {
+  const AppSpec &App = getApp("tvla");
+  Chameleon Tool;
+  RunResult Profiled = Tool.profile(App.Run, App.ProfileHeapLimit);
+  uint64_t Before = Tool.findMinimalHeap(App.Run, nullptr, App.MinHeapLo,
+                                         App.MinHeapHi,
+                                         App.MinHeapTolerance);
+  uint64_t After = Tool.findMinimalHeap(App.Run, &Profiled.Plan,
+                                        App.MinHeapLo, App.MinHeapHi,
+                                        App.MinHeapTolerance);
+  // Paper §5.3: minimal-heap reduction of 53.95%; accept 40-65%.
+  double Ratio = static_cast<double>(After) / static_cast<double>(Before);
+  EXPECT_LT(Ratio, 0.60);
+  EXPECT_GT(Ratio, 0.35);
+}
+
+} // namespace

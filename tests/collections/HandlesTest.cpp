@@ -1,0 +1,213 @@
+//===--- HandlesTest.cpp - Wrapper op-counting unit tests -----------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks that every handle operation records the right counter in the
+/// wrapper's per-instance record — the trace half of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/CollectionRuntime.h"
+#include "collections/Handles.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+struct HandlesTest : ::testing::Test {
+  CollectionRuntime RT;
+  FrameId Site = RT.site("test:1");
+
+  const ObjectContextInfo &usageOf(const CollectionHandleBase &H) {
+    return RT.heap().getAs<CollectionObject>(H.wrapperRef()).Usage;
+  }
+
+  uint32_t countOf(const CollectionHandleBase &H, OpKind Op) {
+    return usageOf(H).Counts[opIndex(Op)];
+  }
+};
+
+TEST_F(HandlesTest, ListOpsAreCounted) {
+  List L = RT.newArrayList(Site);
+  L.add(Value::ofInt(1));
+  L.add(0, Value::ofInt(0));
+  (void)L.get(0);
+  (void)L.get(1);
+  L.set(0, Value::ofInt(5));
+  (void)L.contains(Value::ofInt(5));
+  (void)L.size();
+  (void)L.isEmpty();
+  L.removeAt(0);
+  L.remove(Value::ofInt(1));
+  L.add(Value::ofInt(2));
+  L.removeFirst();
+  L.clear();
+
+  EXPECT_EQ(countOf(L, OpKind::Add), 2u);
+  EXPECT_EQ(countOf(L, OpKind::AddAtIndex), 1u);
+  EXPECT_EQ(countOf(L, OpKind::GetAtIndex), 2u);
+  EXPECT_EQ(countOf(L, OpKind::Set), 1u);
+  EXPECT_EQ(countOf(L, OpKind::Contains), 1u);
+  EXPECT_EQ(countOf(L, OpKind::Size), 1u);
+  EXPECT_EQ(countOf(L, OpKind::IsEmpty), 1u);
+  EXPECT_EQ(countOf(L, OpKind::RemoveAtIndex), 1u);
+  EXPECT_EQ(countOf(L, OpKind::RemoveObject), 1u);
+  EXPECT_EQ(countOf(L, OpKind::RemoveFirst), 1u);
+  EXPECT_EQ(countOf(L, OpKind::Clear), 1u);
+}
+
+TEST_F(HandlesTest, MaxAndCurrentSizeTracked) {
+  List L = RT.newArrayList(Site);
+  for (int I = 0; I < 5; ++I)
+    L.add(Value::ofInt(I));
+  L.removeAt(0);
+  L.removeAt(0);
+  const ObjectContextInfo &Usage = usageOf(L);
+  EXPECT_EQ(Usage.MaxSize, 5u);
+  EXPECT_EQ(Usage.CurrentSize, 3u);
+}
+
+TEST_F(HandlesTest, EffectiveInitialCapacityRecorded) {
+  List Default = RT.newArrayList(Site);
+  EXPECT_EQ(usageOf(Default).InitialCapacity, 10u);
+  List Sized = RT.newArrayList(Site, 64);
+  EXPECT_EQ(usageOf(Sized).InitialCapacity, 64u);
+  Map M = RT.newHashMap(Site);
+  EXPECT_EQ(usageOf(M).InitialCapacity, 16u);
+}
+
+TEST_F(HandlesTest, AddAllCountsBothSides) {
+  List Src = RT.newArrayList(Site);
+  Src.add(Value::ofInt(1));
+  List Dst = RT.newArrayList(Site);
+  Dst.addAll(Src);
+  EXPECT_EQ(countOf(Dst, OpKind::AddAll), 1u);
+  EXPECT_EQ(countOf(Src, OpKind::CopiedInto), 1u);
+  // The element transfer is internal, not counted as add ops on either.
+  EXPECT_EQ(countOf(Dst, OpKind::Add), 0u);
+}
+
+TEST_F(HandlesTest, CopyConstructorCountsBothSides) {
+  List Src = RT.newArrayList(Site);
+  Src.add(Value::ofInt(1));
+  List Copy = RT.newArrayListCopy(Site, Src);
+  EXPECT_EQ(countOf(Copy, OpKind::CopiedFrom), 1u);
+  EXPECT_EQ(countOf(Src, OpKind::CopiedInto), 1u);
+  // CopiedFrom is a birth annotation: the copy's allOps stays clean
+  // (checked before size(), which is itself a counted operation).
+  EXPECT_EQ(usageOf(Copy).allOps(), 0u);
+  EXPECT_EQ(Copy.size(), 1u);
+}
+
+TEST_F(HandlesTest, MapOpsAreCounted) {
+  Map M = RT.newHashMap(Site);
+  M.put(Value::ofInt(1), Value::ofInt(2));
+  (void)M.get(Value::ofInt(1));
+  (void)M.containsKey(Value::ofInt(1));
+  (void)M.containsValue(Value::ofInt(2));
+  M.remove(Value::ofInt(1));
+  EXPECT_EQ(countOf(M, OpKind::Put), 1u);
+  EXPECT_EQ(countOf(M, OpKind::Get), 1u);
+  EXPECT_EQ(countOf(M, OpKind::ContainsKey), 1u);
+  EXPECT_EQ(countOf(M, OpKind::ContainsValue), 1u);
+  EXPECT_EQ(countOf(M, OpKind::RemoveKey), 1u);
+}
+
+TEST_F(HandlesTest, IteratorsCountAndDistinguishEmpty) {
+  List L = RT.newArrayList(Site);
+  { ValueIter It = L.iterate(); } // empty iteration
+  L.add(Value::ofInt(1));
+  { ValueIter It = L.iterate(); }
+  EXPECT_EQ(countOf(L, OpKind::IterateEmpty), 1u);
+  EXPECT_EQ(countOf(L, OpKind::Iterate), 1u);
+}
+
+TEST_F(HandlesTest, IteratorAllocatesAHeapObject) {
+  // §5.4: iterator objects are real allocations.
+  List L = RT.newArrayList(Site);
+  uint64_t Before = RT.heap().totalAllocatedObjects();
+  ValueIter It = L.iterate();
+  EXPECT_EQ(RT.heap().totalAllocatedObjects(), Before + 1);
+}
+
+TEST_F(HandlesTest, SharedEmptyIteratorAvoidsAllocations) {
+  // §5.4: returning a fixed empty iterator avoids the per-call object.
+  RuntimeConfig Config;
+  Config.ShareEmptyIterators = true;
+  CollectionRuntime Shared(Config);
+  FrameId S = Shared.site("t:1");
+  List L = Shared.newArrayList(S);
+  uint64_t Before = Shared.heap().totalAllocatedObjects();
+  for (int I = 0; I < 10; ++I) {
+    ValueIter It = L.iterate();
+    Value V;
+    EXPECT_FALSE(It.next(V));
+  }
+  // Only the one shared iterator object was ever allocated.
+  EXPECT_EQ(Shared.heap().totalAllocatedObjects(), Before + 1);
+  // Non-empty iterations still allocate per call.
+  L.add(Value::ofInt(1));
+  uint64_t Mid = Shared.heap().totalAllocatedObjects();
+  { ValueIter It = L.iterate(); }
+  { ValueIter It = L.iterate(); }
+  EXPECT_EQ(Shared.heap().totalAllocatedObjects(), Mid + 2);
+}
+
+TEST_F(HandlesTest, UnprofiledAllocationsCountNothing) {
+  RuntimeConfig Config;
+  Config.Profiler.Enabled = false;
+  CollectionRuntime Bare(Config);
+  List L = Bare.newArrayList(Bare.site("t:1"));
+  L.add(Value::ofInt(1));
+  EXPECT_EQ(L.context(), nullptr);
+  EXPECT_EQ(
+      Bare.heap().getAs<CollectionObject>(L.wrapperRef()).Usage.allOps(),
+      0u);
+}
+
+TEST_F(HandlesTest, HandleCopiesAliasOneCollection) {
+  List A = RT.newArrayList(Site);
+  List B = A;
+  B.add(Value::ofInt(7));
+  EXPECT_EQ(A.size(), 1u);
+  EXPECT_TRUE(A.sameAs(B));
+}
+
+TEST_F(HandlesTest, CollectionsKeepElementsAliveAcrossGc) {
+  List L = RT.newArrayList(Site);
+  L.add(RT.allocData(2));
+  const GcCycleRecord &Rec = RT.heap().collect(true);
+  // wrapper + impl + array + data object all live.
+  EXPECT_EQ(Rec.LiveObjects, 4u);
+}
+
+TEST_F(HandlesTest, DeadCollectionsFoldIntoTheirContext) {
+  ContextInfo *Ctx;
+  {
+    List L = RT.newArrayList(Site);
+    L.add(Value::ofInt(1));
+    Ctx = L.context();
+    ASSERT_NE(Ctx, nullptr);
+  }
+  RT.heap().collect(true);
+  EXPECT_EQ(Ctx->foldedInstances(), 1u);
+  EXPECT_DOUBLE_EQ(Ctx->opStat(OpKind::Add).mean(), 1.0);
+  EXPECT_DOUBLE_EQ(Ctx->maxSizeStat().mean(), 1.0);
+}
+
+TEST_F(HandlesTest, HarvestFoldsLiveCollectionsOnce) {
+  List L = RT.newArrayList(Site);
+  L.add(Value::ofInt(1));
+  ContextInfo *Ctx = L.context();
+  RT.harvestLiveStatistics();
+  EXPECT_EQ(Ctx->foldedInstances(), 1u);
+  RT.harvestLiveStatistics(); // idempotent
+  EXPECT_EQ(Ctx->foldedInstances(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+//===--- KindsTest.cpp - Kind vocabulary unit tests ------------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/Kinds.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+TEST(Kinds, NamesRoundTrip) {
+  for (unsigned I = 0; I < NumImplKinds; ++I) {
+    ImplKind Kind = static_cast<ImplKind>(I);
+    std::optional<ImplKind> Parsed = parseImplKind(implKindName(Kind));
+    ASSERT_TRUE(Parsed.has_value()) << implKindName(Kind);
+    EXPECT_EQ(*Parsed, Kind);
+  }
+  EXPECT_FALSE(parseImplKind("NoSuchImpl").has_value());
+}
+
+TEST(Kinds, AdtClassification) {
+  EXPECT_EQ(adtOfImpl(ImplKind::ArrayList), AdtKind::List);
+  EXPECT_EQ(adtOfImpl(ImplKind::HashedList), AdtKind::List);
+  EXPECT_EQ(adtOfImpl(ImplKind::LinkedHashSet), AdtKind::Set);
+  EXPECT_EQ(adtOfImpl(ImplKind::SizeAdaptingMap), AdtKind::Map);
+  EXPECT_STREQ(adtKindName(AdtKind::List), "List");
+  EXPECT_STREQ(adtKindName(AdtKind::Map), "Map");
+}
+
+TEST(Kinds, DefaultImplForSourceTypes) {
+  EXPECT_EQ(defaultImplForSourceType("ArrayList"), ImplKind::ArrayList);
+  EXPECT_EQ(defaultImplForSourceType("LinkedList"), ImplKind::LinkedList);
+  EXPECT_EQ(defaultImplForSourceType("HashMap"), ImplKind::HashMap);
+  EXPECT_EQ(defaultImplForSourceType("HashSet"), ImplKind::HashSet);
+  // Explicit implementation names resolve to themselves.
+  EXPECT_EQ(defaultImplForSourceType("ArrayMap"), ImplKind::ArrayMap);
+  EXPECT_FALSE(defaultImplForSourceType("Nonsense").has_value());
+}
+
+TEST(Kinds, DefaultCapacities) {
+  EXPECT_EQ(defaultCapacityOf(ImplKind::ArrayList), 10u);
+  EXPECT_EQ(defaultCapacityOf(ImplKind::HashMap), 16u);
+  EXPECT_EQ(defaultCapacityOf(ImplKind::ArrayMap), 4u);
+  EXPECT_EQ(defaultCapacityOf(ImplKind::SingletonList), 1u);
+  EXPECT_EQ(defaultCapacityOf(ImplKind::LinkedList), 0u);
+}
+
+TEST(Kinds, AdaptImplToAdt) {
+  // Native implementations pass through.
+  EXPECT_EQ(adaptImplToAdt(ImplKind::ArrayMap, AdtKind::Map),
+            ImplKind::ArrayMap);
+  // The paper's ArrayList -> LinkedHashSet suggestion becomes the
+  // list-shaped adapter.
+  EXPECT_EQ(adaptImplToAdt(ImplKind::LinkedHashSet, AdtKind::List),
+            ImplKind::HashedList);
+  EXPECT_EQ(adaptImplToAdt(ImplKind::HashSet, AdtKind::List),
+            ImplKind::HashedList);
+  // A map impl can never back a list.
+  EXPECT_FALSE(adaptImplToAdt(ImplKind::ArrayMap, AdtKind::List)
+                   .has_value());
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+//===--- ListImplsTest.cpp - List implementation unit tests ---------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/ArrayListImpl.h"
+#include "collections/CollectionRuntime.h"
+#include "collections/Handles.h"
+#include "collections/LinkedListImpl.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+struct ListImplsTest : ::testing::Test {
+  CollectionRuntime RT;
+  FrameId Site = RT.site("test:1");
+
+  List make(ImplKind Kind, uint32_t Cap = 0) {
+    return RT.newListOf(Kind, Site, Cap);
+  }
+
+  ArrayListImpl &arrayImpl(const List &L) {
+    return RT.heap().getAs<ArrayListImpl>(
+        RT.heap().getAs<CollectionObject>(L.wrapperRef()).Impl);
+  }
+};
+
+TEST_F(ListImplsTest, ArrayListBasicSequence) {
+  List L = make(ImplKind::ArrayList);
+  EXPECT_TRUE(L.isEmpty());
+  L.add(Value::ofInt(1));
+  L.add(Value::ofInt(2));
+  L.add(Value::ofInt(3));
+  EXPECT_EQ(L.size(), 3u);
+  EXPECT_EQ(L.get(0).asInt(), 1);
+  EXPECT_EQ(L.get(2).asInt(), 3);
+  EXPECT_TRUE(L.contains(Value::ofInt(2)));
+  EXPECT_FALSE(L.contains(Value::ofInt(9)));
+}
+
+TEST_F(ListImplsTest, ArrayListPositionalOps) {
+  List L = make(ImplKind::ArrayList);
+  for (int I = 0; I < 4; ++I)
+    L.add(Value::ofInt(I)); // 0 1 2 3
+  L.add(1, Value::ofInt(10)); // 0 10 1 2 3
+  EXPECT_EQ(L.get(1).asInt(), 10);
+  EXPECT_EQ(L.get(4).asInt(), 3);
+  Value Old = L.set(0, Value::ofInt(-1));
+  EXPECT_EQ(Old.asInt(), 0);
+  EXPECT_EQ(L.removeAt(1).asInt(), 10); // -1 1 2 3
+  EXPECT_EQ(L.size(), 4u);
+  EXPECT_EQ(L.get(1).asInt(), 1);
+  EXPECT_TRUE(L.remove(Value::ofInt(2))); // -1 1 3
+  EXPECT_FALSE(L.remove(Value::ofInt(99)));
+  EXPECT_EQ(L.size(), 3u);
+  EXPECT_EQ(L.removeFirst().asInt(), -1);
+}
+
+TEST_F(ListImplsTest, ArrayListGrowthFollowsThePaperPolicy) {
+  List L = make(ImplKind::ArrayList, 100);
+  EXPECT_EQ(arrayImpl(L).capacity(), 100u);
+  for (int I = 0; I < 100; ++I)
+    L.add(Value::ofInt(I));
+  EXPECT_EQ(arrayImpl(L).capacity(), 100u);
+  L.add(Value::ofInt(100)); // §2.2: 100 -> 151
+  EXPECT_EQ(arrayImpl(L).capacity(), 151u);
+  EXPECT_EQ(L.size(), 101u);
+}
+
+TEST_F(ListImplsTest, ArrayListDefaultCapacityIsEager10) {
+  List L = make(ImplKind::ArrayList);
+  EXPECT_EQ(arrayImpl(L).capacity(), 10u);
+}
+
+TEST_F(ListImplsTest, LazyArrayListAllocatesOnFirstUpdate) {
+  List L = make(ImplKind::LazyArrayList);
+  EXPECT_EQ(arrayImpl(L).capacity(), 0u);
+  L.add(Value::ofInt(1));
+  EXPECT_EQ(arrayImpl(L).capacity(), 10u);
+  EXPECT_EQ(L.get(0).asInt(), 1);
+}
+
+TEST_F(ListImplsTest, ClearKeepsCapacityDropsElements) {
+  List L = make(ImplKind::ArrayList);
+  for (int I = 0; I < 5; ++I)
+    L.add(Value::ofInt(I));
+  L.clear();
+  EXPECT_EQ(L.size(), 0u);
+  EXPECT_EQ(arrayImpl(L).capacity(), 10u);
+  L.add(Value::ofInt(7));
+  EXPECT_EQ(L.get(0).asInt(), 7);
+}
+
+TEST_F(ListImplsTest, ClearedElementsBecomeCollectable) {
+  List L = make(ImplKind::ArrayList);
+  L.add(RT.allocData(1));
+  uint64_t LiveBefore = RT.heap().collect(true).LiveObjects;
+  L.clear();
+  uint64_t LiveAfter = RT.heap().collect(true).LiveObjects;
+  EXPECT_EQ(LiveAfter, LiveBefore - 1);
+}
+
+TEST_F(ListImplsTest, LinkedListBasicAndRemoveFirst) {
+  List L = make(ImplKind::LinkedList);
+  L.add(Value::ofInt(1));
+  L.add(Value::ofInt(2));
+  L.add(Value::ofInt(3));
+  EXPECT_EQ(L.size(), 3u);
+  EXPECT_EQ(L.get(1).asInt(), 2);
+  EXPECT_EQ(L.removeFirst().asInt(), 1);
+  EXPECT_EQ(L.removeFirst().asInt(), 2);
+  EXPECT_EQ(L.size(), 1u);
+}
+
+TEST_F(ListImplsTest, LinkedListPositionalInsert) {
+  List L = make(ImplKind::LinkedList);
+  L.add(Value::ofInt(1));
+  L.add(Value::ofInt(3));
+  L.add(1, Value::ofInt(2));
+  EXPECT_EQ(L.get(0).asInt(), 1);
+  EXPECT_EQ(L.get(1).asInt(), 2);
+  EXPECT_EQ(L.get(2).asInt(), 3);
+  EXPECT_EQ(L.removeAt(1).asInt(), 2);
+  EXPECT_EQ(L.get(1).asInt(), 3);
+}
+
+TEST_F(ListImplsTest, LinkedListAllocatesSentinelEagerly) {
+  // The bloat pathology: an empty LinkedList still owns a 24-byte entry.
+  List L = make(ImplKind::LinkedList);
+  CollectionObject &W =
+      RT.heap().getAs<CollectionObject>(L.wrapperRef());
+  const SemanticMap &Map = RT.heap().types().get(W.typeId());
+  CollectionSizes S = Map.ComputeSizes(W, RT.heap());
+  EXPECT_GE(S.Live, W.shallowBytes() + 16 + 24);
+}
+
+TEST_F(ListImplsTest, SingletonListHoldsExactlyOne) {
+  List L = make(ImplKind::SingletonList);
+  EXPECT_TRUE(L.isEmpty());
+  L.add(Value::ofInt(42));
+  EXPECT_EQ(L.size(), 1u);
+  EXPECT_EQ(L.get(0).asInt(), 42);
+  EXPECT_TRUE(L.contains(Value::ofInt(42)));
+  EXPECT_EQ(L.removeAt(0).asInt(), 42);
+  EXPECT_TRUE(L.isEmpty());
+  L.add(Value::ofInt(7)); // reusable after removal
+  EXPECT_EQ(L.get(0).asInt(), 7);
+}
+
+TEST_F(ListImplsTest, EmptyListIsEmptyForever) {
+  List L = make(ImplKind::EmptyList);
+  EXPECT_TRUE(L.isEmpty());
+  EXPECT_FALSE(L.contains(Value::ofInt(1)));
+  EXPECT_FALSE(L.remove(Value::ofInt(1)));
+  ValueIter It = L.iterate();
+  Value V;
+  EXPECT_FALSE(It.next(V));
+}
+
+TEST_F(ListImplsTest, EmptyListImplIsShared) {
+  List A = make(ImplKind::EmptyList);
+  List B = make(ImplKind::EmptyList);
+  ObjectRef ImplA = RT.heap().getAs<CollectionObject>(A.wrapperRef()).Impl;
+  ObjectRef ImplB = RT.heap().getAs<CollectionObject>(B.wrapperRef()).Impl;
+  EXPECT_EQ(ImplA, ImplB) << "EmptyList must be a shared flyweight";
+}
+
+TEST_F(ListImplsTest, IntArrayListStoresInts) {
+  List L = make(ImplKind::IntArrayList);
+  for (int I = 0; I < 30; ++I)
+    L.add(Value::ofInt(I * 3));
+  EXPECT_EQ(L.size(), 30u);
+  EXPECT_EQ(L.get(29).asInt(), 87);
+  EXPECT_TRUE(L.contains(Value::ofInt(0)));
+  EXPECT_FALSE(L.contains(Value::ofInt(1)));
+  EXPECT_EQ(L.removeAt(0).asInt(), 0);
+  EXPECT_EQ(L.get(0).asInt(), 3);
+}
+
+TEST_F(ListImplsTest, HashedListKeepsInsertionOrderAndFastContains) {
+  List L = make(ImplKind::HashedList);
+  for (int I = 0; I < 100; ++I)
+    L.add(Value::ofInt(I));
+  EXPECT_EQ(L.size(), 100u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_TRUE(L.contains(Value::ofInt(I)));
+  // Insertion order is observable positionally and via iteration.
+  EXPECT_EQ(L.get(0).asInt(), 0);
+  EXPECT_EQ(L.get(99).asInt(), 99);
+  ValueIter It = L.iterate();
+  Value V;
+  int Expected = 0;
+  while (It.next(V))
+    EXPECT_EQ(V.asInt(), Expected++);
+  EXPECT_EQ(Expected, 100);
+}
+
+TEST_F(ListImplsTest, HashedListDropsDuplicates) {
+  // Set semantics: the rules only install HashedList where the profile
+  // shows duplicates don't matter.
+  List L = make(ImplKind::HashedList);
+  L.add(Value::ofInt(1));
+  L.add(Value::ofInt(1));
+  EXPECT_EQ(L.size(), 1u);
+}
+
+TEST_F(ListImplsTest, AddAllAppendsAndCountsCopyInteraction) {
+  List Src = make(ImplKind::ArrayList);
+  Src.add(Value::ofInt(1));
+  Src.add(Value::ofInt(2));
+  List Dst = make(ImplKind::LinkedList);
+  Dst.add(Value::ofInt(0));
+  Dst.addAll(Src);
+  EXPECT_EQ(Dst.size(), 3u);
+  EXPECT_EQ(Dst.get(1).asInt(), 1);
+  EXPECT_EQ(Dst.get(2).asInt(), 2);
+}
+
+TEST_F(ListImplsTest, IterationVisitsInOrder) {
+  for (ImplKind Kind : {ImplKind::ArrayList, ImplKind::LinkedList,
+                        ImplKind::LazyArrayList, ImplKind::IntArrayList}) {
+    List L = make(Kind);
+    for (int I = 0; I < 10; ++I)
+      L.add(Value::ofInt(I));
+    ValueIter It = L.iterate();
+    Value V;
+    int Expected = 0;
+    while (It.next(V))
+      EXPECT_EQ(V.asInt(), Expected++) << implKindName(Kind);
+    EXPECT_EQ(Expected, 10) << implKindName(Kind);
+  }
+}
+
+} // namespace

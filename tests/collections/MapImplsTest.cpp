@@ -1,0 +1,185 @@
+//===--- MapImplsTest.cpp - Map implementation unit tests ------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/CollectionRuntime.h"
+#include "collections/Handles.h"
+#include "collections/HashMapImpl.h"
+#include "collections/OtherMapImpls.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+struct MapImplsTest : ::testing::Test {
+  CollectionRuntime RT;
+  FrameId Site = RT.site("test:1");
+
+  Map make(ImplKind Kind, uint32_t Cap = 0) {
+    return RT.newMapOf(Kind, Site, Cap);
+  }
+
+  template <typename T> T &implOf(const Map &M) {
+    return RT.heap().getAs<T>(
+        RT.heap().getAs<CollectionObject>(M.wrapperRef()).Impl);
+  }
+};
+
+TEST_F(MapImplsTest, HashMapPutGetRemove) {
+  Map M = make(ImplKind::HashMap);
+  EXPECT_TRUE(M.put(Value::ofInt(1), Value::ofInt(10)));
+  EXPECT_TRUE(M.put(Value::ofInt(2), Value::ofInt(20)));
+  EXPECT_FALSE(M.put(Value::ofInt(1), Value::ofInt(11))); // overwrite
+  EXPECT_EQ(M.size(), 2u);
+  EXPECT_EQ(M.get(Value::ofInt(1)).asInt(), 11);
+  EXPECT_EQ(M.get(Value::ofInt(2)).asInt(), 20);
+  EXPECT_TRUE(M.get(Value::ofInt(3)).isNull());
+  EXPECT_TRUE(M.containsKey(Value::ofInt(1)));
+  EXPECT_FALSE(M.containsKey(Value::ofInt(3)));
+  EXPECT_TRUE(M.containsValue(Value::ofInt(20)));
+  EXPECT_FALSE(M.containsValue(Value::ofInt(10)));
+  EXPECT_TRUE(M.remove(Value::ofInt(1)));
+  EXPECT_FALSE(M.remove(Value::ofInt(1)));
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST_F(MapImplsTest, HashMapResizesAtLoadFactor) {
+  Map M = make(ImplKind::HashMap); // capacity 16, threshold 12
+  for (int I = 0; I < 12; ++I)
+    M.put(Value::ofInt(I), Value::ofInt(I));
+  EXPECT_EQ(implOf<HashMapImpl>(M).capacity(), 16u);
+  M.put(Value::ofInt(12), Value::ofInt(12));
+  EXPECT_EQ(implOf<HashMapImpl>(M).capacity(), 32u);
+  // Content preserved across the rehash.
+  for (int I = 0; I <= 12; ++I)
+    EXPECT_EQ(M.get(Value::ofInt(I)).asInt(), I);
+}
+
+TEST_F(MapImplsTest, HashMapManyEntriesAndChains) {
+  Map M = make(ImplKind::HashMap);
+  for (int I = 0; I < 1000; ++I)
+    M.put(Value::ofInt(I * 7), Value::ofInt(I));
+  EXPECT_EQ(M.size(), 1000u);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(M.get(Value::ofInt(I * 7)).asInt(), I);
+  for (int I = 0; I < 1000; I += 2)
+    EXPECT_TRUE(M.remove(Value::ofInt(I * 7)));
+  EXPECT_EQ(M.size(), 500u);
+  for (int I = 1; I < 1000; I += 2)
+    EXPECT_EQ(M.get(Value::ofInt(I * 7)).asInt(), I);
+}
+
+TEST_F(MapImplsTest, LazyMapDefersTheTable) {
+  Map M = make(ImplKind::LazyMap);
+  EXPECT_EQ(implOf<HashMapImpl>(M).capacity(), 0u);
+  EXPECT_TRUE(M.get(Value::ofInt(1)).isNull());
+  EXPECT_FALSE(M.containsKey(Value::ofInt(1)));
+  M.put(Value::ofInt(1), Value::ofInt(2));
+  EXPECT_EQ(implOf<HashMapImpl>(M).capacity(), 16u);
+  EXPECT_EQ(M.get(Value::ofInt(1)).asInt(), 2);
+}
+
+TEST_F(MapImplsTest, ArrayMapBehavesLikeAMap) {
+  Map M = make(ImplKind::ArrayMap);
+  for (int I = 0; I < 20; ++I)
+    EXPECT_TRUE(M.put(Value::ofInt(I), Value::ofInt(100 + I)));
+  EXPECT_FALSE(M.put(Value::ofInt(5), Value::ofInt(500)));
+  EXPECT_EQ(M.size(), 20u);
+  EXPECT_EQ(M.get(Value::ofInt(5)).asInt(), 500);
+  EXPECT_TRUE(M.remove(Value::ofInt(0)));
+  EXPECT_EQ(M.size(), 19u);
+  EXPECT_TRUE(M.get(Value::ofInt(0)).isNull());
+  EXPECT_TRUE(M.containsValue(Value::ofInt(119)));
+}
+
+TEST_F(MapImplsTest, SingletonMapHoldsOneBinding) {
+  Map M = make(ImplKind::SingletonMap);
+  EXPECT_TRUE(M.put(Value::ofInt(1), Value::ofInt(10)));
+  EXPECT_FALSE(M.put(Value::ofInt(1), Value::ofInt(11)));
+  EXPECT_EQ(M.get(Value::ofInt(1)).asInt(), 11);
+  EXPECT_TRUE(M.containsValue(Value::ofInt(11)));
+  EXPECT_TRUE(M.remove(Value::ofInt(1)));
+  EXPECT_TRUE(M.isEmpty());
+  EXPECT_TRUE(M.put(Value::ofInt(2), Value::ofInt(20)));
+}
+
+TEST_F(MapImplsTest, SizeAdaptingMapConvertsAtThreshold) {
+  Map M = make(ImplKind::SizeAdaptingMap); // threshold 16
+  auto &Impl = implOf<SizeAdaptingMapImpl>(M);
+  for (int I = 0; I < 16; ++I)
+    M.put(Value::ofInt(I), Value::ofInt(I));
+  EXPECT_FALSE(Impl.isHashed());
+  M.put(Value::ofInt(16), Value::ofInt(16));
+  EXPECT_TRUE(Impl.isHashed());
+  for (int I = 0; I <= 16; ++I)
+    EXPECT_EQ(M.get(Value::ofInt(I)).asInt(), I);
+}
+
+TEST_F(MapImplsTest, SizeAdaptingMapCustomThreshold) {
+  // §2.3: the conversion size is a tunable (13 vs 16 mattered for TVLA).
+  Map M = make(ImplKind::SizeAdaptingMap, 13);
+  auto &Impl = implOf<SizeAdaptingMapImpl>(M);
+  EXPECT_EQ(Impl.threshold(), 13u);
+  for (int I = 0; I < 14; ++I)
+    M.put(Value::ofInt(I), Value::ofInt(I));
+  EXPECT_TRUE(Impl.isHashed());
+}
+
+TEST_F(MapImplsTest, PutAllCopiesEntries) {
+  Map Src = make(ImplKind::HashMap);
+  Src.put(Value::ofInt(1), Value::ofInt(10));
+  Src.put(Value::ofInt(2), Value::ofInt(20));
+  Map Dst = make(ImplKind::ArrayMap);
+  Dst.put(Value::ofInt(3), Value::ofInt(30));
+  Dst.putAll(Src);
+  EXPECT_EQ(Dst.size(), 3u);
+  EXPECT_EQ(Dst.get(Value::ofInt(1)).asInt(), 10);
+  EXPECT_EQ(Dst.get(Value::ofInt(3)).asInt(), 30);
+}
+
+TEST_F(MapImplsTest, EntryIterationVisitsEveryBindingOnce) {
+  for (ImplKind Kind : {ImplKind::HashMap, ImplKind::ArrayMap,
+                        ImplKind::SizeAdaptingMap}) {
+    Map M = make(Kind);
+    for (int I = 0; I < 40; ++I)
+      M.put(Value::ofInt(I), Value::ofInt(I * 2));
+    EntryIter It = M.iterate();
+    Value K, V;
+    std::vector<bool> Seen(40, false);
+    unsigned Count = 0;
+    while (It.next(K, V)) {
+      ASSERT_EQ(V.asInt(), K.asInt() * 2) << implKindName(Kind);
+      ASSERT_FALSE(Seen[static_cast<size_t>(K.asInt())]);
+      Seen[static_cast<size_t>(K.asInt())] = true;
+      ++Count;
+    }
+    EXPECT_EQ(Count, 40u) << implKindName(Kind);
+  }
+}
+
+TEST_F(MapImplsTest, ClearEmptiesAllImpls) {
+  for (ImplKind Kind : {ImplKind::HashMap, ImplKind::ArrayMap,
+                        ImplKind::LazyMap, ImplKind::SingletonMap,
+                        ImplKind::SizeAdaptingMap}) {
+    Map M = make(Kind);
+    M.put(Value::ofInt(1), Value::ofInt(2));
+    M.clear();
+    EXPECT_EQ(M.size(), 0u) << implKindName(Kind);
+    EXPECT_TRUE(M.get(Value::ofInt(1)).isNull()) << implKindName(Kind);
+  }
+}
+
+TEST_F(MapImplsTest, RefKeysAndValuesStayReachable) {
+  Map M = make(ImplKind::HashMap);
+  Value K = RT.allocData(0);
+  Value V = RT.allocData(0);
+  M.put(K, V);
+  RT.heap().collect(true);
+  EXPECT_EQ(M.get(K), V);
+}
+
+} // namespace

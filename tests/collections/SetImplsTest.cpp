@@ -1,0 +1,181 @@
+//===--- SetImplsTest.cpp - Set implementation unit tests ------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/CollectionRuntime.h"
+#include "collections/Handles.h"
+#include "collections/LinkedHashSetImpl.h"
+#include "collections/SetImpls.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+struct SetImplsTest : ::testing::Test {
+  CollectionRuntime RT;
+  FrameId Site = RT.site("test:1");
+
+  Set make(ImplKind Kind, uint32_t Cap = 0) {
+    return RT.newSetOf(Kind, Site, Cap);
+  }
+
+  template <typename T> T &implOf(const Set &S) {
+    return RT.heap().getAs<T>(
+        RT.heap().getAs<CollectionObject>(S.wrapperRef()).Impl);
+  }
+
+  static constexpr ImplKind AllSetKinds[] = {
+      ImplKind::HashSet, ImplKind::ArraySet, ImplKind::LazySet,
+      ImplKind::LinkedHashSet, ImplKind::SizeAdaptingSet};
+};
+
+TEST_F(SetImplsTest, AddContainsRemoveAcrossAllImpls) {
+  for (ImplKind Kind : AllSetKinds) {
+    Set S = make(Kind);
+    EXPECT_TRUE(S.add(Value::ofInt(1))) << implKindName(Kind);
+    EXPECT_TRUE(S.add(Value::ofInt(2))) << implKindName(Kind);
+    EXPECT_FALSE(S.add(Value::ofInt(1)))
+        << implKindName(Kind) << ": duplicates must be rejected";
+    EXPECT_EQ(S.size(), 2u) << implKindName(Kind);
+    EXPECT_TRUE(S.contains(Value::ofInt(1))) << implKindName(Kind);
+    EXPECT_FALSE(S.contains(Value::ofInt(3))) << implKindName(Kind);
+    EXPECT_TRUE(S.remove(Value::ofInt(1))) << implKindName(Kind);
+    EXPECT_FALSE(S.remove(Value::ofInt(1))) << implKindName(Kind);
+    EXPECT_EQ(S.size(), 1u) << implKindName(Kind);
+  }
+}
+
+TEST_F(SetImplsTest, LargeMembershipAcrossAllImpls) {
+  for (ImplKind Kind : AllSetKinds) {
+    Set S = make(Kind);
+    for (int I = 0; I < 300; ++I)
+      S.add(Value::ofInt(I * 11));
+    EXPECT_EQ(S.size(), 300u) << implKindName(Kind);
+    for (int I = 0; I < 300; ++I)
+      EXPECT_TRUE(S.contains(Value::ofInt(I * 11))) << implKindName(Kind);
+    EXPECT_FALSE(S.contains(Value::ofInt(1))) << implKindName(Kind);
+  }
+}
+
+TEST_F(SetImplsTest, HashSetIsBackedByAHashMap) {
+  // §4.2: "HashSet (default) - backed up by a HashMap".
+  Set S = make(ImplKind::HashSet);
+  auto &Impl = implOf<HashSetImpl>(S);
+  CollectionSizes Sizes = Impl.sizes();
+  // Empty HashSet = set impl + map impl + 16-slot table.
+  EXPECT_GE(Sizes.Live, 16u + 24u + 80u);
+}
+
+TEST_F(SetImplsTest, LazySetAllocatesBackingOnFirstAdd) {
+  Set S = make(ImplKind::LazySet);
+  CollectionSizes Before = implOf<HashSetImpl>(S).sizes();
+  EXPECT_FALSE(S.contains(Value::ofInt(1)));
+  CollectionSizes StillLazy = implOf<HashSetImpl>(S).sizes();
+  EXPECT_EQ(Before.Live, StillLazy.Live);
+  S.add(Value::ofInt(1));
+  CollectionSizes After = implOf<HashSetImpl>(S).sizes();
+  EXPECT_GT(After.Live, Before.Live);
+}
+
+TEST_F(SetImplsTest, LinkedHashSetIteratesInInsertionOrder) {
+  Set S = make(ImplKind::LinkedHashSet);
+  for (int I : {5, 3, 9, 1, 7})
+    S.add(Value::ofInt(I));
+  ValueIter It = S.iterate();
+  Value V;
+  std::vector<int64_t> Order;
+  while (It.next(V))
+    Order.push_back(V.asInt());
+  EXPECT_EQ(Order, (std::vector<int64_t>{5, 3, 9, 1, 7}));
+}
+
+TEST_F(SetImplsTest, LinkedHashSetRemovalPreservesOrder) {
+  Set S = make(ImplKind::LinkedHashSet);
+  for (int I = 0; I < 6; ++I)
+    S.add(Value::ofInt(I));
+  S.remove(Value::ofInt(0));
+  S.remove(Value::ofInt(3));
+  ValueIter It = S.iterate();
+  Value V;
+  std::vector<int64_t> Order;
+  while (It.next(V))
+    Order.push_back(V.asInt());
+  EXPECT_EQ(Order, (std::vector<int64_t>{1, 2, 4, 5}));
+}
+
+TEST_F(SetImplsTest, LinkedHashSetResizesAndKeepsOrder) {
+  Set S = make(ImplKind::LinkedHashSet); // capacity 16
+  for (int I = 0; I < 100; ++I)
+    S.add(Value::ofInt(I));
+  auto &Impl = implOf<LinkedHashSetImpl>(S);
+  EXPECT_GT(Impl.capacity(), 16u);
+  ValueIter It = S.iterate();
+  Value V;
+  int Expected = 0;
+  while (It.next(V))
+    EXPECT_EQ(V.asInt(), Expected++);
+  EXPECT_EQ(Expected, 100);
+}
+
+TEST_F(SetImplsTest, SizeAdaptingSetConvertsAtThreshold) {
+  Set S = make(ImplKind::SizeAdaptingSet); // threshold 16
+  auto &Impl = implOf<SizeAdaptingSetImpl>(S);
+  for (int I = 0; I < 16; ++I)
+    S.add(Value::ofInt(I));
+  EXPECT_FALSE(Impl.isHashed());
+  S.add(Value::ofInt(16));
+  EXPECT_TRUE(Impl.isHashed());
+  for (int I = 0; I <= 16; ++I)
+    EXPECT_TRUE(S.contains(Value::ofInt(I)));
+  EXPECT_EQ(S.size(), 17u);
+}
+
+TEST_F(SetImplsTest, AddAllMergesWithoutDuplicates) {
+  Set A = make(ImplKind::HashSet);
+  A.add(Value::ofInt(1));
+  A.add(Value::ofInt(2));
+  Set B = make(ImplKind::ArraySet);
+  B.add(Value::ofInt(2));
+  B.add(Value::ofInt(3));
+  A.addAll(B);
+  EXPECT_EQ(A.size(), 3u);
+  for (int I = 1; I <= 3; ++I)
+    EXPECT_TRUE(A.contains(Value::ofInt(I)));
+}
+
+TEST_F(SetImplsTest, ClearEmptiesAllImpls) {
+  for (ImplKind Kind : AllSetKinds) {
+    Set S = make(Kind);
+    S.add(Value::ofInt(1));
+    S.clear();
+    EXPECT_EQ(S.size(), 0u) << implKindName(Kind);
+    EXPECT_FALSE(S.contains(Value::ofInt(1))) << implKindName(Kind);
+    // Reusable after clear.
+    EXPECT_TRUE(S.add(Value::ofInt(2))) << implKindName(Kind);
+  }
+}
+
+TEST_F(SetImplsTest, IterationVisitsEachElementExactlyOnce) {
+  for (ImplKind Kind : AllSetKinds) {
+    Set S = make(Kind);
+    for (int I = 0; I < 50; ++I)
+      S.add(Value::ofInt(I));
+    std::vector<bool> Seen(50, false);
+    ValueIter It = S.iterate();
+    Value V;
+    unsigned Count = 0;
+    while (It.next(V)) {
+      ASSERT_FALSE(Seen[static_cast<size_t>(V.asInt())])
+          << implKindName(Kind);
+      Seen[static_cast<size_t>(V.asInt())] = true;
+      ++Count;
+    }
+    EXPECT_EQ(Count, 50u) << implKindName(Kind);
+  }
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+//===--- SizeInvariantsTest.cpp - Size accounting invariants --------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized sweep over (memory model x implementation): under random
+/// operation sequences, every implementation's semantic-map sizes must
+/// satisfy the structural invariants that the space experiments rely on:
+///
+///   * Live >= Used  (you cannot use more than you occupy);
+///   * Used >= the wrapperless minimum (headers survive in Used);
+///   * Core is 0 exactly when the collection is empty;
+///   * Live equals the sum of the shallow bytes of the ADT's own objects
+///     (wrapper + everything reachable from it minus stored elements) —
+///     checked indirectly: heap live == collection live when the heap
+///     contains nothing but the one collection and its elements are
+///     inline ints.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/CollectionRuntime.h"
+#include "collections/Handles.h"
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+struct SweepParam {
+  bool Wide; // false = jvm32, true = jvm64
+  ImplKind Kind;
+};
+
+std::string paramName(const ::testing::TestParamInfo<SweepParam> &Info) {
+  return std::string(Info.param.Wide ? "jvm64_" : "jvm32_")
+         + implKindName(Info.param.Kind);
+}
+
+class SizeInvariants : public ::testing::TestWithParam<SweepParam> {
+protected:
+  RuntimeConfig config() const {
+    RuntimeConfig Config;
+    Config.Model = GetParam().Wide ? MemoryModel::jvm64()
+                                   : MemoryModel::jvm32();
+    return Config;
+  }
+
+  static CollectionSizes sizesOf(CollectionRuntime &RT, ObjectRef W) {
+    const HeapObject &Obj = RT.heap().get(W);
+    return RT.heap().types().get(Obj.typeId()).ComputeSizes(Obj,
+                                                            RT.heap());
+  }
+
+  static void checkInvariants(const CollectionSizes &S, uint32_t Size,
+                              const char *What) {
+    EXPECT_GE(S.Live, S.Used) << What;
+    EXPECT_GT(S.Used, 0u) << What;
+    if (Size == 0)
+      EXPECT_EQ(S.Core, 0u) << What;
+    else
+      EXPECT_GT(S.Core, 0u) << What;
+  }
+};
+
+using ListInvariants = SizeInvariants;
+using MapInvariants = SizeInvariants;
+using SetInvariants = SizeInvariants;
+
+TEST_P(ListInvariants, HoldUnderRandomOps) {
+  CollectionRuntime RT(config());
+  List L = RT.newListOf(GetParam().Kind, RT.site("t:1"));
+  SplitMix64 Rng(static_cast<uint64_t>(GetParam().Kind) * 31
+                 + GetParam().Wide);
+
+  for (int Step = 0; Step < 400; ++Step) {
+    switch (Rng.nextBelow(4)) {
+    case 0:
+    case 1:
+      L.add(Value::ofInt(static_cast<int64_t>(Rng.nextBelow(64))));
+      break;
+    case 2:
+      if (L.size() > 0)
+        L.removeAt(static_cast<uint32_t>(Rng.nextBelow(L.size())));
+      break;
+    case 3:
+      if (Rng.nextBool(0.05))
+        L.clear();
+      break;
+    }
+    CollectionSizes S = sizesOf(RT, L.wrapperRef());
+    checkInvariants(S, L.size(), implKindName(GetParam().Kind));
+    // Heap live == collection live: ints are inline, so the whole heap
+    // is this one ADT.
+    const GcCycleRecord &Rec = RT.heap().collect(true);
+    ASSERT_EQ(Rec.CollectionLiveBytes, S.Live);
+    ASSERT_EQ(Rec.LiveBytes, S.Live);
+  }
+}
+
+TEST_P(MapInvariants, HoldUnderRandomOps) {
+  CollectionRuntime RT(config());
+  Map M = RT.newMapOf(GetParam().Kind, RT.site("t:1"));
+  SplitMix64 Rng(static_cast<uint64_t>(GetParam().Kind) * 37
+                 + GetParam().Wide);
+
+  for (int Step = 0; Step < 400; ++Step) {
+    int64_t K = static_cast<int64_t>(Rng.nextBelow(48));
+    switch (Rng.nextBelow(4)) {
+    case 0:
+    case 1:
+      M.put(Value::ofInt(K), Value::ofInt(Step));
+      break;
+    case 2:
+      M.remove(Value::ofInt(K));
+      break;
+    case 3:
+      if (Rng.nextBool(0.05))
+        M.clear();
+      break;
+    }
+    CollectionSizes S = sizesOf(RT, M.wrapperRef());
+    checkInvariants(S, M.size(), implKindName(GetParam().Kind));
+    const GcCycleRecord &Rec = RT.heap().collect(true);
+    ASSERT_EQ(Rec.CollectionLiveBytes, S.Live);
+    ASSERT_EQ(Rec.LiveBytes, S.Live);
+  }
+}
+
+TEST_P(SetInvariants, HoldUnderRandomOps) {
+  CollectionRuntime RT(config());
+  Set S = RT.newSetOf(GetParam().Kind, RT.site("t:1"));
+  SplitMix64 Rng(static_cast<uint64_t>(GetParam().Kind) * 41
+                 + GetParam().Wide);
+
+  for (int Step = 0; Step < 400; ++Step) {
+    int64_t X = static_cast<int64_t>(Rng.nextBelow(48));
+    switch (Rng.nextBelow(4)) {
+    case 0:
+    case 1:
+      S.add(Value::ofInt(X));
+      break;
+    case 2:
+      S.remove(Value::ofInt(X));
+      break;
+    case 3:
+      if (Rng.nextBool(0.05))
+        S.clear();
+      break;
+    }
+    CollectionSizes Sz = sizesOf(RT, S.wrapperRef());
+    checkInvariants(Sz, S.size(), implKindName(GetParam().Kind));
+    const GcCycleRecord &Rec = RT.heap().collect(true);
+    ASSERT_EQ(Rec.CollectionLiveBytes, Sz.Live);
+    ASSERT_EQ(Rec.LiveBytes, Sz.Live);
+  }
+}
+
+std::vector<SweepParam> paramsFor(AdtKind Adt,
+                                  std::initializer_list<ImplKind> Kinds) {
+  std::vector<SweepParam> Params;
+  for (bool Wide : {false, true})
+    for (ImplKind Kind : Kinds) {
+      assert(adtOfImpl(Kind) == Adt);
+      Params.push_back({Wide, Kind});
+    }
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ListInvariants,
+    ::testing::ValuesIn(paramsFor(AdtKind::List,
+                                  {ImplKind::ArrayList,
+                                   ImplKind::LinkedList,
+                                   ImplKind::LazyArrayList,
+                                   ImplKind::IntArrayList,
+                                   ImplKind::HashedList})),
+    paramName);
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapInvariants,
+    ::testing::ValuesIn(paramsFor(AdtKind::Map,
+                                  {ImplKind::HashMap, ImplKind::ArrayMap,
+                                   ImplKind::LazyMap,
+                                   ImplKind::SizeAdaptingMap})),
+    paramName);
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SetInvariants,
+    ::testing::ValuesIn(paramsFor(AdtKind::Set,
+                                  {ImplKind::HashSet, ImplKind::ArraySet,
+                                   ImplKind::LazySet,
+                                   ImplKind::LinkedHashSet,
+                                   ImplKind::SizeAdaptingSet})),
+    paramName);
+
+} // namespace

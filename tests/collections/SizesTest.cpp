@@ -1,0 +1,199 @@
+//===--- SizesTest.cpp - Semantic-map size accounting tests ---------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-exact checks of the live / used / core computation of §3.2.2 under
+/// the 32-bit layout model, per implementation. These numbers are the
+/// substance of every space experiment, so they are pinned precisely.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/CollectionRuntime.h"
+#include "collections/Handles.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+struct SizesTest : ::testing::Test {
+  CollectionRuntime RT; // profiling on: wrappers carry 32 OCI bytes
+  FrameId Site = RT.site("test:1");
+
+  CollectionSizes sizesOf(ObjectRef Wrapper) {
+    const HeapObject &Obj = RT.heap().get(Wrapper);
+    const SemanticMap &Map = RT.heap().types().get(Obj.typeId());
+    return Map.ComputeSizes(Obj, RT.heap());
+  }
+
+  // Profiled wrapper: header(8) + impl ref(4) -> 16, + 32 simulated bytes
+  // for the ObjectContextInfo.
+  static constexpr uint64_t WrapperBytes = 16 + 32;
+};
+
+TEST_F(SizesTest, EmptyEagerArrayList) {
+  List L = RT.newListOf(ImplKind::ArrayList, Site);
+  CollectionSizes S = sizesOf(L.wrapperRef());
+  // wrapper + impl(24) + 10-slot array(56).
+  EXPECT_EQ(S.Live, WrapperBytes + 24 + 56);
+  // All ten slots are reserved-but-unused.
+  EXPECT_EQ(S.Used, S.Live - 10 * 4);
+  EXPECT_EQ(S.Core, 0u);
+}
+
+TEST_F(SizesTest, ArrayListWithThreeElements) {
+  List L = RT.newListOf(ImplKind::ArrayList, Site);
+  for (int I = 0; I < 3; ++I)
+    L.add(Value::ofInt(I));
+  CollectionSizes S = sizesOf(L.wrapperRef());
+  EXPECT_EQ(S.Live, WrapperBytes + 24 + 56);
+  EXPECT_EQ(S.Used, S.Live - 7 * 4);
+  // Ideal: 12 + 3*4 = 24 -> 24.
+  EXPECT_EQ(S.Core, 24u);
+}
+
+TEST_F(SizesTest, EmptyLazyArrayListHasNoArray) {
+  List L = RT.newListOf(ImplKind::LazyArrayList, Site);
+  CollectionSizes S = sizesOf(L.wrapperRef());
+  EXPECT_EQ(S.Live, WrapperBytes + 24);
+  EXPECT_EQ(S.Used, S.Live);
+  EXPECT_EQ(S.Core, 0u);
+}
+
+TEST_F(SizesTest, EmptyLinkedListPaysForTheSentinel) {
+  List L = RT.newListOf(ImplKind::LinkedList, Site);
+  CollectionSizes S = sizesOf(L.wrapperRef());
+  // wrapper + impl(16) + sentinel entry(24).
+  EXPECT_EQ(S.Live, WrapperBytes + 16 + 24);
+  // The sentinel stores no application entry: it is pure overhead — the
+  // §5.3 bloat observation ("LinkedList$Entry allocated as the head of an
+  // empty linked list").
+  EXPECT_EQ(S.Used, WrapperBytes + 16);
+  EXPECT_EQ(S.Core, 0u);
+}
+
+TEST_F(SizesTest, LinkedListUsedCountsOnlyItemSlots) {
+  List L = RT.newListOf(ImplKind::LinkedList, Site);
+  L.add(Value::ofInt(1));
+  L.add(Value::ofInt(2));
+  CollectionSizes S = sizesOf(L.wrapperRef());
+  EXPECT_EQ(S.Used, WrapperBytes + 16 + 2 * 4);
+}
+
+TEST_F(SizesTest, LinkedListEntriesCost24BytesEach) {
+  List L = RT.newListOf(ImplKind::LinkedList, Site);
+  CollectionSizes Before = sizesOf(L.wrapperRef());
+  L.add(Value::ofInt(1));
+  L.add(Value::ofInt(2));
+  CollectionSizes After = sizesOf(L.wrapperRef());
+  EXPECT_EQ(After.Live - Before.Live, 48u);
+}
+
+TEST_F(SizesTest, EmptyHashMapPaysTableNotEntries) {
+  Map M = RT.newMapOf(ImplKind::HashMap, Site);
+  CollectionSizes S = sizesOf(M.wrapperRef());
+  // wrapper + impl(24) + 16-bucket table(80).
+  EXPECT_EQ(S.Live, WrapperBytes + 24 + 80);
+  // All 16 bucket slots unused.
+  EXPECT_EQ(S.Used, S.Live - 16 * 4);
+  EXPECT_EQ(S.Core, 0u);
+}
+
+TEST_F(SizesTest, HashMapEntriesAre24BytesAndBucketsBecomeUsed) {
+  Map M = RT.newMapOf(ImplKind::HashMap, Site);
+  CollectionSizes Before = sizesOf(M.wrapperRef());
+  M.put(Value::ofInt(1), Value::ofInt(10));
+  CollectionSizes After = sizesOf(M.wrapperRef());
+  // One 24-byte entry appears; of it only the key/value slots (8 bytes)
+  // count as used, plus the bucket slot that is no longer empty.
+  EXPECT_EQ(After.Live - Before.Live, 24u);
+  EXPECT_EQ(After.Used - Before.Used, 8u + 4u);
+  // Core for one binding: array of 2 slots = 12 + 8 = 20 -> 24.
+  EXPECT_EQ(After.Core, 24u);
+}
+
+TEST_F(SizesTest, ArrayMapStoresPairsWithoutEntryObjects) {
+  Map M = RT.newMapOf(ImplKind::ArrayMap, Site);
+  CollectionSizes Empty = sizesOf(M.wrapperRef());
+  // wrapper + impl(24) + 8-slot array (2*4 capacity pairs): 12+32=44 -> 48.
+  EXPECT_EQ(Empty.Live, WrapperBytes + 24 + 48);
+  EXPECT_EQ(Empty.Used, Empty.Live - 8 * 4);
+  M.put(Value::ofInt(1), Value::ofInt(10));
+  CollectionSizes One = sizesOf(M.wrapperRef());
+  EXPECT_EQ(One.Live, Empty.Live) << "no per-entry allocation";
+  EXPECT_EQ(One.Used, Empty.Used + 8);
+  EXPECT_EQ(One.Core, 24u);
+}
+
+TEST_F(SizesTest, PaperComparisonSmallHashMapVsArrayMap) {
+  // The headline TVLA saving: a 3-entry HashMap vs a 3-entry ArrayMap(4).
+  Map H = RT.newMapOf(ImplKind::HashMap, Site);
+  Map A = RT.newMapOf(ImplKind::ArrayMap, Site, 4);
+  for (int I = 0; I < 3; ++I) {
+    H.put(Value::ofInt(I), Value::ofInt(I));
+    A.put(Value::ofInt(I), Value::ofInt(I));
+  }
+  CollectionSizes SH = sizesOf(H.wrapperRef());
+  CollectionSizes SA = sizesOf(A.wrapperRef());
+  EXPECT_GT(SH.Live, SA.Live);
+  // Same content, same ideal core.
+  EXPECT_EQ(SH.Core, SA.Core);
+  // The hash map wastes at least the table slack + entry overhead.
+  EXPECT_GE(SH.Live - SA.Live, 100u);
+}
+
+TEST_F(SizesTest, HashSetAccountsItsBackingMapButSetCore) {
+  Set S = RT.newSetOf(ImplKind::HashSet, Site);
+  S.add(Value::ofInt(1));
+  S.add(Value::ofInt(2));
+  CollectionSizes Sz = sizesOf(S.wrapperRef());
+  // wrapper + set impl(16) + map impl(24) + table(80) + 2 entries(48).
+  EXPECT_EQ(Sz.Live, WrapperBytes + 16 + 24 + 80 + 48);
+  // A set's core is one slot per element: 12 + 2*4 = 20 -> 24.
+  EXPECT_EQ(Sz.Core, 24u);
+}
+
+TEST_F(SizesTest, SingletonListIsJustTheImplObject) {
+  List L = RT.newListOf(ImplKind::SingletonList, Site);
+  L.add(Value::ofInt(1));
+  CollectionSizes S = sizesOf(L.wrapperRef());
+  EXPECT_EQ(S.Live, WrapperBytes + 16);
+  EXPECT_EQ(S.Used, S.Live);
+  EXPECT_EQ(S.Core, 16u); // 12 + 4 -> 16
+}
+
+TEST_F(SizesTest, LinkedHashSetEntriesAre32Bytes) {
+  Set S = RT.newSetOf(ImplKind::LinkedHashSet, Site);
+  CollectionSizes Before = sizesOf(S.wrapperRef());
+  S.add(Value::ofInt(1));
+  CollectionSizes After = sizesOf(S.wrapperRef());
+  EXPECT_EQ(After.Live - Before.Live, 32u);
+}
+
+TEST_F(SizesTest, UnprofiledWrappersCarryNoStatisticsBytes) {
+  RuntimeConfig Config;
+  Config.Profiler.Enabled = false;
+  CollectionRuntime Bare(Config);
+  List L = Bare.newListOf(ImplKind::SingletonList, Bare.site("t:1"));
+  EXPECT_EQ(Bare.heap().get(L.wrapperRef()).shallowBytes(), 16u);
+}
+
+TEST_F(SizesTest, GcCycleAggregatesWrapperSizes) {
+  Map M = RT.newMapOf(ImplKind::HashMap, Site);
+  M.put(Value::ofInt(1), Value::ofInt(2));
+  CollectionSizes Expected = sizesOf(M.wrapperRef());
+  const GcCycleRecord &Rec = RT.heap().collect(true);
+  EXPECT_EQ(Rec.CollectionObjects, 1u);
+  EXPECT_EQ(Rec.CollectionLiveBytes, Expected.Live);
+  EXPECT_EQ(Rec.CollectionUsedBytes, Expected.Used);
+  EXPECT_EQ(Rec.CollectionCoreBytes, Expected.Core);
+  // Internals are not double counted: heap live >= collection live, and
+  // the difference is exactly the non-collection objects (none here).
+  EXPECT_EQ(Rec.LiveBytes, Expected.Live);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===--- ValueTest.cpp - Tagged value unit tests ---------------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value V;
+  EXPECT_TRUE(V.isNull());
+  EXPECT_FALSE(V.isInt());
+  EXPECT_FALSE(V.isRef());
+  EXPECT_EQ(V, Value::null());
+}
+
+TEST(Value, IntRoundTrip) {
+  for (int64_t X : {0L, 1L, -1L, 42L, -1234567L, (1L << 60),
+                    -(1L << 60)}) {
+    Value V = Value::ofInt(X);
+    EXPECT_TRUE(V.isInt());
+    EXPECT_FALSE(V.isNull());
+    EXPECT_FALSE(V.isRef());
+    EXPECT_EQ(V.asInt(), X);
+  }
+}
+
+TEST(Value, RefRoundTrip) {
+  ObjectRef R = ObjectRef::fromSlot(123);
+  Value V = Value::ofRef(R);
+  EXPECT_TRUE(V.isRef());
+  EXPECT_FALSE(V.isInt());
+  EXPECT_EQ(V.asRef(), R);
+  EXPECT_EQ(V.refOrNull(), R);
+}
+
+TEST(Value, RefOrNullOnNonRefs) {
+  EXPECT_TRUE(Value::null().refOrNull().isNull());
+  EXPECT_TRUE(Value::ofInt(7).refOrNull().isNull());
+}
+
+TEST(Value, EqualityIsIdentity) {
+  EXPECT_EQ(Value::ofInt(5), Value::ofInt(5));
+  EXPECT_NE(Value::ofInt(5), Value::ofInt(6));
+  EXPECT_NE(Value::ofInt(0), Value::null());
+  ObjectRef A = ObjectRef::fromSlot(1);
+  ObjectRef B = ObjectRef::fromSlot(2);
+  EXPECT_EQ(Value::ofRef(A), Value::ofRef(A));
+  EXPECT_NE(Value::ofRef(A), Value::ofRef(B));
+  EXPECT_NE(Value::ofRef(A), Value::ofInt(1));
+}
+
+TEST(Value, HashSpreadsAndIsStable) {
+  Value A = Value::ofInt(1);
+  EXPECT_EQ(A.hash(), Value::ofInt(1).hash());
+  // Adjacent ints should not collide in the low bits (bucket quality).
+  uint64_t Mask = 0xFFFF;
+  EXPECT_NE(Value::ofInt(1).hash() & Mask, Value::ofInt(2).hash() & Mask);
+}
+
+TEST(ObjectRef, SlotRoundTripAndNull) {
+  EXPECT_TRUE(ObjectRef::null().isNull());
+  ObjectRef R = ObjectRef::fromSlot(0);
+  EXPECT_FALSE(R.isNull());
+  EXPECT_EQ(R.slot(), 0u);
+  EXPECT_EQ(ObjectRef::fromRaw(R.raw()), R);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===--- EvaluatorTest.cpp - Rule evaluator unit tests ---------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Evaluator.h"
+
+#include "rules/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+using namespace chameleon::rules;
+
+namespace {
+
+/// Builds a profiler + context preloaded with a synthetic profile.
+struct EvaluatorTest : ::testing::Test {
+  SemanticProfiler Profiler;
+  ContextInfo *Info = nullptr;
+
+  void SetUp() override {
+    FrameId Site = Profiler.internFrame("site:1");
+    Info = Profiler.contextForAllocation(
+        Site, Profiler.internFrame("HashMap"));
+    ASSERT_NE(Info, nullptr);
+
+    // Three dead instances: 4/6/8 gets, max sizes 3/3/3, one put each.
+    for (uint32_t Gets : {4u, 6u, 8u}) {
+      ObjectContextInfo Usage;
+      for (uint32_t I = 0; I < Gets; ++I)
+        Usage.count(OpKind::Get);
+      Usage.count(OpKind::Put);
+      Usage.noteSize(3);
+      Info->recordDeath(Usage);
+      Info->recordAllocation(16);
+    }
+    // Heap stats: one cycle of 100 live / 60 used / 20 core.
+    HeapObject Dummy(0, 8);
+    Profiler.onLiveCollection(Dummy, {100, 60, 20}, Info);
+    GcCycleRecord Rec;
+    Rec.LiveBytes = 400;
+    Profiler.onCycleEnd(Rec);
+  }
+
+  /// Parses a single condition by wrapping it in a throwaway rule.
+  CondPtr cond(const std::string &Text) {
+    ParseResult R = parseRules("Collection : " + Text + " -> warn");
+    EXPECT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+    EXPECT_EQ(R.Rules.size(), 1u);
+    return std::move(R.Rules[0].Condition);
+  }
+
+  bool eval(const std::string &Text) {
+    Evaluator E(*Info, Profiler);
+    CondPtr C = cond(Text);
+    return C && E.evalCond(*C);
+  }
+};
+
+TEST_F(EvaluatorTest, OpCountIsPerInstanceAverage) {
+  EXPECT_TRUE(eval("#get(Object) == 6"));
+  EXPECT_TRUE(eval("#put == 1"));
+  EXPECT_TRUE(eval("#add == 0"));
+}
+
+TEST_F(EvaluatorTest, OpVarianceIsStddev) {
+  // Gets are 4/6/8: population stddev = sqrt(8/3) ~ 1.633.
+  EXPECT_TRUE(eval("@get(Object) > 1.6"));
+  EXPECT_TRUE(eval("@get(Object) < 1.7"));
+  EXPECT_TRUE(eval("@put == 0"));
+}
+
+TEST_F(EvaluatorTest, SizeMetrics) {
+  EXPECT_TRUE(eval("maxSize == 3"));
+  EXPECT_TRUE(eval("@maxSize == 0"));
+  EXPECT_TRUE(eval("size == 3"));
+  EXPECT_TRUE(eval("initialCapacity == 16"));
+  EXPECT_TRUE(eval("allocCount == 3"));
+}
+
+TEST_F(EvaluatorTest, AllOpsSumsAverages) {
+  // 6 gets + 1 put per instance on average.
+  EXPECT_TRUE(eval("#allOps == 7"));
+}
+
+TEST_F(EvaluatorTest, HeapMetrics) {
+  EXPECT_TRUE(eval("totLive == 100"));
+  EXPECT_TRUE(eval("maxLive == 100"));
+  EXPECT_TRUE(eval("totUsed == 60"));
+  EXPECT_TRUE(eval("totCore == 20"));
+  EXPECT_TRUE(eval("potential == 40"));
+  EXPECT_TRUE(eval("heapTotLive == 400"));
+  EXPECT_TRUE(eval("totObjects == 1"));
+}
+
+TEST_F(EvaluatorTest, ArithmeticAndPrecedence) {
+  EXPECT_TRUE(eval("totLive - totUsed == 40"));
+  EXPECT_TRUE(eval("2 + 3 * 4 == 14"));
+  EXPECT_TRUE(eval("(2 + 3) * 4 == 20"));
+  EXPECT_TRUE(eval("totLive / totUsed > 1.6"));
+}
+
+TEST_F(EvaluatorTest, DivisionByZeroYieldsZero) {
+  EXPECT_TRUE(eval("#add / #remove(Object) == 0"));
+}
+
+TEST_F(EvaluatorTest, BooleanConnectives) {
+  EXPECT_TRUE(eval("maxSize == 3 && #put == 1"));
+  EXPECT_FALSE(eval("maxSize == 3 && #put == 2"));
+  EXPECT_TRUE(eval("maxSize == 9 || #put == 1"));
+  EXPECT_TRUE(eval("!(maxSize == 9)"));
+}
+
+TEST_F(EvaluatorTest, ComparisonOperators) {
+  EXPECT_TRUE(eval("maxSize >= 3"));
+  EXPECT_TRUE(eval("maxSize <= 3"));
+  EXPECT_FALSE(eval("maxSize != 3"));
+  EXPECT_TRUE(eval("maxSize < 4"));
+  EXPECT_FALSE(eval("maxSize > 3"));
+}
+
+TEST_F(EvaluatorTest, TracksSizeMetricUsage) {
+  Evaluator E(*Info, Profiler);
+  CondPtr C = cond("maxSize > 1 && #put == 1");
+  ASSERT_TRUE(C);
+  E.evalCond(*C);
+  EXPECT_TRUE(E.usedMaxSize());
+  EXPECT_FALSE(E.usedFinalSize());
+
+  Evaluator E2(*Info, Profiler);
+  CondPtr C2 = cond("#put == 1");
+  E2.evalCond(*C2);
+  EXPECT_FALSE(E2.usedMaxSize());
+}
+
+TEST_F(EvaluatorTest, StddevReferencesDoNotTripTheStabilityFlag) {
+  // Explicit @maxSize use is the rule author asking about stability, not
+  // depending on the mean.
+  Evaluator E(*Info, Profiler);
+  CondPtr C = cond("@maxSize == 0");
+  E.evalCond(*C);
+  EXPECT_FALSE(E.usedMaxSize());
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+//===--- LexerTest.cpp - Rule-language lexer unit tests --------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon::rules;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  return Lexer(Source).lexAll();
+}
+
+TEST(Lexer, EmptyInputIsJustEof) {
+  std::vector<Token> Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+}
+
+TEST(Lexer, PunctuationAndOperators) {
+  std::vector<Token> Tokens =
+      lex(": -> ( ) [ ] , ; && || ! < <= > >= == != + - * /");
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  EXPECT_EQ(Kinds,
+            (std::vector<TokenKind>{
+                TokenKind::Colon, TokenKind::Arrow, TokenKind::LParen,
+                TokenKind::RParen, TokenKind::LBracket,
+                TokenKind::RBracket, TokenKind::Comma,
+                TokenKind::Semicolon, TokenKind::AndAnd, TokenKind::OrOr,
+                TokenKind::Not, TokenKind::Less, TokenKind::LessEq,
+                TokenKind::Greater, TokenKind::GreaterEq, TokenKind::EqEq,
+                TokenKind::NotEq, TokenKind::Plus, TokenKind::Minus,
+                TokenKind::Star, TokenKind::Slash, TokenKind::Eof}));
+}
+
+TEST(Lexer, SingleEqualsIsAcceptedAsEquality) {
+  // Fig. 4 writes `expr = constant`.
+  std::vector<Token> Tokens = lex("=");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::EqEq));
+}
+
+TEST(Lexer, NumbersIncludingDecimals) {
+  std::vector<Token> Tokens = lex("42 3.5 0");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumberValue, 42.0);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumberValue, 3.5);
+  EXPECT_DOUBLE_EQ(Tokens[2].NumberValue, 0.0);
+}
+
+TEST(Lexer, IdentifiersAndKeywordsAreIdents) {
+  std::vector<Token> Tokens = lex("ArrayList maxSize setCapacity");
+  ASSERT_EQ(Tokens.size(), 4u);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(Tokens[I].is(TokenKind::Ident));
+  EXPECT_EQ(Tokens[0].Text, "ArrayList");
+}
+
+TEST(Lexer, OpCountersIncludeParameterLists) {
+  std::vector<Token> Tokens =
+      lex("#contains #get(int) #addAll(int,Collection) @add @maxSize");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::OpCount));
+  EXPECT_EQ(Tokens[0].Text, "contains");
+  EXPECT_EQ(Tokens[1].Text, "get(int)");
+  EXPECT_EQ(Tokens[2].Text, "addAll(int,Collection)");
+  EXPECT_TRUE(Tokens[3].is(TokenKind::OpVar));
+  EXPECT_EQ(Tokens[3].Text, "add");
+  EXPECT_EQ(Tokens[4].Text, "maxSize");
+}
+
+TEST(Lexer, StringsCarryTheirText) {
+  std::vector<Token> Tokens = lex("\"Space: too big\"");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::String));
+  EXPECT_EQ(Tokens[0].Text, "Space: too big");
+}
+
+TEST(Lexer, LineCommentsAreSkipped) {
+  std::vector<Token> Tokens = lex("// a comment\nfoo // trailing\nbar");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "bar");
+}
+
+TEST(Lexer, PositionsAre1Based) {
+  std::vector<Token> Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[0].Col, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[1].Col, 3u);
+}
+
+TEST(Lexer, UnterminatedStringIsAnError) {
+  std::vector<Token> Tokens = lex("\"oops");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Error));
+}
+
+TEST(Lexer, UnterminatedOpParamListIsAnError) {
+  std::vector<Token> Tokens = lex("#get(int");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Error));
+}
+
+TEST(Lexer, StrayCharacterIsAnError) {
+  std::vector<Token> Tokens = lex("%");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Error));
+  EXPECT_NE(Tokens[0].Text.find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(Lexer, ParamsCarryTheirName) {
+  std::vector<Token> Tokens = lex("$X $maxContains");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Param));
+  EXPECT_EQ(Tokens[0].Text, "X");
+  EXPECT_EQ(Tokens[1].Text, "maxContains");
+}
+
+TEST(Lexer, BareDollarIsAnError) {
+  std::vector<Token> Tokens = lex("$ 1");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Error));
+}
+
+TEST(Lexer, SingleAmpersandIsAnError) {
+  std::vector<Token> Tokens = lex("a & b");
+  bool SawError = false;
+  for (const Token &T : Tokens)
+    SawError |= T.is(TokenKind::Error);
+  EXPECT_TRUE(SawError);
+}
+
+} // namespace

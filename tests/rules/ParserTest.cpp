@@ -1,0 +1,179 @@
+//===--- ParserTest.cpp - Rule-language parser unit tests ------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+using namespace chameleon::rules;
+
+namespace {
+
+TEST(Parser, MinimalReplacementRule) {
+  ParseResult R = parseRules("HashSet : maxSize < 9 -> ArraySet");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  ASSERT_EQ(R.Rules.size(), 1u);
+  const Rule &Rule0 = R.Rules[0];
+  EXPECT_EQ(Rule0.SrcType, "HashSet");
+  EXPECT_EQ(Rule0.Action, ActionKind::Replace);
+  EXPECT_EQ(Rule0.NewImpl, ImplKind::ArraySet);
+  EXPECT_EQ(Rule0.Name, "rule1");
+  ASSERT_NE(Rule0.Condition, nullptr);
+  EXPECT_EQ(Rule0.Condition->kind(), Cond::Kind::Compare);
+}
+
+TEST(Parser, PaperTable2ContainsRule) {
+  // "ArrayList : #contains > X && maxSize > Y -> LinkedHashSet"
+  ParseResult R = parseRules(
+      "ArrayList : #contains > 32 && maxSize > 64 -> LinkedHashSet");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  const Rule &Rule0 = R.Rules[0];
+  EXPECT_EQ(Rule0.NewImpl, ImplKind::LinkedHashSet);
+  ASSERT_EQ(Rule0.Condition->kind(), Cond::Kind::And);
+  const auto &And = static_cast<const AndCond &>(*Rule0.Condition);
+  const auto &Lhs = static_cast<const CompareCond &>(*And.Lhs);
+  EXPECT_EQ(Lhs.Op, CompareCond::Operator::Gt);
+  EXPECT_EQ(Lhs.Lhs->kind(), Expr::Kind::OpCount);
+  EXPECT_EQ(static_cast<const OpCountExpr &>(*Lhs.Lhs).Op,
+            OpKind::Contains);
+}
+
+TEST(Parser, ArithmeticSumsOfOpCounters) {
+  ParseResult R = parseRules(
+      "LinkedList : #add(int,Object) + #remove(int) + #removeFirst < 1 "
+      "-> ArrayList");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  const auto &Cmp =
+      static_cast<const CompareCond &>(*R.Rules[0].Condition);
+  ASSERT_EQ(Cmp.Lhs->kind(), Expr::Kind::Binary);
+}
+
+TEST(Parser, CapacityOnReplacement) {
+  ParseResult R = parseRules("HashMap : maxSize > 0 -> ArrayMap(maxSize)");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  ASSERT_NE(R.Rules[0].Capacity, nullptr);
+  EXPECT_EQ(R.Rules[0].Capacity->kind(), Expr::Kind::Metric);
+}
+
+TEST(Parser, SetCapacityAction) {
+  ParseResult R = parseRules(
+      "Collection : maxSize > initialCapacity -> setCapacity(maxSize)");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  EXPECT_EQ(R.Rules[0].Action, ActionKind::SetCapacity);
+  ASSERT_NE(R.Rules[0].Capacity, nullptr);
+}
+
+TEST(Parser, WarnAction) {
+  ParseResult R = parseRules("Collection : #allOps == 0 -> warn");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  EXPECT_EQ(R.Rules[0].Action, ActionKind::Warn);
+}
+
+TEST(Parser, MessageAndCategory) {
+  ParseResult R = parseRules(
+      "HashSet : maxSize < 9 -> ArraySet \"Space: smaller structure\"");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  EXPECT_EQ(R.Rules[0].Message, "Space: smaller structure");
+  EXPECT_EQ(R.Rules[0].Category, "Space");
+}
+
+TEST(Parser, NamedAndUnstableAttributes) {
+  ParseResult R = parseRules(
+      "[my-rule, unstable] HashSet : maxSize < 9 -> ArraySet");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  EXPECT_EQ(R.Rules[0].Name, "my-rule");
+  EXPECT_TRUE(R.Rules[0].IgnoreStability);
+}
+
+TEST(Parser, GroupedConditionsAndNot) {
+  ParseResult R = parseRules(
+      "Collection : !(maxSize > 5 || maxSize < 1) && #size >= 0 -> warn");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  ASSERT_EQ(R.Rules[0].Condition->kind(), Cond::Kind::And);
+  const auto &And = static_cast<const AndCond &>(*R.Rules[0].Condition);
+  EXPECT_EQ(And.Lhs->kind(), Cond::Kind::Not);
+}
+
+TEST(Parser, ParenthesizedArithmeticIsNotAGroupedCond) {
+  ParseResult R = parseRules(
+      "Collection : (totLive - totUsed) / heapTotLive > 0.1 -> warn");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  const auto &Cmp =
+      static_cast<const CompareCond &>(*R.Rules[0].Condition);
+  EXPECT_EQ(Cmp.Lhs->kind(), Expr::Kind::Binary);
+}
+
+TEST(Parser, MultipleRulesWithOptionalSemicolons) {
+  ParseResult R = parseRules(R"(
+    HashSet : maxSize < 9 -> ArraySet;
+    HashMap : maxSize < 9 -> ArrayMap
+    LinkedList : #get(int) > 10 -> ArrayList
+  )");
+  ASSERT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  EXPECT_EQ(R.Rules.size(), 3u);
+  EXPECT_EQ(R.Rules[2].Name, "rule3");
+}
+
+TEST(Parser, UnknownSourceTypeIsDiagnosed) {
+  ParseResult R = parseRules("FooBar : maxSize < 9 -> ArraySet");
+  EXPECT_TRUE(R.Rules.empty());
+  ASSERT_EQ(R.Diags.size(), 1u);
+  EXPECT_NE(R.Diags[0].Message.find("unknown source type"),
+            std::string::npos);
+  EXPECT_EQ(R.Diags[0].Line, 1u);
+}
+
+TEST(Parser, UnknownImplIsDiagnosed) {
+  ParseResult R = parseRules("HashSet : maxSize < 9 -> TreeSet");
+  EXPECT_TRUE(R.Rules.empty());
+  ASSERT_FALSE(R.Diags.empty());
+  EXPECT_NE(R.Diags[0].Message.find("unknown implementation type"),
+            std::string::npos);
+}
+
+TEST(Parser, UnknownMetricIsDiagnosed) {
+  ParseResult R = parseRules("HashSet : bogusMetric < 9 -> ArraySet");
+  ASSERT_FALSE(R.Diags.empty());
+  EXPECT_NE(R.Diags[0].Message.find("unknown metric"), std::string::npos);
+}
+
+TEST(Parser, UnknownOpCounterIsDiagnosed) {
+  ParseResult R = parseRules("HashSet : #frobnicate > 1 -> ArraySet");
+  ASSERT_FALSE(R.Diags.empty());
+  EXPECT_NE(R.Diags[0].Message.find("unknown operation"),
+            std::string::npos);
+}
+
+TEST(Parser, MissingArrowIsDiagnosed) {
+  ParseResult R = parseRules("HashSet : maxSize < 9 ArraySet");
+  ASSERT_FALSE(R.Diags.empty());
+  EXPECT_NE(R.Diags[0].Message.find("expected '->'"), std::string::npos);
+}
+
+TEST(Parser, MissingComparisonIsDiagnosed) {
+  ParseResult R = parseRules("HashSet : maxSize -> ArraySet");
+  ASSERT_FALSE(R.Diags.empty());
+  EXPECT_NE(R.Diags[0].Message.find("comparison operator"),
+            std::string::npos);
+}
+
+TEST(Parser, RecoveryContinuesAtTheNextRule) {
+  ParseResult R = parseRules(R"(
+    HashSet : bogus < 9 -> ArraySet;
+    HashMap : maxSize < 9 -> ArrayMap
+  )");
+  EXPECT_EQ(R.Rules.size(), 1u);
+  EXPECT_EQ(R.Rules[0].SrcType, "HashMap");
+  EXPECT_FALSE(R.Diags.empty());
+}
+
+TEST(Parser, DiagnosticFormatIsLineColMessage) {
+  Diagnostic D{3, 7, "boom"};
+  EXPECT_EQ(D.format(), "3:7: boom");
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===--- PrinterTest.cpp - Pretty-printer round-trip tests ----------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Printer.h"
+
+#include "rules/Parser.h"
+#include "rules/RuleEngine.h"
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+using namespace chameleon::rules;
+
+namespace {
+
+std::string reprint(const std::string &Source) {
+  ParseResult R = parseRules(Source);
+  EXPECT_TRUE(R.succeeded()) << formatDiagnostics(R.Diags);
+  EXPECT_EQ(R.Rules.size(), 1u);
+  return R.Rules.empty() ? std::string() : printRule(R.Rules[0]);
+}
+
+TEST(Printer, CanonicalFormsAreStable) {
+  EXPECT_EQ(reprint("HashSet : maxSize < 9 -> ArraySet"),
+            "[rule1] HashSet : maxSize < 9 -> ArraySet");
+  EXPECT_EQ(reprint("[x] HashMap : maxSize > 0 -> ArrayMap(maxSize)"),
+            "[x] HashMap : maxSize > 0 -> ArrayMap(maxSize)");
+  EXPECT_EQ(
+      reprint("Collection : #allOps == 0 -> warn \"Space: unused\""),
+      "[rule1] Collection : #allOps == 0 -> warn \"Space: unused\"");
+  EXPECT_EQ(reprint("[a, unstable] List : maxSize <= 1 -> SingletonList"),
+            "[a, unstable] List : maxSize <= 1 -> SingletonList");
+}
+
+TEST(Printer, MinimalParenthesesForArithmetic) {
+  EXPECT_EQ(reprint("Collection : 1 + 2 * 3 > 0 -> warn"),
+            "[rule1] Collection : 1 + 2 * 3 > 0 -> warn");
+  EXPECT_EQ(reprint("Collection : (1 + 2) * 3 > 0 -> warn"),
+            "[rule1] Collection : (1 + 2) * 3 > 0 -> warn");
+  EXPECT_EQ(reprint("Collection : 1 - (2 - 3) > 0 -> warn"),
+            "[rule1] Collection : 1 - (2 - 3) > 0 -> warn");
+  EXPECT_EQ(reprint("Collection : 1 - 2 - 3 > 0 -> warn"),
+            "[rule1] Collection : 1 - 2 - 3 > 0 -> warn");
+}
+
+TEST(Printer, MinimalParenthesesForConditions) {
+  EXPECT_EQ(reprint("Collection : #add > 0 && #get(Object) > 0 "
+                    "|| maxSize == 0 -> warn"),
+            "[rule1] Collection : #add > 0 && #get(Object) > 0 "
+            "|| maxSize == 0 -> warn");
+  EXPECT_EQ(reprint("Collection : #add > 0 && (#get(Object) > 0 "
+                    "|| maxSize == 0) -> warn"),
+            "[rule1] Collection : #add > 0 && (#get(Object) > 0 "
+            "|| maxSize == 0) -> warn");
+  EXPECT_EQ(reprint("Collection : !(maxSize > 5) -> warn"),
+            "[rule1] Collection : !(maxSize > 5) -> warn");
+}
+
+TEST(Printer, OpCountersAndParamsKeepTheirSigils) {
+  std::string Out = reprint(
+      "LinkedList : #addAll(int,Collection) + #remove(int) < $limit "
+      "-> LazyArrayList");
+  EXPECT_NE(Out.find("#addAll(int,Collection)"), std::string::npos);
+  EXPECT_NE(Out.find("$limit"), std::string::npos);
+}
+
+TEST(Printer, PrintParseFixpoint) {
+  // print . parse is a fixpoint: the canonical form re-parses to itself.
+  const char *Sources[] = {
+      "HashSet : maxSize < 9 -> ArraySet",
+      "[x, unstable] HashMap : maxSize > 0 && @maxSize == 0 "
+      "-> ArrayMap(maxSize) \"Space: hi\"",
+      "Collection : (totLive - totUsed) / heapTotLive > 0.1 -> warn",
+      "LinkedList : #get(int) > 32 || !(maxSize <= 1) "
+      "-> setCapacity(maxSize + 4)",
+  };
+  for (const char *Source : Sources) {
+    std::string Once = reprint(Source);
+    std::string Twice = reprint(Once);
+    EXPECT_EQ(Once, Twice) << Source;
+  }
+}
+
+TEST(Printer, BuiltinRulesRoundTrip) {
+  ParseResult Original = parseRules(RuleEngine::builtinRulesText());
+  ASSERT_TRUE(Original.succeeded());
+  std::string Printed = printRules(Original.Rules);
+  ParseResult Reparsed = parseRules(Printed);
+  ASSERT_TRUE(Reparsed.succeeded())
+      << formatDiagnostics(Reparsed.Diags) << "\n"
+      << Printed;
+  ASSERT_EQ(Reparsed.Rules.size(), Original.Rules.size());
+  EXPECT_EQ(printRules(Reparsed.Rules), Printed);
+}
+
+/// Random expression generator for the fuzz round-trip below.
+ExprPtr randomExpr(SplitMix64 &Rng, int Depth) {
+  if (Depth == 0 || Rng.nextBool(0.4)) {
+    switch (Rng.nextBelow(4)) {
+    case 0:
+      return std::make_unique<NumberExpr>(
+          static_cast<double>(Rng.nextBelow(100)));
+    case 1:
+      return std::make_unique<MetricExpr>(MetricKind::MaxSize);
+    case 2:
+      return std::make_unique<OpCountExpr>(OpKind::GetAtIndex);
+    default:
+      return std::make_unique<ParamExpr>("p");
+    }
+  }
+  auto Op = static_cast<BinaryExpr::Operator>(Rng.nextBelow(4));
+  return std::make_unique<BinaryExpr>(Op, randomExpr(Rng, Depth - 1),
+                                      randomExpr(Rng, Depth - 1));
+}
+
+CondPtr randomCond(SplitMix64 &Rng, int Depth) {
+  if (Depth == 0 || Rng.nextBool(0.4)) {
+    auto Op = static_cast<CompareCond::Operator>(Rng.nextBelow(6));
+    return std::make_unique<CompareCond>(Op, randomExpr(Rng, 2),
+                                         randomExpr(Rng, 2));
+  }
+  switch (Rng.nextBelow(3)) {
+  case 0:
+    return std::make_unique<AndCond>(randomCond(Rng, Depth - 1),
+                                     randomCond(Rng, Depth - 1));
+  case 1:
+    return std::make_unique<OrCond>(randomCond(Rng, Depth - 1),
+                                    randomCond(Rng, Depth - 1));
+  default:
+    return std::make_unique<NotCond>(randomCond(Rng, Depth - 1));
+  }
+}
+
+TEST(Printer, FuzzedConditionsRoundTrip) {
+  SplitMix64 Rng(2026);
+  for (int I = 0; I < 200; ++I) {
+    CondPtr C = randomCond(Rng, 4);
+    std::string Source =
+        "Collection : " + printCond(*C) + " -> warn";
+    ParseResult R = parseRules(Source);
+    ASSERT_TRUE(R.succeeded())
+        << formatDiagnostics(R.Diags) << "\n" << Source;
+    ASSERT_EQ(R.Rules.size(), 1u);
+    EXPECT_EQ(printCond(*R.Rules[0].Condition), printCond(*C))
+        << Source;
+  }
+}
+
+} // namespace

@@ -1,0 +1,240 @@
+//===--- GcHeapTest.cpp - Managed heap and collector unit tests ----------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+using namespace chameleon::testing;
+
+namespace {
+
+struct GcHeapTest : ::testing::Test {
+  GcHeap Heap;
+  TypeId NodeType = registerNodeType(Heap);
+};
+
+TEST_F(GcHeapTest, AllocateTracksBytesAndObjects) {
+  EXPECT_EQ(Heap.bytesInUse(), 0u);
+  ObjectRef A = allocNode(Heap, NodeType, 0, 24);
+  ObjectRef B = allocNode(Heap, NodeType, 0, 40);
+  (void)A;
+  (void)B;
+  EXPECT_EQ(Heap.bytesInUse(), 64u);
+  EXPECT_EQ(Heap.objectsInUse(), 2u);
+  EXPECT_EQ(Heap.totalAllocatedBytes(), 64u);
+  EXPECT_EQ(Heap.totalAllocatedObjects(), 2u);
+}
+
+TEST_F(GcHeapTest, SelfRefIsStable) {
+  ObjectRef A = allocNode(Heap, NodeType, 0);
+  EXPECT_EQ(Heap.get(A).self(), A);
+}
+
+TEST_F(GcHeapTest, UnrootedObjectsAreSwept) {
+  allocNode(Heap, NodeType, 0, 16);
+  allocNode(Heap, NodeType, 0, 16);
+  const GcCycleRecord &Rec = Heap.collect(/*Forced=*/true);
+  EXPECT_EQ(Rec.FreedObjects, 2u);
+  EXPECT_EQ(Rec.FreedBytes, 32u);
+  EXPECT_EQ(Rec.LiveObjects, 0u);
+  EXPECT_EQ(Heap.bytesInUse(), 0u);
+}
+
+TEST_F(GcHeapTest, RootedObjectsSurvive) {
+  ObjectRef A = allocNode(Heap, NodeType, 0, 16);
+  Handle Root(Heap, A);
+  allocNode(Heap, NodeType, 0, 16); // garbage
+  const GcCycleRecord &Rec = Heap.collect(true);
+  EXPECT_EQ(Rec.LiveObjects, 1u);
+  EXPECT_EQ(Rec.FreedObjects, 1u);
+  EXPECT_EQ(Heap.get(A).shallowBytes(), 16u);
+}
+
+TEST_F(GcHeapTest, ReachabilityIsTransitive) {
+  ObjectRef A = allocNode(Heap, NodeType, 1);
+  ObjectRef B = allocNode(Heap, NodeType, 1);
+  ObjectRef C = allocNode(Heap, NodeType, 0);
+  Heap.getAs<Node>(A).setRef(0, B);
+  Heap.getAs<Node>(B).setRef(0, C);
+  Handle Root(Heap, A);
+  const GcCycleRecord &Rec = Heap.collect(true);
+  EXPECT_EQ(Rec.LiveObjects, 3u);
+  EXPECT_EQ(Rec.FreedObjects, 0u);
+}
+
+TEST_F(GcHeapTest, CyclesAreCollected) {
+  ObjectRef A = allocNode(Heap, NodeType, 1);
+  ObjectRef B = allocNode(Heap, NodeType, 1);
+  Heap.getAs<Node>(A).setRef(0, B);
+  Heap.getAs<Node>(B).setRef(0, A);
+  const GcCycleRecord &Rec = Heap.collect(true);
+  EXPECT_EQ(Rec.FreedObjects, 2u);
+}
+
+TEST_F(GcHeapTest, DeepChainDoesNotOverflowTheStack) {
+  // The marker must be iterative: a recursive tracer would overflow on a
+  // long linked chain.
+  ObjectRef Head = allocNode(Heap, NodeType, 1);
+  Handle Root(Heap, Head);
+  ObjectRef Prev = Head;
+  for (int I = 0; I < 200000; ++I) {
+    ObjectRef Next = allocNode(Heap, NodeType, 1);
+    Heap.getAs<Node>(Prev).setRef(0, Next);
+    Prev = Next;
+  }
+  const GcCycleRecord &Rec = Heap.collect(true);
+  EXPECT_EQ(Rec.LiveObjects, 200001u);
+}
+
+TEST_F(GcHeapTest, SlotReuseAfterSweep) {
+  ObjectRef A = allocNode(Heap, NodeType, 0);
+  uint32_t OldSlot = A.slot();
+  Heap.collect(true); // sweeps A
+  ObjectRef B = allocNode(Heap, NodeType, 0);
+  EXPECT_EQ(B.slot(), OldSlot);
+}
+
+TEST_F(GcHeapTest, TempRootsProtectAcrossCollections) {
+  ObjectRef A = allocNode(Heap, NodeType, 0);
+  {
+    TempRootScope Guard(Heap, A);
+    const GcCycleRecord &Rec = Heap.collect(true);
+    EXPECT_EQ(Rec.LiveObjects, 1u);
+  }
+  const GcCycleRecord &Rec = Heap.collect(true);
+  EXPECT_EQ(Rec.FreedObjects, 1u);
+}
+
+TEST_F(GcHeapTest, PressureCollectionTriggersAtTheLimit) {
+  Heap.setHeapLimit(1024);
+  Heap.setMinFreeFraction(0.0);
+  // Allocate garbage past the limit; pressure GCs keep reclaiming it.
+  for (int I = 0; I < 100; ++I)
+    allocNode(Heap, NodeType, 0, 64);
+  EXPECT_FALSE(Heap.outOfMemory());
+  EXPECT_GT(Heap.cycleCount(), 0u);
+}
+
+TEST_F(GcHeapTest, OutOfMemoryWhenLiveExceedsLimit) {
+  Heap.setHeapLimit(1024);
+  Heap.setMinFreeFraction(0.0);
+  std::vector<Handle> Roots;
+  for (int I = 0; I < 100 && !Heap.outOfMemory(); ++I)
+    Roots.emplace_back(Heap, allocNode(Heap, NodeType, 0, 64));
+  EXPECT_TRUE(Heap.outOfMemory());
+}
+
+TEST_F(GcHeapTest, MinFreeFractionFailsTightHeapsFast) {
+  // With a 50% headroom requirement, live data over half the limit is
+  // already out-of-memory at the first pressure collection.
+  Heap.setHeapLimit(1024);
+  Heap.setMinFreeFraction(0.5);
+  std::vector<Handle> Roots;
+  for (int I = 0; I < 12; ++I)
+    Roots.emplace_back(Heap, allocNode(Heap, NodeType, 0, 64));
+  // 768 live bytes; the next allocation exceeds 1024 and collects, but
+  // headroom after GC is < 512.
+  for (int I = 0; I < 8; ++I)
+    allocNode(Heap, NodeType, 0, 64);
+  EXPECT_TRUE(Heap.outOfMemory());
+}
+
+TEST_F(GcHeapTest, ClearOutOfMemoryResets) {
+  Heap.setHeapLimit(64);
+  Heap.setMinFreeFraction(0.0);
+  Handle Root(Heap, allocNode(Heap, NodeType, 0, 48));
+  allocNode(Heap, NodeType, 0, 48);
+  EXPECT_TRUE(Heap.outOfMemory());
+  Heap.clearOutOfMemory();
+  EXPECT_FALSE(Heap.outOfMemory());
+}
+
+TEST_F(GcHeapTest, ForcedCyclesAreMarkedForced) {
+  Heap.collect(true);
+  Heap.collect(false);
+  ASSERT_EQ(Heap.cycles().size(), 2u);
+  EXPECT_TRUE(Heap.cycles()[0].Forced);
+  EXPECT_FALSE(Heap.cycles()[1].Forced);
+  EXPECT_EQ(Heap.cycles()[0].Cycle, 1u);
+  EXPECT_EQ(Heap.cycles()[1].Cycle, 2u);
+}
+
+TEST_F(GcHeapTest, SamplingGcFiresByAllocationVolume) {
+  Heap.setGcSampleEveryBytes(1024);
+  for (int I = 0; I < 100; ++I)
+    allocNode(Heap, NodeType, 0, 64); // 6400 bytes total
+  EXPECT_GE(Heap.cycleCount(), 5u);
+  EXPECT_LE(Heap.cycleCount(), 7u);
+  for (const GcCycleRecord &Rec : Heap.cycles())
+    EXPECT_TRUE(Rec.Forced);
+}
+
+TEST_F(GcHeapTest, ForEachObjectVisitsAllAllocated) {
+  allocNode(Heap, NodeType, 0);
+  allocNode(Heap, NodeType, 0);
+  unsigned Count = 0;
+  Heap.forEachObject([&](HeapObject &) { ++Count; });
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST_F(GcHeapTest, TypeDistributionRecordedWhenEnabled) {
+  Heap.setRecordTypeDistribution(true);
+  TypeId Other = registerNodeType(Heap, "Other");
+  Handle R1(Heap, allocNode(Heap, NodeType, 0, 16));
+  Handle R2(Heap, allocNode(Heap, Other, 0, 32));
+  const GcCycleRecord &Rec = Heap.collect(true);
+  ASSERT_EQ(Rec.TypeDistribution.size(), 2u);
+  uint64_t NodeBytes = 0, OtherBytes = 0;
+  for (auto &[Type, Bytes] : Rec.TypeDistribution) {
+    if (Type == NodeType)
+      NodeBytes = Bytes;
+    if (Type == Other)
+      OtherBytes = Bytes;
+  }
+  EXPECT_EQ(NodeBytes, 16u);
+  EXPECT_EQ(OtherBytes, 32u);
+}
+
+TEST_F(GcHeapTest, VerifyHeapAcceptsAConsistentHeap) {
+  ObjectRef A = allocNode(Heap, NodeType, 2);
+  ObjectRef B = allocNode(Heap, NodeType, 0);
+  Heap.getAs<Node>(A).setRef(0, B);
+  Handle Root(Heap, A);
+  Heap.collect(true);
+  std::string Error;
+  EXPECT_TRUE(Heap.verifyHeap(&Error)) << Error;
+}
+
+TEST_F(GcHeapTest, VerifyHeapCatchesDanglingReferences) {
+  ObjectRef A = allocNode(Heap, NodeType, 1);
+  Handle Root(Heap, A);
+  ObjectRef Garbage = allocNode(Heap, NodeType, 0);
+  Heap.collect(true); // frees Garbage's slot
+  // Wire a stale reference to the freed slot (programmer error).
+  Heap.getAs<Node>(A).setRef(0, Garbage);
+  std::string Error;
+  EXPECT_FALSE(Heap.verifyHeap(&Error));
+  EXPECT_NE(Error.find("dangling reference"), std::string::npos);
+}
+
+TEST_F(GcHeapTest, CycleRecordFractionsComputed) {
+  GcCycleRecord Rec;
+  Rec.LiveBytes = 1000;
+  Rec.CollectionLiveBytes = 700;
+  Rec.CollectionUsedBytes = 400;
+  Rec.CollectionCoreBytes = 100;
+  EXPECT_DOUBLE_EQ(Rec.collectionLiveFraction(), 0.7);
+  EXPECT_DOUBLE_EQ(Rec.collectionUsedFraction(), 0.4);
+  EXPECT_DOUBLE_EQ(Rec.collectionCoreFraction(), 0.1);
+  GcCycleRecord Empty;
+  EXPECT_DOUBLE_EQ(Empty.collectionLiveFraction(), 0.0);
+}
+
+} // namespace

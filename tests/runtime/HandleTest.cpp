@@ -1,0 +1,105 @@
+//===--- HandleTest.cpp - Root handle unit tests --------------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace chameleon;
+using namespace chameleon::testing;
+
+namespace {
+
+struct HandleTest : ::testing::Test {
+  GcHeap Heap;
+  TypeId NodeType = registerNodeType(Heap);
+
+  unsigned liveAfterGc() {
+    return static_cast<unsigned>(Heap.collect(true).LiveObjects);
+  }
+};
+
+TEST_F(HandleTest, DefaultHandleIsNull) {
+  Handle H;
+  EXPECT_TRUE(H.isNull());
+  EXPECT_EQ(H.heap(), nullptr);
+}
+
+TEST_F(HandleTest, HandleKeepsObjectAlive) {
+  Handle H(Heap, allocNode(Heap, NodeType, 0));
+  EXPECT_EQ(liveAfterGc(), 1u);
+  H.reset();
+  EXPECT_EQ(liveAfterGc(), 0u);
+}
+
+TEST_F(HandleTest, CopyIsAnIndependentRoot) {
+  Handle A(Heap, allocNode(Heap, NodeType, 0));
+  Handle B = A;
+  A.reset();
+  EXPECT_EQ(liveAfterGc(), 1u);
+  B.reset();
+  EXPECT_EQ(liveAfterGc(), 0u);
+}
+
+TEST_F(HandleTest, MoveTransfersTheRoot) {
+  Handle A(Heap, allocNode(Heap, NodeType, 0));
+  Handle B = std::move(A);
+  EXPECT_TRUE(A.isNull());
+  EXPECT_FALSE(B.isNull());
+  EXPECT_EQ(liveAfterGc(), 1u);
+}
+
+TEST_F(HandleTest, MoveAssignmentDropsOldTarget) {
+  Handle A(Heap, allocNode(Heap, NodeType, 0));
+  Handle B(Heap, allocNode(Heap, NodeType, 0));
+  B = std::move(A);
+  // B's old object is now unrooted; A's object stays alive through B.
+  EXPECT_EQ(liveAfterGc(), 1u);
+}
+
+TEST_F(HandleTest, SelfAssignmentIsSafe) {
+  Handle A(Heap, allocNode(Heap, NodeType, 0));
+  Handle &Alias = A;
+  A = Alias;
+  EXPECT_FALSE(A.isNull());
+  EXPECT_EQ(liveAfterGc(), 1u);
+}
+
+TEST_F(HandleTest, VectorReallocationPreservesRoots) {
+  // Vector growth moves handles; the intrusive root list must follow.
+  std::vector<Handle> Handles;
+  for (int I = 0; I < 100; ++I)
+    Handles.emplace_back(Heap, allocNode(Heap, NodeType, 0));
+  EXPECT_EQ(liveAfterGc(), 100u);
+  Handles.clear();
+  EXPECT_EQ(liveAfterGc(), 0u);
+}
+
+TEST_F(HandleTest, SetRetargets) {
+  Handle H(Heap, allocNode(Heap, NodeType, 0));
+  ObjectRef Second = allocNode(Heap, NodeType, 0);
+  H.set(Heap, Second);
+  EXPECT_EQ(H.ref(), Second);
+  EXPECT_EQ(liveAfterGc(), 1u);
+}
+
+TEST_F(HandleTest, ManyHandlesToSameObject) {
+  ObjectRef A = allocNode(Heap, NodeType, 0);
+  std::vector<Handle> Handles;
+  for (int I = 0; I < 10; ++I)
+    Handles.emplace_back(Heap, A);
+  EXPECT_EQ(liveAfterGc(), 1u);
+  Handles.resize(1);
+  EXPECT_EQ(liveAfterGc(), 1u);
+  Handles.clear();
+  EXPECT_EQ(liveAfterGc(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+//===--- MemoryModelTest.cpp - Layout arithmetic unit tests ---------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/MemoryModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+TEST(MemoryModel, AlignRoundsUpToGranule) {
+  MemoryModel M = MemoryModel::jvm32();
+  EXPECT_EQ(M.align(0), 0u);
+  EXPECT_EQ(M.align(1), 8u);
+  EXPECT_EQ(M.align(8), 8u);
+  EXPECT_EQ(M.align(9), 16u);
+  EXPECT_EQ(M.align(24), 24u);
+}
+
+TEST(MemoryModel, HashMapEntryIsExactly24Bytes) {
+  // §2.3: "The entry object alone on a 32-bit architecture consumes 24
+  // bytes (object header and three pointers)."
+  MemoryModel M = MemoryModel::jvm32();
+  EXPECT_EQ(M.objectBytes(3), 24u);
+}
+
+TEST(MemoryModel, ObjectBytesIncludesScalars) {
+  MemoryModel M = MemoryModel::jvm32();
+  // Header 8 + 1 pointer (4) = 12 -> 16.
+  EXPECT_EQ(M.objectBytes(1), 16u);
+  // Header 8 + 1 pointer + 8 scalar bytes = 20 -> 24.
+  EXPECT_EQ(M.objectBytes(1, 8), 24u);
+  // Header only.
+  EXPECT_EQ(M.objectBytes(0), 8u);
+}
+
+TEST(MemoryModel, ArrayBytes) {
+  MemoryModel M = MemoryModel::jvm32();
+  // Header 12 -> aligned 16 for the empty array.
+  EXPECT_EQ(M.arrayBytes(0), 16u);
+  // 12 + 10*4 = 52 -> 56 (the default ArrayList backing array).
+  EXPECT_EQ(M.arrayBytes(10), 56u);
+  // 12 + 16*4 = 76 -> 80 (the default HashMap table).
+  EXPECT_EQ(M.arrayBytes(16), 80u);
+}
+
+TEST(MemoryModel, LinkedHashEntryIs32Bytes) {
+  MemoryModel M = MemoryModel::jvm32();
+  // Header 8 + 5 pointers = 28 -> 32.
+  EXPECT_EQ(M.objectBytes(5), 32u);
+}
+
+TEST(MemoryModel, Jvm64UsesWideReferences) {
+  MemoryModel M = MemoryModel::jvm64();
+  // Header 16 + 3 pointers * 8 = 40.
+  EXPECT_EQ(M.objectBytes(3), 40u);
+  EXPECT_EQ(M.arrayBytes(2), 40u); // 24 + 16
+}
+
+TEST(MemoryModel, ArrayListGrowthPolicyFromPaper) {
+  // §2.2: growing a 100-capacity ArrayList yields capacity 151.
+  auto Grow = [](uint32_t C) { return (C * 3) / 2 + 1; };
+  EXPECT_EQ(Grow(100), 151u);
+  EXPECT_EQ(Grow(10), 16u);
+  EXPECT_EQ(Grow(0), 1u);
+}
+
+} // namespace

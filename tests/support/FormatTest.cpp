@@ -1,0 +1,55 @@
+//===--- FormatTest.cpp - Formatting helper unit tests --------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+TEST(FormatBytes, SmallValuesInBytes) {
+  EXPECT_EQ(formatBytes(0), "0 B");
+  EXPECT_EQ(formatBytes(1023), "1023 B");
+}
+
+TEST(FormatBytes, BinaryUnits) {
+  EXPECT_EQ(formatBytes(1024), "1.00 KiB");
+  EXPECT_EQ(formatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(formatBytes(1024ull * 1024), "1.00 MiB");
+  EXPECT_EQ(formatBytes(3ull * 1024 * 1024 * 1024), "3.00 GiB");
+}
+
+TEST(FormatPercent, OneDecimal) {
+  EXPECT_EQ(formatPercent(0.0), "0.0%");
+  EXPECT_EQ(formatPercent(0.425), "42.5%");
+  EXPECT_EQ(formatPercent(1.0), "100.0%");
+}
+
+TEST(FormatDouble, RespectsDecimals) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(3.14159, 0), "3");
+  EXPECT_EQ(formatDouble(2.5, 1), "2.5");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable Table({"name", "value"});
+  Table.addRow({"a", "1"});
+  Table.addRow({"long-name", "22"});
+  std::string Out = Table.render();
+  EXPECT_EQ(Out, "name       value\n"
+                 "----------------\n"
+                 "a          1\n"
+                 "long-name  22\n");
+}
+
+TEST(TextTable, EmptyTableRendersHeaderOnly) {
+  TextTable Table({"x"});
+  EXPECT_EQ(Table.render(), "x\n-\n");
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===--- SplitMix64Test.cpp - Deterministic RNG unit tests ----------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values for seed 1234567 (Vigna's splitmix64 test vector).
+  SplitMix64 Rng(1234567);
+  EXPECT_EQ(Rng.next(), 6457827717110365317ULL);
+  EXPECT_EQ(Rng.next(), 3203168211198807973ULL);
+  EXPECT_EQ(Rng.next(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, SameSeedSameSequence) {
+  SplitMix64 A(99), B(99);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(SplitMix64, NextBelowStaysInRange) {
+  SplitMix64 Rng(5);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+}
+
+TEST(SplitMix64, NextInRangeIsInclusive) {
+  SplitMix64 Rng(5);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t X = Rng.nextInRange(3, 5);
+    EXPECT_GE(X, 3u);
+    EXPECT_LE(X, 5u);
+    SawLo |= X == 3;
+    SawHi |= X == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval) {
+  SplitMix64 Rng(11);
+  for (int I = 0; I < 1000; ++I) {
+    double X = Rng.nextDouble();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBoolRoughlyMatchesProbability) {
+  SplitMix64 Rng(13);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += Rng.nextBool(0.25) ? 1 : 0;
+  EXPECT_GT(Hits, 2200);
+  EXPECT_LT(Hits, 2800);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+//===--- StatisticsTest.cpp - RunningStat / TotalMax unit tests ----------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace chameleon;
+
+namespace {
+
+TEST(RunningStat, EmptyIsAllZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 0.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat S;
+  S.add(7.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 7.0);
+  EXPECT_DOUBLE_EQ(S.max(), 7.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 7.0);
+}
+
+TEST(RunningStat, IdenticalSamplesHaveExactlyZeroVariance) {
+  // The stability gate compares @maxSize == 0; Welford must produce an
+  // exact zero for constant inputs.
+  RunningStat S;
+  for (int I = 0; I < 100; ++I)
+    S.add(3.0);
+  EXPECT_EQ(S.variance(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  SplitMix64 Rng(42);
+  std::vector<double> Samples;
+  RunningStat S;
+  for (int I = 0; I < 1000; ++I) {
+    double X = static_cast<double>(Rng.nextBelow(1000)) / 7.0;
+    Samples.push_back(X);
+    S.add(X);
+  }
+  double Mean = 0;
+  for (double X : Samples)
+    Mean += X;
+  Mean /= static_cast<double>(Samples.size());
+  double Var = 0;
+  for (double X : Samples)
+    Var += (X - Mean) * (X - Mean);
+  Var /= static_cast<double>(Samples.size());
+
+  EXPECT_NEAR(S.mean(), Mean, 1e-9);
+  EXPECT_NEAR(S.variance(), Var, 1e-6);
+}
+
+TEST(RunningStat, TracksMinAndMax) {
+  RunningStat S;
+  S.add(5.0);
+  S.add(-3.0);
+  S.add(10.0);
+  EXPECT_DOUBLE_EQ(S.min(), -3.0);
+  EXPECT_DOUBLE_EQ(S.max(), 10.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  SplitMix64 Rng(7);
+  RunningStat A, B, Whole;
+  for (int I = 0; I < 500; ++I) {
+    double X = static_cast<double>(Rng.nextBelow(100));
+    (I < 200 ? A : B).add(X);
+    Whole.add(X);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Whole.count());
+  EXPECT_NEAR(A.mean(), Whole.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), Whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(A.min(), Whole.min());
+  EXPECT_DOUBLE_EQ(A.max(), Whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat A, Empty;
+  A.add(1.0);
+  A.add(2.0);
+  RunningStat Copy = A;
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_DOUBLE_EQ(A.mean(), Copy.mean());
+
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 1.5);
+}
+
+TEST(TotalMax, ObservesTotalAndMax) {
+  TotalMax T;
+  T.observe(10);
+  T.observe(30);
+  T.observe(20);
+  EXPECT_EQ(T.total(), 60u);
+  EXPECT_EQ(T.max(), 30u);
+  EXPECT_EQ(T.cycles(), 3u);
+}
+
+TEST(TotalMax, EmptyIsZero) {
+  TotalMax T;
+  EXPECT_EQ(T.total(), 0u);
+  EXPECT_EQ(T.max(), 0u);
+  EXPECT_EQ(T.cycles(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+//===--- chameleon-rulefmt.cpp - Rule-file validator/formatter -*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line validator and canonical formatter for rule files written
+/// in the paper's Fig. 4 selection language.
+///
+///   chameleon-rulefmt file.rules          # format to stdout
+///   chameleon-rulefmt --check file.rules  # diagnostics only
+///   chameleon-rulefmt --builtin           # print the built-in rule set
+///
+/// Exits nonzero when any file has diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rules/Parser.h"
+#include "rules/Printer.h"
+#include "rules/RuleEngine.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace chameleon::rules;
+
+static int runOnSource(const std::string &Name, const std::string &Source,
+                       bool CheckOnly) {
+  ParseResult Result = parseRules(Source);
+  for (const Diagnostic &D : Result.Diags)
+    std::fprintf(stderr, "%s:%s\n", Name.c_str(), D.format().c_str());
+  if (!Result.succeeded())
+    return 1;
+  if (!CheckOnly)
+    std::fputs(printRules(Result.Rules).c_str(), stdout);
+  return 0;
+}
+
+int main(int argc, char **argv) {
+  bool CheckOnly = false;
+  std::vector<std::string> Files;
+  bool Builtin = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--check") {
+      CheckOnly = true;
+    } else if (Arg == "--builtin") {
+      Builtin = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf("usage: %s [--check] [--builtin] [file...]\n", argv[0]);
+      return 0;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  int Status = 0;
+  if (Builtin)
+    Status |= runOnSource("<builtin>", RuleEngine::builtinRulesText(),
+                          CheckOnly);
+  for (const std::string &File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "%s: cannot open file\n", File.c_str());
+      Status = 1;
+      continue;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Status |= runOnSource(File, Buf.str(), CheckOnly);
+  }
+  if (!Builtin && Files.empty()) {
+    std::fprintf(stderr, "%s: no input (try --builtin or a file)\n",
+                 argv[0]);
+    return 1;
+  }
+  return Status;
+}
