@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_context_depth.dir/bench/ablation_context_depth.cpp.o"
+  "CMakeFiles/ablation_context_depth.dir/bench/ablation_context_depth.cpp.o.d"
+  "bench/ablation_context_depth"
+  "bench/ablation_context_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_context_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gc_threads.dir/bench/ablation_gc_threads.cpp.o"
+  "CMakeFiles/ablation_gc_threads.dir/bench/ablation_gc_threads.cpp.o.d"
+  "bench/ablation_gc_threads"
+  "bench/ablation_gc_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gc_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

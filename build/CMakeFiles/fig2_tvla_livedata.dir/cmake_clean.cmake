@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tvla_livedata.dir/bench/fig2_tvla_livedata.cpp.o"
+  "CMakeFiles/fig2_tvla_livedata.dir/bench/fig2_tvla_livedata.cpp.o.d"
+  "bench/fig2_tvla_livedata"
+  "bench/fig2_tvla_livedata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tvla_livedata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_tvla_livedata.
+# This may be replaced when dependencies are built.

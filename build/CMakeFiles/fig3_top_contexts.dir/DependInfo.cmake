@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_top_contexts.cpp" "CMakeFiles/fig3_top_contexts.dir/bench/fig3_top_contexts.cpp.o" "gcc" "CMakeFiles/fig3_top_contexts.dir/bench/fig3_top_contexts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/chameleon_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chameleon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/chameleon_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/collections/CMakeFiles/chameleon_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/chameleon_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chameleon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

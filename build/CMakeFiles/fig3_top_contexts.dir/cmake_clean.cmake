@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_top_contexts.dir/bench/fig3_top_contexts.cpp.o"
+  "CMakeFiles/fig3_top_contexts.dir/bench/fig3_top_contexts.cpp.o.d"
+  "bench/fig3_top_contexts"
+  "bench/fig3_top_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_top_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

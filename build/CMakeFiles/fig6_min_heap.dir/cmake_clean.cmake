@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_min_heap.dir/bench/fig6_min_heap.cpp.o"
+  "CMakeFiles/fig6_min_heap.dir/bench/fig6_min_heap.cpp.o.d"
+  "bench/fig6_min_heap"
+  "bench/fig6_min_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_min_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

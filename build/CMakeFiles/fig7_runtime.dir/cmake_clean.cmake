@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_runtime.dir/bench/fig7_runtime.cpp.o"
+  "CMakeFiles/fig7_runtime.dir/bench/fig7_runtime.cpp.o.d"
+  "bench/fig7_runtime"
+  "bench/fig7_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

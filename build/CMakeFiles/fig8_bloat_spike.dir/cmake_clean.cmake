@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bloat_spike.dir/bench/fig8_bloat_spike.cpp.o"
+  "CMakeFiles/fig8_bloat_spike.dir/bench/fig8_bloat_spike.cpp.o.d"
+  "bench/fig8_bloat_spike"
+  "bench/fig8_bloat_spike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bloat_spike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_collection_ops.dir/bench/micro_collection_ops.cpp.o"
+  "CMakeFiles/micro_collection_ops.dir/bench/micro_collection_ops.cpp.o.d"
+  "bench/micro_collection_ops"
+  "bench/micro_collection_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_collection_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

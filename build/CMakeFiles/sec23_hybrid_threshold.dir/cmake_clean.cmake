@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec23_hybrid_threshold.dir/bench/sec23_hybrid_threshold.cpp.o"
+  "CMakeFiles/sec23_hybrid_threshold.dir/bench/sec23_hybrid_threshold.cpp.o.d"
+  "bench/sec23_hybrid_threshold"
+  "bench/sec23_hybrid_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec23_hybrid_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

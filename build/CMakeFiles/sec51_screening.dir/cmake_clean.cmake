@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_screening.dir/bench/sec51_screening.cpp.o"
+  "CMakeFiles/sec51_screening.dir/bench/sec51_screening.cpp.o.d"
+  "bench/sec51_screening"
+  "bench/sec51_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

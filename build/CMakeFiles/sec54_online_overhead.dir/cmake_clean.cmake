@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_online_overhead.dir/bench/sec54_online_overhead.cpp.o"
+  "CMakeFiles/sec54_online_overhead.dir/bench/sec54_online_overhead.cpp.o.d"
+  "bench/sec54_online_overhead"
+  "bench/sec54_online_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_online_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

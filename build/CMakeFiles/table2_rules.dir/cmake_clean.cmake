@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rules.dir/bench/table2_rules.cpp.o"
+  "CMakeFiles/table2_rules.dir/bench/table2_rules.cpp.o.d"
+  "bench/table2_rules"
+  "bench/table2_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

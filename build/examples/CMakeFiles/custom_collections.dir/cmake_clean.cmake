@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_collections.dir/custom_collections.cpp.o"
+  "CMakeFiles/custom_collections.dir/custom_collections.cpp.o.d"
+  "custom_collections"
+  "custom_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

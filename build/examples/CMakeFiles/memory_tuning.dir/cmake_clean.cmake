@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_tuning.dir/memory_tuning.cpp.o"
+  "CMakeFiles/memory_tuning.dir/memory_tuning.cpp.o.d"
+  "memory_tuning"
+  "memory_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

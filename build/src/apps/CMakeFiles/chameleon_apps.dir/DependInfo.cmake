@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/Apps.cpp" "src/apps/CMakeFiles/chameleon_apps.dir/Apps.cpp.o" "gcc" "src/apps/CMakeFiles/chameleon_apps.dir/Apps.cpp.o.d"
+  "/root/repo/src/apps/BloatSim.cpp" "src/apps/CMakeFiles/chameleon_apps.dir/BloatSim.cpp.o" "gcc" "src/apps/CMakeFiles/chameleon_apps.dir/BloatSim.cpp.o.d"
+  "/root/repo/src/apps/FindbugsSim.cpp" "src/apps/CMakeFiles/chameleon_apps.dir/FindbugsSim.cpp.o" "gcc" "src/apps/CMakeFiles/chameleon_apps.dir/FindbugsSim.cpp.o.d"
+  "/root/repo/src/apps/FopSim.cpp" "src/apps/CMakeFiles/chameleon_apps.dir/FopSim.cpp.o" "gcc" "src/apps/CMakeFiles/chameleon_apps.dir/FopSim.cpp.o.d"
+  "/root/repo/src/apps/NeutralSim.cpp" "src/apps/CMakeFiles/chameleon_apps.dir/NeutralSim.cpp.o" "gcc" "src/apps/CMakeFiles/chameleon_apps.dir/NeutralSim.cpp.o.d"
+  "/root/repo/src/apps/PmdSim.cpp" "src/apps/CMakeFiles/chameleon_apps.dir/PmdSim.cpp.o" "gcc" "src/apps/CMakeFiles/chameleon_apps.dir/PmdSim.cpp.o.d"
+  "/root/repo/src/apps/SootSim.cpp" "src/apps/CMakeFiles/chameleon_apps.dir/SootSim.cpp.o" "gcc" "src/apps/CMakeFiles/chameleon_apps.dir/SootSim.cpp.o.d"
+  "/root/repo/src/apps/TvlaSim.cpp" "src/apps/CMakeFiles/chameleon_apps.dir/TvlaSim.cpp.o" "gcc" "src/apps/CMakeFiles/chameleon_apps.dir/TvlaSim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chameleon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/chameleon_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/collections/CMakeFiles/chameleon_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/chameleon_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chameleon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

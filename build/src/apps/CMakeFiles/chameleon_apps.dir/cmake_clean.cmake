@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_apps.dir/Apps.cpp.o"
+  "CMakeFiles/chameleon_apps.dir/Apps.cpp.o.d"
+  "CMakeFiles/chameleon_apps.dir/BloatSim.cpp.o"
+  "CMakeFiles/chameleon_apps.dir/BloatSim.cpp.o.d"
+  "CMakeFiles/chameleon_apps.dir/FindbugsSim.cpp.o"
+  "CMakeFiles/chameleon_apps.dir/FindbugsSim.cpp.o.d"
+  "CMakeFiles/chameleon_apps.dir/FopSim.cpp.o"
+  "CMakeFiles/chameleon_apps.dir/FopSim.cpp.o.d"
+  "CMakeFiles/chameleon_apps.dir/NeutralSim.cpp.o"
+  "CMakeFiles/chameleon_apps.dir/NeutralSim.cpp.o.d"
+  "CMakeFiles/chameleon_apps.dir/PmdSim.cpp.o"
+  "CMakeFiles/chameleon_apps.dir/PmdSim.cpp.o.d"
+  "CMakeFiles/chameleon_apps.dir/SootSim.cpp.o"
+  "CMakeFiles/chameleon_apps.dir/SootSim.cpp.o.d"
+  "CMakeFiles/chameleon_apps.dir/TvlaSim.cpp.o"
+  "CMakeFiles/chameleon_apps.dir/TvlaSim.cpp.o.d"
+  "libchameleon_apps.a"
+  "libchameleon_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

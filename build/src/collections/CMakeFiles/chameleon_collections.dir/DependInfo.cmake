@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collections/ArrayListImpl.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/ArrayListImpl.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/ArrayListImpl.cpp.o.d"
+  "/root/repo/src/collections/ArrayMapImpl.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/ArrayMapImpl.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/ArrayMapImpl.cpp.o.d"
+  "/root/repo/src/collections/CollectionRuntime.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/CollectionRuntime.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/CollectionRuntime.cpp.o.d"
+  "/root/repo/src/collections/Handles.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/Handles.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/Handles.cpp.o.d"
+  "/root/repo/src/collections/HashMapImpl.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/HashMapImpl.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/HashMapImpl.cpp.o.d"
+  "/root/repo/src/collections/ImplBase.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/ImplBase.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/ImplBase.cpp.o.d"
+  "/root/repo/src/collections/Kinds.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/Kinds.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/Kinds.cpp.o.d"
+  "/root/repo/src/collections/LinkedHashSetImpl.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/LinkedHashSetImpl.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/LinkedHashSetImpl.cpp.o.d"
+  "/root/repo/src/collections/LinkedListImpl.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/LinkedListImpl.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/LinkedListImpl.cpp.o.d"
+  "/root/repo/src/collections/OtherMapImpls.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/OtherMapImpls.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/OtherMapImpls.cpp.o.d"
+  "/root/repo/src/collections/SetImpls.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/SetImpls.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/SetImpls.cpp.o.d"
+  "/root/repo/src/collections/SmallListImpls.cpp" "src/collections/CMakeFiles/chameleon_collections.dir/SmallListImpls.cpp.o" "gcc" "src/collections/CMakeFiles/chameleon_collections.dir/SmallListImpls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiler/CMakeFiles/chameleon_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chameleon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_collections.dir/ArrayListImpl.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/ArrayListImpl.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/ArrayMapImpl.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/ArrayMapImpl.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/CollectionRuntime.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/CollectionRuntime.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/Handles.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/Handles.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/HashMapImpl.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/HashMapImpl.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/ImplBase.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/ImplBase.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/Kinds.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/Kinds.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/LinkedHashSetImpl.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/LinkedHashSetImpl.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/LinkedListImpl.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/LinkedListImpl.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/OtherMapImpls.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/OtherMapImpls.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/SetImpls.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/SetImpls.cpp.o.d"
+  "CMakeFiles/chameleon_collections.dir/SmallListImpls.cpp.o"
+  "CMakeFiles/chameleon_collections.dir/SmallListImpls.cpp.o.d"
+  "libchameleon_collections.a"
+  "libchameleon_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_core.dir/Chameleon.cpp.o"
+  "CMakeFiles/chameleon_core.dir/Chameleon.cpp.o.d"
+  "CMakeFiles/chameleon_core.dir/OnlineAdaptor.cpp.o"
+  "CMakeFiles/chameleon_core.dir/OnlineAdaptor.cpp.o.d"
+  "libchameleon_core.a"
+  "libchameleon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

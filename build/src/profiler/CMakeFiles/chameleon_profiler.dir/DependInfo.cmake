@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/ContextInfo.cpp" "src/profiler/CMakeFiles/chameleon_profiler.dir/ContextInfo.cpp.o" "gcc" "src/profiler/CMakeFiles/chameleon_profiler.dir/ContextInfo.cpp.o.d"
+  "/root/repo/src/profiler/OpKind.cpp" "src/profiler/CMakeFiles/chameleon_profiler.dir/OpKind.cpp.o" "gcc" "src/profiler/CMakeFiles/chameleon_profiler.dir/OpKind.cpp.o.d"
+  "/root/repo/src/profiler/Report.cpp" "src/profiler/CMakeFiles/chameleon_profiler.dir/Report.cpp.o" "gcc" "src/profiler/CMakeFiles/chameleon_profiler.dir/Report.cpp.o.d"
+  "/root/repo/src/profiler/SemanticProfiler.cpp" "src/profiler/CMakeFiles/chameleon_profiler.dir/SemanticProfiler.cpp.o" "gcc" "src/profiler/CMakeFiles/chameleon_profiler.dir/SemanticProfiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/chameleon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

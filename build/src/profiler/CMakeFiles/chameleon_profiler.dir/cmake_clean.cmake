@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_profiler.dir/ContextInfo.cpp.o"
+  "CMakeFiles/chameleon_profiler.dir/ContextInfo.cpp.o.d"
+  "CMakeFiles/chameleon_profiler.dir/OpKind.cpp.o"
+  "CMakeFiles/chameleon_profiler.dir/OpKind.cpp.o.d"
+  "CMakeFiles/chameleon_profiler.dir/Report.cpp.o"
+  "CMakeFiles/chameleon_profiler.dir/Report.cpp.o.d"
+  "CMakeFiles/chameleon_profiler.dir/SemanticProfiler.cpp.o"
+  "CMakeFiles/chameleon_profiler.dir/SemanticProfiler.cpp.o.d"
+  "libchameleon_profiler.a"
+  "libchameleon_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

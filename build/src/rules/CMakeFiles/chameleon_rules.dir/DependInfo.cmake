@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/Ast.cpp" "src/rules/CMakeFiles/chameleon_rules.dir/Ast.cpp.o" "gcc" "src/rules/CMakeFiles/chameleon_rules.dir/Ast.cpp.o.d"
+  "/root/repo/src/rules/Evaluator.cpp" "src/rules/CMakeFiles/chameleon_rules.dir/Evaluator.cpp.o" "gcc" "src/rules/CMakeFiles/chameleon_rules.dir/Evaluator.cpp.o.d"
+  "/root/repo/src/rules/Lexer.cpp" "src/rules/CMakeFiles/chameleon_rules.dir/Lexer.cpp.o" "gcc" "src/rules/CMakeFiles/chameleon_rules.dir/Lexer.cpp.o.d"
+  "/root/repo/src/rules/Parser.cpp" "src/rules/CMakeFiles/chameleon_rules.dir/Parser.cpp.o" "gcc" "src/rules/CMakeFiles/chameleon_rules.dir/Parser.cpp.o.d"
+  "/root/repo/src/rules/Printer.cpp" "src/rules/CMakeFiles/chameleon_rules.dir/Printer.cpp.o" "gcc" "src/rules/CMakeFiles/chameleon_rules.dir/Printer.cpp.o.d"
+  "/root/repo/src/rules/RuleEngine.cpp" "src/rules/CMakeFiles/chameleon_rules.dir/RuleEngine.cpp.o" "gcc" "src/rules/CMakeFiles/chameleon_rules.dir/RuleEngine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collections/CMakeFiles/chameleon_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/chameleon_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chameleon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_rules.dir/Ast.cpp.o"
+  "CMakeFiles/chameleon_rules.dir/Ast.cpp.o.d"
+  "CMakeFiles/chameleon_rules.dir/Evaluator.cpp.o"
+  "CMakeFiles/chameleon_rules.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/chameleon_rules.dir/Lexer.cpp.o"
+  "CMakeFiles/chameleon_rules.dir/Lexer.cpp.o.d"
+  "CMakeFiles/chameleon_rules.dir/Parser.cpp.o"
+  "CMakeFiles/chameleon_rules.dir/Parser.cpp.o.d"
+  "CMakeFiles/chameleon_rules.dir/Printer.cpp.o"
+  "CMakeFiles/chameleon_rules.dir/Printer.cpp.o.d"
+  "CMakeFiles/chameleon_rules.dir/RuleEngine.cpp.o"
+  "CMakeFiles/chameleon_rules.dir/RuleEngine.cpp.o.d"
+  "libchameleon_rules.a"
+  "libchameleon_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_runtime.dir/GcHeap.cpp.o"
+  "CMakeFiles/chameleon_runtime.dir/GcHeap.cpp.o.d"
+  "libchameleon_runtime.a"
+  "libchameleon_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

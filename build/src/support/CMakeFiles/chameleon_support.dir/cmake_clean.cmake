@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_support.dir/Format.cpp.o"
+  "CMakeFiles/chameleon_support.dir/Format.cpp.o.d"
+  "CMakeFiles/chameleon_support.dir/Statistics.cpp.o"
+  "CMakeFiles/chameleon_support.dir/Statistics.cpp.o.d"
+  "libchameleon_support.a"
+  "libchameleon_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

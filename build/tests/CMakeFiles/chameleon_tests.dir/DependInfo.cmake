@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/AppConfigTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/apps/AppConfigTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/apps/AppConfigTest.cpp.o.d"
+  "/root/repo/tests/apps/AppsTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/apps/AppsTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/apps/AppsTest.cpp.o.d"
+  "/root/repo/tests/collections/CustomImplTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/CustomImplTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/CustomImplTest.cpp.o.d"
+  "/root/repo/tests/collections/HandlesTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/HandlesTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/HandlesTest.cpp.o.d"
+  "/root/repo/tests/collections/KindsTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/KindsTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/KindsTest.cpp.o.d"
+  "/root/repo/tests/collections/ListImplsTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/ListImplsTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/ListImplsTest.cpp.o.d"
+  "/root/repo/tests/collections/MapImplsTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/MapImplsTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/MapImplsTest.cpp.o.d"
+  "/root/repo/tests/collections/PropertyTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/PropertyTest.cpp.o.d"
+  "/root/repo/tests/collections/RuntimeFactoryTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/RuntimeFactoryTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/RuntimeFactoryTest.cpp.o.d"
+  "/root/repo/tests/collections/SetImplsTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/SetImplsTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/SetImplsTest.cpp.o.d"
+  "/root/repo/tests/collections/SizeInvariantsTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/SizeInvariantsTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/SizeInvariantsTest.cpp.o.d"
+  "/root/repo/tests/collections/SizesTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/SizesTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/SizesTest.cpp.o.d"
+  "/root/repo/tests/collections/ValueTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/collections/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/collections/ValueTest.cpp.o.d"
+  "/root/repo/tests/core/ChameleonTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/core/ChameleonTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/core/ChameleonTest.cpp.o.d"
+  "/root/repo/tests/core/OnlineAdaptorTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/core/OnlineAdaptorTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/core/OnlineAdaptorTest.cpp.o.d"
+  "/root/repo/tests/profiler/ContextInfoTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/profiler/ContextInfoTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/profiler/ContextInfoTest.cpp.o.d"
+  "/root/repo/tests/profiler/ReportTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/profiler/ReportTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/profiler/ReportTest.cpp.o.d"
+  "/root/repo/tests/profiler/SemanticProfilerTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/profiler/SemanticProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/profiler/SemanticProfilerTest.cpp.o.d"
+  "/root/repo/tests/rules/EvaluatorTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/rules/EvaluatorTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/rules/EvaluatorTest.cpp.o.d"
+  "/root/repo/tests/rules/LexerTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/rules/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/rules/LexerTest.cpp.o.d"
+  "/root/repo/tests/rules/ParserTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/rules/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/rules/ParserTest.cpp.o.d"
+  "/root/repo/tests/rules/PrinterTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/rules/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/rules/PrinterTest.cpp.o.d"
+  "/root/repo/tests/rules/RuleEngineTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/rules/RuleEngineTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/rules/RuleEngineTest.cpp.o.d"
+  "/root/repo/tests/runtime/GcFuzzTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/runtime/GcFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/runtime/GcFuzzTest.cpp.o.d"
+  "/root/repo/tests/runtime/GcHeapTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/runtime/GcHeapTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/runtime/GcHeapTest.cpp.o.d"
+  "/root/repo/tests/runtime/HandleTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/runtime/HandleTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/runtime/HandleTest.cpp.o.d"
+  "/root/repo/tests/runtime/MemoryModelTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/runtime/MemoryModelTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/runtime/MemoryModelTest.cpp.o.d"
+  "/root/repo/tests/runtime/ParallelGcTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/runtime/ParallelGcTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/runtime/ParallelGcTest.cpp.o.d"
+  "/root/repo/tests/support/FormatTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/support/FormatTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/support/FormatTest.cpp.o.d"
+  "/root/repo/tests/support/SplitMix64Test.cpp" "tests/CMakeFiles/chameleon_tests.dir/support/SplitMix64Test.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/support/SplitMix64Test.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/chameleon_tests.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/chameleon_tests.dir/support/StatisticsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/chameleon_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chameleon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/chameleon_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/collections/CMakeFiles/chameleon_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/chameleon_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chameleon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

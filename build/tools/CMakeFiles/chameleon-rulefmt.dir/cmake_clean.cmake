@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon-rulefmt.dir/chameleon-rulefmt.cpp.o"
+  "CMakeFiles/chameleon-rulefmt.dir/chameleon-rulefmt.cpp.o.d"
+  "chameleon-rulefmt"
+  "chameleon-rulefmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon-rulefmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

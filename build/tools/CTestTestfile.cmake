@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rulefmt_builtin "/root/repo/build/tools/chameleon-rulefmt" "--check" "--builtin")
+set_tests_properties(rulefmt_builtin PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rulefmt_rejects_malformed "/root/repo/build/tools/chameleon-rulefmt" "--check" "/root/repo/tools/testdata/malformed.rules")
+set_tests_properties(rulefmt_rejects_malformed PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rulefmt_formats_sample "/root/repo/build/tools/chameleon-rulefmt" "/root/repo/tools/testdata/sample.rules")
+set_tests_properties(rulefmt_formats_sample PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
