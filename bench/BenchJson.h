@@ -1,0 +1,110 @@
+//===--- BenchJson.h - JSON emission for bench binaries --------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable output for the bench harness. Every bench binary keeps
+/// its human-readable table on stdout; a bench that supports JSON emission
+/// additionally writes its measurements to the path given by a `--json
+/// <path>` flag or the `CHAMELEON_BENCH_JSON` environment variable, so perf
+/// trajectories (e.g. BENCH_gc.json) can be diffed across commits without
+/// scraping tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_BENCH_BENCHJSON_H
+#define CHAMELEON_BENCH_BENCHJSON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace chameleon::bench {
+
+/// Resolves the JSON output path: `--json PATH` beats the
+/// CHAMELEON_BENCH_JSON environment variable; empty means "no JSON".
+inline std::string jsonOutputPath(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return Argv[I + 1];
+  if (const char *Env = std::getenv("CHAMELEON_BENCH_JSON"))
+    return Env;
+  return {};
+}
+
+/// Minimal JSON document builder: a flat object of scalar fields plus one
+/// array of record objects — the shape every bench measurement fits.
+class JsonDoc {
+public:
+  void field(const std::string &Key, const std::string &Value) {
+    Scalars.push_back("\"" + Key + "\": \"" + Value + "\"");
+  }
+  void field(const std::string &Key, uint64_t Value) {
+    Scalars.push_back("\"" + Key + "\": " + std::to_string(Value));
+  }
+  void field(const std::string &Key, double Value) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+    Scalars.push_back("\"" + Key + "\": " + Buf);
+  }
+
+  /// Starts a new record in the named array (all records share one array).
+  void beginRecord(const std::string &ArrayKey) {
+    ArrayName = ArrayKey;
+    Records.emplace_back();
+  }
+  void record(const std::string &Key, const std::string &Value) {
+    Records.back().push_back("\"" + Key + "\": \"" + Value + "\"");
+  }
+  void record(const std::string &Key, uint64_t Value) {
+    Records.back().push_back("\"" + Key + "\": " + std::to_string(Value));
+  }
+  void record(const std::string &Key, double Value) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+    Records.back().push_back("\"" + Key + "\": " + Buf);
+  }
+
+  std::string render() const {
+    std::string Out = "{\n";
+    for (const std::string &S : Scalars) {
+      Out += "  " + S + ",\n";
+    }
+    Out += "  \"" + ArrayName + "\": [\n";
+    for (size_t R = 0; R < Records.size(); ++R) {
+      Out += "    {";
+      for (size_t F = 0; F < Records[R].size(); ++F) {
+        if (F)
+          Out += ", ";
+        Out += Records[R][F];
+      }
+      Out += R + 1 < Records.size() ? "},\n" : "}\n";
+    }
+    Out += "  ]\n}\n";
+    return Out;
+  }
+
+  /// Writes the document to \p Path; returns false on I/O failure.
+  bool write(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    std::string Text = render();
+    size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+    std::fclose(F);
+    return Written == Text.size();
+  }
+
+private:
+  std::vector<std::string> Scalars;
+  std::string ArrayName = "records";
+  std::vector<std::vector<std::string>> Records;
+};
+
+} // namespace chameleon::bench
+
+#endif // CHAMELEON_BENCH_BENCHJSON_H

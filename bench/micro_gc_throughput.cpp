@@ -1,0 +1,231 @@
+//===--- micro_gc_throughput.cpp - GC hot-path micro benchmark -*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Times the three GC/profiler hot paths this repository optimises:
+///
+///  1. full mark+sweep cycles at 1/2/4/8 threads with the persistent
+///     worker pool versus the spawn-per-cycle fallback (the pool's win is
+///     the per-cycle thread start/join cost);
+///  2. sweep-heavy cycles (most of the heap garbage each cycle) where the
+///     parallel sweep partitions the slot walk;
+///  3. `contextForAllocation` throughput with and without the stack-
+///     fingerprint fast-path cache.
+///
+/// Prints the usual tables; `--json <path>` or CHAMELEON_BENCH_JSON writes
+/// the measurements as JSON (the BENCH_gc.json perf trajectory).
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/CollectionRuntime.h"
+#include "collections/Handles.h"
+#include "support/Format.h"
+#include "support/SplitMix64.h"
+
+#include "BenchJson.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace chameleon;
+
+namespace {
+
+constexpr int CyclesPerMeasurement = 9;
+
+/// Median wall-clock milliseconds per forced GC cycle on a runtime holding
+/// a large live set; \p GarbageChurn additionally allocates a garbage wave
+/// before every cycle so the sweep has real work.
+double cycleMillis(unsigned Threads, bool UsePool, bool GarbageChurn,
+                   uint64_t *LiveObjectsOut = nullptr) {
+  RuntimeConfig Config;
+  Config.Profiler.Enabled = false;
+  Config.GcThreads = Threads;
+  Config.GcUseWorkerPool = UsePool;
+  CollectionRuntime RT(Config);
+  FrameId Site = RT.site("gc:1");
+
+  std::vector<Map> Maps;
+  std::vector<List> Lists;
+  for (int I = 0; I < 30000; ++I) {
+    Map M = RT.newHashMap(Site, 4);
+    for (int E = 0; E < 3; ++E)
+      M.put(Value::ofInt(E), Value::ofInt(I));
+    Maps.push_back(std::move(M));
+    if (I % 8 == 0) {
+      List L = RT.newLinkedList(Site);
+      for (int E = 0; E < 10; ++E)
+        L.add(Value::ofInt(E));
+      Lists.push_back(std::move(L));
+    }
+  }
+
+  double Times[CyclesPerMeasurement];
+  for (double &T : Times) {
+    if (GarbageChurn) {
+      // A dying wave: wrappers scoped to this iteration.
+      std::vector<List> Wave;
+      for (int I = 0; I < 8000; ++I) {
+        List L = RT.newArrayList(Site, 4);
+        L.add(Value::ofInt(I));
+        Wave.push_back(std::move(L));
+      }
+    }
+    const GcCycleRecord &Rec = RT.heap().collect(/*Forced=*/true);
+    T = static_cast<double>(Rec.DurationNanos) / 1e6;
+    if (LiveObjectsOut)
+      *LiveObjectsOut = Rec.LiveObjects;
+  }
+  std::sort(Times, Times + CyclesPerMeasurement);
+  return Times[CyclesPerMeasurement / 2];
+}
+
+/// Mean microseconds per forced cycle on a *small* live heap collected at
+/// high frequency — the profiled-run regime (a statistics-sampling cycle
+/// every few hundred KiB of allocation), where the per-cycle fixed cost
+/// (thread start/join versus pool wake) dominates the phase work itself.
+double frequentCycleMicros(unsigned Threads, bool UsePool) {
+  RuntimeConfig Config;
+  Config.Profiler.Enabled = false;
+  Config.GcThreads = Threads;
+  Config.GcUseWorkerPool = UsePool;
+  CollectionRuntime RT(Config);
+  FrameId Site = RT.site("gc:2");
+
+  std::vector<Map> Maps;
+  for (int I = 0; I < 800; ++I) {
+    Map M = RT.newHashMap(Site, 4);
+    M.put(Value::ofInt(0), Value::ofInt(I));
+    Maps.push_back(std::move(M));
+  }
+
+  constexpr int WarmupCycles = 5;
+  constexpr int TimedCycles = 120;
+  for (int I = 0; I < WarmupCycles; ++I)
+    RT.heap().collect(/*Forced=*/true);
+  uint64_t Nanos = 0;
+  for (int I = 0; I < TimedCycles; ++I)
+    Nanos += RT.heap().collect(/*Forced=*/true).DurationNanos;
+  return static_cast<double>(Nanos) / TimedCycles / 1e3;
+}
+
+/// Captures per second through `contextForAllocation` over a rotating set
+/// of call stacks (repeated-site pattern, the common case).
+double captureRate(bool FastPath, uint64_t *HitsOut = nullptr) {
+  ProfilerConfig Config;
+  Config.ContextFastPath = FastPath;
+  SemanticProfiler P(Config);
+  FrameId Site = P.internFrame("site:1");
+  FrameId Type = P.internFrame("HashMap");
+  FrameId Callers[8];
+  for (int I = 0; I < 8; ++I)
+    Callers[I] = P.internFrame("caller" + std::to_string(I));
+  FrameId Outer = P.internFrame("outer");
+
+  constexpr uint64_t Captures = 4000000;
+  CallFrame Base(P, Outer);
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < Captures; ++I) {
+    CallFrame Caller(P, Callers[I & 7]);
+    volatile ContextInfo *Sink = P.contextForAllocation(Site, Type);
+    (void)Sink;
+  }
+  auto End = std::chrono::steady_clock::now();
+  double Seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count();
+  if (HitsOut)
+    *HitsOut = P.contextCacheHits();
+  return static_cast<double>(Captures) / Seconds;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("== micro: GC throughput (worker pool, parallel sweep, "
+              "context fast path) ==\n\n");
+  std::printf("host cores: %u\n\n", std::thread::hardware_concurrency());
+
+  bench::JsonDoc Json;
+  Json.field("bench", "micro_gc_throughput");
+  Json.field("cores",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+
+  TextTable Pool({"threads", "spawn/cycle (ms)", "pool (ms)", "pool gain",
+                  "churn spawn (ms)", "churn pool (ms)"});
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    uint64_t LiveObjects = 0;
+    double Spawn = cycleMillis(Threads, /*UsePool=*/false,
+                               /*GarbageChurn=*/false);
+    double Pooled = cycleMillis(Threads, /*UsePool=*/true,
+                                /*GarbageChurn=*/false, &LiveObjects);
+    double SpawnChurn = cycleMillis(Threads, /*UsePool=*/false,
+                                    /*GarbageChurn=*/true);
+    double PooledChurn = cycleMillis(Threads, /*UsePool=*/true,
+                                     /*GarbageChurn=*/true);
+    Pool.addRow({std::to_string(Threads), formatDouble(Spawn, 3),
+                 formatDouble(Pooled, 3),
+                 formatDouble(Spawn / Pooled, 2) + "x",
+                 formatDouble(SpawnChurn, 3), formatDouble(PooledChurn, 3)});
+    Json.beginRecord("gc_cycles");
+    Json.record("threads", static_cast<uint64_t>(Threads));
+    Json.record("live_objects", LiveObjects);
+    Json.record("spawn_per_cycle_ms", Spawn);
+    Json.record("worker_pool_ms", Pooled);
+    Json.record("spawn_churn_ms", SpawnChurn);
+    Json.record("worker_pool_churn_ms", PooledChurn);
+  }
+  std::printf("%s\n", Pool.render().c_str());
+
+  TextTable Frequent({"threads", "spawn/cycle (us)", "pool (us)",
+                      "pool gain"});
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    double Spawn = frequentCycleMicros(Threads, /*UsePool=*/false);
+    double Pooled = frequentCycleMicros(Threads, /*UsePool=*/true);
+    Frequent.addRow({std::to_string(Threads), formatDouble(Spawn, 1),
+                     formatDouble(Pooled, 1),
+                     formatDouble(Spawn / Pooled, 2) + "x"});
+    Json.beginRecord("gc_cycles");
+    Json.record("threads", static_cast<uint64_t>(Threads));
+    Json.record("frequent_spawn_per_cycle_us", Spawn);
+    Json.record("frequent_worker_pool_us", Pooled);
+  }
+  std::printf("frequent small cycles (profiled-run regime):\n%s\n",
+              Frequent.render().c_str());
+
+  uint64_t Hits = 0;
+  double FastRate = captureRate(/*FastPath=*/true, &Hits);
+  double SlowRate = captureRate(/*FastPath=*/false);
+  TextTable Capture({"context capture", "captures/s", "speedup"});
+  Capture.addRow({"registry probe (cache off)",
+                  formatDouble(SlowRate / 1e6, 2) + "M", "1.00x"});
+  Capture.addRow({"fingerprint cache (cache on)",
+                  formatDouble(FastRate / 1e6, 2) + "M",
+                  formatDouble(FastRate / SlowRate, 2) + "x"});
+  std::printf("%s\n", Capture.render().c_str());
+
+  Json.beginRecord("gc_cycles");
+  Json.record("context_capture_per_sec_cache_on", FastRate);
+  Json.record("context_capture_per_sec_cache_off", SlowRate);
+  Json.record("context_cache_hits", Hits);
+
+  std::printf("shape: the pool removes the per-cycle thread start/join, so "
+              "its win grows with\nthread count and cycle frequency; the "
+              "fingerprint cache removes the per-capture\nContextKey build "
+              "and hash probe. Statistics are identical in every mode.\n");
+
+  std::string JsonPath = bench::jsonOutputPath(argc, argv);
+  if (!JsonPath.empty()) {
+    if (!Json.write(JsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -64,6 +64,7 @@ CollectionRuntime::CollectionRuntime(RuntimeConfig Config)
   Heap.setRecordTypeDistribution(Config.RecordTypeDistribution);
   Heap.setGcSampleEveryBytes(Config.GcSampleEveryBytes);
   Heap.setGcThreads(Config.GcThreads ? Config.GcThreads : 1);
+  Heap.setUseWorkerPool(Config.GcUseWorkerPool);
   registerTypes();
 }
 

@@ -60,9 +60,15 @@ struct RuntimeConfig {
   /// observes (safe here: iterators cannot insert). Off by default, which
   /// matches java.util semantics.
   bool ShareEmptyIterators = false;
-  /// Parallel marker threads (§4.3.2); statistics are identical at any
-  /// count, only GC wall time changes.
+  /// Parallel collector threads (§4.3.2), used for both the tracing phase
+  /// and the sweep; statistics are identical at any count, only GC wall
+  /// time changes. Threads > 1 starts a persistent worker pool on the
+  /// heap's first parallel cycle.
   unsigned GcThreads = 1;
+  /// Park the collector threads between cycles (the persistent pool)
+  /// rather than spawning them per cycle. Off exists only so benches can
+  /// measure the spawn-per-cycle cost the pool removes.
+  bool GcUseWorkerPool = true;
 };
 
 /// TypeIds of the registered internal and implementation types.
@@ -136,6 +142,10 @@ public:
   FrameId site(const std::string &Label) {
     return Profiler.internFrame(Label);
   }
+
+  /// Changes the collector thread count mid-run (heap pass-through; the
+  /// worker pool is re-created lazily at the new size).
+  void setGcThreads(unsigned Threads) { Heap.setGcThreads(Threads); }
 
   /// -- Source-level allocations (subject to plan / online selection) ------
 

@@ -14,6 +14,10 @@ SemanticProfiler::SemanticProfiler(ProfilerConfig Config)
     : Config(Config) {
   assert(Config.ContextDepth >= 1 && "context depth must include the site");
   assert(Config.SamplingPeriod >= 1 && "sampling period must be positive");
+  static_assert((ContextCacheSize & (ContextCacheSize - 1)) == 0,
+                "cache size must be a power of two");
+  if (Config.ContextFastPath && !Config.ExpensiveContextCapture)
+    ContextCache.resize(ContextCacheSize);
 }
 
 SemanticProfiler::~SemanticProfiler() = default;
@@ -33,6 +37,21 @@ const std::string &SemanticProfiler::frameName(FrameId Id) const {
   return FrameNames[Id];
 }
 
+bool SemanticProfiler::cachedContextMatchesStack(const ContextInfo &Info,
+                                                 FrameId SiteId) const {
+  const std::vector<FrameId> &Frames = Info.frames();
+  if (Frames.empty() || Frames[0] != SiteId)
+    return false;
+  size_t WantCallers =
+      std::min<size_t>(Config.ContextDepth - 1, Stack.size());
+  if (Frames.size() != WantCallers + 1)
+    return false;
+  for (size_t I = 0; I < WantCallers; ++I)
+    if (Frames[I + 1] != Stack[Stack.size() - 1 - I])
+      return false;
+  return true;
+}
+
 ContextInfo *SemanticProfiler::contextForAllocation(FrameId SiteId,
                                                     FrameId TypeNameId) {
   if (!Config.Enabled)
@@ -44,6 +63,28 @@ ContextInfo *SemanticProfiler::contextForAllocation(FrameId SiteId,
     return nullptr;
   }
   ++Acquisitions;
+
+  // Fast path: the fingerprint identifies the entire current stack, so a
+  // direct-mapped probe on (site, type, fingerprint) finds the context of
+  // a repeated allocation site without building a ContextKey or touching
+  // the registry. Hits are re-validated against the cached context's
+  // frames (a couple of integer compares at the configured depth), making
+  // the cache transparent even under a fingerprint collision.
+  ContextCacheEntry *Cached = nullptr;
+  uint64_t Fingerprint = 0;
+  if (!ContextCache.empty()) {
+    Fingerprint = stackFingerprint();
+    uint64_t Slot = mixFingerprint(Fingerprint ^ TypeNameId, SiteId)
+                    & (ContextCacheSize - 1);
+    Cached = &ContextCache[Slot];
+    if (Cached->Info && Cached->Fingerprint == Fingerprint
+        && Cached->SiteId == SiteId && Cached->TypeNameId == TypeNameId
+        && cachedContextMatchesStack(*Cached->Info, SiteId)) {
+      ++CacheHits;
+      return Cached->Info;
+    }
+    ++CacheMisses;
+  }
 
   ContextKey Key;
   Key.TypeNameId = TypeNameId;
@@ -82,6 +123,8 @@ ContextInfo *SemanticProfiler::contextForAllocation(FrameId SiteId,
     Registry.emplace(std::move(Key), std::move(Owned));
     Ordered.push_back(Info);
   }
+  if (Cached)
+    *Cached = {Fingerprint, SiteId, TypeNameId, Info};
   return Info;
 }
 

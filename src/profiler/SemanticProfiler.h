@@ -47,6 +47,13 @@ struct ProfilerConfig {
   /// *entire* stack's frame strings on every capture instead of copying a
   /// bounded number of interned ids. Used by the §5.4 overhead experiments.
   bool ExpensiveContextCapture = false;
+  /// Serve repeated (site, type, call stack) captures from a direct-mapped
+  /// cache keyed by an incrementally maintained stack fingerprint, skipping
+  /// the per-allocation ContextKey build and registry probe. Purely a
+  /// performance knob: hits are validated against the cached context's
+  /// frames, so results are identical with the cache on or off. Ignored
+  /// (always off) under ExpensiveContextCapture, whose point is the cost.
+  bool ContextFastPath = true;
 };
 
 /// The semantic profiler. Single-threaded, like the workloads.
@@ -66,14 +73,30 @@ public:
   const std::string &frameName(FrameId Id) const;
 
   /// Pushes / pops a frame; use `CallFrame` instead of calling directly.
-  void pushFrame(FrameId Id) { Stack.push_back(Id); }
+  /// Each push extends the incremental stack fingerprint in O(1) (a hash
+  /// stack mirroring the frame stack), so context capture never needs to
+  /// walk the frames to identify the current stack.
+  void pushFrame(FrameId Id) {
+    Stack.push_back(Id);
+    FingerprintStack.push_back(
+        mixFingerprint(FingerprintStack.empty() ? FingerprintSeed
+                                                : FingerprintStack.back(),
+                       Id));
+  }
   void popFrame() {
     assert(!Stack.empty() && "popping an empty call stack");
     Stack.pop_back();
+    FingerprintStack.pop_back();
   }
 
   /// Current simulated stack depth.
   size_t stackDepth() const { return Stack.size(); }
+
+  /// Fingerprint of the whole current stack (seed value when empty).
+  uint64_t stackFingerprint() const {
+    return FingerprintStack.empty() ? FingerprintSeed
+                                    : FingerprintStack.back();
+  }
 
   /// -- Allocation-context capture ------------------------------------------
 
@@ -119,6 +142,10 @@ public:
   uint64_t contextAcquisitions() const { return Acquisitions; }
   uint64_t allocationsSampledOut() const { return SampledOut; }
 
+  /// Fast-path cache counters (captures served from / past the cache).
+  uint64_t contextCacheHits() const { return CacheHits; }
+  uint64_t contextCacheMisses() const { return CacheMisses; }
+
 private:
   struct ContextKey {
     FrameId TypeNameId = 0;
@@ -139,11 +166,46 @@ private:
     }
   };
 
+  /// SplitMix64-style finalizer chaining the previous fingerprint with the
+  /// pushed frame; strong mixing keeps distinct stacks from colliding in
+  /// the direct-mapped cache's tag.
+  static uint64_t mixFingerprint(uint64_t Prev, FrameId Id) {
+    uint64_t X = Prev + 0x9E3779B97F4A7C15ULL + Id;
+    X ^= X >> 30;
+    X *= 0xBF58476D1CE4E5B9ULL;
+    X ^= X >> 27;
+    X *= 0x94D049BB133111EBULL;
+    X ^= X >> 31;
+    return X;
+  }
+
+  static constexpr uint64_t FingerprintSeed = 0xC3A5C85C97CB3127ULL;
+
+  /// One direct-mapped cache line of the allocation-context fast path.
+  struct ContextCacheEntry {
+    uint64_t Fingerprint = 0;
+    FrameId SiteId = 0;
+    FrameId TypeNameId = 0;
+    ContextInfo *Info = nullptr;
+  };
+  /// Power of two so the slot index is a mask, sized to cover the distinct
+  /// (site, stack) pairs of even the largest simulacra comfortably.
+  static constexpr size_t ContextCacheSize = 1024;
+
+  /// True when \p Info's recorded frames equal the partial context the
+  /// current stack would capture — the exactness check behind a cache hit.
+  bool cachedContextMatchesStack(const ContextInfo &Info,
+                                 FrameId SiteId) const;
+
   ProfilerConfig Config;
 
   std::vector<std::string> FrameNames;
   std::unordered_map<std::string, FrameId> FrameIds;
   std::vector<FrameId> Stack;
+  /// FingerprintStack[i] = fingerprint of Stack[0..i]; kept in lock-step
+  /// with Stack by pushFrame/popFrame.
+  std::vector<uint64_t> FingerprintStack;
+  std::vector<ContextCacheEntry> ContextCache;
 
   std::unordered_map<ContextKey, std::unique_ptr<ContextInfo>, ContextKeyHash>
       Registry;
@@ -160,6 +222,8 @@ private:
   uint64_t AllocationTick = 0;
   uint64_t Acquisitions = 0;
   uint64_t SampledOut = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
 };
 
 /// RAII frame on the simulated call stack. Prefer the pre-interned-id form

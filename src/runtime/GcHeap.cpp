@@ -27,6 +27,38 @@ GcHeap::GcHeap(MemoryModel Model, uint64_t HeapLimitBytes)
 
 GcHeap::~GcHeap() = default;
 
+void GcHeap::setGcThreads(unsigned Threads) {
+  assert(Threads >= 1 && "need at least one collector thread");
+  assert(!InCollection && "changing thread count during a GC cycle");
+  if (Threads != GcThreads)
+    Pool.reset();
+  GcThreads = Threads;
+}
+
+void GcHeap::setUseWorkerPool(bool On) {
+  assert(!InCollection && "changing pool mode during a GC cycle");
+  if (!On)
+    Pool.reset();
+  UseWorkerPool = On;
+}
+
+void GcHeap::runOnWorkers(const std::function<void(unsigned)> &Task) {
+  if (!UseWorkerPool) {
+    // Spawn-per-cycle fallback (the original §4.3.2 implementation); kept
+    // so the GC-throughput bench can measure what the pool saves.
+    std::vector<std::thread> Workers;
+    Workers.reserve(GcThreads);
+    for (unsigned T = 0; T < GcThreads; ++T)
+      Workers.emplace_back([&Task, T] { Task(T); });
+    for (std::thread &W : Workers)
+      W.join();
+    return;
+  }
+  if (!Pool || Pool->workerCount() != GcThreads)
+    Pool = std::make_unique<GcWorkerPool>(GcThreads);
+  Pool->run(Task);
+}
+
 ObjectRef GcHeap::allocate(std::unique_ptr<HeapObject> Obj) {
   assert(Obj && "allocating a null object");
   assert(!InCollection && "allocation during a GC cycle");
@@ -88,7 +120,11 @@ ObjectRef GcHeap::allocate(std::unique_ptr<HeapObject> Obj) {
 /// linked-list chains, so tracing is iterative.
 class GcHeap::Marker : public GcTracer {
 public:
-  Marker(GcHeap &Heap, uint64_t Epoch) : Heap(Heap), Epoch(Epoch) {}
+  Marker(GcHeap &Heap, uint64_t Epoch) : Heap(Heap), Epoch(Epoch) {
+    // The worklist can never hold more than every live object at once;
+    // objectsInUse() is a tight upper bound that avoids regrowth churn.
+    Worklist.reserve(Heap.objectsInUse());
+  }
 
   void visit(ObjectRef Ref) override {
     if (Ref.isNull())
@@ -213,12 +249,7 @@ public:
   }
 
   void run() {
-    std::vector<std::thread> Workers;
-    Workers.reserve(Threads);
-    for (unsigned T = 0; T < Threads; ++T)
-      Workers.emplace_back([this, T] { workerLoop(States[T]); });
-    for (std::thread &W : Workers)
-      W.join();
+    Heap.runOnWorkers([this](unsigned T) { workerLoop(States[T]); });
   }
 
   /// Folds the per-worker results into \p Record and replays collection
@@ -360,6 +391,10 @@ void GcHeap::markPhaseParallel(GcCycleRecord &Record) {
 }
 
 void GcHeap::sweepPhase(GcCycleRecord &Record) {
+  if (GcThreads > 1) {
+    sweepPhaseParallel(Record);
+    return;
+  }
   for (uint32_t Slot = 0, E = static_cast<uint32_t>(Slots.size()); Slot != E;
        ++Slot) {
     HeapObject *Obj = Slots[Slot].get();
@@ -380,6 +415,77 @@ void GcHeap::sweepPhase(GcCycleRecord &Record) {
     --ObjectsInUse;
     Slots[Slot].reset();
     FreeSlots.push_back(Slot);
+  }
+}
+
+/// The multi-threaded sweep. Each worker scans one contiguous slot range
+/// and buffers everything it would have done in place: the dead slot list,
+/// freed byte/object sums, and the death events of profiled wrappers. The
+/// calling thread then replays the death events and recycles the slots in
+/// ascending slot order — ranges are contiguous and scanned in order, so
+/// concatenating the per-worker buffers reproduces exactly the sequential
+/// sweep's hook order and FreeSlots order (the latter keeps slot reuse, and
+/// therefore future ObjectRefs, byte-identical at any thread count). The
+/// same buffering-and-replay discipline ParallelMarker::finish uses.
+void GcHeap::sweepPhaseParallel(GcCycleRecord &Record) {
+  struct DeathEvent {
+    HeapObject *Obj;
+    void *Tag;
+    void *Info;
+  };
+  struct SweepState {
+    uint64_t FreedBytes = 0;
+    uint64_t FreedObjects = 0;
+    std::vector<uint32_t> DeadSlots;
+    std::vector<DeathEvent> Events;
+  };
+
+  const uint32_t NumSlots = static_cast<uint32_t>(Slots.size());
+  const unsigned Workers = GcThreads;
+  const uint32_t ChunkSlots = (NumSlots + Workers - 1) / Workers;
+  std::vector<SweepState> States(Workers);
+
+  runOnWorkers([&](unsigned W) {
+    SweepState &State = States[W];
+    uint32_t Begin = std::min(W * ChunkSlots, NumSlots);
+    uint32_t End = std::min(Begin + ChunkSlots, NumSlots);
+    for (uint32_t Slot = Begin; Slot != End; ++Slot) {
+      HeapObject *Obj = Slots[Slot].get();
+      if (!Obj
+          || Obj->MarkEpoch.load(std::memory_order_relaxed) == CurrentEpoch)
+        continue;
+      State.FreedBytes += Obj->shallowBytes();
+      ++State.FreedObjects;
+      State.DeadSlots.push_back(Slot);
+      const SemanticMap &Map = Types.get(Obj->typeId());
+      if (Map.Kind == TypeKind::CollectionWrapper && Hooks)
+        State.Events.push_back(
+            {Obj, Map.ContextTagOf ? Map.ContextTagOf(*Obj) : nullptr,
+             Map.ObjectInfoOf ? Map.ObjectInfoOf(*Obj) : nullptr});
+    }
+  });
+
+  // Replay death events on the calling thread (the hooks are not
+  // thread-safe), in ascending slot order, while the objects are still
+  // alive.
+  if (Hooks)
+    for (const SweepState &State : States)
+      for (const DeathEvent &Event : State.Events)
+        Hooks->onCollectionDeath(*Event.Obj, Event.Tag, Event.Info);
+
+  // Destroy dead objects in parallel; the slot sets are disjoint.
+  runOnWorkers([&](unsigned W) {
+    for (uint32_t Slot : States[W].DeadSlots)
+      Slots[Slot].reset();
+  });
+
+  for (const SweepState &State : States) {
+    Record.FreedBytes += State.FreedBytes;
+    Record.FreedObjects += State.FreedObjects;
+    BytesInUse -= State.FreedBytes;
+    ObjectsInUse -= State.FreedObjects;
+    FreeSlots.insert(FreeSlots.end(), State.DeadSlots.begin(),
+                     State.DeadSlots.end());
   }
 }
 
@@ -406,12 +512,6 @@ const GcCycleRecord &GcHeap::collect(bool Forced) {
   if (Hooks)
     Hooks->onCycleEnd(CycleRecords.back());
   return CycleRecords.back();
-}
-
-void GcHeap::forEachObject(const std::function<void(HeapObject &)> &Fn) {
-  for (auto &Slot : Slots)
-    if (Slot)
-      Fn(*Slot);
 }
 
 namespace {

@@ -14,14 +14,19 @@
 ///
 /// The collector follows the paper's base parallel mark-and-sweep design
 /// (§4.3.2): tracing runs on `gcThreads()` workers (1 by default) that
-/// claim objects with a CAS on the mark epoch; every cycle statistic is a
-/// commutative sum, so the recorded metrics are identical at any thread
-/// count. During marking it consults the semantic ADT map of every object
-/// and, for collection wrappers, computes the ADT's live / used / core sizes
-/// and reports them to the installed profiler hooks; during sweeping it
-/// reports dying collections so their per-instance statistics can be folded
-/// into their allocation context (the sweep-phase alternative to finalizers,
-/// §4.4).
+/// claim objects with a CAS on the mark epoch, and sweeping partitions the
+/// slot vector into one contiguous range per worker. The workers live in a
+/// persistent `GcWorkerPool` owned by the heap (created lazily on the first
+/// parallel cycle), so a cycle costs a wake/notify rather than a thread
+/// spawn/join. Every cycle statistic is a commutative sum and every
+/// profiler event is buffered per worker and replayed on the calling thread
+/// in slot order after the phase barrier, so the recorded metrics are
+/// identical at any thread count. During marking the collector consults the
+/// semantic ADT map of every object and, for collection wrappers, computes
+/// the ADT's live / used / core sizes and reports them to the installed
+/// profiler hooks; during sweeping it reports dying collections so their
+/// per-instance statistics can be folded into their allocation context (the
+/// sweep-phase alternative to finalizers, §4.4).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +34,7 @@
 #define CHAMELEON_RUNTIME_GCHEAP_H
 
 #include "runtime/GcCycle.h"
+#include "runtime/GcWorkerPool.h"
 #include "runtime/HeapHooks.h"
 #include "runtime/HeapObject.h"
 #include "runtime/MemoryModel.h"
@@ -98,16 +104,22 @@ public:
   /// cycle.
   void setRecordTypeDistribution(bool On) { RecordTypeDistribution = On; }
 
-  /// Number of marker threads (paper §4.3.2: "several parallel collector
-  /// threads perform the tracing phase"). 1 (default) marks on the
-  /// calling thread. All cycle statistics are commutative sums, so the
-  /// recorded results are identical regardless of the thread count;
-  /// profiler hooks always run on the calling thread after the join.
-  void setGcThreads(unsigned Threads) {
-    assert(Threads >= 1 && "need at least one marker");
-    GcThreads = Threads;
-  }
+  /// Number of collector threads (paper §4.3.2: "several parallel collector
+  /// threads perform the tracing phase"). 1 (default) marks and sweeps on
+  /// the calling thread. All cycle statistics are commutative sums and all
+  /// profiler events are replayed in deterministic order, so the recorded
+  /// results are identical regardless of the thread count; profiler hooks
+  /// always run on the calling thread after the phase barrier. Changing the
+  /// count retires any existing worker pool; the next parallel cycle
+  /// re-creates it at the new size.
+  void setGcThreads(unsigned Threads);
   unsigned gcThreads() const { return GcThreads; }
+
+  /// When false, parallel phases fall back to spawning (and joining) fresh
+  /// threads every cycle instead of waking the persistent pool — the
+  /// pre-pool behaviour, kept as an A/B knob for the GC-throughput bench.
+  void setUseWorkerPool(bool On);
+  bool useWorkerPool() const { return UseWorkerPool; }
 
   /// Moves \p Obj into the heap and returns its reference.
   ///
@@ -185,8 +197,14 @@ public:
   const GcCycleRecord &collect(bool Forced = false);
 
   /// Applies \p Fn to every live-or-unswept object in the heap. Used by the
-  /// end-of-run harvest that folds statistics of still-live collections.
-  void forEachObject(const std::function<void(HeapObject &)> &Fn);
+  /// end-of-run harvest that folds statistics of still-live collections;
+  /// templated on the callback so the once-per-object call inlines instead
+  /// of going through a std::function dispatch.
+  template <typename CallbackT> void forEachObject(CallbackT &&Fn) {
+    for (auto &Slot : Slots)
+      if (Slot)
+        Fn(*Slot);
+  }
 
   /// Structural validator (the analogue of an IR verifier): checks that
   /// every object's self-reference matches its slot, that every traced
@@ -237,6 +255,13 @@ private:
   void markPhaseParallel(GcCycleRecord &Record);
   /// Sweeps unmarked objects; fills the record's freed statistics.
   void sweepPhase(GcCycleRecord &Record);
+  /// The multi-threaded sweep (GcThreads > 1): one contiguous slot range
+  /// per worker, per-worker freed/death buffers, deterministic replay.
+  void sweepPhaseParallel(GcCycleRecord &Record);
+  /// Runs `Task(WorkerIndex)` on GcThreads workers and waits for all of
+  /// them — through the persistent pool, or (UseWorkerPool off) through
+  /// freshly spawned threads.
+  void runOnWorkers(const std::function<void(unsigned)> &Task);
 
   MemoryModel Model;
   uint64_t HeapLimitBytes;
@@ -263,6 +288,10 @@ private:
   bool InCollection = false;
   bool RecordTypeDistribution = false;
   unsigned GcThreads = 1;
+  bool UseWorkerPool = true;
+  /// Lazily created on the first parallel cycle; retired when the thread
+  /// count changes or the pool is disabled.
+  std::unique_ptr<GcWorkerPool> Pool;
   std::vector<GcCycleRecord> CycleRecords;
 };
 

@@ -1,0 +1,58 @@
+//===--- GcWorkerPool.cpp - Persistent GC worker threads ------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcWorkerPool.h"
+
+#include <cassert>
+
+using namespace chameleon;
+
+GcWorkerPool::GcWorkerPool(unsigned Workers) : Workers(Workers) {
+  assert(Workers >= 1 && "pool needs at least one worker");
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+GcWorkerPool::~GcWorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void GcWorkerPool::run(const std::function<void(unsigned)> &TaskFn) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  assert(Remaining == 0 && "pool dispatch is not reentrant");
+  Task = &TaskFn;
+  Remaining = Workers;
+  ++Generation;
+  WakeCv.notify_all();
+  DoneCv.wait(Lock, [this] { return Remaining == 0; });
+  Task = nullptr;
+}
+
+void GcWorkerPool::workerMain(unsigned Index) {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    WakeCv.wait(Lock, [&] {
+      return ShuttingDown || Generation != SeenGeneration;
+    });
+    if (ShuttingDown)
+      return;
+    SeenGeneration = Generation;
+    const std::function<void(unsigned)> *Current = Task;
+    Lock.unlock();
+    (*Current)(Index);
+    Lock.lock();
+    if (--Remaining == 0)
+      DoneCv.notify_one();
+  }
+}

@@ -194,4 +194,98 @@ TEST(SemanticProfiler, RankedByPotentialOrdersDescending) {
   EXPECT_EQ(Ranked[1], Small);
 }
 
+TEST(SemanticProfiler, FastPathHitsOnRepeatedCapture) {
+  SemanticProfiler P;
+  FrameId Site = P.internFrame("site:1");
+  FrameId Type = P.internFrame("HashMap");
+  CallFrame Caller(P, "caller");
+  ContextInfo *First = P.contextForAllocation(Site, Type);
+  uint64_t MissesAfterFirst = P.contextCacheMisses();
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(P.contextForAllocation(Site, Type), First);
+  EXPECT_EQ(P.contextCacheHits(), 100u);
+  EXPECT_EQ(P.contextCacheMisses(), MissesAfterFirst);
+}
+
+TEST(SemanticProfiler, FastPathMatchesSlowPathAcrossStacks) {
+  // The same capture sequence with the cache on and off must produce the
+  // same set of contexts with the same frame vectors — the fingerprint
+  // cache is purely a performance knob.
+  auto Capture = [](bool FastPath) {
+    ProfilerConfig Config;
+    Config.ContextFastPath = FastPath;
+    SemanticProfiler P(Config);
+    FrameId Site = P.internFrame("Factory.make:31");
+    FrameId Type = P.internFrame("HashMap");
+    std::vector<std::string> Labels;
+    for (int Round = 0; Round < 3; ++Round) {
+      for (int CallerIdx = 0; CallerIdx < 5; ++CallerIdx) {
+        CallFrame Outer(P, "outer" + std::to_string(CallerIdx));
+        Labels.push_back(
+            P.contextLabel(*P.contextForAllocation(Site, Type)));
+        {
+          CallFrame Inner(P, "inner");
+          Labels.push_back(
+              P.contextLabel(*P.contextForAllocation(Site, Type)));
+        }
+        // Same depth again after the pop: must re-match the outer context.
+        Labels.push_back(
+            P.contextLabel(*P.contextForAllocation(Site, Type)));
+      }
+    }
+    return std::make_pair(Labels, P.contexts().size());
+  };
+  auto [FastLabels, FastCount] = Capture(true);
+  auto [SlowLabels, SlowCount] = Capture(false);
+  EXPECT_EQ(FastLabels, SlowLabels);
+  EXPECT_EQ(FastCount, SlowCount);
+}
+
+TEST(SemanticProfiler, FastPathDistinguishesSiblingStacks) {
+  // Stacks that agree on the top frames but differ deeper still hit the
+  // correct context: the fingerprint covers the whole stack, so each deep
+  // variant occupies its own cache line yet maps to the same ContextInfo.
+  ProfilerConfig Config;
+  Config.ContextDepth = 2;
+  SemanticProfiler P(Config);
+  FrameId Site = P.internFrame("site:1");
+  FrameId Type = P.internFrame("ArrayList");
+  ContextInfo *FromA;
+  ContextInfo *FromB;
+  {
+    CallFrame Deep(P, "deepA");
+    CallFrame Caller(P, "caller");
+    FromA = P.contextForAllocation(Site, Type);
+  }
+  {
+    CallFrame Deep(P, "deepB");
+    CallFrame Caller(P, "caller");
+    FromB = P.contextForAllocation(Site, Type);
+  }
+  // Depth 2 keys on (site, caller) only, so both stacks share a context.
+  EXPECT_EQ(FromA, FromB);
+  {
+    CallFrame Deep(P, "deepA");
+    CallFrame Caller(P, "caller");
+    EXPECT_EQ(P.contextForAllocation(Site, Type), FromA);
+  }
+  EXPECT_GE(P.contextCacheHits(), 1u);
+}
+
+TEST(SemanticProfiler, FingerprintTracksPushPop) {
+  SemanticProfiler P;
+  uint64_t Empty = P.stackFingerprint();
+  FrameId A = P.internFrame("a");
+  FrameId B = P.internFrame("b");
+  P.pushFrame(A);
+  uint64_t AfterA = P.stackFingerprint();
+  EXPECT_NE(AfterA, Empty);
+  P.pushFrame(B);
+  EXPECT_NE(P.stackFingerprint(), AfterA);
+  P.popFrame();
+  EXPECT_EQ(P.stackFingerprint(), AfterA);
+  P.popFrame();
+  EXPECT_EQ(P.stackFingerprint(), Empty);
+}
+
 } // namespace
