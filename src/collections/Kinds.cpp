@@ -152,6 +152,20 @@ std::optional<ImplKind> chameleon::adaptImplToAdt(ImplKind Impl,
   return std::nullopt;
 }
 
+std::optional<AdtKind> chameleon::adtOfSourceType(const std::string &Name) {
+  if (Name == "Collection")
+    return std::nullopt;
+  if (Name == "List")
+    return AdtKind::List;
+  if (Name == "Set")
+    return AdtKind::Set;
+  if (Name == "Map")
+    return AdtKind::Map;
+  if (std::optional<ImplKind> Impl = defaultImplForSourceType(Name))
+    return adtOfImpl(*Impl);
+  return std::nullopt;
+}
+
 std::optional<ImplKind>
 chameleon::defaultImplForSourceType(const std::string &Name) {
   if (Name == "ArrayList" || Name == "List")

@@ -85,6 +85,14 @@ bool implSupportsAdt(ImplKind Impl, AdtKind Adt);
 /// unknown names.
 std::optional<ImplKind> defaultImplForSourceType(const std::string &Name);
 
+/// Registry query for rule srcType names: the abstract type a rule source
+/// name constrains. ADT names ("List"/"Set"/"Map") map to themselves,
+/// concrete names ("HashMap", "LazySet", ...) to their implementation's
+/// ADT. The "Collection" wildcard and unknown names yield std::nullopt
+/// (no constraint). Used by the rule sema pass to validate replacement
+/// targets against the source's kind.
+std::optional<AdtKind> adtOfSourceType(const std::string &Name);
+
 /// The effective initial capacity an implementation uses when the source
 /// requested none (ArrayList 10, HashMap 16, ArrayMap 4, ...). For the
 /// SizeAdapting hybrids this is the conversion threshold.

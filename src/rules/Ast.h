@@ -50,6 +50,10 @@ enum class MetricKind : uint8_t {
   HeapMaxLive,
 };
 
+/// Number of MetricKind values.
+inline constexpr unsigned NumMetricKinds =
+    static_cast<unsigned>(MetricKind::HeapMaxLive) + 1;
+
 /// Parses the identifier spelling of a metric; nullopt when unknown.
 std::optional<MetricKind> parseMetricKind(const std::string &Name);
 
@@ -76,6 +80,11 @@ struct Expr {
   virtual ~Expr();
 
   Kind kind() const { return NodeKind; }
+
+  /// Source position (1-based; 0 for synthesized nodes). Atoms carry their
+  /// own token's position; binary nodes carry the operator's.
+  unsigned Line = 0;
+  unsigned Col = 0;
 
 private:
   Kind NodeKind;
@@ -144,6 +153,11 @@ struct Cond {
   virtual ~Cond();
 
   Kind kind() const { return NodeKind; }
+
+  /// Source position (1-based; 0 for synthesized nodes). Comparisons and
+  /// connectives carry their operator token's position.
+  unsigned Line = 0;
+  unsigned Col = 0;
 
 private:
   Kind NodeKind;
@@ -216,6 +230,19 @@ struct Rule {
   /// rule ([unstable] attribute).
   bool IgnoreStability = false;
   unsigned Line = 0;
+  unsigned Col = 0;
+  /// Position of the action's target token (the implementation name,
+  /// 'setCapacity', or 'warn').
+  unsigned TargetLine = 0;
+  unsigned TargetCol = 0;
+
+  /// Sema verdicts, filled by RuleEngine::addRules when a SemaMode other
+  /// than Off is requested (see rules/Sema.h). A rule marked NeverFires is
+  /// short-circuited at evaluation and surfaced in explain output.
+  bool NeverFires = false;
+  /// Human-readable load-time note ("condition is unsatisfiable",
+  /// "references unbound $X"); empty when sema found nothing.
+  std::string SemaNote;
 };
 
 } // namespace chameleon::rules

@@ -7,29 +7,82 @@
 /// \file
 /// Position-carrying diagnostics for malformed rules, in the standard
 /// "line:col: message" shape (messages start lowercase and carry no final
-/// period, per the coding guide's error-message style).
+/// period, per the coding guide's error-message style). Semantic
+/// diagnostics additionally carry a severity and a stable identifier
+/// (e.g. "sema-never-fires") rendered as a bracketed suffix, so tools and
+/// golden tests can match on the class of a diagnostic rather than its
+/// wording.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHAMELEON_RULES_DIAGNOSTICS_H
 #define CHAMELEON_RULES_DIAGNOSTICS_H
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 namespace chameleon::rules {
 
-/// One parse-time or evaluation-time problem.
+/// How bad a diagnostic is. Parse diagnostics are always errors; the sema
+/// pass distinguishes errors (the rule set is wrong) from warnings (the
+/// rule set is suspicious but loadable).
+enum class Severity : uint8_t { Error, Warning, Note };
+
+/// One parse-time or sema-time problem.
 struct Diagnostic {
   unsigned Line = 0;
   unsigned Col = 0;
   std::string Message;
+  Severity Sev = Severity::Error;
+  /// Stable identifier for sema diagnostics ("sema-unbound-param", ...);
+  /// empty for parse diagnostics.
+  std::string ID;
 
-  /// "line:col: message".
+  /// "line:col: message" for plain parse errors; sema diagnostics render
+  /// as "line:col: error|warning: message [id]".
   std::string format() const {
-    return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Message;
+    std::string Out =
+        std::to_string(Line) + ":" + std::to_string(Col) + ": ";
+    if (Sev == Severity::Warning)
+      Out += "warning: ";
+    else if (Sev == Severity::Note)
+      Out += "note: ";
+    else if (!ID.empty())
+      Out += "error: ";
+    Out += Message;
+    if (!ID.empty()) {
+      Out += " [";
+      Out += ID;
+      Out += ']';
+    }
+    return Out;
   }
 };
+
+/// True when any diagnostic in \p Diags is an error.
+inline bool hasErrors(const std::vector<Diagnostic> &Diags) {
+  return std::any_of(Diags.begin(), Diags.end(), [](const Diagnostic &D) {
+    return D.Sev == Severity::Error;
+  });
+}
+
+/// True when any diagnostic in \p Diags is a warning.
+inline bool hasWarnings(const std::vector<Diagnostic> &Diags) {
+  return std::any_of(Diags.begin(), Diags.end(), [](const Diagnostic &D) {
+    return D.Sev == Severity::Warning;
+  });
+}
+
+/// Orders diagnostics by source position (stable for equal positions).
+inline void sortDiagnostics(std::vector<Diagnostic> &Diags) {
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Line != B.Line)
+                       return A.Line < B.Line;
+                     return A.Col < B.Col;
+                   });
+}
 
 /// Renders a diagnostic list, one per line.
 inline std::string formatDiagnostics(const std::vector<Diagnostic> &Diags) {

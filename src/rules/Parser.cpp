@@ -7,9 +7,21 @@
 #include "rules/Parser.h"
 
 #include "rules/Lexer.h"
+#include "rules/Sema.h"
 
 using namespace chameleon;
 using namespace chameleon::rules;
+
+namespace {
+
+/// "; did you mean 'X'?" when a suggestion exists, else "".
+std::string didYouMean(const std::string &Suggestion) {
+  if (Suggestion.empty())
+    return std::string();
+  return "; did you mean '" + Suggestion + "'?";
+}
+
+} // namespace
 
 namespace {
 
@@ -62,7 +74,11 @@ private:
   }
 
   void diag(const Token &At, const std::string &Message) {
-    Diags.push_back({At.Line, At.Col, Message});
+    Diagnostic D;
+    D.Line = At.Line;
+    D.Col = At.Col;
+    D.Message = Message;
+    Diags.push_back(std::move(D));
   }
 
   /// Requires a token of \p Kind; diagnoses and returns false otherwise.
@@ -96,6 +112,7 @@ private:
   std::optional<Rule> parseRule() {
     Rule R;
     R.Line = peek().Line;
+    R.Col = peek().Col;
 
     if (peek().is(TokenKind::LBracket)) {
       consume();
@@ -132,7 +149,8 @@ private:
     if (R.SrcType != "Collection" && R.SrcType != "List"
         && R.SrcType != "Set" && R.SrcType != "Map"
         && !defaultImplForSourceType(R.SrcType)) {
-      diag(Src, "unknown source type '" + R.SrcType + "'");
+      diag(Src, "unknown source type '" + R.SrcType + "'"
+                    + didYouMean(suggestSourceTypeName(R.SrcType)));
       return std::nullopt;
     }
 
@@ -165,6 +183,8 @@ private:
       return false;
     }
     Token Action = consume();
+    R.TargetLine = Action.Line;
+    R.TargetCol = Action.Col;
     if (Action.Text == "warn") {
       R.Action = ActionKind::Warn;
       return true;
@@ -180,7 +200,8 @@ private:
     }
     std::optional<ImplKind> Impl = parseImplKind(Action.Text);
     if (!Impl) {
-      diag(Action, "unknown implementation type '" + Action.Text + "'");
+      diag(Action, "unknown implementation type '" + Action.Text + "'"
+                       + didYouMean(suggestImplName(Action.Text)));
       return false;
     }
     R.Action = ActionKind::Replace;
@@ -199,11 +220,13 @@ private:
     if (!Lhs)
       return nullptr;
     while (peek().is(TokenKind::OrOr)) {
-      consume();
+      Token Op = consume();
       CondPtr Rhs = parseAndCond();
       if (!Rhs)
         return nullptr;
       Lhs = std::make_unique<OrCond>(std::move(Lhs), std::move(Rhs));
+      Lhs->Line = Op.Line;
+      Lhs->Col = Op.Col;
     }
     return Lhs;
   }
@@ -213,21 +236,27 @@ private:
     if (!Lhs)
       return nullptr;
     while (peek().is(TokenKind::AndAnd)) {
-      consume();
+      Token Op = consume();
       CondPtr Rhs = parseNotCond();
       if (!Rhs)
         return nullptr;
       Lhs = std::make_unique<AndCond>(std::move(Lhs), std::move(Rhs));
+      Lhs->Line = Op.Line;
+      Lhs->Col = Op.Col;
     }
     return Lhs;
   }
 
   CondPtr parseNotCond() {
-    if (consumeIf(TokenKind::Not)) {
+    if (peek().is(TokenKind::Not)) {
+      Token Bang = consume();
       CondPtr Inner = parseNotCond();
       if (!Inner)
         return nullptr;
-      return std::make_unique<NotCond>(std::move(Inner));
+      CondPtr N = std::make_unique<NotCond>(std::move(Inner));
+      N->Line = Bang.Line;
+      N->Col = Bang.Col;
+      return N;
     }
     // '(' is ambiguous: it may group a condition or start an expression.
     // Speculatively try the condition reading and roll back on failure.
@@ -307,8 +336,11 @@ private:
       CmpOp = CompareCond::Operator::Ne;
       break;
     }
-    return std::make_unique<CompareCond>(CmpOp, std::move(Lhs),
-                                         std::move(Rhs));
+    CondPtr C = std::make_unique<CompareCond>(CmpOp, std::move(Lhs),
+                                              std::move(Rhs));
+    C->Line = Op.Line;
+    C->Col = Op.Col;
+    return C;
   }
 
   ExprPtr parseExpr() {
@@ -324,6 +356,8 @@ private:
                                              ? BinaryExpr::Operator::Add
                                              : BinaryExpr::Operator::Sub,
                                          std::move(Lhs), std::move(Rhs));
+      Lhs->Line = Op.Line;
+      Lhs->Col = Op.Col;
     }
     return Lhs;
   }
@@ -341,8 +375,17 @@ private:
                                              ? BinaryExpr::Operator::Mul
                                              : BinaryExpr::Operator::Div,
                                          std::move(Lhs), std::move(Rhs));
+      Lhs->Line = Op.Line;
+      Lhs->Col = Op.Col;
     }
     return Lhs;
+  }
+
+  /// Stamps \p E with \p T's position and passes it through.
+  static ExprPtr at(ExprPtr E, const Token &T) {
+    E->Line = T.Line;
+    E->Col = T.Col;
+    return E;
   }
 
   ExprPtr parseFactor() {
@@ -350,44 +393,49 @@ private:
     switch (T.Kind) {
     case TokenKind::Number: {
       Token N = consume();
-      return std::make_unique<NumberExpr>(N.NumberValue);
+      return at(std::make_unique<NumberExpr>(N.NumberValue), N);
     }
     case TokenKind::OpCount: {
       Token Op = consume();
       if (Op.Text == "allOps")
-        return std::make_unique<MetricExpr>(MetricKind::AllOps);
+        return at(std::make_unique<MetricExpr>(MetricKind::AllOps), Op);
       std::optional<OpKind> Kind = parseOpKind(Op.Text);
       if (!Kind) {
-        diag(Op, "unknown operation '" + Op.Text + "'");
+        diag(Op, "unknown operation '" + Op.Text + "'"
+                     + didYouMean(suggestOpName(Op.Text)));
         return nullptr;
       }
-      return std::make_unique<OpCountExpr>(*Kind);
+      return at(std::make_unique<OpCountExpr>(*Kind), Op);
     }
     case TokenKind::OpVar: {
       Token Op = consume();
       if (Op.Text == "maxSize")
-        return std::make_unique<MetricExpr>(MetricKind::MaxSizeStddev);
+        return at(std::make_unique<MetricExpr>(MetricKind::MaxSizeStddev),
+                  Op);
       if (Op.Text == "size")
-        return std::make_unique<MetricExpr>(MetricKind::FinalSizeStddev);
+        return at(std::make_unique<MetricExpr>(MetricKind::FinalSizeStddev),
+                  Op);
       std::optional<OpKind> Kind = parseOpKind(Op.Text);
       if (!Kind) {
-        diag(Op, "unknown operation '" + Op.Text + "'");
+        diag(Op, "unknown operation '" + Op.Text + "'"
+                     + didYouMean(suggestOpName(Op.Text)));
         return nullptr;
       }
-      return std::make_unique<OpStddevExpr>(*Kind);
+      return at(std::make_unique<OpStddevExpr>(*Kind), Op);
     }
     case TokenKind::Param: {
       Token P = consume();
-      return std::make_unique<ParamExpr>(P.Text);
+      return at(std::make_unique<ParamExpr>(P.Text), P);
     }
     case TokenKind::Ident: {
       Token Id = consume();
       std::optional<MetricKind> Metric = parseMetricKind(Id.Text);
       if (!Metric) {
-        diag(Id, "unknown metric '" + Id.Text + "'");
+        diag(Id, "unknown metric '" + Id.Text + "'"
+                     + didYouMean(suggestMetricName(Id.Text)));
         return nullptr;
       }
-      return std::make_unique<MetricExpr>(*Metric);
+      return at(std::make_unique<MetricExpr>(*Metric), Id);
     }
     case TokenKind::LParen: {
       consume();

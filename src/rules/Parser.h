@@ -39,12 +39,15 @@
 namespace chameleon::rules {
 
 /// Result of parsing a rule file: the rules that parsed plus diagnostics
-/// for the ones that did not.
+/// for the ones that did not. RuleEngine::addRules reuses this type and,
+/// when sema is enabled, appends semantic diagnostics (which may be mere
+/// warnings) to Diags.
 struct ParseResult {
   std::vector<Rule> Rules;
   std::vector<Diagnostic> Diags;
 
-  bool succeeded() const { return Diags.empty(); }
+  /// No *errors*; warnings do not fail a parse/load.
+  bool succeeded() const { return !hasErrors(Diags); }
 };
 
 /// Parses rule-language source text.

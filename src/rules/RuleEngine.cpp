@@ -33,8 +33,40 @@ std::string Suggestion::fixDescription() const {
 
 RuleEngine::RuleEngine(RuleEngineConfig Config) : Config(Config) {}
 
-ParseResult RuleEngine::addRules(const std::string &Source) {
+ParseResult RuleEngine::addRules(const std::string &Source, SemaMode Mode) {
   ParseResult Result = parseRules(Source);
+  if (Mode != SemaMode::Off) {
+    SemaOptions Opts;
+    Opts.Params = &Params;
+    // Bindings may serve rule files added later; unused-param noise here
+    // would punish setParam-before-addRules call orders.
+    Opts.CheckUnusedParams = false;
+    SemaResult Sema = analyzeRules(Result.Rules, Opts);
+    for (size_t I = 0; I < Result.Rules.size(); ++I) {
+      const SemaResult::RuleVerdict &V = Sema.Verdicts[I];
+      Rule &R = Result.Rules[I];
+      if (V.NeverFires) {
+        R.NeverFires = true;
+        R.SemaNote = "condition is unsatisfiable";
+      } else if (!V.UnboundParams.empty()) {
+        std::string Names;
+        for (const std::string &Name : V.UnboundParams) {
+          if (!Names.empty())
+            Names += ", ";
+          Names += "$" + Name;
+        }
+        R.SemaNote = "referenced " + Names + " unbound at load time";
+      }
+    }
+    Result.Diags.insert(Result.Diags.end(),
+                        std::make_move_iterator(Sema.Diags.begin()),
+                        std::make_move_iterator(Sema.Diags.end()));
+    sortDiagnostics(Result.Diags);
+    if (Mode == SemaMode::Strict && hasErrors(Result.Diags)) {
+      Result.Rules.clear();
+      return Result;
+    }
+  }
   for (Rule &R : Result.Rules)
     Rules.push_back(std::move(R));
   Result.Rules.clear();
@@ -161,6 +193,8 @@ const char *RuleEngine::ruleOutcomeName(RuleOutcome Outcome) {
   switch (Outcome) {
   case RuleOutcome::Fired:
     return "fired";
+  case RuleOutcome::NeverFires:
+    return "statically can never fire";
   case RuleOutcome::SrcTypeMismatch:
     return "source type mismatch";
   case RuleOutcome::TooFewSamples:
@@ -181,6 +215,8 @@ RuleEngine::RuleOutcome
 RuleEngine::evaluateRule(const Rule &R, const ContextInfo &Info,
                          const SemanticProfiler &Profiler,
                          Suggestion *Out) const {
+  if (R.NeverFires)
+    return RuleOutcome::NeverFires;
   if (Info.foldedInstances() < Config.MinSamples)
     return RuleOutcome::TooFewSamples;
   if (!srcTypeMatches(R.SrcType, Info.typeName()))
@@ -247,6 +283,13 @@ RuleEngine::explainContext(const ContextInfo &Info,
     if (Outcome == RuleOutcome::Fired) {
       Text += " -> ";
       Text += S.fixDescription();
+    }
+    // Load-time sema findings (unsatisfiable condition, parameter unbound
+    // when the rule was installed) explain *why* a rule stays silent.
+    if (!R.SemaNote.empty()) {
+      Text += " (";
+      Text += R.SemaNote;
+      Text += ')';
     }
     Text += '\n';
   }

@@ -20,6 +20,7 @@
 #include "collections/ReplacementPlan.h"
 #include "rules/Evaluator.h"
 #include "rules/Parser.h"
+#include "rules/Sema.h"
 
 #include <string>
 #include <vector>
@@ -70,7 +71,19 @@ public:
 
   /// Appends rules parsed from \p Source. Returns the parse result; rules
   /// that parsed are installed even when others produced diagnostics.
-  ParseResult addRules(const std::string &Source);
+  ///
+  /// \p Mode selects how much semantic analysis runs on top of parsing
+  /// (see rules/Sema.h):
+  ///  - Off: parse only (historical behaviour).
+  ///  - Warn: sema diagnostics are appended to the returned Diags; all
+  ///    parsed rules are installed. Rules proven unable to fire are marked
+  ///    and short-circuited at evaluation (RuleOutcome::NeverFires), and
+  ///    rules referencing parameters unbound *at load time* carry a note
+  ///    surfaced by explainContext.
+  ///  - Strict: like Warn, but if any diagnostic is an error (parse or
+  ///    sema) the whole file is rejected and nothing is installed.
+  ParseResult addRules(const std::string &Source,
+                       SemaMode Mode = SemaMode::Off);
 
   /// Installs the built-in Table-2 rule set.
   void addBuiltinRules();
@@ -103,6 +116,7 @@ public:
   /// Why a rule did or did not fire for a context.
   enum class RuleOutcome : uint8_t {
     Fired,
+    NeverFires,        ///< sema proved the condition unsatisfiable at load
     SrcTypeMismatch,   ///< the rule's srcType does not match the context
     TooFewSamples,     ///< below Config.MinSamples folded instances
     ConditionFalse,    ///< the condition evaluated to false

@@ -172,7 +172,10 @@ TEST(Parser, RecoveryContinuesAtTheNextRule) {
 }
 
 TEST(Parser, DiagnosticFormatIsLineColMessage) {
-  Diagnostic D{3, 7, "boom"};
+  Diagnostic D;
+  D.Line = 3;
+  D.Col = 7;
+  D.Message = "boom";
   EXPECT_EQ(D.format(), "3:7: boom");
 }
 

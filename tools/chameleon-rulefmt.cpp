@@ -6,19 +6,26 @@
 ///
 /// \file
 /// Command-line validator and canonical formatter for rule files written
-/// in the paper's Fig. 4 selection language.
+/// in the paper's Fig. 4 selection language. Both checking and formatting
+/// run the full front end (parse + sema), so semantic problems — unbound
+/// parameters, unsatisfiable conditions, shadowed rules — are reported
+/// while formatting, not just syntax errors.
 ///
 ///   chameleon-rulefmt file.rules          # format to stdout
 ///   chameleon-rulefmt --check file.rules  # diagnostics only
+///   chameleon-rulefmt --Werror file.rules # warnings fail the run
 ///   chameleon-rulefmt --builtin           # print the built-in rule set
 ///
-/// Exits nonzero when any file has diagnostics.
+/// All diagnostics for every input are printed before exiting. Exits
+/// nonzero when any file has errors (or, under --Werror, warnings); the
+/// formatted output is only produced for files that parsed without
+/// errors.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "rules/Parser.h"
 #include "rules/Printer.h"
 #include "rules/RuleEngine.h"
+#include "rules/Sema.h"
 
 #include <cstdio>
 #include <fstream>
@@ -29,19 +36,22 @@
 using namespace chameleon::rules;
 
 static int runOnSource(const std::string &Name, const std::string &Source,
-                       bool CheckOnly) {
-  ParseResult Result = parseRules(Source);
+                       bool CheckOnly, bool WarningsAreErrors) {
+  LintResult Result = lintRuleSource(Source, SemaOptions());
   for (const Diagnostic &D : Result.Diags)
     std::fprintf(stderr, "%s:%s\n", Name.c_str(), D.format().c_str());
-  if (!Result.succeeded())
+  if (Result.hasErrors())
     return 1;
   if (!CheckOnly)
     std::fputs(printRules(Result.Rules).c_str(), stdout);
+  if (WarningsAreErrors && Result.hasWarnings())
+    return 1;
   return 0;
 }
 
 int main(int argc, char **argv) {
   bool CheckOnly = false;
+  bool WarningsAreErrors = false;
   std::vector<std::string> Files;
   bool Builtin = false;
 
@@ -49,10 +59,13 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg == "--check") {
       CheckOnly = true;
+    } else if (Arg == "--Werror") {
+      WarningsAreErrors = true;
     } else if (Arg == "--builtin") {
       Builtin = true;
     } else if (Arg == "--help" || Arg == "-h") {
-      std::printf("usage: %s [--check] [--builtin] [file...]\n", argv[0]);
+      std::printf("usage: %s [--check] [--Werror] [--builtin] [file...]\n",
+                  argv[0]);
       return 0;
     } else {
       Files.push_back(Arg);
@@ -62,7 +75,7 @@ int main(int argc, char **argv) {
   int Status = 0;
   if (Builtin)
     Status |= runOnSource("<builtin>", RuleEngine::builtinRulesText(),
-                          CheckOnly);
+                          CheckOnly, WarningsAreErrors);
   for (const std::string &File : Files) {
     std::ifstream In(File);
     if (!In) {
@@ -72,7 +85,7 @@ int main(int argc, char **argv) {
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
-    Status |= runOnSource(File, Buf.str(), CheckOnly);
+    Status |= runOnSource(File, Buf.str(), CheckOnly, WarningsAreErrors);
   }
   if (!Builtin && Files.empty()) {
     std::fprintf(stderr, "%s: no input (try --builtin or a file)\n",
