@@ -20,6 +20,7 @@ chameleon_bench(fig7_runtime)
 chameleon_bench(fig8_bloat_spike)
 chameleon_bench(table2_rules)
 chameleon_bench(micro_gc_throughput)
+chameleon_bench(micro_mt_mutator)
 chameleon_bench(sec23_hybrid_threshold)
 chameleon_bench(sec51_screening)
 chameleon_bench(sec54_online_overhead)

@@ -1,0 +1,248 @@
+//===--- ServerSim.cpp - Multi-threaded server workload -------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ServerSim.h"
+
+#include "support/SplitMix64.h"
+
+#include <condition_variable>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+namespace {
+
+constexpr uint64_t Gamma = 0x9E3779B97F4A7C15ULL;
+
+/// Epoch barrier. Workers park inside a GcSafeRegion while they wait so
+/// the main thread can stop the world (flush + forced GC) between epochs.
+struct EpochBarrier {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  uint32_t Arrived = 0;
+  uint64_t Generation = 0;
+};
+
+/// Immutable run state shared with the workers.
+struct RunState {
+  ServerSimConfig Config;
+  uint32_t Threads = 1;
+  FrameId HandlerFrames[3] = {};
+  FrameId ScratchMapSite = 0;
+  FrameId ResultListSite = 0;
+  /// Wrapper refs of the per-session collections (rooted by the main
+  /// thread's handles for the whole run, so the refs stay valid).
+  std::vector<ObjectRef> SessionAttrs;
+  std::vector<ObjectRef> SessionHistory;
+};
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+/// One request. \p Task is globally unique across the whole run (epochs
+/// included); \p Req is the per-epoch request number, which determines the
+/// session and the handler kind so every epoch replays the same pattern.
+void handleRequest(CollectionRuntime &RT, const RunState &S, uint64_t Task,
+                   uint32_t Req) {
+  SemanticProfiler &Prof = RT.profiler();
+  Prof.setCurrentTask(Task);
+  SplitMix64 Rng(S.Config.Seed ^ (Gamma * Task));
+  uint32_t Session = Req % S.Config.Sessions;
+  CallFrame Handler(Prof, S.HandlerFrames[Req % 3]);
+
+  Map Attrs = RT.adoptMap(S.SessionAttrs[Session]);
+  List History = RT.adoptList(S.SessionHistory[Session]);
+
+  switch (Req % 3) {
+  case 0: { // login: refresh attributes through a request-scoped scratch map
+    Map Scratch = RT.newHashMap(S.ScratchMapSite, 8);
+    for (int I = 0; I < 6; ++I)
+      Scratch.put(Value::ofInt(static_cast<int64_t>(Rng.nextBelow(16))),
+                  Value::ofInt(static_cast<int64_t>(Task)));
+    Attrs.put(Value::ofInt(0), Value::ofInt(static_cast<int64_t>(Task)));
+    Attrs.put(Value::ofInt(1 + static_cast<int64_t>(Rng.nextBelow(7))),
+              Value::ofInt(static_cast<int64_t>(Scratch.size())));
+    Scratch.retire();
+    break;
+  }
+  case 1: { // query: read-dominated, request-scoped result list
+    List Results = RT.newArrayList(S.ResultListSite, 4);
+    for (int I = 0; I < 12; ++I) {
+      Value V = Attrs.get(
+          Value::ofInt(static_cast<int64_t>(Rng.nextBelow(8))));
+      if (!V.isNull())
+        Results.add(V);
+    }
+    uint32_t E = History.size();
+    for (uint32_t I = 0; I < E && I < 4; ++I)
+      (void)History.get(E - 1 - I);
+    Results.retire();
+    break;
+  }
+  default: { // update: bounded history append
+    History.add(Value::ofInt(static_cast<int64_t>(Task)));
+    while (History.size() > S.Config.HistoryBound)
+      (void)History.removeFirst();
+    Attrs.put(Value::ofInt(2),
+              Value::ofInt(static_cast<int64_t>(History.size())));
+    break;
+  }
+  }
+}
+
+/// Worker body: register as a mutator, then handle this thread's share of
+/// each epoch's requests (session s belongs to worker s % Threads).
+void workerMain(CollectionRuntime &RT, const RunState &S, EpochBarrier &B,
+                uint32_t Tid) {
+  MutatorScope Scope(RT);
+  for (uint32_t Epoch = 0; Epoch < S.Config.Epochs; ++Epoch) {
+    for (uint32_t Req = 0; Req < S.Config.RequestsPerEpoch; ++Req) {
+      if ((Req % S.Config.Sessions) % S.Threads != Tid)
+        continue;
+      // Task 0 is the main thread's boot phase; request tasks start at 1.
+      uint64_t Task =
+          1 + static_cast<uint64_t>(Epoch) * S.Config.RequestsPerEpoch + Req;
+      handleRequest(RT, S, Task, Req);
+    }
+    // Park until the main thread has flushed + collected for this epoch.
+    GcSafeRegion Region(RT.heap());
+    std::unique_lock<std::mutex> L(B.Mu);
+    uint64_t Gen = B.Generation;
+    ++B.Arrived;
+    B.Cv.notify_all();
+    B.Cv.wait(L, [&] { return B.Generation != Gen; });
+  }
+}
+
+std::string buildReport(CollectionRuntime &RT,
+                        const ServerSimConfig &Config) {
+  SemanticProfiler &Prof = RT.profiler();
+  std::string Out;
+  appendf(Out, "ServerSim: sessions=%u epochs=%u requests=%llu\n",
+          Config.Sessions, Config.Epochs,
+          static_cast<unsigned long long>(
+              static_cast<uint64_t>(Config.Epochs) * Config.RequestsPerEpoch));
+  Out += "gc cycles:\n";
+  for (const GcCycleRecord &Rec : RT.heap().cycles())
+    appendf(Out,
+            "  cycle %llu forced=%d live=%llu objects=%llu collLive=%llu "
+            "collUsed=%llu collCore=%llu collObjects=%llu freed=%llu "
+            "freedObjects=%llu\n",
+            static_cast<unsigned long long>(Rec.Cycle), Rec.Forced ? 1 : 0,
+            static_cast<unsigned long long>(Rec.LiveBytes),
+            static_cast<unsigned long long>(Rec.LiveObjects),
+            static_cast<unsigned long long>(Rec.CollectionLiveBytes),
+            static_cast<unsigned long long>(Rec.CollectionUsedBytes),
+            static_cast<unsigned long long>(Rec.CollectionCoreBytes),
+            static_cast<unsigned long long>(Rec.CollectionObjects),
+            static_cast<unsigned long long>(Rec.FreedBytes),
+            static_cast<unsigned long long>(Rec.FreedObjects));
+  Out += "contexts:\n";
+  for (const ContextInfo *Ctx : Prof.contexts())
+    appendf(Out,
+            "  %s: allocs=%llu folded=%llu allOps=%.6g maxSize=%.6g "
+            "finalSize=%.6g initCap=%.6g totLive=%llu totUsed=%llu\n",
+            Prof.contextLabel(*Ctx).c_str(),
+            static_cast<unsigned long long>(Ctx->allocations()),
+            static_cast<unsigned long long>(Ctx->foldedInstances()),
+            Ctx->avgAllOps(), Ctx->maxSizeStat().mean(),
+            Ctx->finalSizeStat().mean(), Ctx->initialCapacityStat().mean(),
+            static_cast<unsigned long long>(Ctx->liveData().total()),
+            static_cast<unsigned long long>(Ctx->usedData().total()));
+  return Out;
+}
+
+} // namespace
+
+RuntimeConfig chameleon::apps::serverSimRuntimeConfig() {
+  RuntimeConfig Config;
+  Config.Profiler.ConcurrentMutators = true;
+  Config.Profiler.SamplingPeriod = 1; // exact: no per-thread sampling drift
+  Config.HeapLimitBytes = 0;          // GC only at the epoch barriers
+  Config.GcSampleEveryBytes = 0;
+  return Config;
+}
+
+ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
+                                              const ServerSimConfig &Config) {
+  SemanticProfiler &Prof = RT.profiler();
+  // Buffer statistics from the first event even when the caller's config
+  // did not opt in (sticky; required before any worker touches the heap).
+  Prof.enableConcurrentMutators();
+
+  RunState S;
+  S.Config = Config;
+  S.Threads = Config.MutatorThreads ? Config.MutatorThreads : 1;
+  S.HandlerFrames[0] = Prof.internFrame("Server.handleLogin");
+  S.HandlerFrames[1] = Prof.internFrame("Server.handleQuery");
+  S.HandlerFrames[2] = Prof.internFrame("Server.handleUpdate");
+  S.ScratchMapSite = RT.site("server.LoginHandler.scratch:58");
+  S.ResultListSite = RT.site("server.QueryHandler.results:91");
+  FrameId AttrsSite = RT.site("server.Session.attrs:31");
+  FrameId HistorySite = RT.site("server.Session.history:32");
+
+  // Boot phase (task 0): the long-lived per-session state, on the main
+  // thread so wrapper slots are identical for every thread count.
+  Prof.setCurrentTask(0);
+  std::vector<Map> AttrHandles;
+  std::vector<List> HistoryHandles;
+  {
+    CallFrame Boot(Prof, Prof.internFrame("Server.boot"));
+    for (uint32_t I = 0; I < Config.Sessions; ++I) {
+      AttrHandles.push_back(RT.newHashMap(AttrsSite, 8));
+      HistoryHandles.push_back(
+          RT.newArrayList(HistorySite, Config.HistoryBound));
+      S.SessionAttrs.push_back(AttrHandles.back().wrapperRef());
+      S.SessionHistory.push_back(HistoryHandles.back().wrapperRef());
+    }
+  }
+
+  EpochBarrier B;
+  std::vector<std::thread> Workers;
+  Workers.reserve(S.Threads);
+  for (uint32_t T = 0; T < S.Threads; ++T)
+    Workers.emplace_back(
+        [&RT, &S, &B, T] { workerMain(RT, S, B, T); });
+
+  for (uint32_t Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    {
+      std::unique_lock<std::mutex> L(B.Mu);
+      B.Cv.wait(L, [&] { return B.Arrived == S.Threads; });
+    }
+    // All workers are parked in safe regions: flush the per-thread event
+    // buffers deterministically, then take the epoch's statistics cycle.
+    RT.flushMutatorStatistics();
+    RT.heap().collect(/*Forced=*/true);
+    {
+      std::lock_guard<std::mutex> L(B.Mu);
+      B.Arrived = 0;
+      ++B.Generation;
+      B.Cv.notify_all();
+    }
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  // Fold the still-live session collections and canonicalize the report.
+  RT.harvestLiveStatistics();
+
+  ServerSimResult Result;
+  Result.TotalRequests =
+      static_cast<uint64_t>(Config.Epochs) * Config.RequestsPerEpoch;
+  Result.Report = buildReport(RT, Config);
+  return Result;
+}

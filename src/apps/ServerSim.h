@@ -1,0 +1,68 @@
+//===--- ServerSim.h - Multi-threaded server workload ----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A multi-threaded server simulacrum exercising the concurrent-mutator
+/// support (DESIGN.md §9): N worker threads handle a deterministic stream
+/// of requests against shared per-session state (an attribute map and a
+/// bounded history list per session) while allocating, using, and retiring
+/// request-scoped collections. Epochs end at a quiescent barrier where the
+/// main thread flushes the per-thread profiling buffers and forces a GC.
+///
+/// The workload is *statically partitioned*: a session's requests are
+/// handled by exactly one worker, in request order, and every request
+/// carries a globally unique task id. Together with exact sampling and
+/// the profiler's canonical context ordering this makes the profiling
+/// report byte-identical for any MutatorThreads count — the property
+/// ServerSimTest locks in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_APPS_SERVERSIM_H
+#define CHAMELEON_APPS_SERVERSIM_H
+
+#include "collections/Handles.h"
+
+#include <cstdint>
+#include <string>
+
+namespace chameleon::apps {
+
+/// Server simulacrum parameters.
+struct ServerSimConfig {
+  uint64_t Seed = 0x5E21;
+  /// Worker (mutator) threads handling requests.
+  uint32_t MutatorThreads = 4;
+  /// Epochs; each ends with a quiescent barrier and a forced GC.
+  uint32_t Epochs = 3;
+  /// Requests per epoch, spread over the sessions round-robin.
+  uint32_t RequestsPerEpoch = 240;
+  /// Long-lived sessions, each with an attribute map and history list.
+  uint32_t Sessions = 16;
+  /// History entries kept per session before the oldest is dropped.
+  uint32_t HistoryBound = 32;
+};
+
+/// What a run produces.
+struct ServerSimResult {
+  uint64_t TotalRequests = 0;
+  /// Deterministic profiling report: the GC cycle records (without
+  /// wall-clock durations) plus canonically-ordered context statistics.
+  std::string Report;
+};
+
+/// The RuntimeConfig under which the report's byte-identity across
+/// MutatorThreads counts is guaranteed: buffered concurrent-mutator
+/// profiling, exact sampling, and GC only at the epoch barriers.
+RuntimeConfig serverSimRuntimeConfig();
+
+/// Runs the server simulacrum on \p RT.
+ServerSimResult runServerSim(CollectionRuntime &RT,
+                             const ServerSimConfig &Config = ServerSimConfig());
+
+} // namespace chameleon::apps
+
+#endif // CHAMELEON_APPS_SERVERSIM_H

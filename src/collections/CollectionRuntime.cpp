@@ -137,6 +137,13 @@ ObjectRef CollectionRuntime::allocIterator(ObjectRef Coll,
   if (CollectionIsEmpty && Config.ShareEmptyIterators) {
     // §5.4: "the creation of a new iterator object can be avoided in
     // this case in favor of returning a fixed static empty iterator."
+    // Park while waiting for the flyweight lock: the holder allocates
+    // (and may therefore initiate a stop-the-world) with it held.
+    std::unique_lock<std::mutex> L(FlyweightMu, std::defer_lock);
+    {
+      GcSafeRegion Region(Heap);
+      L.lock();
+    }
     if (SharedEmptyIterator.isNull())
       SharedEmptyIterator.set(
           Heap, Heap.allocate(std::make_unique<IteratorObject>(
@@ -274,6 +281,8 @@ static void initImpl(GcHeap &Heap, ObjectRef Ref, ImplKind Kind) {
 const PlanDecision *CollectionRuntime::lookupPlan(const ContextInfo *Info) {
   if (!Info || Plan.empty())
     return nullptr;
+  // Plain lock: no allocation (and hence no GC) happens while it is held.
+  std::lock_guard<std::mutex> Lock(PlanCacheMu);
   CachedDecision &Cached = PlanCache[Info];
   if (Cached.PlanVersion != Plan.version()) {
     Cached.PlanVersion = Plan.version();
@@ -289,26 +298,39 @@ ObjectRef CollectionRuntime::allocateCollection(AdtKind Adt,
                                                 uint32_t Capacity,
                                                 const CustomImpl *Custom) {
   // Wrapper TypeId for the source-level type (registered on first use).
-  TypeId WrapperType;
-  auto TypeIt = WrapperTypes.find(SourceType);
-  if (TypeIt != WrapperTypes.end()) {
-    WrapperType = TypeIt->second;
-  } else {
-    SemanticMap Map;
-    // The "$Wrapper" suffix only affects type-distribution displays;
-    // contexts and rules use the bare source-type name.
-    Map.Name = std::string(SourceType) + "$Wrapper";
-    Map.Kind = TypeKind::CollectionWrapper;
-    Map.ComputeSizes = wrapperComputeSizes;
-    Map.ContextTagOf = wrapperContextTag;
-    Map.ObjectInfoOf = wrapperObjectInfo;
-    WrapperType = Heap.types().registerType(std::move(Map));
-    WrapperTypes.emplace(SourceType, WrapperType);
+  // Reads vastly outnumber the one-time registrations, so the map sits
+  // behind a shared_mutex; the source-type frame is interned once at
+  // registration so the hot path never touches the frame interner.
+  WrapperTypeInfo WrapperType;
+  {
+    std::shared_lock<std::shared_mutex> Lock(WrapperTypesMu);
+    auto TypeIt = WrapperTypes.find(SourceType);
+    if (TypeIt != WrapperTypes.end())
+      WrapperType = TypeIt->second;
+  }
+  if (!WrapperType.Type) {
+    std::unique_lock<std::shared_mutex> Lock(WrapperTypesMu);
+    auto TypeIt = WrapperTypes.find(SourceType);
+    if (TypeIt != WrapperTypes.end()) {
+      WrapperType = TypeIt->second;
+    } else {
+      SemanticMap Map;
+      // The "$Wrapper" suffix only affects type-distribution displays;
+      // contexts and rules use the bare source-type name.
+      Map.Name = std::string(SourceType) + "$Wrapper";
+      Map.Kind = TypeKind::CollectionWrapper;
+      Map.ComputeSizes = wrapperComputeSizes;
+      Map.ContextTagOf = wrapperContextTag;
+      Map.ObjectInfoOf = wrapperObjectInfo;
+      WrapperType.Type = Heap.types().registerType(std::move(Map));
+      WrapperType.SourceTypeFrame = Profiler.internFrame(SourceType);
+      WrapperTypes.emplace(SourceType, WrapperType);
+    }
   }
 
   // Context capture (the expensive step the paper's online mode pays).
   ContextInfo *Ctx =
-      Profiler.contextForAllocation(Site, Profiler.internFrame(SourceType));
+      Profiler.contextForAllocation(Site, WrapperType.SourceTypeFrame);
 
   // Offline plan, then online selector. A plan decision with an
   // implementation overrides a custom default (the paper's flow for
@@ -340,9 +362,7 @@ ObjectRef CollectionRuntime::allocateCollection(AdtKind Adt,
   if (UseCustom) {
     ImplRef = Heap.allocate(Custom->Make(*this, Custom->Type, Capacity));
   } else if (Kind == ImplKind::EmptyList) {
-    if (SharedEmptyList.isNull())
-      SharedEmptyList.set(Heap, makeImpl(ImplKind::EmptyList, 0));
-    ImplRef = SharedEmptyList.ref();
+    ImplRef = sharedEmptyListRef();
   } else {
     ImplRef = makeImpl(Kind, Capacity);
   }
@@ -357,20 +377,34 @@ ObjectRef CollectionRuntime::allocateCollection(AdtKind Adt,
   uint64_t WrapperBytes = Heap.model().objectBytes(1)
                           + (Ctx ? Config.ObjectInfoSimBytes : 0);
   ObjectRef WrapperRef = Heap.allocate(std::make_unique<CollectionObject>(
-      WrapperType, WrapperBytes, Adt, Kind));
+      WrapperType.Type, WrapperBytes, Adt, Kind));
   CollectionObject &W = Heap.getAs<CollectionObject>(WrapperRef);
   W.Impl = ImplRef;
   W.Ctx = Ctx;
   W.Usage.InitialCapacity = EffectiveCapacity;
-  if (Ctx)
-    Ctx->recordAllocation(EffectiveCapacity);
+  Profiler.noteAllocation(Ctx, EffectiveCapacity);
   if (UseCustom) {
     W.CustomId = static_cast<int32_t>(Custom - CustomImpls.data());
-    ++CustomAllocCounts[static_cast<size_t>(W.CustomId)];
+    CustomAllocCounts[static_cast<size_t>(W.CustomId)].fetch_add(
+        1, std::memory_order_relaxed);
   } else {
-    ++ImplAllocCounts[implIndex(Kind)];
+    ImplAllocCounts[implIndex(Kind)].fetch_add(1,
+                                               std::memory_order_relaxed);
   }
   return WrapperRef;
+}
+
+ObjectRef CollectionRuntime::sharedEmptyListRef() {
+  // Same discipline as the shared empty iterator: the lock is held across
+  // an allocation, so waiters must park in a GC-safe region.
+  std::unique_lock<std::mutex> L(FlyweightMu, std::defer_lock);
+  {
+    GcSafeRegion Region(Heap);
+    L.lock();
+  }
+  if (SharedEmptyList.isNull())
+    SharedEmptyList.set(Heap, makeImpl(ImplKind::EmptyList, 0));
+  return SharedEmptyList.ref();
 }
 
 CustomImplId CollectionRuntime::registerCustomImpl(CustomImpl Impl) {
@@ -381,7 +415,7 @@ CustomImplId CollectionRuntime::registerCustomImpl(CustomImpl Impl) {
   Map.Kind = TypeKind::CollectionInternal;
   Impl.Type = Heap.types().registerType(std::move(Map));
   CustomImpls.push_back(std::move(Impl));
-  CustomAllocCounts.push_back(0);
+  CustomAllocCounts.emplace_back(0);
   return static_cast<CustomImplId>(CustomImpls.size() - 1);
 }
 
@@ -521,6 +555,12 @@ Map CollectionRuntime::adoptMap(ObjectRef Wrapper) {
 // Lifecycle
 //===----------------------------------------------------------------------===//
 
+void CollectionRuntime::retireCollection(ObjectRef Wrapper) {
+  CollectionObject &W = Heap.getAs<CollectionObject>(Wrapper);
+  if (W.Ctx)
+    Profiler.noteDeath(W.Ctx, W.Usage);
+}
+
 void CollectionRuntime::harvestLiveStatistics() {
   Heap.forEachObject([&](HeapObject &Obj) {
     const SemanticMap &Map = Heap.types().get(Obj.typeId());
@@ -528,6 +568,7 @@ void CollectionRuntime::harvestLiveStatistics() {
       return;
     auto &W = static_cast<CollectionObject &>(Obj);
     if (W.Ctx)
-      W.Ctx->recordDeath(W.Usage);
+      Profiler.noteDeath(W.Ctx, W.Usage);
   });
+  Profiler.flushEpoch();
 }

@@ -27,8 +27,12 @@
 #include "runtime/GcHeap.h"
 
 #include <array>
+#include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -196,7 +200,7 @@ public:
   /// How many wrappers were allocated with a given custom backing.
   uint64_t allocationsWithCustomImpl(CustomImplId Id) const {
     assert(Id < CustomAllocCounts.size() && "unknown CustomImplId");
-    return CustomAllocCounts[Id];
+    return CustomAllocCounts[Id].load(std::memory_order_relaxed);
   }
 
   /// -- Plan and online selection -------------------------------------------
@@ -236,14 +240,33 @@ public:
 
   /// Folds the statistics of still-live profiled collections into their
   /// contexts — the end-of-execution completion of the paper's §3.3.2
-  /// operation mode. Idempotent.
+  /// operation mode. Idempotent. Requires a quiescent world.
   void harvestLiveStatistics();
+
+  /// -- Concurrent mutators (DESIGN.md §9) ----------------------------------
+
+  /// Explicitly retires a collection the program is done with: folds (or,
+  /// in concurrent-mutator mode, buffers) its usage record into its
+  /// context now, on the retiring thread, instead of waiting for the
+  /// sweep. In concurrent-mutator mode this is how deaths stay in
+  /// deterministic task order — the sweep's slot order depends on thread
+  /// interleaving, so multi-threaded workloads wanting byte-identical
+  /// reports retire every profiled collection explicitly (ServerSim does).
+  /// Idempotent; the wrapper remains usable (later ops are uncounted).
+  void retireCollection(ObjectRef Wrapper);
+
+  /// Epoch-boundary flush: drains every mutator thread's buffered profile
+  /// events in deterministic order and canonicalizes context numbering.
+  /// Call at application epoch barriers, while every registered mutator
+  /// is parked (e.g. in a GcSafeRegion). Pass-through to
+  /// SemanticProfiler::flushEpoch.
+  void flushMutatorStatistics() { Profiler.flushEpoch(); }
 
   /// -- Introspection (tests, reports) ---------------------------------------
 
   /// How many wrappers were allocated with each backing implementation.
   uint64_t allocationsWithImpl(ImplKind Kind) const {
-    return ImplAllocCounts[implIndex(Kind)];
+    return ImplAllocCounts[implIndex(Kind)].load(std::memory_order_relaxed);
   }
 
 private:
@@ -265,12 +288,22 @@ private:
 
   void registerTypes();
 
+  /// The EmptyList flyweight's reference, creating it on first use.
+  ObjectRef sharedEmptyListRef();
+
   RuntimeConfig Config;
   GcHeap Heap;
   SemanticProfiler Profiler;
   CollectionTypeIds Types;
-  /// Wrapper TypeIds per source-level type name (created on demand).
-  std::unordered_map<std::string, TypeId> WrapperTypes;
+  /// Wrapper TypeId + pre-interned source-type FrameId per source-level
+  /// type name (created on demand). Shared-locked: steady-state
+  /// allocations only read; registration of a new source type is rare.
+  struct WrapperTypeInfo {
+    TypeId Type = 0;
+    FrameId SourceTypeFrame = 0;
+  };
+  mutable std::shared_mutex WrapperTypesMu;
+  std::unordered_map<std::string, WrapperTypeInfo> WrapperTypes;
   ReplacementPlan Plan;
   OnlineSelector *Selector = nullptr;
   /// Memoised plan lookups (label building is the expensive part), tagged
@@ -279,8 +312,13 @@ private:
     uint64_t PlanVersion = 0;
     const PlanDecision *Decision = nullptr;
   };
+  std::mutex PlanCacheMu;
   std::unordered_map<const ContextInfo *, CachedDecision> PlanCache;
-  std::array<uint64_t, NumImplKinds> ImplAllocCounts{};
+  std::array<std::atomic<uint64_t>, NumImplKinds> ImplAllocCounts{};
+  /// Guards the lazy creation of the two shared flyweights below. Waiters
+  /// park in a GcSafeRegion, because the holder allocates (and so may
+  /// initiate a stop-the-world) with the lock held.
+  std::mutex FlyweightMu;
   /// EmptyList is immutable and stateless, so all wrappers backed by it
   /// share one flyweight implementation object — this is what makes the
   /// "collection never used" fix eliminate nearly the whole per-instance
@@ -290,7 +328,31 @@ private:
   /// ShareEmptyIterators is on (§5.4).
   Handle SharedEmptyIterator;
   std::vector<CustomImpl> CustomImpls;
-  std::vector<uint64_t> CustomAllocCounts;
+  /// Deque of atomics: stable addresses under growth, lock-free bumps.
+  std::deque<std::atomic<uint64_t>> CustomAllocCounts;
+};
+
+/// RAII registration of the calling thread as a mutator, pairing the
+/// heap-side registration (root segment, safepoint participation) with the
+/// profiler-side switch into concurrent-mutator mode. Construct as the
+/// first act of every worker thread that touches a shared runtime, destroy
+/// (on the same thread) before it exits; surviving handles migrate to the
+/// main thread's root segment at destruction. The runtime should be
+/// configured with `ProfilerConfig::ConcurrentMutators` so statistics
+/// buffer from the very first event.
+class MutatorScope {
+public:
+  explicit MutatorScope(CollectionRuntime &RT) : RT(RT) {
+    RT.profiler().enableConcurrentMutators();
+    M = RT.heap().registerMutatorThread();
+  }
+  MutatorScope(const MutatorScope &) = delete;
+  MutatorScope &operator=(const MutatorScope &) = delete;
+  ~MutatorScope() { RT.heap().unregisterMutatorThread(M); }
+
+private:
+  CollectionRuntime &RT;
+  MutatorThread *M;
 };
 
 } // namespace chameleon

@@ -25,6 +25,7 @@ ValueIter::ValueIter(CollectionRuntime &RT, ObjectRef Wrapper,
       ModAtStart(ModCount) {}
 
 bool ValueIter::next(Value &Out) {
+  RT->heap().safepointPoll();
   CollectionObject &W = RT->heap().getAs<CollectionObject>(Wrapper.ref());
   SeqImpl &Impl = RT->heap().getAs<SeqImpl>(W.Impl);
   assert(Impl.modCount() == ModAtStart
@@ -38,6 +39,7 @@ EntryIter::EntryIter(CollectionRuntime &RT, ObjectRef Wrapper,
       ModAtStart(ModCount) {}
 
 bool EntryIter::next(Value &Key, Value &Val) {
+  RT->heap().safepointPoll();
   CollectionObject &W = RT->heap().getAs<CollectionObject>(Wrapper.ref());
   MapImpl &Impl = RT->heap().getAs<MapImpl>(W.Impl);
   assert(Impl.modCount() == ModAtStart

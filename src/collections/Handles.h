@@ -116,6 +116,19 @@ public:
     return H.ref() == Other.H.ref();
   }
 
+  /// Ends this collection's profiled lifetime explicitly: folds (or, in
+  /// concurrent-mutator mode, buffers) its usage record on the *calling*
+  /// thread and drops the handle's root. Idempotent with sweep-time
+  /// folding. Concurrent workloads retire their collections so that the
+  /// death-fold order is the deterministic task order, not the sweep's
+  /// slot order.
+  void retire() {
+    if (isNull())
+      return;
+    RT->retireCollection(H.ref());
+    H.reset();
+  }
+
 protected:
   CollectionHandleBase() = default;
   CollectionHandleBase(CollectionRuntime &RT, ObjectRef Wrapper)
@@ -126,8 +139,12 @@ protected:
     return RT->heap().getAs<CollectionObject>(H.ref());
   }
 
-  /// Counts \p Op when profiled.
+  /// Counts \p Op when profiled. Every handle operation calls this first,
+  /// which makes it the mutators' GC safepoint poll: reference arguments
+  /// are already rooted here (TempRootScope guards are constructed before
+  /// countOp in mutating ops), so stopping at this point is safe.
   void countOp(OpKind Op) const {
+    RT->heap().safepointPoll();
     CollectionObject &W = obj();
     if (W.Ctx)
       W.Usage.count(Op);

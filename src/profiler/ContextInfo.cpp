@@ -12,6 +12,10 @@ void ContextInfo::recordDeath(ObjectContextInfo &Info) {
   if (Info.Folded)
     return;
   Info.Folded = true;
+  foldSnapshot(Info);
+}
+
+void ContextInfo::foldSnapshot(const ObjectContextInfo &Info) {
   for (unsigned I = 0; I < NumOpKinds; ++I)
     OpStats[I].add(Info.Counts[I]);
   MaxSizeStat.add(Info.MaxSize);

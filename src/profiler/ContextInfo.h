@@ -100,6 +100,15 @@ public:
   /// Folds one finished instance record (at death or final harvest).
   void recordDeath(ObjectContextInfo &Info);
 
+  /// Folds a snapshot of an instance record unconditionally — the replay
+  /// half of the buffered death events of concurrent-mutator mode, whose
+  /// originals were marked Folded when the snapshot was taken.
+  void foldSnapshot(const ObjectContextInfo &Info);
+
+  /// Renumbers the context (the profiler's canonical reordering at epoch
+  /// flushes; see SemanticProfiler::flushEpoch).
+  void setId(uint32_t NewId) { Id = NewId; }
+
   /// Accumulates this context's collection sizes for the current GC cycle.
   /// \p Cycle deduplicates scratch resets across wrappers of one cycle.
   /// \returns true when this was the context's first wrapper in the cycle.

@@ -10,20 +10,78 @@
 
 using namespace chameleon;
 
+namespace {
+
+/// Monotonic profiler-instance ids for the thread-local state cache (see
+/// SemanticProfiler::tlsStateSlow).
+std::atomic<uint64_t> NextProfilerInstanceId{1};
+
+/// Which profiler (by instance id) the calling thread last resolved a
+/// state for, and that state. One cached binding per thread; a different
+/// profiler simply re-resolves.
+struct TlsProfilerStateCache {
+  uint64_t Owner = 0;
+  ProfilerThreadState *S = nullptr;
+};
+thread_local TlsProfilerStateCache TheTlsState;
+
+} // namespace
+
 SemanticProfiler::SemanticProfiler(ProfilerConfig Config)
-    : Config(Config) {
+    : Config(Config),
+      InstanceId(
+          NextProfilerInstanceId.fetch_add(1, std::memory_order_relaxed)),
+      MainThreadId(std::this_thread::get_id()) {
   assert(Config.ContextDepth >= 1 && "context depth must include the site");
   assert(Config.SamplingPeriod >= 1 && "sampling period must be positive");
   static_assert((ContextCacheSize & (ContextCacheSize - 1)) == 0,
                 "cache size must be a power of two");
+  MainState.ThreadId = MainThreadId;
   if (Config.ContextFastPath && !Config.ExpensiveContextCapture)
-    ContextCache.resize(ContextCacheSize);
+    MainState.ContextCache.resize(ContextCacheSize);
+  if (Config.ConcurrentMutators)
+    MtActive.store(true, std::memory_order_relaxed);
 }
 
 SemanticProfiler::~SemanticProfiler() = default;
 
+ProfilerThreadState &SemanticProfiler::tlsStateSlow() const {
+  if (TheTlsState.Owner == InstanceId)
+    return *TheTlsState.S;
+  ProfilerThreadState &S =
+      const_cast<SemanticProfiler *>(this)->findOrCreateState();
+  TheTlsState = {InstanceId, &S};
+  return S;
+}
+
+ProfilerThreadState &SemanticProfiler::findOrCreateState() {
+  std::lock_guard<std::mutex> L(StatesMu);
+  std::thread::id Tid = std::this_thread::get_id();
+  if (Tid == MainThreadId)
+    return MainState;
+  // Reuse a state this thread id already owns (the same thread touching
+  // the profiler again after its cache was evicted; a recycled thread id
+  // inherits its predecessor's — flushed — state, which is benign).
+  for (const std::unique_ptr<ProfilerThreadState> &S : States)
+    if (S->ThreadId == Tid)
+      return *S;
+  auto S = std::make_unique<ProfilerThreadState>();
+  S->ThreadId = Tid;
+  if (Config.ContextFastPath && !Config.ExpensiveContextCapture)
+    S->ContextCache.resize(ContextCacheSize);
+  States.push_back(std::move(S));
+  return *States.back();
+}
+
 FrameId SemanticProfiler::internFrame(const std::string &Name) {
-  auto It = FrameIds.find(Name);
+  {
+    std::shared_lock<std::shared_mutex> L(FramesMu);
+    auto It = FrameIds.find(Name);
+    if (It != FrameIds.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> L(FramesMu);
+  auto It = FrameIds.find(Name); // lost a race? take the winner's id
   if (It != FrameIds.end())
     return It->second;
   FrameId Id = static_cast<FrameId>(FrameNames.size());
@@ -33,21 +91,24 @@ FrameId SemanticProfiler::internFrame(const std::string &Name) {
 }
 
 const std::string &SemanticProfiler::frameName(FrameId Id) const {
+  std::shared_lock<std::shared_mutex> L(FramesMu);
   assert(Id < FrameNames.size() && "unknown FrameId");
+  // Deque elements never move, so the reference outlives the lock.
   return FrameNames[Id];
 }
 
-bool SemanticProfiler::cachedContextMatchesStack(const ContextInfo &Info,
+bool SemanticProfiler::cachedContextMatchesStack(const ProfilerThreadState &S,
+                                                 const ContextInfo &Info,
                                                  FrameId SiteId) const {
   const std::vector<FrameId> &Frames = Info.frames();
   if (Frames.empty() || Frames[0] != SiteId)
     return false;
   size_t WantCallers =
-      std::min<size_t>(Config.ContextDepth - 1, Stack.size());
+      std::min<size_t>(Config.ContextDepth - 1, S.Stack.size());
   if (Frames.size() != WantCallers + 1)
     return false;
   for (size_t I = 0; I < WantCallers; ++I)
-    if (Frames[I + 1] != Stack[Stack.size() - 1 - I])
+    if (Frames[I + 1] != S.Stack[S.Stack.size() - 1 - I])
       return false;
   return true;
 }
@@ -56,34 +117,37 @@ ContextInfo *SemanticProfiler::contextForAllocation(FrameId SiteId,
                                                     FrameId TypeNameId) {
   if (!Config.Enabled)
     return nullptr;
-  ++AllocationTick;
+  ProfilerThreadState &S = state();
+  ++S.AllocationTick;
   if (Config.SamplingPeriod > 1
-      && (AllocationTick % Config.SamplingPeriod) != 0) {
-    ++SampledOut;
+      && (S.AllocationTick % Config.SamplingPeriod) != 0) {
+    ++S.SampledOut;
     return nullptr;
   }
-  ++Acquisitions;
+  ++S.Acquisitions;
 
   // Fast path: the fingerprint identifies the entire current stack, so a
   // direct-mapped probe on (site, type, fingerprint) finds the context of
   // a repeated allocation site without building a ContextKey or touching
   // the registry. Hits are re-validated against the cached context's
   // frames (a couple of integer compares at the configured depth), making
-  // the cache transparent even under a fingerprint collision.
+  // the cache transparent even under a fingerprint collision. The cache is
+  // per thread, so hits take no lock.
   ContextCacheEntry *Cached = nullptr;
   uint64_t Fingerprint = 0;
-  if (!ContextCache.empty()) {
-    Fingerprint = stackFingerprint();
+  if (!S.ContextCache.empty()) {
+    Fingerprint = S.FingerprintStack.empty() ? FingerprintSeed
+                                             : S.FingerprintStack.back();
     uint64_t Slot = mixFingerprint(Fingerprint ^ TypeNameId, SiteId)
                     & (ContextCacheSize - 1);
-    Cached = &ContextCache[Slot];
+    Cached = &S.ContextCache[Slot];
     if (Cached->Info && Cached->Fingerprint == Fingerprint
         && Cached->SiteId == SiteId && Cached->TypeNameId == TypeNameId
-        && cachedContextMatchesStack(*Cached->Info, SiteId)) {
-      ++CacheHits;
+        && cachedContextMatchesStack(S, *Cached->Info, SiteId)) {
+      ++S.CacheHits;
       return Cached->Info;
     }
-    ++CacheMisses;
+    ++S.CacheMisses;
   }
 
   ContextKey Key;
@@ -91,16 +155,17 @@ ContextInfo *SemanticProfiler::contextForAllocation(FrameId SiteId,
   Key.Frames.reserve(Config.ContextDepth);
   Key.Frames.push_back(SiteId);
   unsigned Want = Config.ContextDepth - 1;
-  for (size_t I = Stack.size(); I != 0 && Want != 0; --I, --Want)
-    Key.Frames.push_back(Stack[I - 1]);
+  for (size_t I = S.Stack.size(); I != 0 && Want != 0; --I, --Want)
+    Key.Frames.push_back(S.Stack[I - 1]);
 
   if (Config.ExpensiveContextCapture) {
     // Emulates the Throwable-based capture of §4.2: materialise the full
     // stack's method-signature string (allocation + copies, exactly what
     // "manipulation of method signatures as strings" costs) and hash it.
     // The result is discarded; only the cost matters.
+    std::shared_lock<std::shared_mutex> FL(FramesMu);
     std::string Signature;
-    for (FrameId F : Stack) {
+    for (FrameId F : S.Stack) {
       Signature += FrameNames[F];
       Signature += '\n';
     }
@@ -111,21 +176,118 @@ ContextInfo *SemanticProfiler::contextForAllocation(FrameId SiteId,
     (void)Sink;
   }
 
-  auto It = Registry.find(Key);
+  // Registry miss path: one shard lock, selected by key hash, so threads
+  // allocating at different contexts rarely contend.
+  uint64_t Hash = ContextKeyHash{}(Key);
+  RegistryShard &Shard = Registry[(Hash >> 16) & (NumRegistryShards - 1)];
   ContextInfo *Info;
-  if (It != Registry.end()) {
-    Info = It->second.get();
-  } else {
-    auto Owned = std::make_unique<ContextInfo>(
-        static_cast<uint32_t>(Ordered.size()), Key.Frames,
-        frameName(TypeNameId));
-    Info = Owned.get();
-    Registry.emplace(std::move(Key), std::move(Owned));
-    Ordered.push_back(Info);
+  {
+    std::lock_guard<std::mutex> SL(Shard.Mu);
+    auto It = Shard.Map.find(Key);
+    if (It != Shard.Map.end()) {
+      Info = It->second.get();
+    } else {
+      std::string TypeName = frameName(TypeNameId);
+      std::lock_guard<std::mutex> OL(OrderedMu);
+      auto Owned = std::make_unique<ContextInfo>(
+          static_cast<uint32_t>(Ordered.size()), Key.Frames,
+          std::move(TypeName));
+      Info = Owned.get();
+      Shard.Map.emplace(std::move(Key), std::move(Owned));
+      Ordered.push_back(Info);
+    }
   }
   if (Cached)
     *Cached = {Fingerprint, SiteId, TypeNameId, Info};
   return Info;
+}
+
+void SemanticProfiler::noteAllocation(ContextInfo *Ctx,
+                                      uint32_t InitialCapacity) {
+  if (!Ctx)
+    return;
+  if (!MtActive.load(std::memory_order_relaxed)) {
+    Ctx->recordAllocation(InitialCapacity);
+    return;
+  }
+  ProfilerThreadState &S = state();
+  PendingProfileEvent E;
+  E.Kind = PendingProfileEvent::Alloc;
+  E.Ctx = Ctx;
+  E.Task = S.CurrentTask;
+  E.Seq = S.NextSeq++;
+  E.InitialCapacity = InitialCapacity;
+  S.Pending.push_back(std::move(E));
+}
+
+void SemanticProfiler::noteDeath(ContextInfo *Ctx, ObjectContextInfo &Info) {
+  if (!Ctx || Info.Folded)
+    return;
+  if (!MtActive.load(std::memory_order_relaxed)) {
+    Ctx->recordDeath(Info);
+    return;
+  }
+  // Mark folded now so the sweep-time hook skips the wrapper; the snapshot
+  // carries the statistics to the flush.
+  Info.Folded = true;
+  ProfilerThreadState &S = state();
+  PendingProfileEvent E;
+  E.Kind = PendingProfileEvent::Death;
+  E.Ctx = Ctx;
+  E.Task = S.CurrentTask;
+  E.Seq = S.NextSeq++;
+  E.Snapshot = Info;
+  S.Pending.push_back(std::move(E));
+}
+
+void SemanticProfiler::flushMutatorBuffers() {
+  if (!MtActive.load(std::memory_order_acquire))
+    return;
+  // Gather every thread's buffer. Callers guarantee a quiescent world, so
+  // no state is being appended to; StatesMu only fences against the
+  // (already impossible) creation race and orders the gathered memory.
+  std::vector<PendingProfileEvent> All;
+  {
+    std::lock_guard<std::mutex> L(StatesMu);
+    auto Gather = [&All](ProfilerThreadState &S) {
+      All.insert(All.end(), std::make_move_iterator(S.Pending.begin()),
+                 std::make_move_iterator(S.Pending.end()));
+      S.Pending.clear();
+    };
+    Gather(MainState);
+    for (const std::unique_ptr<ProfilerThreadState> &S : States)
+      Gather(*S);
+  }
+  // Deterministic replay: ascending (Task, Seq). With globally-unique task
+  // ids the order — and so every order-sensitive Welford fold — is
+  // independent of how tasks were laid out on threads.
+  std::stable_sort(
+      All.begin(), All.end(),
+      [](const PendingProfileEvent &A, const PendingProfileEvent &B) {
+        return A.Task != B.Task ? A.Task < B.Task : A.Seq < B.Seq;
+      });
+  for (PendingProfileEvent &E : All) {
+    if (E.Kind == PendingProfileEvent::Alloc)
+      E.Ctx->recordAllocation(E.InitialCapacity);
+    else
+      E.Ctx->foldSnapshot(E.Snapshot);
+  }
+}
+
+void SemanticProfiler::flushEpoch() {
+  flushMutatorBuffers();
+  if (MtActive.load(std::memory_order_relaxed))
+    canonicalizeContextOrder();
+}
+
+void SemanticProfiler::canonicalizeContextOrder() {
+  std::lock_guard<std::mutex> L(OrderedMu);
+  std::stable_sort(Ordered.begin(), Ordered.end(),
+                   [this](const ContextInfo *A, const ContextInfo *B) {
+                     return contextLabel(*A) < contextLabel(*B);
+                   });
+  for (size_t I = 0; I < Ordered.size(); ++I)
+    Ordered[I]->setId(static_cast<uint32_t>(I));
 }
 
 void SemanticProfiler::onLiveCollection(const HeapObject &Obj,
@@ -166,8 +328,44 @@ void SemanticProfiler::onCycleEnd(const GcCycleRecord &Record) {
   HeapCollCore.observe(Record.CollectionCoreBytes);
 }
 
+uint64_t SemanticProfiler::contextAcquisitions() const {
+  std::lock_guard<std::mutex> L(StatesMu);
+  uint64_t Sum = MainState.Acquisitions;
+  for (const std::unique_ptr<ProfilerThreadState> &S : States)
+    Sum += S->Acquisitions;
+  return Sum;
+}
+
+uint64_t SemanticProfiler::allocationsSampledOut() const {
+  std::lock_guard<std::mutex> L(StatesMu);
+  uint64_t Sum = MainState.SampledOut;
+  for (const std::unique_ptr<ProfilerThreadState> &S : States)
+    Sum += S->SampledOut;
+  return Sum;
+}
+
+uint64_t SemanticProfiler::contextCacheHits() const {
+  std::lock_guard<std::mutex> L(StatesMu);
+  uint64_t Sum = MainState.CacheHits;
+  for (const std::unique_ptr<ProfilerThreadState> &S : States)
+    Sum += S->CacheHits;
+  return Sum;
+}
+
+uint64_t SemanticProfiler::contextCacheMisses() const {
+  std::lock_guard<std::mutex> L(StatesMu);
+  uint64_t Sum = MainState.CacheMisses;
+  for (const std::unique_ptr<ProfilerThreadState> &S : States)
+    Sum += S->CacheMisses;
+  return Sum;
+}
+
 std::vector<ContextInfo *> SemanticProfiler::rankedByPotential() const {
-  std::vector<ContextInfo *> Result = Ordered;
+  std::vector<ContextInfo *> Result;
+  {
+    std::lock_guard<std::mutex> L(OrderedMu);
+    Result = Ordered;
+  }
   std::stable_sort(Result.begin(), Result.end(),
                    [](const ContextInfo *A, const ContextInfo *B) {
                      return A->savingPotential() > B->savingPotential();

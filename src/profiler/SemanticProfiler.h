@@ -18,15 +18,31 @@
 /// and can emulate the expensive Throwable-based walk, which is what makes
 /// the fully-automatic online mode measurably slower (§5.4).
 ///
+/// Threading (DESIGN.md §9): single-threaded by default, with every hot
+/// path untouched. With `ProfilerConfig::ConcurrentMutators` (or after
+/// `enableConcurrentMutators()`), each mutator thread gets its own
+/// `ProfilerThreadState` — call stack, fingerprint, context cache, sampling
+/// counters, and an event buffer — so captures stay lock-free on cache
+/// hits; the ContextInfo registry is striped across sharded locks for the
+/// miss path; and allocation/death statistics are buffered per thread and
+/// folded in deterministic (Task, Seq) order at epoch flushes and GC
+/// safepoints, keeping reports byte-identical across thread counts.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHAMELEON_PROFILER_SEMANTICPROFILER_H
 #define CHAMELEON_PROFILER_SEMANTICPROFILER_H
 
 #include "profiler/ContextInfo.h"
+#include "profiler/ProfilerThreadState.h"
 #include "runtime/HeapHooks.h"
 
+#include <array>
+#include <atomic>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +55,8 @@ struct ProfilerConfig {
   /// (paper §3.2.1: "a call stack of depth two or three").
   unsigned ContextDepth = 3;
   /// Capture the context of 1 in SamplingPeriod allocations (1 = all).
+  /// The tick is per mutator thread: each thread samples its own
+  /// allocation stream exactly, with no cross-thread counter races.
   unsigned SamplingPeriod = 1;
   /// Master switch; when off, contextForAllocation always returns null and
   /// collections run unprofiled.
@@ -54,9 +72,14 @@ struct ProfilerConfig {
   /// frames, so results are identical with the cache on or off. Ignored
   /// (always off) under ExpensiveContextCapture, whose point is the cost.
   bool ContextFastPath = true;
+  /// Start in concurrent-mutator mode: allocation/death statistics buffer
+  /// per thread from the first event (task 0 until setCurrentTask), rather
+  /// than folding directly. Equivalent to calling
+  /// enableConcurrentMutators() before any profiled work.
+  bool ConcurrentMutators = false;
 };
 
-/// The semantic profiler. Single-threaded, like the workloads.
+/// The semantic profiler. See the file comment for the threading model.
 class SemanticProfiler : public HeapProfilerHooks {
 public:
   explicit SemanticProfiler(ProfilerConfig Config = ProfilerConfig());
@@ -64,38 +87,81 @@ public:
 
   const ProfilerConfig &config() const { return Config; }
 
+  /// -- Concurrent mutators (DESIGN.md §9) ----------------------------------
+
+  /// Switches the profiler into concurrent-mutator mode (sticky; no-op if
+  /// already on). Must happen before any second thread touches the
+  /// profiler. From then on allocation/death statistics buffer in
+  /// per-thread states until flushMutatorBuffers / flushEpoch.
+  void enableConcurrentMutators() {
+    MtActive.store(true, std::memory_order_release);
+  }
+  bool concurrentMutatorsActive() const {
+    return MtActive.load(std::memory_order_relaxed);
+  }
+
+  /// Tags subsequent buffered events on the calling thread with the given
+  /// logical task id — the major key of the deterministic replay order at
+  /// flush. Reports are byte-identical across thread counts iff task ids
+  /// are globally unique and assigned independently of the thread layout
+  /// (e.g. ServerSim uses the request number).
+  void setCurrentTask(uint64_t Task) { state().CurrentTask = Task; }
+
+  /// Drains every thread's pending events and folds them into their
+  /// contexts in ascending (Task, Seq) order. Requires a quiescent world:
+  /// called from onStopTheWorld (GC safepoint) and from flushEpoch (the
+  /// application's epoch barrier, whose synchronisation orders the
+  /// mutators' buffered writes before the drain). No-op in
+  /// single-threaded mode, where statistics fold directly.
+  void flushMutatorBuffers();
+
+  /// Epoch-boundary flush: drains the buffers, then renumbers the contexts
+  /// into canonical (label-sorted) order so context ids — and every report
+  /// keyed on them — are independent of which thread first allocated at
+  /// each context. Call at application epoch barriers and before reading
+  /// reports in concurrent-mutator mode.
+  void flushEpoch();
+
   /// -- Frames and the simulated call stack --------------------------------
 
-  /// Interns \p Name and returns its id. Idempotent.
+  /// Interns \p Name and returns its id. Idempotent. Thread-safe (shared
+  /// lock on the hit path).
   FrameId internFrame(const std::string &Name);
 
-  /// The spelling of an interned frame id.
+  /// The spelling of an interned frame id. The reference is stable for the
+  /// profiler's lifetime (deque-backed interner).
   const std::string &frameName(FrameId Id) const;
 
-  /// Pushes / pops a frame; use `CallFrame` instead of calling directly.
-  /// Each push extends the incremental stack fingerprint in O(1) (a hash
-  /// stack mirroring the frame stack), so context capture never needs to
-  /// walk the frames to identify the current stack.
+  /// Pushes / pops a frame on the calling thread's simulated stack; use
+  /// `CallFrame` instead of calling directly. Each push extends the
+  /// incremental stack fingerprint in O(1) (a hash stack mirroring the
+  /// frame stack), so context capture never needs to walk the frames to
+  /// identify the current stack.
   void pushFrame(FrameId Id) {
-    Stack.push_back(Id);
-    FingerprintStack.push_back(
-        mixFingerprint(FingerprintStack.empty() ? FingerprintSeed
-                                                : FingerprintStack.back(),
+    ProfilerThreadState &S = state();
+    S.Stack.push_back(Id);
+    S.FingerprintStack.push_back(
+        mixFingerprint(S.FingerprintStack.empty()
+                           ? FingerprintSeed
+                           : S.FingerprintStack.back(),
                        Id));
   }
   void popFrame() {
-    assert(!Stack.empty() && "popping an empty call stack");
-    Stack.pop_back();
-    FingerprintStack.pop_back();
+    ProfilerThreadState &S = state();
+    assert(!S.Stack.empty() && "popping an empty call stack");
+    S.Stack.pop_back();
+    S.FingerprintStack.pop_back();
   }
 
-  /// Current simulated stack depth.
-  size_t stackDepth() const { return Stack.size(); }
+  /// Current simulated stack depth (calling thread).
+  size_t stackDepth() const { return state().Stack.size(); }
 
-  /// Fingerprint of the whole current stack (seed value when empty).
+  /// Fingerprint of the calling thread's whole current stack (seed value
+  /// when empty).
   uint64_t stackFingerprint() const {
-    return FingerprintStack.empty() ? FingerprintSeed
-                                    : FingerprintStack.back();
+    const ProfilerThreadState &S = state();
+    return S.FingerprintStack.empty() ? FingerprintSeed
+                                      : S.FingerprintStack.back();
   }
 
   /// -- Allocation-context capture ------------------------------------------
@@ -103,10 +169,21 @@ public:
   /// Captures the partial allocation context for an allocation of type
   /// \p TypeNameId at site \p SiteId and returns the context record — or
   /// null when profiling is off or the allocation was sampled out. The
-  /// caller records the allocation (`ContextInfo::recordAllocation`) once
-  /// it knows the effective initial capacity, which may still be adjusted
-  /// by plan or online selection.
+  /// caller records the allocation (`noteAllocation`) once it knows the
+  /// effective initial capacity, which may still be adjusted by plan or
+  /// online selection.
   ContextInfo *contextForAllocation(FrameId SiteId, FrameId TypeNameId);
+
+  /// Records one allocation at \p Ctx with its effective initial capacity:
+  /// folded immediately in single-threaded mode, buffered on the calling
+  /// thread in concurrent-mutator mode. Null \p Ctx is ignored.
+  void noteAllocation(ContextInfo *Ctx, uint32_t InitialCapacity);
+
+  /// Records the death of an instance of \p Ctx: folds (single-threaded)
+  /// or snapshots-and-buffers (concurrent) \p Info, and marks it Folded so
+  /// the sweep-time hook won't fold it again. Null \p Ctx or an
+  /// already-folded \p Info is ignored.
+  void noteDeath(ContextInfo *Ctx, ObjectContextInfo &Info);
 
   /// -- HeapProfilerHooks (fed by the collection-aware GC) ------------------
 
@@ -115,10 +192,12 @@ public:
   void onCollectionDeath(const HeapObject &Obj, void *ContextTag,
                          void *ObjectInfoTag) override;
   void onCycleEnd(const GcCycleRecord &Record) override;
+  void onStopTheWorld() override { flushMutatorBuffers(); }
 
-  /// -- Queries --------------------------------------------------------------
+  /// -- Queries (quiescent world in concurrent-mutator mode) ----------------
 
-  /// All contexts, in creation order.
+  /// All contexts: creation order in single-threaded mode, canonical
+  /// (label-sorted) order after a flushEpoch in concurrent-mutator mode.
   const std::vector<ContextInfo *> &contexts() const { return Ordered; }
 
   /// Contexts sorted by decreasing space-saving potential (totLive-totUsed),
@@ -138,13 +217,15 @@ public:
   /// Number of GC cycles observed through the hooks.
   uint64_t cyclesSeen() const { return CyclesSeen; }
 
-  /// Profiling-cost counters (for the overhead experiments).
-  uint64_t contextAcquisitions() const { return Acquisitions; }
-  uint64_t allocationsSampledOut() const { return SampledOut; }
+  /// Profiling-cost counters (for the overhead experiments), summed over
+  /// every thread's state.
+  uint64_t contextAcquisitions() const;
+  uint64_t allocationsSampledOut() const;
 
-  /// Fast-path cache counters (captures served from / past the cache).
-  uint64_t contextCacheHits() const { return CacheHits; }
-  uint64_t contextCacheMisses() const { return CacheMisses; }
+  /// Fast-path cache counters (captures served from / past the cache),
+  /// summed over every thread's state.
+  uint64_t contextCacheHits() const;
+  uint64_t contextCacheMisses() const;
 
 private:
   struct ContextKey {
@@ -181,34 +262,69 @@ private:
 
   static constexpr uint64_t FingerprintSeed = 0xC3A5C85C97CB3127ULL;
 
-  /// One direct-mapped cache line of the allocation-context fast path.
-  struct ContextCacheEntry {
-    uint64_t Fingerprint = 0;
-    FrameId SiteId = 0;
-    FrameId TypeNameId = 0;
-    ContextInfo *Info = nullptr;
-  };
   /// Power of two so the slot index is a mask, sized to cover the distinct
   /// (site, stack) pairs of even the largest simulacra comfortably.
   static constexpr size_t ContextCacheSize = 1024;
 
+  /// The ContextInfo registry is striped across this many independently
+  /// locked shards, selected by context-key hash; threads allocating at
+  /// different contexts contend only when their keys land on the same
+  /// shard (and not at all on context-cache hits).
+  static constexpr size_t NumRegistryShards = 16;
+  struct RegistryShard {
+    std::mutex Mu;
+    std::unordered_map<ContextKey, std::unique_ptr<ContextInfo>,
+                       ContextKeyHash>
+        Map;
+  };
+
+  /// The calling thread's profiler state. Single-threaded mode: always the
+  /// embedded main state, no thread-local lookup. Concurrent mode: a
+  /// thread-local cache validated by profiler instance id, backed by
+  /// findOrCreateState.
+  ProfilerThreadState &state() const {
+    if (!MtActive.load(std::memory_order_relaxed))
+      return MainState;
+    return tlsStateSlow();
+  }
+  ProfilerThreadState &tlsStateSlow() const;
+  ProfilerThreadState &findOrCreateState();
+
   /// True when \p Info's recorded frames equal the partial context the
-  /// current stack would capture — the exactness check behind a cache hit.
-  bool cachedContextMatchesStack(const ContextInfo &Info,
+  /// thread's stack would capture — the exactness check behind a cache hit.
+  bool cachedContextMatchesStack(const ProfilerThreadState &S,
+                                 const ContextInfo &Info,
                                  FrameId SiteId) const;
+
+  /// Renumbers Ordered into label-sorted order (see flushEpoch).
+  void canonicalizeContextOrder();
 
   ProfilerConfig Config;
 
-  std::vector<std::string> FrameNames;
-  std::unordered_map<std::string, FrameId> FrameIds;
-  std::vector<FrameId> Stack;
-  /// FingerprintStack[i] = fingerprint of Stack[0..i]; kept in lock-step
-  /// with Stack by pushFrame/popFrame.
-  std::vector<uint64_t> FingerprintStack;
-  std::vector<ContextCacheEntry> ContextCache;
+  /// Identifies this profiler instance in the thread-local state cache
+  /// (monotonic global counter), so a profiler constructed at a destroyed
+  /// profiler's address cannot inherit stale thread-local pointers.
+  const uint64_t InstanceId;
 
-  std::unordered_map<ContextKey, std::unique_ptr<ContextInfo>, ContextKeyHash>
-      Registry;
+  /// String interner: deque so interned names never move (frameName hands
+  /// out stable references), shared-locked for concurrent interning.
+  mutable std::shared_mutex FramesMu;
+  std::deque<std::string> FrameNames;
+  std::unordered_map<std::string, FrameId> FrameIds;
+
+  std::atomic<bool> MtActive{false};
+  const std::thread::id MainThreadId;
+  /// The main thread's state (also the only state in single-threaded
+  /// mode). Mutable so the const query/stack accessors can route through
+  /// state().
+  mutable ProfilerThreadState MainState;
+  /// Additional mutator states, created on first use; guarded by StatesMu.
+  mutable std::mutex StatesMu;
+  std::vector<std::unique_ptr<ProfilerThreadState>> States;
+
+  std::array<RegistryShard, NumRegistryShards> Registry;
+  /// Guards Ordered against concurrent context creation.
+  mutable std::mutex OrderedMu;
   std::vector<ContextInfo *> Ordered;
 
   std::vector<ContextInfo *> TouchedThisCycle;
@@ -218,12 +334,6 @@ private:
   TotalMax HeapCollLive;
   TotalMax HeapCollUsed;
   TotalMax HeapCollCore;
-
-  uint64_t AllocationTick = 0;
-  uint64_t Acquisitions = 0;
-  uint64_t SampledOut = 0;
-  uint64_t CacheHits = 0;
-  uint64_t CacheMisses = 0;
 };
 
 /// RAII frame on the simulated call stack. Prefer the pre-interned-id form

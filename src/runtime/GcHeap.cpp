@@ -22,10 +22,34 @@ HeapProfilerHooks::~HeapProfilerHooks() = default;
 
 void HeapObject::trace(GcTracer &Tracer) const { (void)Tracer; }
 
-GcHeap::GcHeap(MemoryModel Model, uint64_t HeapLimitBytes)
-    : Model(Model), HeapLimitBytes(HeapLimitBytes) {}
+namespace {
 
-GcHeap::~GcHeap() = default;
+/// Monotonic heap-instance ids: a heap constructed at a destroyed heap's
+/// address gets a different id, so the thread-local mutator cache below can
+/// never resolve against the wrong heap.
+std::atomic<uint64_t> NextHeapInstanceId{1};
+
+/// Which heap (by instance id) the calling thread is registered with, and
+/// its MutatorThread record there. One registration per thread at a time.
+struct TlsMutatorCache {
+  uint64_t HeapId = 0;
+  MutatorThread *M = nullptr;
+};
+thread_local TlsMutatorCache TheTlsMutator;
+
+} // namespace
+
+GcHeap::GcHeap(MemoryModel Model, uint64_t HeapLimitBytes)
+    : Model(Model), HeapLimitBytes(HeapLimitBytes),
+      Chunks(new std::atomic<SlotChunk *>[MaxSlotChunks]()),
+      InstanceId(NextHeapInstanceId.fetch_add(1, std::memory_order_relaxed)) {
+  Main.ThreadId = std::this_thread::get_id();
+}
+
+GcHeap::~GcHeap() {
+  for (uint32_t I = 0; I < MaxSlotChunks; ++I)
+    delete Chunks[I].load(std::memory_order_relaxed);
+}
 
 void GcHeap::setGcThreads(unsigned Threads) {
   assert(Threads >= 1 && "need at least one collector thread");
@@ -59,7 +83,137 @@ void GcHeap::runOnWorkers(const std::function<void(unsigned)> &Task) {
   Pool->run(Task);
 }
 
+//===----------------------------------------------------------------------===//
+// Mutator threads and safepoints (DESIGN.md §9)
+//===----------------------------------------------------------------------===//
+
+MutatorThread *GcHeap::selfMutatorOrNull() {
+  if (TheTlsMutator.HeapId == InstanceId)
+    return TheTlsMutator.M;
+  return nullptr;
+}
+
+MutatorThread &GcHeap::rootOwnerSlow() {
+  if (MutatorThread *M = selfMutatorOrNull())
+    return *M;
+  return Main;
+}
+
+MutatorThread *GcHeap::registerMutatorThread() {
+  assert(TheTlsMutator.M == nullptr
+         && "thread is already registered as a mutator");
+  auto Rec = std::make_unique<MutatorThread>();
+  Rec->ThreadId = std::this_thread::get_id();
+  Rec->Registered = true;
+  MutatorThread *M = Rec.get();
+  {
+    std::unique_lock<std::mutex> L(SpMu);
+    // Never admit a new running mutator mid-stop-the-world: the initiator
+    // enumerated the registered set when it began waiting.
+    SpCv.wait(L, [&] {
+      return !SafepointRequested.load(std::memory_order_relaxed);
+    });
+    Mutators.push_back(std::move(Rec));
+    MutatorsActive.store(true, std::memory_order_release);
+  }
+  TheTlsMutator = {InstanceId, M};
+  return M;
+}
+
+void GcHeap::unregisterMutatorThread(MutatorThread *M) {
+  assert(M && M->Registered && "unregistering an unregistered mutator");
+  assert(selfMutatorOrNull() == M
+         && "mutators must unregister on their own thread");
+  assert(M->TempRootDepth == 0 && "unregistering with live temp roots");
+
+  std::unique_lock<std::mutex> L(SpMu);
+  while (SafepointRequested.load(std::memory_order_relaxed)) {
+    // A stop-the-world is pending: park so it proceeds, retry after.
+    M->AtSafepoint = true;
+    SpCv.notify_all();
+    SpCv.wait(L, [&] {
+      return !SafepointRequested.load(std::memory_order_relaxed);
+    });
+    M->AtSafepoint = false;
+  }
+
+  // Splice surviving roots into the main segment so handles created on
+  // this thread stay valid after it exits. removeRoot is positional, so
+  // the handles themselves need no update.
+  while (RootNode *Node = M->RootsHead.Next) {
+    M->RootsHead.Next = Node->Next;
+    if (Node->Next)
+      Node->Next->Prev = &M->RootsHead;
+    Node->Prev = &Main.RootsHead;
+    Node->Next = Main.RootsHead.Next;
+    if (Main.RootsHead.Next)
+      Main.RootsHead.Next->Prev = Node;
+    Main.RootsHead.Next = Node;
+  }
+
+  M->Registered = false;
+  bool AnyRegistered = false;
+  for (const std::unique_ptr<MutatorThread> &Rec : Mutators)
+    AnyRegistered |= Rec->Registered;
+  MutatorsActive.store(AnyRegistered, std::memory_order_release);
+  TheTlsMutator = {0, nullptr};
+}
+
+void GcHeap::safepointSlow() {
+  MutatorThread *M = selfMutatorOrNull();
+  if (!M)
+    return; // unregistered threads don't participate in the handshake
+  std::unique_lock<std::mutex> L(SpMu);
+  while (SafepointRequested.load(std::memory_order_relaxed)) {
+    M->AtSafepoint = true;
+    SpCv.notify_all();
+    SpCv.wait(L, [&] {
+      return !SafepointRequested.load(std::memory_order_relaxed);
+    });
+  }
+  M->AtSafepoint = false;
+}
+
+void GcHeap::enterSafeRegion() {
+  MutatorThread *M = selfMutatorOrNull();
+  if (!M)
+    return;
+  std::lock_guard<std::mutex> L(SpMu);
+  M->AtSafepoint = true;
+  SpCv.notify_all();
+}
+
+void GcHeap::leaveSafeRegion() {
+  MutatorThread *M = selfMutatorOrNull();
+  if (!M)
+    return;
+  std::unique_lock<std::mutex> L(SpMu);
+  SpCv.wait(L, [&] {
+    return !SafepointRequested.load(std::memory_order_relaxed);
+  });
+  M->AtSafepoint = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
 ObjectRef GcHeap::allocate(std::unique_ptr<HeapObject> Obj) {
+  if (!MutatorsActive.load(std::memory_order_acquire))
+    return allocateLocked(std::move(Obj));
+
+  std::unique_lock<std::mutex> AL(AllocMu, std::defer_lock);
+  {
+    // Park while blocked on the allocation lock so a pending
+    // stop-the-world — possibly initiated by the current lock holder's
+    // pressure collection — proceeds without waiting for us.
+    GcSafeRegion Region(*this);
+    AL.lock();
+  }
+  return allocateLocked(std::move(Obj));
+}
+
+ObjectRef GcHeap::allocateLocked(std::unique_ptr<HeapObject> Obj) {
   assert(Obj && "allocating a null object");
   assert(!InCollection && "allocation during a GC cycle");
 
@@ -100,14 +254,23 @@ ObjectRef GcHeap::allocate(std::unique_ptr<HeapObject> Obj) {
   if (!FreeSlots.empty()) {
     Slot = FreeSlots.back();
     FreeSlots.pop_back();
-    assert(!Slots[Slot] && "free slot still occupied");
-    Slots[Slot] = std::move(Obj);
+    std::unique_ptr<HeapObject> &Cell = slotRef(Slot);
+    assert(!Cell && "free slot still occupied");
+    Cell = std::move(Obj);
   } else {
-    Slot = static_cast<uint32_t>(Slots.size());
-    Slots.push_back(std::move(Obj));
+    Slot = SlotCount.load(std::memory_order_relaxed);
+    uint32_t ChunkIdx = Slot >> SlotChunkShift;
+    assert(ChunkIdx < MaxSlotChunks && "slot table exhausted");
+    if (!Chunks[ChunkIdx].load(std::memory_order_relaxed))
+      Chunks[ChunkIdx].store(new SlotChunk(), std::memory_order_release);
+    Chunks[ChunkIdx].load(std::memory_order_relaxed)
+        ->Objs[Slot & (SlotChunkCapacity - 1)] = std::move(Obj);
+    // Publish the slot after its contents: a concurrent reader that sees
+    // the new count also sees the object (chunks never move).
+    SlotCount.store(Slot + 1, std::memory_order_release);
   }
 
-  HeapObject &Placed = *Slots[Slot];
+  HeapObject &Placed = *slotRef(Slot);
   Placed.Self = ObjectRef::fromSlot(Slot);
   BytesInUse += Bytes;
   ++ObjectsInUse;
@@ -115,6 +278,10 @@ ObjectRef GcHeap::allocate(std::unique_ptr<HeapObject> Obj) {
   ++TotalAllocatedObjects;
   return Placed.Self;
 }
+
+//===----------------------------------------------------------------------===//
+// Marking
+//===----------------------------------------------------------------------===//
 
 /// Worklist-based marker. Recursion would overflow the C++ stack on long
 /// linked-list chains, so tracing is iterative.
@@ -158,10 +325,15 @@ void GcHeap::markPhase(GcCycleRecord &Record) {
     return;
   }
   Marker M(*this, CurrentEpoch);
-  for (RootNode *Node = RootsHead.Next; Node; Node = Node->Next)
-    M.visit(Node->Ref);
-  for (unsigned I = 0; I < TempRootDepth; ++I)
-    M.visit(TempRoots[I]);
+  auto SeedRoots = [&M](const MutatorThread &Mut) {
+    for (RootNode *Node = Mut.RootsHead.Next; Node; Node = Node->Next)
+      M.visit(Node->Ref);
+    for (unsigned I = 0; I < Mut.TempRootDepth; ++I)
+      M.visit(Mut.TempRoots[I]);
+  };
+  SeedRoots(Main);
+  for (const std::unique_ptr<MutatorThread> &Mut : Mutators)
+    SeedRoots(*Mut); // unregistered records have empty lists
 
   std::vector<uint64_t> TypeBytes;
   if (RecordTypeDistribution)
@@ -238,14 +410,19 @@ public:
     return &Obj;
   }
 
-  /// Seeds the shared worklist from the roots (calling thread).
+  /// Seeds the shared worklist from every thread's roots (calling thread).
   void seed() {
-    for (RootNode *Node = Heap.RootsHead.Next; Node; Node = Node->Next)
-      if (HeapObject *Obj = claim(Node->Ref))
-        Shared.push_back(Obj);
-    for (unsigned I = 0; I < Heap.TempRootDepth; ++I)
-      if (HeapObject *Obj = claim(Heap.TempRoots[I]))
-        Shared.push_back(Obj);
+    auto SeedRoots = [this](const MutatorThread &Mut) {
+      for (RootNode *Node = Mut.RootsHead.Next; Node; Node = Node->Next)
+        if (HeapObject *Obj = claim(Node->Ref))
+          Shared.push_back(Obj);
+      for (unsigned I = 0; I < Mut.TempRootDepth; ++I)
+        if (HeapObject *Obj = claim(Mut.TempRoots[I]))
+          Shared.push_back(Obj);
+    };
+    SeedRoots(Heap.Main);
+    for (const std::unique_ptr<MutatorThread> &Mut : Heap.Mutators)
+      SeedRoots(*Mut);
   }
 
   void run() {
@@ -390,14 +567,19 @@ void GcHeap::markPhaseParallel(GcCycleRecord &Record) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Sweeping
+//===----------------------------------------------------------------------===//
+
 void GcHeap::sweepPhase(GcCycleRecord &Record) {
   if (GcThreads > 1) {
     sweepPhaseParallel(Record);
     return;
   }
-  for (uint32_t Slot = 0, E = static_cast<uint32_t>(Slots.size()); Slot != E;
-       ++Slot) {
-    HeapObject *Obj = Slots[Slot].get();
+  for (uint32_t Slot = 0, E = SlotCount.load(std::memory_order_relaxed);
+       Slot != E; ++Slot) {
+    std::unique_ptr<HeapObject> &Cell = slotRef(Slot);
+    HeapObject *Obj = Cell.get();
     if (!Obj
         || Obj->MarkEpoch.load(std::memory_order_relaxed) == CurrentEpoch)
       continue;
@@ -413,7 +595,7 @@ void GcHeap::sweepPhase(GcCycleRecord &Record) {
     ++Record.FreedObjects;
     BytesInUse -= Obj->shallowBytes();
     --ObjectsInUse;
-    Slots[Slot].reset();
+    Cell.reset();
     FreeSlots.push_back(Slot);
   }
 }
@@ -440,7 +622,7 @@ void GcHeap::sweepPhaseParallel(GcCycleRecord &Record) {
     std::vector<DeathEvent> Events;
   };
 
-  const uint32_t NumSlots = static_cast<uint32_t>(Slots.size());
+  const uint32_t NumSlots = SlotCount.load(std::memory_order_relaxed);
   const unsigned Workers = GcThreads;
   const uint32_t ChunkSlots = (NumSlots + Workers - 1) / Workers;
   std::vector<SweepState> States(Workers);
@@ -450,7 +632,7 @@ void GcHeap::sweepPhaseParallel(GcCycleRecord &Record) {
     uint32_t Begin = std::min(W * ChunkSlots, NumSlots);
     uint32_t End = std::min(Begin + ChunkSlots, NumSlots);
     for (uint32_t Slot = Begin; Slot != End; ++Slot) {
-      HeapObject *Obj = Slots[Slot].get();
+      HeapObject *Obj = slotRef(Slot).get();
       if (!Obj
           || Obj->MarkEpoch.load(std::memory_order_relaxed) == CurrentEpoch)
         continue;
@@ -476,7 +658,7 @@ void GcHeap::sweepPhaseParallel(GcCycleRecord &Record) {
   // Destroy dead objects in parallel; the slot sets are disjoint.
   runOnWorkers([&](unsigned W) {
     for (uint32_t Slot : States[W].DeadSlots)
-      Slots[Slot].reset();
+      slotRef(Slot).reset();
   });
 
   for (const SweepState &State : States) {
@@ -489,10 +671,55 @@ void GcHeap::sweepPhaseParallel(GcCycleRecord &Record) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Collection driver
+//===----------------------------------------------------------------------===//
+
 const GcCycleRecord &GcHeap::collect(bool Forced) {
+  if (!MutatorsActive.load(std::memory_order_acquire))
+    return collectStopped(Forced);
+
+  // Stop the world: wait out any in-flight request, then claim our own and
+  // wait until every registered mutator other than us is parked. The
+  // initiator holds SpMu across the whole cycle, so late pollers simply
+  // block until the world restarts.
+  MutatorThread *Self = selfMutatorOrNull();
+  std::unique_lock<std::mutex> L(SpMu);
+  while (SafepointRequested.load(std::memory_order_relaxed)) {
+    if (Self) {
+      Self->AtSafepoint = true;
+      SpCv.notify_all();
+    }
+    SpCv.wait(L, [&] {
+      return !SafepointRequested.load(std::memory_order_relaxed);
+    });
+    if (Self)
+      Self->AtSafepoint = false;
+  }
+  SafepointRequested.store(true, std::memory_order_release);
+  SpCv.wait(L, [&] {
+    for (const std::unique_ptr<MutatorThread> &Rec : Mutators)
+      if (Rec->Registered && Rec.get() != Self && !Rec->AtSafepoint)
+        return false;
+    return true;
+  });
+
+  const GcCycleRecord &Rec = collectStopped(Forced);
+
+  SafepointRequested.store(false, std::memory_order_release);
+  SpCv.notify_all();
+  return Rec;
+}
+
+const GcCycleRecord &GcHeap::collectStopped(bool Forced) {
   assert(!InCollection && "re-entrant collection");
   InCollection = true;
   auto Start = std::chrono::steady_clock::now();
+
+  // Let the profiler drain per-thread event buffers before any live/death
+  // statistics of this cycle land (DESIGN.md §9: flush precedes fold).
+  if (Hooks)
+    Hooks->onStopTheWorld();
 
   ++CurrentEpoch;
   GcCycleRecord Record;
@@ -514,17 +741,21 @@ const GcCycleRecord &GcHeap::collect(bool Forced) {
   return CycleRecords.back();
 }
 
+//===----------------------------------------------------------------------===//
+// Verification
+//===----------------------------------------------------------------------===//
+
 namespace {
 /// Tracer that validates outgoing references instead of marking.
 class VerifyTracer : public GcTracer {
 public:
-  VerifyTracer(const std::vector<std::unique_ptr<HeapObject>> &Slots)
-      : Slots(Slots) {}
+  explicit VerifyTracer(std::function<bool(uint32_t)> SlotOccupied)
+      : SlotOccupied(std::move(SlotOccupied)) {}
 
   void visit(ObjectRef Ref) override {
     if (Ref.isNull() || !Problem.empty())
       return;
-    if (Ref.slot() >= Slots.size() || !Slots[Ref.slot()])
+    if (!SlotOccupied(Ref.slot()))
       Problem = "dangling reference to slot "
                 + std::to_string(Ref.slot());
   }
@@ -532,7 +763,7 @@ public:
   std::string Problem;
 
 private:
-  const std::vector<std::unique_ptr<HeapObject>> &Slots;
+  std::function<bool(uint32_t)> SlotOccupied;
 };
 } // namespace
 
@@ -543,12 +774,16 @@ bool GcHeap::verifyHeap(std::string *ErrorOut) const {
     return false;
   };
 
+  const uint32_t NumSlots = SlotCount.load(std::memory_order_relaxed);
+  auto SlotOccupied = [this, NumSlots](uint32_t Slot) {
+    return Slot < NumSlots && slotRef(Slot) != nullptr;
+  };
+
   uint64_t Bytes = 0;
   uint64_t Objects = 0;
-  VerifyTracer Tracer(Slots);
-  for (uint32_t Slot = 0, E = static_cast<uint32_t>(Slots.size()); Slot != E;
-       ++Slot) {
-    const HeapObject *Obj = Slots[Slot].get();
+  VerifyTracer Tracer(SlotOccupied);
+  for (uint32_t Slot = 0; Slot != NumSlots; ++Slot) {
+    const HeapObject *Obj = slotRef(Slot).get();
     if (!Obj)
       continue;
     ++Objects;
@@ -574,15 +809,27 @@ bool GcHeap::verifyHeap(std::string *ErrorOut) const {
                 + std::to_string(ObjectsInUse) + ", actual "
                 + std::to_string(Objects));
 
-  // Root list linkage.
-  const RootNode *Prev = &RootsHead;
-  for (const RootNode *Node = RootsHead.Next; Node; Node = Node->Next) {
-    if (Node->Prev != Prev)
-      return Fail("root list back-link is broken");
-    if (!Node->Ref.isNull()
-        && (Node->Ref.slot() >= Slots.size() || !Slots[Node->Ref.slot()]))
-      return Fail("root references an empty slot");
-    Prev = Node;
-  }
+  // Root list linkage, every thread's segment.
+  auto VerifySegment = [&](const MutatorThread &Mut) -> std::string {
+    const RootNode *Prev = &Mut.RootsHead;
+    for (const RootNode *Node = Mut.RootsHead.Next; Node;
+         Node = Node->Next) {
+      if (Node->Prev != Prev)
+        return "root list back-link is broken";
+      if (!Node->Ref.isNull() && !SlotOccupied(Node->Ref.slot()))
+        return "root references an empty slot";
+      Prev = Node;
+    }
+    return "";
+  };
+  std::string Problem = VerifySegment(Main);
+  if (Problem.empty())
+    for (const std::unique_ptr<MutatorThread> &Mut : Mutators) {
+      Problem = VerifySegment(*Mut);
+      if (!Problem.empty())
+        break;
+    }
+  if (!Problem.empty())
+    return Fail(Problem);
   return true;
 }

@@ -15,7 +15,7 @@
 /// The collector follows the paper's base parallel mark-and-sweep design
 /// (§4.3.2): tracing runs on `gcThreads()` workers (1 by default) that
 /// claim objects with a CAS on the mark epoch, and sweeping partitions the
-/// slot vector into one contiguous range per worker. The workers live in a
+/// slot table into one contiguous range per worker. The workers live in a
 /// persistent `GcWorkerPool` owned by the heap (created lazily on the first
 /// parallel cycle), so a cycle costs a wake/notify rather than a thread
 /// spawn/join. Every cycle statistic is a commutative sum and every
@@ -27,6 +27,17 @@
 /// profiler hooks; during sweeping it reports dying collections so their
 /// per-instance statistics can be folded into their allocation context (the
 /// sweep-phase alternative to finalizers, §4.4).
+///
+/// The *mutator* side admits N application threads (DESIGN.md §9): each
+/// thread registers through `registerMutatorThread` (see the runtime
+/// layer's `MutatorScope`) and gets its own root-list segment and temp-root
+/// stack; object references read lock-free through a chunked slot table
+/// whose chunks are published once and never move; allocation serialises on
+/// one mutex; and a collection triggered while mutators run stops the world
+/// through a safepoint protocol — mutators poll at operation boundaries
+/// (`safepointPoll`) or park in a `GcSafeRegion` while blocked. With no
+/// registered mutators every path compiles down to the single-threaded
+/// original (one relaxed flag load on the hot paths).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,10 +51,14 @@
 #include "runtime/MemoryModel.h"
 #include "runtime/SemanticMap.h"
 
+#include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace chameleon {
@@ -59,8 +74,30 @@ struct RootNode {
   bool linked() const { return Prev != nullptr; }
 };
 
-/// A managed heap. Single-threaded; every workload in this repository is
-/// deterministic and single-threaded by design (DESIGN.md §4).
+/// Maximum depth of a per-thread temp-root stack (see pushTempRoot).
+inline constexpr unsigned GcMaxTempRoots = 32;
+
+/// Per-mutator-thread heap state: a root-list segment, a temp-root stack,
+/// and the safepoint flag the stop-the-world protocol handshakes on. The
+/// heap owns one embedded record for the main (unregistered) thread and one
+/// per registered mutator. Fields other than the safepoint state are only
+/// touched by the owning thread (or by the collector while the world is
+/// stopped); the safepoint state is guarded by the heap's safepoint mutex.
+struct MutatorThread {
+  /// Sentinel head of this thread's intrusive root-list segment.
+  RootNode RootsHead;
+  ObjectRef TempRoots[GcMaxTempRoots];
+  unsigned TempRootDepth = 0;
+  std::thread::id ThreadId;
+  /// True while the thread is stopped (parked at a poll or inside a
+  /// GcSafeRegion). Guarded by the heap's safepoint mutex.
+  bool AtSafepoint = false;
+  /// False once unregistered (the record is retained; its lists are empty).
+  bool Registered = false;
+};
+
+/// A managed heap. Single-threaded by default; N mutator threads are
+/// supported once they register (DESIGN.md §9).
 class GcHeap {
 public:
   /// Creates a heap with the given layout model and limit in model bytes
@@ -121,6 +158,38 @@ public:
   void setUseWorkerPool(bool On);
   bool useWorkerPool() const { return UseWorkerPool; }
 
+  /// -- Concurrent mutators (DESIGN.md §9) ----------------------------------
+
+  /// Registers the calling thread as a mutator: it gets its own root-list
+  /// segment and temp-root stack, and the stop-the-world protocol waits for
+  /// it before any collection. A registered thread must reach safepoints
+  /// regularly — every collection-handle operation polls — or park in a
+  /// `GcSafeRegion` while blocked, and must unregister (on the same thread)
+  /// before it exits. Use the runtime layer's `MutatorScope`, which pairs
+  /// this with the profiler-side registration.
+  MutatorThread *registerMutatorThread();
+
+  /// Unregisters \p M (calling thread must be its owner). Surviving roots
+  /// are spliced into the main thread's segment, so handles created on the
+  /// worker stay valid after it exits.
+  void unregisterMutatorThread(MutatorThread *M);
+
+  /// True while any mutator thread is registered. While true, allocation
+  /// takes the heap's allocation mutex and collections stop the world; the
+  /// *unregistered* threads (typically the coordinating main thread) must
+  /// stay quiescent except while every registered mutator is parked.
+  bool concurrentMutatorsActive() const {
+    return MutatorsActive.load(std::memory_order_acquire);
+  }
+
+  /// The cheap check mutator threads make at operation boundaries: one
+  /// acquire load and a predicted-not-taken branch. When a collection is
+  /// pending, blocks until the world restarts.
+  void safepointPoll() {
+    if (SafepointRequested.load(std::memory_order_acquire))
+      safepointSlow();
+  }
+
   /// Moves \p Obj into the heap and returns its reference.
   ///
   /// If the allocation would push the heap past its limit, a collection runs
@@ -131,11 +200,14 @@ public:
   ObjectRef allocate(std::unique_ptr<HeapObject> Obj);
 
   /// Returns the object \p Ref points to. \p Ref must be non-null and live.
+  /// Lock-free: published slots never move (chunked slot table).
   HeapObject &get(ObjectRef Ref) {
     assert(!Ref.isNull() && "dereferencing null ObjectRef");
-    assert(Ref.slot() < Slots.size() && Slots[Ref.slot()]
-           && "dangling ObjectRef");
-    return *Slots[Ref.slot()];
+    assert(Ref.slot() < SlotCount.load(std::memory_order_relaxed)
+           && "ObjectRef beyond slot table");
+    HeapObject *Obj = slotRef(Ref.slot()).get();
+    assert(Obj && "dangling ObjectRef");
+    return *Obj;
   }
   const HeapObject &get(ObjectRef Ref) const {
     return const_cast<GcHeap *>(this)->get(Ref);
@@ -151,18 +223,22 @@ public:
     return static_cast<const T &>(get(Ref));
   }
 
-  /// Links \p Node as a GC root; the referenced object (if any) stays
-  /// live. Use `Handle` rather than calling this directly.
+  /// Links \p Node as a GC root in the calling thread's root segment; the
+  /// referenced object (if any) stays live. Use `Handle` rather than
+  /// calling this directly.
   void addRoot(RootNode *Node) {
     assert(Node && !Node->linked() && "root node already linked");
-    Node->Prev = &RootsHead;
-    Node->Next = RootsHead.Next;
-    if (RootsHead.Next)
-      RootsHead.Next->Prev = Node;
-    RootsHead.Next = Node;
+    RootNode &Head = rootOwner().RootsHead;
+    Node->Prev = &Head;
+    Node->Next = Head.Next;
+    if (Head.Next)
+      Head.Next->Prev = Node;
+    Head.Next = Node;
   }
 
-  /// Unlinks a root previously added with addRoot.
+  /// Unlinks a root previously added with addRoot. Positional: works
+  /// regardless of which thread's segment the node sits in (the splicing
+  /// at unregistration relies on this).
   void removeRoot(RootNode *Node) {
     assert(Node && Node->linked() && "removing an unlinked root node");
     Node->Prev->Next = Node->Next;
@@ -172,28 +248,33 @@ public:
     Node->Next = nullptr;
   }
 
-  /// Maximum depth of the temp-root stack (see pushTempRoot).
-  static constexpr unsigned MaxTempRoots = 32;
+  /// Maximum depth of a temp-root stack (see pushTempRoot).
+  static constexpr unsigned MaxTempRoots = GcMaxTempRoots;
 
-  /// Pushes a temporary root. Temp roots protect operands held only in C++
-  /// locals across an allocation that might trigger a collection (e.g. a
-  /// value being inserted while the map allocates its entry). They are a
-  /// bounded stack because their lifetime is one collection operation; use
-  /// `TempRootScope`, not these calls.
+  /// Pushes a temporary root on the calling thread's temp-root stack. Temp
+  /// roots protect operands held only in C++ locals across an allocation
+  /// that might trigger a collection (e.g. a value being inserted while the
+  /// map allocates its entry). They are a bounded stack because their
+  /// lifetime is one collection operation; use `TempRootScope`, not these
+  /// calls.
   void pushTempRoot(ObjectRef Ref) {
-    assert(TempRootDepth < MaxTempRoots && "temp root stack overflow");
-    TempRoots[TempRootDepth++] = Ref;
+    MutatorThread &M = rootOwner();
+    assert(M.TempRootDepth < MaxTempRoots && "temp root stack overflow");
+    M.TempRoots[M.TempRootDepth++] = Ref;
   }
 
   /// Pops the \p Count most recent temp roots.
   void popTempRoots(unsigned Count) {
-    assert(Count <= TempRootDepth && "temp root stack underflow");
-    TempRootDepth -= Count;
+    MutatorThread &M = rootOwner();
+    assert(Count <= M.TempRootDepth && "temp root stack underflow");
+    M.TempRootDepth -= Count;
   }
 
   /// Runs one full mark-and-sweep cycle. \p Forced marks the record as an
   /// explicit request (statistics sampling) rather than allocation pressure.
-  /// Returns the completed cycle record.
+  /// With registered mutators, first stops the world (all registered
+  /// threads other than the caller parked at safepoints). Returns the
+  /// completed cycle record.
   const GcCycleRecord &collect(bool Forced = false);
 
   /// Applies \p Fn to every live-or-unswept object in the heap. Used by the
@@ -201,14 +282,15 @@ public:
   /// templated on the callback so the once-per-object call inlines instead
   /// of going through a std::function dispatch.
   template <typename CallbackT> void forEachObject(CallbackT &&Fn) {
-    for (auto &Slot : Slots)
-      if (Slot)
-        Fn(*Slot);
+    for (uint32_t Slot = 0, E = SlotCount.load(std::memory_order_relaxed);
+         Slot != E; ++Slot)
+      if (HeapObject *Obj = slotRef(Slot).get())
+        Fn(*Obj);
   }
 
   /// Structural validator (the analogue of an IR verifier): checks that
   /// every object's self-reference matches its slot, that every traced
-  /// outgoing reference points at an occupied slot, that the root list is
+  /// outgoing reference points at an occupied slot, that every root list is
   /// well linked, and that the byte/object accounting matches the slots.
   /// \returns true when consistent; otherwise false, with a description of
   /// the first problem in \p ErrorOut (when non-null).
@@ -248,6 +330,50 @@ public:
 private:
   class Marker;
   class ParallelMarker;
+  friend class GcSafeRegion;
+
+  /// -- Chunked slot table ---------------------------------------------------
+  /// Slot storage is an array of fixed-size chunks published through atomic
+  /// pointers: a chunk, once installed, never moves, so `get()` stays
+  /// lock-free while another thread (holding the allocation mutex) grows
+  /// the table. Slot = chunk index (high bits) + offset (low bits).
+  static constexpr unsigned SlotChunkShift = 12;
+  static constexpr uint32_t SlotChunkCapacity = 1u << SlotChunkShift;
+  static constexpr uint32_t MaxSlotChunks = 1u << 14; // 64M slots
+  struct SlotChunk {
+    std::unique_ptr<HeapObject> Objs[SlotChunkCapacity];
+  };
+
+  std::unique_ptr<HeapObject> &slotRef(uint32_t Slot) const {
+    assert((Slot >> SlotChunkShift) < MaxSlotChunks && "slot out of range");
+    SlotChunk *C =
+        Chunks[Slot >> SlotChunkShift].load(std::memory_order_acquire);
+    assert(C && "slot in an unallocated chunk");
+    return C->Objs[Slot & (SlotChunkCapacity - 1)];
+  }
+
+  /// The single-threaded allocation body (caller holds AllocMu when
+  /// mutators are active).
+  ObjectRef allocateLocked(std::unique_ptr<HeapObject> Obj);
+
+  /// The collection body, entered with the world already stopped (or no
+  /// mutators registered).
+  const GcCycleRecord &collectStopped(bool Forced);
+
+  /// The calling thread's MutatorThread record, or null when the thread
+  /// never registered with this heap.
+  MutatorThread *selfMutatorOrNull();
+  /// Slow path of rootOwner (mutators active): resolve via thread-local.
+  MutatorThread &rootOwnerSlow();
+  MutatorThread &rootOwner() {
+    if (!MutatorsActive.load(std::memory_order_relaxed))
+      return Main;
+    return rootOwnerSlow();
+  }
+
+  void safepointSlow();
+  void enterSafeRegion();
+  void leaveSafeRegion();
 
   /// Marks from roots; fills the cycle record's live statistics.
   void markPhase(GcCycleRecord &Record);
@@ -271,12 +397,30 @@ private:
   TypeRegistry Types;
   HeapProfilerHooks *Hooks = nullptr;
 
-  std::vector<std::unique_ptr<HeapObject>> Slots;
+  std::unique_ptr<std::atomic<SlotChunk *>[]> Chunks;
+  std::atomic<uint32_t> SlotCount{0};
   std::vector<uint32_t> FreeSlots;
-  /// Sentinel head of the intrusive root list.
-  RootNode RootsHead;
-  ObjectRef TempRoots[MaxTempRoots];
-  unsigned TempRootDepth = 0;
+
+  /// The main (unregistered) thread's roots and temp roots; also the
+  /// landing segment for roots spliced out of unregistering mutators.
+  MutatorThread Main;
+  /// Registered mutator records; retained (Registered=false, lists empty)
+  /// after unregistration so pointers stay valid for the heap's lifetime.
+  std::vector<std::unique_ptr<MutatorThread>> Mutators;
+
+  /// Identifies this heap instance in the thread-local mutator cache, so a
+  /// heap reallocated at a dead heap's address cannot inherit stale state.
+  const uint64_t InstanceId;
+
+  std::atomic<bool> MutatorsActive{false};
+  std::atomic<bool> SafepointRequested{false};
+  /// Guards the safepoint handshake state (AtSafepoint flags, the Mutators
+  /// vector) and is held by the collection initiator for the whole stopped
+  /// window.
+  std::mutex SpMu;
+  std::condition_variable SpCv;
+  /// Serialises allocation when mutators are active.
+  std::mutex AllocMu;
 
   uint64_t BytesInUse = 0;
   uint64_t ObjectsInUse = 0;
@@ -293,6 +437,25 @@ private:
   /// count changes or the pool is disabled.
   std::unique_ptr<GcWorkerPool> Pool;
   std::vector<GcCycleRecord> CycleRecords;
+};
+
+/// RAII scope marking the calling (registered) mutator as stopped for the
+/// duration: a pending stop-the-world proceeds without waiting for this
+/// thread. Enter one around any blocking wait (barriers, queue pops, lock
+/// acquisitions outside the heap); the thread must not touch the heap while
+/// inside. No-op on threads that never registered.
+class GcSafeRegion {
+public:
+  explicit GcSafeRegion(GcHeap &Heap) : Heap(Heap) {
+    Heap.enterSafeRegion();
+  }
+  GcSafeRegion(const GcSafeRegion &) = delete;
+  GcSafeRegion &operator=(const GcSafeRegion &) = delete;
+  /// Blocks until no collection is in progress, then resumes mutation.
+  ~GcSafeRegion() { Heap.leaveSafeRegion(); }
+
+private:
+  GcHeap &Heap;
 };
 
 /// RAII scope for temp roots: pushes up to three references on construction
@@ -320,6 +483,11 @@ private:
 
 /// RAII GC root: keeps the object referenced by its embedded node alive
 /// while in scope. Copyable (each copy is an independent root), movable.
+/// The node links into the root segment of the thread performing the
+/// construction/copy/move; destroying a handle that lives in another
+/// *running* thread's segment is a race — transfer handles only across
+/// synchronisation points (the unregistration splice moves a finished
+/// worker's surviving roots to the main segment).
 class Handle {
 public:
   Handle() = default;

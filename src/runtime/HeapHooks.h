@@ -41,6 +41,13 @@ public:
 
   /// Called once at the end of each cycle with the cycle's record.
   virtual void onCycleEnd(const GcCycleRecord &Record) = 0;
+
+  /// Called at the start of every cycle, after the world has stopped (all
+  /// registered mutators parked) and before any marking. Profilers that
+  /// buffer per-mutator-thread events drain them here so the cycle's
+  /// live/death statistics fold against up-to-date contexts (DESIGN.md §9).
+  /// Default: nothing — single-threaded profilers have nothing to drain.
+  virtual void onStopTheWorld() {}
 };
 
 } // namespace chameleon

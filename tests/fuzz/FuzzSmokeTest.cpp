@@ -1,0 +1,152 @@
+//===--- FuzzSmokeTest.cpp - Seeded mini-fuzz smoke target ----------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-seed, time-bounded fuzz pass over the whole collection runtime
+/// (`ctest -L fuzz-smoke`): random op sequences against reference models
+/// on randomly chosen implementations, random forced/sampling GCs, online
+/// replacement, retire(), and a heap verification after every wave. The
+/// seeds are fixed so the run is deterministic and fast enough for tier-1
+/// (< 10 s); it exists to catch cross-feature interactions the targeted
+/// suites don't combine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/Handles.h"
+
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+using namespace chameleon;
+
+namespace {
+
+constexpr uint64_t FuzzSeed = 0xF0225EED;
+constexpr uint64_t Gamma = 0x9E3779B97F4A7C15ULL;
+
+struct FuzzList {
+  List L;
+  std::vector<int64_t> Model;
+};
+struct FuzzMap {
+  Map M;
+  std::unordered_map<int64_t, int64_t> Model;
+};
+
+/// One wave: build a mixed population, interleave ops with random GCs,
+/// then retire a random subset and verify the heap.
+void runWave(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  RuntimeConfig Config;
+  Config.Profiler.SamplingPeriod = 1 + Rng.nextBelow(3);
+  Config.GcSampleEveryBytes = (1 + Rng.nextBelow(4)) * 128 * 1024;
+  CollectionRuntime RT(Config);
+  FrameId ListSite = RT.site("fuzz.list:1");
+  FrameId MapSite = RT.site("fuzz.map:1");
+
+  static const ImplKind ListKinds[] = {
+      ImplKind::ArrayList, ImplKind::LazyArrayList, ImplKind::LinkedList,
+      ImplKind::IntArrayList};
+  static const ImplKind MapKinds[] = {
+      ImplKind::HashMap, ImplKind::ArrayMap, ImplKind::LazyMap,
+      ImplKind::SizeAdaptingMap};
+
+  std::vector<FuzzList> Lists;
+  std::vector<FuzzMap> Maps;
+  for (int I = 0; I < 12; ++I) {
+    Lists.push_back({RT.newListOf(ListKinds[Rng.nextBelow(4)], ListSite,
+                                  static_cast<uint32_t>(Rng.nextBelow(8))),
+                     {}});
+    Maps.push_back({RT.newMapOf(MapKinds[Rng.nextBelow(4)], MapSite,
+                                static_cast<uint32_t>(Rng.nextBelow(8))),
+                    {}});
+  }
+
+  for (int Op = 0; Op < 30000; ++Op) {
+    uint64_t Roll = Rng.nextBelow(100);
+    if (Roll < 48) {
+      FuzzList &F = Lists[Rng.nextBelow(Lists.size())];
+      if (F.L.isNull())
+        continue;
+      uint64_t Kind = Rng.nextBelow(10);
+      int64_t V = static_cast<int64_t>(Rng.nextBelow(64));
+      if (Kind < 4) {
+        F.L.add(Value::ofInt(V));
+        F.Model.push_back(V);
+      } else if (Kind < 6 && !F.Model.empty()) {
+        uint32_t At = static_cast<uint32_t>(Rng.nextBelow(F.Model.size()));
+        ASSERT_EQ(F.L.get(At).asInt(), F.Model[At]);
+      } else if (Kind < 8 && !F.Model.empty()) {
+        uint32_t At = static_cast<uint32_t>(Rng.nextBelow(F.Model.size()));
+        ASSERT_EQ(F.L.removeAt(At).asInt(), F.Model[At]);
+        F.Model.erase(F.Model.begin() + At);
+      } else {
+        ASSERT_EQ(F.L.contains(Value::ofInt(V)),
+                  std::find(F.Model.begin(), F.Model.end(), V)
+                      != F.Model.end());
+      }
+      ASSERT_EQ(F.L.size(), F.Model.size());
+    } else if (Roll < 96) {
+      FuzzMap &F = Maps[Rng.nextBelow(Maps.size())];
+      if (F.M.isNull())
+        continue;
+      uint64_t Kind = Rng.nextBelow(10);
+      int64_t K = static_cast<int64_t>(Rng.nextBelow(32));
+      if (Kind < 4) {
+        int64_t V = static_cast<int64_t>(Rng.nextBelow(1000));
+        ASSERT_EQ(F.M.put(Value::ofInt(K), Value::ofInt(V)),
+                  F.Model.find(K) == F.Model.end());
+        F.Model[K] = V;
+      } else if (Kind < 7) {
+        Value Got = F.M.get(Value::ofInt(K));
+        auto It = F.Model.find(K);
+        ASSERT_EQ(Got.isNull(), It == F.Model.end());
+        if (It != F.Model.end())
+          ASSERT_EQ(Got.asInt(), It->second);
+      } else if (Kind < 9) {
+        ASSERT_EQ(F.M.remove(Value::ofInt(K)), F.Model.erase(K) > 0);
+      } else {
+        ASSERT_EQ(F.M.containsKey(Value::ofInt(K)), F.Model.count(K) > 0);
+      }
+      ASSERT_EQ(F.M.size(), F.Model.size());
+    } else if (Roll < 98) {
+      RT.heap().collect(Rng.nextBool(0.5));
+    } else {
+      // Retire-and-replace: ends one profiled lifetime mid-run.
+      if (Rng.nextBool(0.5)) {
+        FuzzList &F = Lists[Rng.nextBelow(Lists.size())];
+        F.L.retire();
+        F.L = RT.newListOf(ListKinds[Rng.nextBelow(4)], ListSite, 0);
+        F.Model.clear();
+      } else {
+        FuzzMap &F = Maps[Rng.nextBelow(Maps.size())];
+        F.M.retire();
+        F.M = RT.newMapOf(MapKinds[Rng.nextBelow(4)], MapSite, 0);
+        F.Model.clear();
+      }
+    }
+  }
+
+  std::string Error;
+  ASSERT_TRUE(RT.heap().verifyHeap(&Error)) << Error;
+  RT.harvestLiveStatistics();
+  for (const ContextInfo *Ctx : RT.profiler().contexts())
+    ASSERT_GE(Ctx->allocations(), Ctx->foldedInstances());
+}
+
+TEST(FuzzSmoke, SeededWaves) {
+  for (int Wave = 0; Wave < 8; ++Wave) {
+    SCOPED_TRACE("wave seed=" + std::to_string(FuzzSeed ^ (Gamma * Wave)));
+    runWave(FuzzSeed ^ (Gamma * Wave));
+  }
+}
+
+} // namespace
