@@ -19,6 +19,7 @@ chameleon_bench(fig6_min_heap)
 chameleon_bench(fig7_runtime)
 chameleon_bench(fig8_bloat_spike)
 chameleon_bench(table2_rules)
+chameleon_bench(micro_fault_overhead)
 chameleon_bench(micro_gc_throughput)
 chameleon_bench(micro_mt_mutator)
 chameleon_bench(sec23_hybrid_threshold)

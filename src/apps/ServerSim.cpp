@@ -6,6 +6,8 @@
 
 #include "apps/ServerSim.h"
 
+#include "core/OnlineAdaptor.h"
+#include "support/FaultInjector.h"
 #include "support/SplitMix64.h"
 
 #include <condition_variable>
@@ -166,6 +168,99 @@ std::string buildReport(CollectionRuntime &RT,
   return Out;
 }
 
+/// Randomized fault plan for one chaos run, derived entirely from the seed
+/// so a failing run replays from its printed seed.
+FaultPlan buildChaosPlan(uint64_t Seed) {
+  SplitMix64 Rng(Seed ^ Gamma);
+  FaultPlan Plan;
+  Plan.Seed = Seed;
+  // Forced collections at adversarial allocation instants.
+  Plan.Rules.push_back({"gc.alloc", FaultAction::ForceGc, /*NthHit=*/0,
+                        0.0005 + 0.002 * Rng.nextDouble(), ~0ull});
+  // Injected failures inside the migration transaction machinery itself.
+  Plan.Rules.push_back({"migrate.*", FaultAction::FailAlloc, /*NthHit=*/0,
+                        0.05 + 0.25 * Rng.nextDouble(), ~0ull});
+  // ...and in the allocations a shadow build performs. Outside a migration
+  // FailScope these matches are counted as suppressed, never thrown.
+  Plan.Rules.push_back({"*.reserve", FaultAction::FailAlloc, /*NthHit=*/0,
+                        0.01 + 0.05 * Rng.nextDouble(), ~0ull});
+  return Plan;
+}
+
+/// Scopes the chaos machinery to one run: arms the plan, installs the
+/// online selector and the soft heap limit, and tears all three down (in
+/// reverse) even when the run throws.
+struct ChaosSession {
+  CollectionRuntime &RT;
+
+  ChaosSession(CollectionRuntime &RT, OnlineSelector &Selector,
+               const ServerSimConfig &Config)
+      : RT(RT) {
+    RT.setOnlineSelector(&Selector);
+    RT.heap().setSoftHeapLimit(Config.ChaosSoftHeapLimitBytes);
+    FaultInjector::instance().arm(buildChaosPlan(Config.ChaosSeed));
+  }
+
+  ~ChaosSession() {
+    FaultInjector::instance().disarm(); // stats survive for the report
+    RT.heap().setSoftHeapLimit(0);
+    RT.setOnlineSelector(nullptr);
+  }
+};
+
+std::string buildChaosReport(CollectionRuntime &RT,
+                             const OnlineAdaptor &Adaptor,
+                             const ServerSimConfig &Config) {
+  std::string Out;
+  appendf(Out, "chaos: seed=0x%llx softLimit=%llu\n",
+          static_cast<unsigned long long>(Config.ChaosSeed),
+          static_cast<unsigned long long>(Config.ChaosSoftHeapLimitBytes));
+
+  FaultStats FS = FaultInjector::instance().stats();
+  appendf(Out,
+          "faults: hits=%llu thrown=%llu forcedGcs=%llu suppressed=%llu\n",
+          static_cast<unsigned long long>(FS.Hits),
+          static_cast<unsigned long long>(FS.AllocFailuresThrown),
+          static_cast<unsigned long long>(FS.ForcedGcs),
+          static_cast<unsigned long long>(FS.SuppressedFailures));
+  for (const FaultInjector::RuleReport &R :
+       FaultInjector::instance().ruleReports())
+    appendf(Out, "  rule %s: hits=%llu fires=%llu\n", R.SitePattern.c_str(),
+            static_cast<unsigned long long>(R.Hits),
+            static_cast<unsigned long long>(R.Fires));
+
+  appendf(Out,
+          "migrations: attempts=%llu commits=%llu aborts=%llu "
+          "requested=%llu pinned=%llu\n",
+          static_cast<unsigned long long>(RT.migrationAttempts()),
+          static_cast<unsigned long long>(RT.migrationCommits()),
+          static_cast<unsigned long long>(RT.migrationAborts()),
+          static_cast<unsigned long long>(Adaptor.migrationsRequested()),
+          static_cast<unsigned long long>(Adaptor.pinnedContexts()));
+  appendf(Out, "retire: double=%llu useAfter=%llu\n",
+          static_cast<unsigned long long>(RT.doubleRetires()),
+          static_cast<unsigned long long>(RT.usesAfterRetire()));
+
+  ProfilerDegradationStats D = RT.profiler().degradationStats();
+  appendf(Out,
+          "degradation: pressureEvents=%llu emergencyCollects=%llu "
+          "shedMultiplier=%u shedSampledOut=%llu\n",
+          static_cast<unsigned long long>(D.HeapPressureEvents),
+          static_cast<unsigned long long>(RT.heap().emergencyCollects()),
+          D.ShedMultiplier,
+          static_cast<unsigned long long>(D.ShedSampledOut));
+  appendf(Out,
+          "events: notedAllocs=%llu foldedAllocs=%llu droppedAllocs=%llu "
+          "notedDeaths=%llu foldedDeaths=%llu droppedDeaths=%llu\n",
+          static_cast<unsigned long long>(D.NotedAllocs),
+          static_cast<unsigned long long>(D.FoldedAllocs),
+          static_cast<unsigned long long>(D.DroppedAllocs),
+          static_cast<unsigned long long>(D.NotedDeaths),
+          static_cast<unsigned long long>(D.FoldedDeaths),
+          static_cast<unsigned long long>(D.DroppedDeaths));
+  return Out;
+}
+
 } // namespace
 
 RuntimeConfig chameleon::apps::serverSimRuntimeConfig() {
@@ -183,6 +278,19 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
   // Buffer statistics from the first event even when the caller's config
   // did not opt in (sticky; required before any worker touches the heap).
   Prof.enableConcurrentMutators();
+
+  // Chaos mode: builtin rules behind an online adaptor (so live migrations
+  // happen and can be aborted), a soft heap limit (so the shed path runs),
+  // and the randomized fault plan, all scoped to this run.
+  std::optional<rules::RuleEngine> ChaosEngine;
+  std::optional<OnlineAdaptor> ChaosAdaptor;
+  std::optional<ChaosSession> Chaos;
+  if (Config.Chaos) {
+    ChaosEngine.emplace();
+    ChaosEngine->addBuiltinRules();
+    ChaosAdaptor.emplace(*ChaosEngine, Prof, OnlineConfig());
+    Chaos.emplace(RT, *ChaosAdaptor, Config);
+  }
 
   RunState S;
   S.Config = Config;
@@ -227,6 +335,21 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
     // buffers deterministically, then take the epoch's statistics cycle.
     RT.flushMutatorStatistics();
     RT.heap().collect(/*Forced=*/true);
+    if (Config.Chaos) {
+      // Chaos migration storm: while the workers are parked, flip every
+      // session's backing through the transactional migration path, under
+      // the armed fault plan. Some attempts abort (and must roll back —
+      // the workers' next epoch runs against the surviving contents);
+      // the rest commit and flip back next epoch.
+      ImplKind MapTarget =
+          (Epoch % 2 == 0) ? ImplKind::ArrayMap : ImplKind::HashMap;
+      ImplKind ListTarget =
+          (Epoch % 2 == 0) ? ImplKind::LinkedList : ImplKind::ArrayList;
+      for (uint32_t I = 0; I < Config.Sessions; ++I) {
+        (void)RT.migrateCollection(S.SessionAttrs[I], MapTarget);
+        (void)RT.migrateCollection(S.SessionHistory[I], ListTarget);
+      }
+    }
     {
       std::lock_guard<std::mutex> L(B.Mu);
       B.Arrived = 0;
@@ -243,6 +366,12 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
   ServerSimResult Result;
   Result.TotalRequests =
       static_cast<uint64_t>(Config.Epochs) * Config.RequestsPerEpoch;
+  if (Config.Chaos) {
+    // Stop injecting before building reports; the counters survive disarm
+    // (and the ChaosSession destructor's second disarm is a no-op).
+    FaultInjector::instance().disarm();
+    Result.ChaosReport = buildChaosReport(RT, *ChaosAdaptor, Config);
+  }
   Result.Report = buildReport(RT, Config);
   return Result;
 }

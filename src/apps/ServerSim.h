@@ -44,6 +44,23 @@ struct ServerSimConfig {
   uint32_t Sessions = 16;
   /// History entries kept per session before the oldest is dropped.
   uint32_t HistoryBound = 32;
+
+  /// Chaos mode: for the duration of the run, arm the fault injector with
+  /// a randomized plan derived from ChaosSeed (forced GCs at allocation,
+  /// injected failures inside live migrations), install the builtin rule
+  /// engine behind an OnlineAdaptor so migrations actually happen, and set
+  /// a soft heap limit so the degradation path exercises. The run must
+  /// survive — aborted migrations roll back, shed events are counted —
+  /// and the fault/migration/degradation accounting is returned in
+  /// ServerSimResult::ChaosReport (kept out of Report, whose byte-identity
+  /// across thread counts is only guaranteed with Chaos off).
+  bool Chaos = false;
+  /// Seed of the randomized fault plan; print it on failure to replay.
+  uint64_t ChaosSeed = 0xC4A05;
+  /// Soft heap limit installed for the run (0 = none). The default sits
+  /// below the workload's natural live size, so emergency collections fail
+  /// to clear it and the profiler's shed mode actually engages.
+  uint64_t ChaosSoftHeapLimitBytes = 8 * 1024;
 };
 
 /// What a run produces.
@@ -52,6 +69,9 @@ struct ServerSimResult {
   /// Deterministic profiling report: the GC cycle records (without
   /// wall-clock durations) plus canonically-ordered context statistics.
   std::string Report;
+  /// Chaos mode only: fault-injection, migration, and degradation
+  /// accounting for the run (empty with Chaos off).
+  std::string ChaosReport;
 };
 
 /// The RuntimeConfig under which the report's byte-identity across

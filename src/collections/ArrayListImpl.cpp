@@ -7,6 +7,7 @@
 #include "collections/ArrayListImpl.h"
 
 #include "collections/CollectionRuntime.h"
+#include "support/FaultInjector.h"
 
 using namespace chameleon;
 
@@ -37,6 +38,7 @@ void ArrayListImpl::ensureCapacity(uint32_t Needed) {
     NewCap = Needed;
   // Allocate the replacement array first (may GC; 'this' stays reachable
   // through the wrapper the caller holds), then copy and drop the old one.
+  CHAM_FAULT("arraylist.reserve");
   ObjectRef NewBacking = RT.allocValueArray(NewCap);
   if (!Backing.isNull()) {
     ValueArray &Old = array();

@@ -7,6 +7,7 @@
 #include "collections/ArrayMapImpl.h"
 
 #include "collections/CollectionRuntime.h"
+#include "support/FaultInjector.h"
 
 using namespace chameleon;
 
@@ -28,6 +29,7 @@ void ArrayMapImpl::ensureCapacity(uint32_t NeededPairs) {
       Capacity == 0 ? InitialCapacity : (Capacity * 3) / 2 + 1;
   if (NewCap < NeededPairs)
     NewCap = NeededPairs;
+  CHAM_FAULT("arraymap.reserve");
   ObjectRef NewBacking = RT.allocValueArray(2 * NewCap);
   if (!Backing.isNull()) {
     ValueArray &Old = array();

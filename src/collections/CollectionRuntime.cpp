@@ -16,6 +16,7 @@
 #include "collections/SetImpls.h"
 #include "collections/SmallListImpls.h"
 #include "support/Assert.h"
+#include "support/FaultInjector.h"
 
 using namespace chameleon;
 
@@ -65,6 +66,7 @@ CollectionRuntime::CollectionRuntime(RuntimeConfig Config)
   Heap.setGcSampleEveryBytes(Config.GcSampleEveryBytes);
   Heap.setGcThreads(Config.GcThreads ? Config.GcThreads : 1);
   Heap.setUseWorkerPool(Config.GcUseWorkerPool);
+  Heap.setSoftHeapLimit(Config.SoftHeapLimitBytes);
   registerTypes();
 }
 
@@ -557,8 +559,172 @@ Map CollectionRuntime::adoptMap(ObjectRef Wrapper) {
 
 void CollectionRuntime::retireCollection(ObjectRef Wrapper) {
   CollectionObject &W = Heap.getAs<CollectionObject>(Wrapper);
+  if (W.Retired) {
+    // The death event was already folded; folding again would double-count
+    // every per-instance statistic. Report the contract violation and
+    // carry on (CHAMELEON_PARANOID builds abort instead).
+    DoubleRetireCount.fetch_add(1, std::memory_order_relaxed);
+    CHAM_DCHECK(false, "double retire of a collection wrapper");
+    return;
+  }
+  W.Retired = true;
   if (W.Ctx)
     Profiler.noteDeath(W.Ctx, W.Usage);
+}
+
+//===----------------------------------------------------------------------===//
+// Transactional live migration (online mode)
+//===----------------------------------------------------------------------===//
+
+/// Built-in kinds a live collection can migrate *to*. The degenerate
+/// shape-specialised kinds work only as allocation-time choices: EmptyList
+/// rejects all mutation and the singleton impls hold at most one element,
+/// so a collection that later outgrows them would be stuck.
+static bool isMigratableTarget(ImplKind Kind) {
+  switch (Kind) {
+  case ImplKind::EmptyList:
+  case ImplKind::SingletonList:
+  case ImplKind::SingletonMap:
+    return false;
+  default:
+    return true;
+  }
+}
+
+MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
+                                                      ImplKind Target,
+                                                      uint32_t Capacity) {
+  Handle WrapperRoot(Heap, Wrapper);
+  CollectionObject &W = Heap.getAs<CollectionObject>(Wrapper);
+  if (W.CustomId >= 0 || W.Retired || W.CurrentImpl == Target
+      || !implSupportsAdt(Target, W.Adt) || !isMigratableTarget(Target))
+    return MigrationOutcome::NoOp;
+
+  MigrationAttempts.fetch_add(1, std::memory_order_relaxed);
+  Handle ShadowRoot;
+  bool Verified = false;
+  // Phase 1+2 form the transaction: any injected allocation failure below
+  // unwinds to the catch, where the half-built shadow is simply dropped
+  // (the GC reclaims it) and the wrapper is untouched. This is the one
+  // region prepared to recover, so it is the one region where FailAlloc
+  // faults are delivered.
+  FaultInjector::FailScope Armed;
+  try {
+    CHAM_FAULT("migrate.begin");
+    // Phase 1: build the target implementation shadow-side from the
+    // current contents. The source impl stays reachable through the
+    // wrapper; per-element temp roots protect values across the internal
+    // allocations of the copy.
+    uint32_t SrcSize = Heap.getAs<CollectionImplBase>(W.Impl).size();
+    uint32_t TargetCapacity = Capacity ? Capacity : SrcSize;
+    ShadowRoot.set(Heap, makeImpl(Target, TargetCapacity));
+    initImpl(Heap, ShadowRoot.ref(), Target);
+    CHAM_FAULT("migrate.copy");
+    if (W.Adt == AdtKind::Map) {
+      const MapImpl &Src = Heap.getAs<MapImpl>(W.Impl);
+      MapImpl &Dst = Heap.getAs<MapImpl>(ShadowRoot.ref());
+      IterState It;
+      Value K, V;
+      while (Src.iterNext(It, K, V)) {
+        TempRootScope Guard(Heap, K.refOrNull(), V.refOrNull());
+        Dst.put(K, V);
+      }
+      // Phase 2: verify the shadow represents the contents exactly.
+      CHAM_FAULT("migrate.verify");
+      Verified = Dst.size() == Src.size();
+      if (Verified) {
+        IterState Check;
+        while (Src.iterNext(Check, K, V)) {
+          if (Dst.get(K) != V) {
+            Verified = false;
+            break;
+          }
+        }
+      }
+    } else {
+      const SeqImpl &Src = Heap.getAs<SeqImpl>(W.Impl);
+      SeqImpl &Dst = Heap.getAs<SeqImpl>(ShadowRoot.ref());
+      bool Representable = true;
+      IterState It;
+      Value V;
+      while (Src.iterNext(It, V)) {
+        if (Target == ImplKind::IntArrayList && !V.isInt()) {
+          // The int-specialised list cannot hold references; leave the
+          // shadow short and let verification abort the transaction.
+          Representable = false;
+          break;
+        }
+        TempRootScope Guard(Heap, V.refOrNull());
+        Dst.add(V);
+      }
+      CHAM_FAULT("migrate.verify");
+      // Size equality also catches semantics-changing conversions, e.g. a
+      // list with duplicates migrating to the deduplicating HashedList.
+      Verified = Representable && Dst.size() == Src.size();
+      if (Verified && W.Adt == AdtKind::List) {
+        // Lists must preserve order: compare pairwise (every built-in
+        // list iterates in index order, HashedList in insertion order).
+        IterState SrcIt, DstIt;
+        Value SrcV, DstV;
+        while (Src.iterNext(SrcIt, SrcV) && Dst.iterNext(DstIt, DstV)) {
+          if (SrcV != DstV) {
+            Verified = false;
+            break;
+          }
+        }
+      } else if (Verified) {
+        IterState Check;
+        while (Src.iterNext(Check, V)) {
+          if (!Dst.contains(V)) {
+            Verified = false;
+            break;
+          }
+        }
+      }
+    }
+    if (Verified) {
+      // Phase 3: publish. One reference store into the wrapper — the
+      // program-facing handles re-fetch the impl through the wrapper on
+      // every operation, so they observe the swap atomically; the old
+      // impl becomes garbage.
+      CHAM_FAULT("migrate.publish");
+      W.Impl = ShadowRoot.ref();
+      W.CurrentImpl = Target;
+      ++W.MigrationEpoch;
+      MigrationCommits.fetch_add(1, std::memory_order_relaxed);
+      if (W.Ctx)
+        W.Ctx->noteMigrationCommit();
+      return MigrationOutcome::Committed;
+    }
+  } catch (const InjectedFault &) {
+    // Clean abort: nothing was published, the shadow is garbage.
+  }
+  MigrationAborts.fetch_add(1, std::memory_order_relaxed);
+  if (W.Ctx)
+    W.Ctx->noteMigrationAbort();
+  return MigrationOutcome::Aborted;
+}
+
+void CollectionRuntime::maybeMigrate(ObjectRef Wrapper) {
+  if (!Selector || Config.OnlineRevisePeriod == 0)
+    return;
+  CollectionObject &W = Heap.getAs<CollectionObject>(Wrapper);
+  if (!W.Ctx || W.CustomId >= 0 || W.Retired)
+    return;
+  if (++W.ReviseTick % Config.OnlineRevisePeriod != 0)
+    return;
+  uint32_t Capacity = 0;
+  std::optional<ImplKind> Target =
+      Selector->reviseImpl(W.Ctx, W.Adt, W.CurrentImpl, Capacity);
+  if (!Target)
+    return;
+  Target = adaptImplToAdt(*Target, W.Adt);
+  if (!Target || *Target == W.CurrentImpl)
+    return;
+  MigrationOutcome Outcome = migrateCollection(Wrapper, *Target, Capacity);
+  if (Outcome != MigrationOutcome::NoOp)
+    Selector->onMigrationResult(W.Ctx,
+                                Outcome == MigrationOutcome::Committed);
 }
 
 void CollectionRuntime::harvestLiveStatistics() {

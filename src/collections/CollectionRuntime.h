@@ -32,6 +32,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -73,6 +74,13 @@ struct RuntimeConfig {
   /// rather than spawning them per cycle. Off exists only so benches can
   /// measure the spawn-per-cycle cost the pool removes.
   bool GcUseWorkerPool = true;
+  /// Soft heap limit in model bytes (0 = none): the graceful-degradation
+  /// threshold — see GcHeap::setSoftHeapLimit.
+  uint64_t SoftHeapLimitBytes = 0;
+  /// Consult the online selector about migrating a *live* collection every
+  /// this many mutating operations on it (0 disables live migration;
+  /// allocation-time selection is unaffected).
+  uint32_t OnlineRevisePeriod = 64;
 };
 
 /// TypeIds of the registered internal and implementation types.
@@ -124,6 +132,42 @@ public:
   /// default; \p Capacity may be adjusted in place.
   virtual ImplKind chooseImpl(const ContextInfo *Info, AdtKind Adt,
                               ImplKind Requested, uint32_t &Capacity) = 0;
+
+  /// Asks whether a *live* collection of \p Info should migrate away from
+  /// \p Current. Returning an ImplKind starts a transactional migration
+  /// (see CollectionRuntime::migrateCollection); std::nullopt (the
+  /// default) leaves the collection alone. \p Capacity may be set to size
+  /// the target. Selectors implementing this must expect the migration to
+  /// abort and be re-asked later (onMigrationResult reports the outcome).
+  virtual std::optional<ImplKind> reviseImpl(const ContextInfo *Info,
+                                             AdtKind Adt, ImplKind Current,
+                                             uint32_t &Capacity) {
+    (void)Info;
+    (void)Adt;
+    (void)Current;
+    (void)Capacity;
+    return std::nullopt;
+  }
+
+  /// Outcome report for a migration this selector requested via
+  /// reviseImpl. \p Committed is false for a clean abort (the collection
+  /// still runs on its previous implementation). Default: ignore.
+  virtual void onMigrationResult(const ContextInfo *Info, bool Committed) {
+    (void)Info;
+    (void)Committed;
+  }
+};
+
+/// Result of CollectionRuntime::migrateCollection.
+enum class MigrationOutcome : uint8_t {
+  /// The wrapper now runs on the target implementation.
+  Committed,
+  /// A failure (injected or real) rolled the transaction back; the wrapper
+  /// still runs on its previous implementation, fully intact.
+  Aborted,
+  /// Nothing to do: same kind, custom/retired wrapper, or a target that
+  /// cannot represent the current contents.
+  NoOp,
 };
 
 /// The collection runtime. One per simulated program run.
@@ -213,6 +257,29 @@ public:
     this->Selector = Selector;
   }
 
+  /// Transactionally migrates a live collection to \p Target (two-phase:
+  /// build the target shadow-side from the current contents, verify, then
+  /// atomically publish into the wrapper). Any failure on the way —
+  /// injected allocation failure, a target that cannot hold the contents —
+  /// aborts cleanly: the wrapper keeps its current implementation and
+  /// contents, the shadow becomes garbage, and the context's
+  /// migrationAborts counter is bumped. \p Capacity sizes the target
+  /// (0 = current size / kind default). Single-owner discipline: the
+  /// calling thread must be the only one operating on this collection.
+  MigrationOutcome migrateCollection(ObjectRef Wrapper, ImplKind Target,
+                                     uint32_t Capacity = 0);
+
+  /// Live-migration counters (whole runtime).
+  uint64_t migrationAttempts() const {
+    return MigrationAttempts.load(std::memory_order_relaxed);
+  }
+  uint64_t migrationCommits() const {
+    return MigrationCommits.load(std::memory_order_relaxed);
+  }
+  uint64_t migrationAborts() const {
+    return MigrationAborts.load(std::memory_order_relaxed);
+  }
+
   /// -- Application payloads -------------------------------------------------
 
   /// Allocates a plain data object and returns it as a Value. The caller
@@ -268,6 +335,23 @@ public:
   uint64_t allocationsWithImpl(ImplKind Kind) const {
     return ImplAllocCounts[implIndex(Kind)].load(std::memory_order_relaxed);
   }
+
+  /// Contract-violation counters (see retireCollection / Handles).
+  uint64_t doubleRetires() const {
+    return DoubleRetireCount.load(std::memory_order_relaxed);
+  }
+  uint64_t usesAfterRetire() const {
+    return UseAfterRetireCount.load(std::memory_order_relaxed);
+  }
+  void noteUseAfterRetire() {
+    UseAfterRetireCount.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Periodic online-revision check, called by the handles after mutating
+  /// operations: every OnlineRevisePeriod such operations, asks the
+  /// installed selector whether this collection should migrate, and runs
+  /// the transaction if so.
+  void maybeMigrate(ObjectRef Wrapper);
 
 private:
   friend class List;
@@ -330,6 +414,11 @@ private:
   std::vector<CustomImpl> CustomImpls;
   /// Deque of atomics: stable addresses under growth, lock-free bumps.
   std::deque<std::atomic<uint64_t>> CustomAllocCounts;
+  std::atomic<uint64_t> MigrationAttempts{0};
+  std::atomic<uint64_t> MigrationCommits{0};
+  std::atomic<uint64_t> MigrationAborts{0};
+  std::atomic<uint64_t> DoubleRetireCount{0};
+  std::atomic<uint64_t> UseAfterRetireCount{0};
 };
 
 /// RAII registration of the calling thread as a mutator, pairing the

@@ -20,13 +20,18 @@ std::string CollectionHandleBase::backingName() const {
 //===----------------------------------------------------------------------===//
 
 ValueIter::ValueIter(CollectionRuntime &RT, ObjectRef Wrapper,
-                     ObjectRef IterObj, uint32_t ModCount)
+                     ObjectRef IterObj, uint32_t ModCount,
+                     uint32_t MigrationEpoch)
     : RT(&RT), Wrapper(RT.heap(), Wrapper), IterObj(RT.heap(), IterObj),
-      ModAtStart(ModCount) {}
+      ModAtStart(ModCount), EpochAtStart(MigrationEpoch) {}
 
 bool ValueIter::next(Value &Out) {
   RT->heap().safepointPoll();
   CollectionObject &W = RT->heap().getAs<CollectionObject>(Wrapper.ref());
+  // The epoch check must come first: after a migration the impl's
+  // modCount is a fresh object's count and could collide with ModAtStart.
+  assert(W.MigrationEpoch == EpochAtStart
+         && "backing implementation migrated during iteration");
   SeqImpl &Impl = RT->heap().getAs<SeqImpl>(W.Impl);
   assert(Impl.modCount() == ModAtStart
          && "collection modified during iteration");
@@ -34,13 +39,16 @@ bool ValueIter::next(Value &Out) {
 }
 
 EntryIter::EntryIter(CollectionRuntime &RT, ObjectRef Wrapper,
-                     ObjectRef IterObj, uint32_t ModCount)
+                     ObjectRef IterObj, uint32_t ModCount,
+                     uint32_t MigrationEpoch)
     : RT(&RT), Wrapper(RT.heap(), Wrapper), IterObj(RT.heap(), IterObj),
-      ModAtStart(ModCount) {}
+      ModAtStart(ModCount), EpochAtStart(MigrationEpoch) {}
 
 bool EntryIter::next(Value &Key, Value &Val) {
   RT->heap().safepointPoll();
   CollectionObject &W = RT->heap().getAs<CollectionObject>(Wrapper.ref());
+  assert(W.MigrationEpoch == EpochAtStart
+         && "backing implementation migrated during iteration");
   MapImpl &Impl = RT->heap().getAs<MapImpl>(W.Impl);
   assert(Impl.modCount() == ModAtStart
          && "map modified during iteration");
@@ -57,6 +65,7 @@ void List::add(Value V) {
   SeqImpl &I = impl();
   I.add(V);
   noteSize(I.size());
+  maybeRevise();
 }
 
 void List::add(uint32_t Index, Value V) {
@@ -65,6 +74,7 @@ void List::add(uint32_t Index, Value V) {
   SeqImpl &I = impl();
   I.addAt(Index, V);
   noteSize(I.size());
+  maybeRevise();
 }
 
 Value List::get(uint32_t Index) const {
@@ -75,7 +85,9 @@ Value List::get(uint32_t Index) const {
 Value List::set(uint32_t Index, Value V) {
   TempRootScope Guard(RT->heap(), V.refOrNull());
   countOp(OpKind::Set);
-  return impl().setAt(Index, V);
+  Value Old = impl().setAt(Index, V);
+  maybeRevise();
+  return Old;
 }
 
 Value List::removeAt(uint32_t Index) {
@@ -83,6 +95,7 @@ Value List::removeAt(uint32_t Index) {
   SeqImpl &I = impl();
   Value Old = I.removeAt(Index);
   noteSize(I.size());
+  maybeRevise();
   return Old;
 }
 
@@ -91,6 +104,7 @@ Value List::removeFirst() {
   SeqImpl &I = impl();
   Value Old = I.removeFirst();
   noteSize(I.size());
+  maybeRevise();
   return Old;
 }
 
@@ -99,6 +113,7 @@ bool List::remove(Value V) {
   SeqImpl &I = impl();
   bool Removed = I.removeValue(V);
   noteSize(I.size());
+  maybeRevise();
   return Removed;
 }
 
@@ -119,6 +134,7 @@ void List::addAll(const List &Source) {
     Dst.add(V);
   }
   noteSize(Dst.size());
+  maybeRevise();
 }
 
 void List::addAll(uint32_t Index, const List &Source) {
@@ -134,6 +150,7 @@ void List::addAll(uint32_t Index, const List &Source) {
     Dst.addAt(At++, V);
   }
   noteSize(Dst.size());
+  maybeRevise();
 }
 
 uint32_t List::size() const {
@@ -151,6 +168,7 @@ void List::clear() {
   SeqImpl &I = impl();
   I.clear();
   noteSize(0);
+  maybeRevise();
 }
 
 ValueIter List::iterate() const {
@@ -158,7 +176,8 @@ ValueIter List::iterate() const {
   bool Empty = I.size() == 0;
   countOp(Empty ? OpKind::IterateEmpty : OpKind::Iterate);
   ObjectRef IterObj = RT->allocIterator(wrapperRef(), Empty);
-  return ValueIter(*RT, wrapperRef(), IterObj, impl().modCount());
+  return ValueIter(*RT, wrapperRef(), IterObj, impl().modCount(),
+                   obj().MigrationEpoch);
 }
 
 //===----------------------------------------------------------------------===//
@@ -171,6 +190,7 @@ bool Set::add(Value V) {
   SeqImpl &I = impl();
   bool New = I.add(V);
   noteSize(I.size());
+  maybeRevise();
   return New;
 }
 
@@ -179,6 +199,7 @@ bool Set::remove(Value V) {
   SeqImpl &I = impl();
   bool Removed = I.removeValue(V);
   noteSize(I.size());
+  maybeRevise();
   return Removed;
 }
 
@@ -199,6 +220,7 @@ void Set::addAll(const Set &Source) {
     Dst.add(V);
   }
   noteSize(Dst.size());
+  maybeRevise();
 }
 
 uint32_t Set::size() const {
@@ -216,6 +238,7 @@ void Set::clear() {
   SeqImpl &I = impl();
   I.clear();
   noteSize(0);
+  maybeRevise();
 }
 
 ValueIter Set::iterate() const {
@@ -223,7 +246,8 @@ ValueIter Set::iterate() const {
   bool Empty = I.size() == 0;
   countOp(Empty ? OpKind::IterateEmpty : OpKind::Iterate);
   ObjectRef IterObj = RT->allocIterator(wrapperRef(), Empty);
-  return ValueIter(*RT, wrapperRef(), IterObj, impl().modCount());
+  return ValueIter(*RT, wrapperRef(), IterObj, impl().modCount(),
+                   obj().MigrationEpoch);
 }
 
 //===----------------------------------------------------------------------===//
@@ -236,6 +260,7 @@ bool Map::put(Value Key, Value Val) {
   MapImpl &I = impl();
   bool New = I.put(Key, Val);
   noteSize(I.size());
+  maybeRevise();
   return New;
 }
 
@@ -259,6 +284,7 @@ bool Map::remove(Value Key) {
   MapImpl &I = impl();
   bool Removed = I.removeKey(Key);
   noteSize(I.size());
+  maybeRevise();
   return Removed;
 }
 
@@ -274,6 +300,7 @@ void Map::putAll(const Map &Source) {
     Dst.put(Key, Val);
   }
   noteSize(Dst.size());
+  maybeRevise();
 }
 
 uint32_t Map::size() const {
@@ -291,6 +318,7 @@ void Map::clear() {
   MapImpl &I = impl();
   I.clear();
   noteSize(0);
+  maybeRevise();
 }
 
 EntryIter Map::iterate() const {
@@ -298,5 +326,6 @@ EntryIter Map::iterate() const {
   bool Empty = I.size() == 0;
   countOp(Empty ? OpKind::IterateEmpty : OpKind::Iterate);
   ObjectRef IterObj = RT->allocIterator(wrapperRef(), Empty);
-  return EntryIter(*RT, wrapperRef(), IterObj, impl().modCount());
+  return EntryIter(*RT, wrapperRef(), IterObj, impl().modCount(),
+                   obj().MigrationEpoch);
 }

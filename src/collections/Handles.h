@@ -23,6 +23,7 @@
 #define CHAMELEON_COLLECTIONS_HANDLES_H
 
 #include "collections/CollectionRuntime.h"
+#include "support/Assert.h"
 
 namespace chameleon {
 
@@ -39,13 +40,14 @@ private:
   friend class Set;
 
   ValueIter(CollectionRuntime &RT, ObjectRef Wrapper, ObjectRef IterObj,
-            uint32_t ModCount);
+            uint32_t ModCount, uint32_t MigrationEpoch);
 
   CollectionRuntime *RT;
   Handle Wrapper;
   Handle IterObj;
   IterState State;
   uint32_t ModAtStart;
+  uint32_t EpochAtStart;
 };
 
 /// Iterator over map entries.
@@ -58,13 +60,14 @@ private:
   friend class Map;
 
   EntryIter(CollectionRuntime &RT, ObjectRef Wrapper, ObjectRef IterObj,
-            uint32_t ModCount);
+            uint32_t ModCount, uint32_t MigrationEpoch);
 
   CollectionRuntime *RT;
   Handle Wrapper;
   Handle IterObj;
   IterState State;
   uint32_t ModAtStart;
+  uint32_t EpochAtStart;
 };
 
 /// Roots a Value held in plain C++ memory. The collector cannot see C++
@@ -143,9 +146,18 @@ protected:
   /// which makes it the mutators' GC safepoint poll: reference arguments
   /// are already rooted here (TempRootScope guards are constructed before
   /// countOp in mutating ops), so stopping at this point is safe.
+  /// Operations on a retired wrapper still execute (the structure stays
+  /// valid) but are reported as use-after-retire and left uncounted — the
+  /// usage record was already folded, so counting into it would corrupt
+  /// the context's statistics.
   void countOp(OpKind Op) const {
     RT->heap().safepointPoll();
     CollectionObject &W = obj();
+    if (W.Retired) {
+      RT->noteUseAfterRetire();
+      CHAM_DCHECK(false, "operation on a retired collection");
+      return;
+    }
     if (W.Ctx)
       W.Usage.count(Op);
   }
@@ -153,9 +165,14 @@ protected:
   /// Records the size after a mutation when profiled.
   void noteSize(uint32_t Size) const {
     CollectionObject &W = obj();
-    if (W.Ctx)
+    if (W.Ctx && !W.Retired)
       W.Usage.noteSize(Size);
   }
+
+  /// Mutating operations end with this: the periodic hook where the online
+  /// selector may transactionally migrate this collection (see
+  /// CollectionRuntime::maybeMigrate). Reads and iteration never migrate.
+  void maybeRevise() const { RT->maybeMigrate(H.ref()); }
 
   CollectionRuntime *RT = nullptr;
   Handle H;

@@ -7,6 +7,7 @@
 #include "collections/HashMapImpl.h"
 
 #include "collections/CollectionRuntime.h"
+#include "support/FaultInjector.h"
 
 using namespace chameleon;
 
@@ -31,6 +32,7 @@ ValueArray &HashMapImpl::table() const {
 void HashMapImpl::ensureTable() {
   if (!Table.isNull())
     return;
+  CHAM_FAULT("hashmap.reserve");
   Table = RT.allocValueArray(InitialCapacity);
   Capacity = InitialCapacity;
 }
@@ -39,6 +41,7 @@ void HashMapImpl::resize(uint32_t NewCapacity) {
   // Entries are relinked into the new table, not reallocated — matching
   // java.util.HashMap's transfer, so resizing costs one array, not N
   // entries.
+  CHAM_FAULT("hashmap.reserve");
   ObjectRef NewTable = RT.allocValueArray(NewCapacity);
   GcHeap &Heap = RT.heap();
   ValueArray &New = Heap.getAs<ValueArray>(NewTable);

@@ -7,6 +7,7 @@
 #include "collections/LinkedHashSetImpl.h"
 
 #include "collections/CollectionRuntime.h"
+#include "support/FaultInjector.h"
 
 using namespace chameleon;
 
@@ -23,6 +24,7 @@ LinkedHashSetImpl::LinkedHashSetImpl(TypeId Type, uint64_t Bytes,
 
 void LinkedHashSetImpl::initEager() {
   assert(Table.isNull() && "already initialised");
+  CHAM_FAULT("linkedhashset.reserve");
   Table = RT.allocValueArray(InitialCapacity);
   Capacity = InitialCapacity;
   Sentinel = RT.allocLinkedHashEntry(Value::null(), ObjectRef::null());
@@ -51,6 +53,7 @@ ObjectRef LinkedHashSetImpl::findEntry(Value V) const {
 }
 
 void LinkedHashSetImpl::resize(uint32_t NewCapacity) {
+  CHAM_FAULT("linkedhashset.reserve");
   ObjectRef NewTable = RT.allocValueArray(NewCapacity);
   GcHeap &Heap = RT.heap();
   ValueArray &New = Heap.getAs<ValueArray>(NewTable);

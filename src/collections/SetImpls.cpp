@@ -7,6 +7,7 @@
 #include "collections/SetImpls.h"
 
 #include "collections/CollectionRuntime.h"
+#include "support/FaultInjector.h"
 #include "collections/HashMapImpl.h"
 
 using namespace chameleon;
@@ -120,6 +121,7 @@ void ArraySetImpl::ensureCapacity(uint32_t Needed) {
       Capacity == 0 ? InitialCapacity : (Capacity * 3) / 2 + 1;
   if (NewCap < Needed)
     NewCap = Needed;
+  CHAM_FAULT("arrayset.reserve");
   ObjectRef NewBacking = RT.allocValueArray(NewCap);
   if (!Backing.isNull()) {
     ValueArray &Old = array();

@@ -7,6 +7,7 @@
 #include "collections/SmallListImpls.h"
 
 #include "collections/CollectionRuntime.h"
+#include "support/FaultInjector.h"
 #include "support/Assert.h"
 
 using namespace chameleon;
@@ -117,6 +118,7 @@ void IntArrayListImpl::ensureCapacity(uint32_t Needed) {
       Capacity == 0 ? InitialCapacity : (Capacity * 3) / 2 + 1;
   if (NewCap < Needed)
     NewCap = Needed;
+  CHAM_FAULT("intarraylist.reserve");
   ObjectRef NewBacking = RT.allocIntArray(NewCap);
   if (!Backing.isNull()) {
     IntArray &Old = array();

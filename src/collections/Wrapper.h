@@ -43,6 +43,16 @@ public:
   int32_t CustomId = -1;
   /// The allocation context, or null when the allocation was not profiled.
   ContextInfo *Ctx = nullptr;
+  /// Set by retireCollection: the death event has been folded. Later
+  /// retires are counted as double-retires, later ops as use-after-retire
+  /// (both no-ops beyond the count — the wrapper stays structurally valid).
+  bool Retired = false;
+  /// Bumped by every committed live migration. Iterators snapshot it and
+  /// fail fast when the backing implementation was swapped under them.
+  uint32_t MigrationEpoch = 0;
+  /// Mutating-operation counter driving the periodic online-revision check
+  /// (`RuntimeConfig::OnlineRevisePeriod`).
+  uint32_t ReviseTick = 0;
   /// Per-instance usage counters; mutated by logically-const reads, folded
   /// into Ctx when the wrapper dies.
   mutable ObjectContextInfo Usage;

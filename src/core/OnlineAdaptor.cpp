@@ -6,7 +6,44 @@
 
 #include "core/OnlineAdaptor.h"
 
+#include <algorithm>
+
 using namespace chameleon;
+
+OnlineAdaptor::Decision &
+OnlineAdaptor::evaluateLocked(const ContextInfo *Info) {
+  auto It = Cache.find(Info);
+  bool NeedEval =
+      It == Cache.end() || !It->second.Evaluated
+      || Info->allocations() - It->second.AtAllocationCount
+             >= Config.ReevaluatePeriod;
+  if (!NeedEval)
+    return It->second;
+
+  ++Evaluations;
+  // Preserve the migration backoff state across re-evaluations: a fresh
+  // rule verdict does not forgive past aborts.
+  Decision Fresh;
+  if (It != Cache.end()) {
+    Fresh.Aborts = It->second.Aborts;
+    Fresh.RetryAtAllocations = It->second.RetryAtAllocations;
+    Fresh.Pinned = It->second.Pinned;
+  }
+  Fresh.Evaluated = true;
+  Fresh.AtAllocationCount = Info->allocations();
+  std::vector<rules::Suggestion> Suggs;
+  Engine.evaluateContext(*Info, Profiler, Suggs);
+  for (const rules::Suggestion &S : Suggs) {
+    if (S.Action == rules::ActionKind::Replace && !Fresh.Impl) {
+      Fresh.Impl = S.NewImpl;
+      if (S.Capacity && !Fresh.Capacity)
+        Fresh.Capacity = S.Capacity;
+    } else if (S.Action == rules::ActionKind::SetCapacity && !Fresh.Capacity) {
+      Fresh.Capacity = S.Capacity;
+    }
+  }
+  return Cache.insert_or_assign(Info, Fresh).first->second;
+}
 
 ImplKind OnlineAdaptor::chooseImpl(const ContextInfo *Info, AdtKind Adt,
                                    ImplKind Requested, uint32_t &Capacity) {
@@ -15,38 +52,69 @@ ImplKind OnlineAdaptor::chooseImpl(const ContextInfo *Info, AdtKind Adt,
   if (Info->foldedInstances() < Config.WarmupDeaths)
     return Requested;
 
-  auto It = Cache.find(Info);
-  bool NeedEval =
-      It == Cache.end()
-      || Info->allocations() - It->second.AtAllocationCount
-             >= Config.ReevaluatePeriod;
-
-  if (NeedEval) {
-    ++Evaluations;
-    Decision Fresh;
-    Fresh.AtAllocationCount = Info->allocations();
-    std::vector<rules::Suggestion> Suggs;
-    Engine.evaluateContext(*Info, Profiler, Suggs);
-    for (const rules::Suggestion &S : Suggs) {
-      if (S.Action == rules::ActionKind::Replace && !Fresh.Impl) {
-        if (std::optional<ImplKind> Adapted = adaptImplToAdt(S.NewImpl, Adt))
-          Fresh.Impl = Adapted;
-        if (S.Capacity && !Fresh.Capacity)
-          Fresh.Capacity = S.Capacity;
-      } else if (S.Action == rules::ActionKind::SetCapacity
-                 && !Fresh.Capacity) {
-        Fresh.Capacity = S.Capacity;
-      }
-    }
-    It = Cache.insert_or_assign(Info, Fresh).first;
-  }
-
-  const Decision &D = It->second;
+  std::lock_guard<std::mutex> Lock(Mu);
+  const Decision &D = evaluateLocked(Info);
   if (D.Capacity)
     Capacity = *D.Capacity;
-  if (D.Impl && *D.Impl != Requested) {
-    ++Replacements;
-    return *D.Impl;
+  if (D.Impl) {
+    if (std::optional<ImplKind> Adapted = adaptImplToAdt(*D.Impl, Adt);
+        Adapted && *Adapted != Requested) {
+      ++Replacements;
+      return *Adapted;
+    }
   }
   return Requested;
+}
+
+std::optional<ImplKind> OnlineAdaptor::reviseImpl(const ContextInfo *Info,
+                                                  AdtKind Adt,
+                                                  ImplKind Current,
+                                                  uint32_t &Capacity) {
+  if (!Info)
+    return std::nullopt;
+  if (Info->foldedInstances() < Config.WarmupDeaths)
+    return std::nullopt;
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  Decision &D = evaluateLocked(Info);
+  if (D.Pinned)
+    return std::nullopt;
+  if (D.RetryAtAllocations != 0
+      && Info->allocations() < D.RetryAtAllocations)
+    return std::nullopt;
+  if (!D.Impl)
+    return std::nullopt;
+  std::optional<ImplKind> Adapted = adaptImplToAdt(*D.Impl, Adt);
+  if (!Adapted || *Adapted == Current)
+    return std::nullopt;
+  if (D.Capacity)
+    Capacity = *D.Capacity;
+  ++MigrationsRequested;
+  return Adapted;
+}
+
+void OnlineAdaptor::onMigrationResult(const ContextInfo *Info,
+                                      bool Committed) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Decision &D = Cache[Info];
+  if (Committed) {
+    ++MigrationsCommitted;
+    D.Aborts = 0;
+    D.RetryAtAllocations = 0;
+    return;
+  }
+  ++MigrationsAborted;
+  ++D.Aborts;
+  if (D.Aborts >= Config.MaxMigrationAborts) {
+    if (!D.Pinned) {
+      D.Pinned = true;
+      ++PinnedContexts;
+    }
+    return;
+  }
+  uint64_t Shift = D.Aborts - 1;
+  uint64_t Delay = Shift >= 63 ? Config.MigrationBackoffCap
+                               : Config.MigrationBackoffBase << Shift;
+  Delay = std::min(Delay, Config.MigrationBackoffCap);
+  D.RetryAtAllocations = (Info ? Info->allocations() : 0) + Delay;
 }

@@ -13,6 +13,12 @@
 /// paper's "lack of stability" motivation: a context whose behaviour
 /// drifts gets a fresh decision.
 ///
+/// The adaptor is also the policy half of transactional live migration:
+/// `reviseImpl` proposes a target implementation for an already-live
+/// wrapper, and `onMigrationResult` applies exponential backoff to contexts
+/// whose migrations keep aborting — after `MaxMigrationAborts` consecutive
+/// aborts the context is permanently pinned to its current implementation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHAMELEON_CORE_ONLINEADAPTOR_H
@@ -21,6 +27,7 @@
 #include "collections/CollectionRuntime.h"
 #include "rules/RuleEngine.h"
 
+#include <mutex>
 #include <unordered_map>
 
 namespace chameleon {
@@ -33,10 +40,22 @@ struct OnlineConfig {
   uint64_t WarmupDeaths = 8;
   /// Re-evaluate a cached decision after this many further allocations.
   uint64_t ReevaluatePeriod = 256;
+  /// After an aborted migration, wait this many further allocations from
+  /// the context before proposing another one (doubled per consecutive
+  /// abort: Base, 2*Base, 4*Base, ... capped at MigrationBackoffCap).
+  uint64_t MigrationBackoffBase = 16;
+  /// Upper bound on the migration retry delay (in allocations).
+  uint64_t MigrationBackoffCap = 1024;
+  /// After this many consecutive aborted migrations, permanently pin the
+  /// context to its current implementation (give up on live replacement;
+  /// allocation-time redirection still applies to *new* instances).
+  unsigned MaxMigrationAborts = 5;
 };
 
 /// Rule-engine-backed online selector. Install on a CollectionRuntime via
 /// `setOnlineSelector`; the profiler it reads must be that runtime's.
+/// Thread-safe: the decision cache is mutex-guarded so concurrent mutators
+/// can allocate and revise simultaneously.
 class OnlineAdaptor : public OnlineSelector {
 public:
   OnlineAdaptor(const rules::RuleEngine &Engine,
@@ -47,25 +66,79 @@ public:
   ImplKind chooseImpl(const ContextInfo *Info, AdtKind Adt,
                       ImplKind Requested, uint32_t &Capacity) override;
 
+  std::optional<ImplKind> reviseImpl(const ContextInfo *Info, AdtKind Adt,
+                                     ImplKind Current,
+                                     uint32_t &Capacity) override;
+
+  void onMigrationResult(const ContextInfo *Info, bool Committed) override;
+
   /// Number of allocations redirected to a different implementation.
-  uint64_t replacements() const { return Replacements; }
+  uint64_t replacements() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Replacements;
+  }
 
   /// Number of rule-engine evaluations performed.
-  uint64_t evaluations() const { return Evaluations; }
+  uint64_t evaluations() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Evaluations;
+  }
+
+  /// Number of live migrations proposed via reviseImpl.
+  uint64_t migrationsRequested() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return MigrationsRequested;
+  }
+
+  /// Number of proposed migrations the runtime committed.
+  uint64_t migrationsCommitted() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return MigrationsCommitted;
+  }
+
+  /// Number of proposed migrations that aborted (injected or real failure).
+  uint64_t migrationsAborted() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return MigrationsAborted;
+  }
+
+  /// Contexts permanently pinned after MaxMigrationAborts consecutive
+  /// aborts.
+  uint64_t pinnedContexts() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return PinnedContexts;
+  }
 
 private:
   struct Decision {
     std::optional<ImplKind> Impl;
     std::optional<uint32_t> Capacity;
     uint64_t AtAllocationCount = 0;
+    bool Evaluated = false;
+    /// Consecutive aborted migrations for this context.
+    unsigned Aborts = 0;
+    /// Do not propose another migration until the context has allocated
+    /// this many instances (exponential-backoff deadline).
+    uint64_t RetryAtAllocations = 0;
+    /// Permanently pinned: never propose a live migration again.
+    bool Pinned = false;
   };
+
+  /// Returns the cached decision for \p Info, re-running the rule engine
+  /// when the cache entry is missing or stale. Caller must hold Mu.
+  Decision &evaluateLocked(const ContextInfo *Info);
 
   const rules::RuleEngine &Engine;
   const SemanticProfiler &Profiler;
   OnlineConfig Config;
+  mutable std::mutex Mu;
   std::unordered_map<const ContextInfo *, Decision> Cache;
   uint64_t Replacements = 0;
   uint64_t Evaluations = 0;
+  uint64_t MigrationsRequested = 0;
+  uint64_t MigrationsCommitted = 0;
+  uint64_t MigrationsAborted = 0;
+  uint64_t PinnedContexts = 0;
 };
 
 } // namespace chameleon

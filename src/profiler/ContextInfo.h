@@ -25,6 +25,7 @@
 #include "support/Statistics.h"
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -149,6 +150,24 @@ public:
     return Live.total() >= Used.total() ? Live.total() - Used.total() : 0;
   }
 
+  /// -- Live-migration accounting (online mode) -----------------------------
+
+  /// Aborted / committed transactional migrations of instances allocated at
+  /// this context. Atomic: bumped by whichever mutator thread ran the
+  /// migration, read by the online selector's backoff logic.
+  void noteMigrationAbort() {
+    MigrationAbortCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  void noteMigrationCommit() {
+    MigrationCommitCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t migrationAborts() const {
+    return MigrationAbortCount.load(std::memory_order_relaxed);
+  }
+  uint64_t migrationCommits() const {
+    return MigrationCommitCount.load(std::memory_order_relaxed);
+  }
+
 private:
   uint32_t Id;
   std::vector<FrameId> Frames;
@@ -160,6 +179,8 @@ private:
   RunningStat InitialCapacityStat;
   uint64_t Allocations = 0;
   uint64_t Folded = 0;
+  std::atomic<uint64_t> MigrationAbortCount{0};
+  std::atomic<uint64_t> MigrationCommitCount{0};
 
   TotalMax Live;
   TotalMax Used;

@@ -76,8 +76,22 @@ struct ProfilerThreadState {
   uint64_t AllocationTick = 0;
   uint64_t Acquisitions = 0;
   uint64_t SampledOut = 0;
+  /// Allocations the *base* sampling period would have captured but the
+  /// shed-mode multiplier skipped (counted apart from SampledOut so the
+  /// degradation report can attribute lost coverage to pressure).
+  uint64_t ShedSampledOut = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+
+  /// Degradation accounting (see SemanticProfiler::degradationStats):
+  /// every event accepted by noteAllocation/noteDeath bumps a Noted
+  /// counter; events spilled from a bounded Pending buffer under heap
+  /// pressure bump a Dropped counter. After a final flush,
+  /// noted == folded + dropped, per kind.
+  uint64_t NotedAllocs = 0;
+  uint64_t NotedDeaths = 0;
+  uint64_t DroppedAllocs = 0;
+  uint64_t DroppedDeaths = 0;
 
   /// The logical task currently executing on this thread (0 until the
   /// application assigns one).

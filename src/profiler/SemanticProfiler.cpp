@@ -119,9 +119,17 @@ ContextInfo *SemanticProfiler::contextForAllocation(FrameId SiteId,
     return nullptr;
   ProfilerThreadState &S = state();
   ++S.AllocationTick;
-  if (Config.SamplingPeriod > 1
-      && (S.AllocationTick % Config.SamplingPeriod) != 0) {
-    ++S.SampledOut;
+  // Shed mode stretches the effective sampling period multiplicatively.
+  // Skips that the base period alone would have captured are attributed to
+  // shedding (ShedSampledOut); the rest are ordinary sampling.
+  uint64_t Period = static_cast<uint64_t>(Config.SamplingPeriod)
+                    * ShedMultiplier.load(std::memory_order_relaxed);
+  if (Period > 1 && (S.AllocationTick % Period) != 0) {
+    if (Config.SamplingPeriod <= 1
+        || (S.AllocationTick % Config.SamplingPeriod) == 0)
+      ++S.ShedSampledOut;
+    else
+      ++S.SampledOut;
     return nullptr;
   }
   ++S.Acquisitions;
@@ -207,10 +215,13 @@ void SemanticProfiler::noteAllocation(ContextInfo *Ctx,
   if (!Ctx)
     return;
   if (!MtActive.load(std::memory_order_relaxed)) {
+    ++state().NotedAllocs;
+    ++FoldedAllocs;
     Ctx->recordAllocation(InitialCapacity);
     return;
   }
   ProfilerThreadState &S = state();
+  ++S.NotedAllocs;
   PendingProfileEvent E;
   E.Kind = PendingProfileEvent::Alloc;
   E.Ctx = Ctx;
@@ -218,12 +229,15 @@ void SemanticProfiler::noteAllocation(ContextInfo *Ctx,
   E.Seq = S.NextSeq++;
   E.InitialCapacity = InitialCapacity;
   S.Pending.push_back(std::move(E));
+  boundPending(S);
 }
 
 void SemanticProfiler::noteDeath(ContextInfo *Ctx, ObjectContextInfo &Info) {
   if (!Ctx || Info.Folded)
     return;
   if (!MtActive.load(std::memory_order_relaxed)) {
+    ++state().NotedDeaths;
+    ++FoldedDeaths;
     Ctx->recordDeath(Info);
     return;
   }
@@ -231,6 +245,7 @@ void SemanticProfiler::noteDeath(ContextInfo *Ctx, ObjectContextInfo &Info) {
   // carries the statistics to the flush.
   Info.Folded = true;
   ProfilerThreadState &S = state();
+  ++S.NotedDeaths;
   PendingProfileEvent E;
   E.Kind = PendingProfileEvent::Death;
   E.Ctx = Ctx;
@@ -238,6 +253,26 @@ void SemanticProfiler::noteDeath(ContextInfo *Ctx, ObjectContextInfo &Info) {
   E.Seq = S.NextSeq++;
   E.Snapshot = Info;
   S.Pending.push_back(std::move(E));
+  boundPending(S);
+}
+
+void SemanticProfiler::boundPending(ProfilerThreadState &S) {
+  if (Config.ShedBufferLimit == 0
+      || !ShedActive.load(std::memory_order_relaxed)
+      || S.Pending.size() <= Config.ShedBufferLimit)
+    return;
+  // Spill the oldest eighth: the newest events are the ones the next flush
+  // most needs, and spilling in blocks amortises the erase.
+  size_t Spill = std::max<size_t>(Config.ShedBufferLimit / 8, 1);
+  Spill = std::min(Spill, S.Pending.size());
+  for (size_t I = 0; I < Spill; ++I) {
+    if (S.Pending[I].Kind == PendingProfileEvent::Alloc)
+      ++S.DroppedAllocs;
+    else
+      ++S.DroppedDeaths;
+  }
+  S.Pending.erase(S.Pending.begin(),
+                  S.Pending.begin() + static_cast<ptrdiff_t>(Spill));
 }
 
 void SemanticProfiler::flushMutatorBuffers() {
@@ -267,10 +302,13 @@ void SemanticProfiler::flushMutatorBuffers() {
         return A.Task != B.Task ? A.Task < B.Task : A.Seq < B.Seq;
       });
   for (PendingProfileEvent &E : All) {
-    if (E.Kind == PendingProfileEvent::Alloc)
+    if (E.Kind == PendingProfileEvent::Alloc) {
+      ++FoldedAllocs;
       E.Ctx->recordAllocation(E.InitialCapacity);
-    else
+    } else {
+      ++FoldedDeaths;
       E.Ctx->foldSnapshot(E.Snapshot);
+    }
   }
 }
 
@@ -316,11 +354,59 @@ void SemanticProfiler::onCollectionDeath(const HeapObject &Obj,
   Info->recordDeath(*ObjInfo);
 }
 
+void SemanticProfiler::onHeapPressure(uint64_t BytesInUse,
+                                      uint64_t SoftLimitBytes) {
+  (void)BytesInUse;
+  (void)SoftLimitBytes;
+  HeapPressureEvents.fetch_add(1, std::memory_order_relaxed);
+  ShedActive.store(true, std::memory_order_relaxed);
+  // Multiplicative back-off, capped: each failed emergency collection
+  // halves the effective sampling rate again.
+  uint32_t Mult = ShedMultiplier.load(std::memory_order_relaxed);
+  uint32_t Next = std::min<uint64_t>(static_cast<uint64_t>(Mult) * 2,
+                                     std::max(1u, Config.MaxShedMultiplier));
+  ShedMultiplier.store(Next, std::memory_order_relaxed);
+}
+
+void SemanticProfiler::onHeapPressureCleared() {
+  ShedActive.store(false, std::memory_order_relaxed);
+}
+
+ProfilerDegradationStats SemanticProfiler::degradationStats() const {
+  ProfilerDegradationStats D;
+  D.ShedActive = ShedActive.load(std::memory_order_relaxed);
+  D.ShedMultiplier = ShedMultiplier.load(std::memory_order_relaxed);
+  D.HeapPressureEvents = HeapPressureEvents.load(std::memory_order_relaxed);
+  D.FoldedAllocs = FoldedAllocs;
+  D.FoldedDeaths = FoldedDeaths;
+  std::lock_guard<std::mutex> L(StatesMu);
+  auto Sum = [&D](const ProfilerThreadState &S) {
+    D.ShedSampledOut += S.ShedSampledOut;
+    D.NotedAllocs += S.NotedAllocs;
+    D.NotedDeaths += S.NotedDeaths;
+    D.DroppedAllocs += S.DroppedAllocs;
+    D.DroppedDeaths += S.DroppedDeaths;
+  };
+  Sum(MainState);
+  for (const std::unique_ptr<ProfilerThreadState> &S : States)
+    Sum(*S);
+  return D;
+}
+
 void SemanticProfiler::onCycleEnd(const GcCycleRecord &Record) {
   for (ContextInfo *Info : TouchedThisCycle)
     Info->finishCycle();
   TouchedThisCycle.clear();
   ++CyclesSeen;
+
+  // Additive restore: once pressure has cleared, step the sampling rate
+  // back toward full — one step per GC cycle (AIMD, like congestion
+  // control: fast back-off, cautious recovery).
+  if (!ShedActive.load(std::memory_order_relaxed)) {
+    uint32_t Mult = ShedMultiplier.load(std::memory_order_relaxed);
+    if (Mult > 1)
+      ShedMultiplier.store(Mult - 1, std::memory_order_relaxed);
+  }
 
   HeapLive.observe(Record.LiveBytes);
   HeapCollLive.observe(Record.CollectionLiveBytes);

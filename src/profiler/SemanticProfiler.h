@@ -77,6 +77,30 @@ struct ProfilerConfig {
   /// than folding directly. Equivalent to calling
   /// enableConcurrentMutators() before any profiled work.
   bool ConcurrentMutators = false;
+  /// Shed mode (heap pressure): cap on the multiplicative sampling-period
+  /// back-off (effective period = SamplingPeriod * multiplier).
+  unsigned MaxShedMultiplier = 64;
+  /// Shed mode: while pressure lasts, bound each thread's pending-event
+  /// buffer to this many events, spilling the oldest eighth (counted, per
+  /// kind) when it fills. 0 disables the bound. Buffers are unbounded when
+  /// the heap is not under pressure.
+  unsigned ShedBufferLimit = 4096;
+};
+
+/// Snapshot of the profiler's load-shedding state and loss accounting,
+/// summed over every thread (see SemanticProfiler::degradationStats).
+/// Invariant after a final flush: Noted == Folded + Dropped, per kind.
+struct ProfilerDegradationStats {
+  bool ShedActive = false;
+  uint32_t ShedMultiplier = 1;
+  uint64_t HeapPressureEvents = 0;
+  uint64_t ShedSampledOut = 0;
+  uint64_t NotedAllocs = 0;
+  uint64_t NotedDeaths = 0;
+  uint64_t FoldedAllocs = 0;
+  uint64_t FoldedDeaths = 0;
+  uint64_t DroppedAllocs = 0;
+  uint64_t DroppedDeaths = 0;
 };
 
 /// The semantic profiler. See the file comment for the threading model.
@@ -193,6 +217,8 @@ public:
                          void *ObjectInfoTag) override;
   void onCycleEnd(const GcCycleRecord &Record) override;
   void onStopTheWorld() override { flushMutatorBuffers(); }
+  void onHeapPressure(uint64_t BytesInUse, uint64_t SoftLimitBytes) override;
+  void onHeapPressureCleared() override;
 
   /// -- Queries (quiescent world in concurrent-mutator mode) ----------------
 
@@ -226,6 +252,26 @@ public:
   /// summed over every thread's state.
   uint64_t contextCacheHits() const;
   uint64_t contextCacheMisses() const;
+
+  /// -- Graceful degradation under heap pressure ----------------------------
+
+  /// True while the profiler is shedding load (between onHeapPressure and
+  /// onHeapPressureCleared).
+  bool shedActive() const {
+    return ShedActive.load(std::memory_order_relaxed);
+  }
+
+  /// The current sampling-period multiplier (1 = full rate). Doubles on
+  /// every pressure event (capped at MaxShedMultiplier), restores
+  /// additively — one step per GC cycle — once pressure clears.
+  uint32_t shedMultiplier() const {
+    return ShedMultiplier.load(std::memory_order_relaxed);
+  }
+
+  /// Sums the degradation/loss accounting over every thread's state. Call
+  /// after a flush (quiescent world) for the Noted == Folded + Dropped
+  /// identity to hold exactly.
+  ProfilerDegradationStats degradationStats() const;
 
 private:
   struct ContextKey {
@@ -327,8 +373,24 @@ private:
   mutable std::mutex OrderedMu;
   std::vector<ContextInfo *> Ordered;
 
+  /// Spills the oldest eighth of \p S's pending buffer (counted, per kind)
+  /// when shed mode is active and the buffer exceeds ShedBufferLimit.
+  void boundPending(ProfilerThreadState &S);
+
   std::vector<ContextInfo *> TouchedThisCycle;
   uint64_t CyclesSeen = 0;
+
+  /// Shed-mode state. ShedActive / ShedMultiplier are written from the
+  /// heap's allocation path (onHeapPressure*) and read by every mutator's
+  /// sampling decision, hence atomic.
+  std::atomic<bool> ShedActive{false};
+  std::atomic<uint32_t> ShedMultiplier{1};
+  std::atomic<uint64_t> HeapPressureEvents{0};
+  /// Fold-side accounting (bumped while folding directly in single-threaded
+  /// mode or replaying buffers at a quiescent-world flush — never
+  /// concurrently).
+  uint64_t FoldedAllocs = 0;
+  uint64_t FoldedDeaths = 0;
 
   TotalMax HeapLive;
   TotalMax HeapCollLive;

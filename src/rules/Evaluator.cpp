@@ -88,8 +88,13 @@ double Evaluator::evalExpr(const Expr &E) {
       return Lhs * Rhs;
     case BinaryExpr::Operator::Div:
       // Rules routinely form op-count ratios; an empty profile divides by
-      // zero. Define x/0 = 0 so such rules simply do not fire.
-      return Rhs == 0.0 ? 0.0 : Lhs / Rhs;
+      // zero. Define x/0 = 0 so such rules simply do not fire — but count
+      // each guarded division so explainContext can say why.
+      if (Rhs == 0.0) {
+        ++DivGuardHits;
+        return 0.0;
+      }
+      return Lhs / Rhs;
     }
     CHAM_UNREACHABLE("unknown binary operator");
   }

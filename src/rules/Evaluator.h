@@ -53,6 +53,11 @@ public:
   /// in that state must not fire.
   bool missingParam() const { return MissingParam; }
 
+  /// Number of divisions whose right-hand side was zero, each evaluated as
+  /// x/0 = 0 by the division guard. Surfaced by RuleEngine::explainContext
+  /// so a silently-not-firing ratio rule is diagnosable.
+  unsigned divGuardHits() const { return DivGuardHits; }
+
 private:
   const ContextInfo &Info;
   const SemanticProfiler &Profiler;
@@ -60,6 +65,7 @@ private:
   bool UsedMaxSize = false;
   bool UsedFinalSize = false;
   bool MissingParam = false;
+  unsigned DivGuardHits = 0;
 };
 
 } // namespace chameleon::rules

@@ -213,8 +213,8 @@ const char *RuleEngine::ruleOutcomeName(RuleOutcome Outcome) {
 
 RuleEngine::RuleOutcome
 RuleEngine::evaluateRule(const Rule &R, const ContextInfo &Info,
-                         const SemanticProfiler &Profiler,
-                         Suggestion *Out) const {
+                         const SemanticProfiler &Profiler, Suggestion *Out,
+                         unsigned *DivGuardHits) const {
   if (R.NeverFires)
     return RuleOutcome::NeverFires;
   if (Info.foldedInstances() < Config.MinSamples)
@@ -224,6 +224,8 @@ RuleEngine::evaluateRule(const Rule &R, const ContextInfo &Info,
 
   Evaluator Eval(Info, Profiler, &Params);
   bool CondHolds = Eval.evalCond(*R.Condition);
+  if (DivGuardHits)
+    *DivGuardHits = Eval.divGuardHits();
   if (Eval.missingParam())
     return RuleOutcome::MissingParam;
   if (!CondHolds)
@@ -240,6 +242,8 @@ RuleEngine::evaluateRule(const Rule &R, const ContextInfo &Info,
   std::optional<uint32_t> Capacity;
   if (R.Capacity) {
     double Cap = Eval.evalExpr(*R.Capacity);
+    if (DivGuardHits)
+      *DivGuardHits = Eval.divGuardHits();
     if (Eval.missingParam())
       return RuleOutcome::MissingParam;
     Capacity = static_cast<uint32_t>(std::max(1.0, std::ceil(Cap)));
@@ -275,7 +279,8 @@ RuleEngine::explainContext(const ContextInfo &Info,
   std::string Text = "rules for " + Profiler.contextLabel(Info) + ":\n";
   for (const Rule &R : Rules) {
     Suggestion S;
-    RuleOutcome Outcome = evaluateRule(R, Info, Profiler, &S);
+    unsigned DivGuardHits = 0;
+    RuleOutcome Outcome = evaluateRule(R, Info, Profiler, &S, &DivGuardHits);
     Text += "  [";
     Text += R.Name;
     Text += "] ";
@@ -289,6 +294,16 @@ RuleEngine::explainContext(const ContextInfo &Info,
     if (!R.SemaNote.empty()) {
       Text += " (";
       Text += R.SemaNote;
+      Text += ')';
+    }
+    // A ratio rule over an empty profile divides by zero; the evaluator
+    // defines x/0 = 0, which usually makes the condition quietly false.
+    // Say so, or the silence is undiagnosable from the report.
+    if (DivGuardHits != 0) {
+      Text += " (division guard: ";
+      Text += std::to_string(DivGuardHits);
+      Text += DivGuardHits == 1 ? " division by zero evaluated as 0"
+                                : " divisions by zero evaluated as 0";
       Text += ')';
     }
     Text += '\n';

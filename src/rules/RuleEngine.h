@@ -129,9 +129,11 @@ public:
   static const char *ruleOutcomeName(RuleOutcome Outcome);
 
   /// Evaluates one rule against one context; fills \p Out when it fires.
+  /// When \p DivGuardHits is non-null it receives the number of divisions
+  /// the evaluator's x/0 = 0 guard absorbed while evaluating this rule.
   RuleOutcome evaluateRule(const Rule &R, const ContextInfo &Info,
-                           const SemanticProfiler &Profiler,
-                           Suggestion *Out) const;
+                           const SemanticProfiler &Profiler, Suggestion *Out,
+                           unsigned *DivGuardHits = nullptr) const;
 
   /// Evaluates every rule against one context; appends fired suggestions.
   void evaluateContext(const ContextInfo &Info,

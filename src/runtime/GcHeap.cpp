@@ -7,6 +7,7 @@
 #include "runtime/GcHeap.h"
 
 #include "support/Assert.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <chrono>
@@ -217,11 +218,39 @@ ObjectRef GcHeap::allocateLocked(std::unique_ptr<HeapObject> Obj) {
   assert(Obj && "allocating a null object");
   assert(!InCollection && "allocation during a GC cycle");
 
+  // Every allocation in the system funnels through here, so this one site
+  // lets a fault plan fail any allocation (inside a migration transaction)
+  // or force a collection at any allocation instant.
+  CHAM_FAULT_GC("gc.alloc", *this);
+
   uint64_t Bytes = Obj->shallowBytes();
   if (GcSampleEveryBytes != 0
       && TotalAllocatedBytes - LastSampleAt >= GcSampleEveryBytes) {
     LastSampleAt = TotalAllocatedBytes;
     collect(/*Forced=*/true);
+  }
+  // Soft limit (graceful degradation): crossing it buys an emergency
+  // collect-then-shrink pass, rate-limited by allocation volume so a long
+  // over-limit plateau does not collect on every allocation. Staying over
+  // even after that tells the profiler hooks to start shedding.
+  if (SoftLimitBytes != 0 && !OomFlag && BytesInUse + Bytes > SoftLimitBytes
+      && TotalAllocatedBytes - LastEmergencyAt
+             >= std::max<uint64_t>(SoftLimitBytes / 16, 1)) {
+    LastEmergencyAt = TotalAllocatedBytes;
+    ++EmergencyCollects;
+    collect(/*Forced=*/false);
+    shrinkSlotTable();
+    if (BytesInUse + Bytes > SoftLimitBytes) {
+      UnderPressure = true;
+      if (Hooks)
+        Hooks->onHeapPressure(BytesInUse, SoftLimitBytes);
+    }
+  }
+  if (UnderPressure && SoftLimitBytes != 0
+      && BytesInUse + Bytes <= SoftLimitBytes - SoftLimitBytes / 8) {
+    UnderPressure = false;
+    if (Hooks)
+      Hooks->onHeapPressureCleared();
   }
   // Once out of memory the run is already failed; collecting on every
   // further allocation would only slow the program's (short) path to
@@ -277,6 +306,32 @@ ObjectRef GcHeap::allocateLocked(std::unique_ptr<HeapObject> Obj) {
   TotalAllocatedBytes += Bytes;
   ++TotalAllocatedObjects;
   return Placed.Self;
+}
+
+void GcHeap::shrinkSlotTable() {
+  uint32_t Count = SlotCount.load(std::memory_order_relaxed);
+  uint32_t NewCount = Count;
+  while (NewCount > 0 && !slotRef(NewCount - 1))
+    --NewCount;
+  if (NewCount == Count)
+    return;
+  FreeSlots.erase(std::remove_if(FreeSlots.begin(), FreeSlots.end(),
+                                 [NewCount](uint32_t Slot) {
+                                   return Slot >= NewCount;
+                                 }),
+                  FreeSlots.end());
+  // Concurrent lock-free readers only dereference live references, all of
+  // which sit below NewCount; shrinking the published count and freeing the
+  // wholly-trailing chunks can therefore never race with them.
+  SlotCount.store(NewCount, std::memory_order_release);
+  uint32_t FirstNeededChunk = (NewCount + SlotChunkCapacity - 1)
+                              >> SlotChunkShift;
+  uint32_t FirstUnusedChunk = (Count + SlotChunkCapacity - 1)
+                              >> SlotChunkShift;
+  for (uint32_t C = FirstNeededChunk; C < FirstUnusedChunk; ++C) {
+    delete Chunks[C].load(std::memory_order_relaxed);
+    Chunks[C].store(nullptr, std::memory_order_release);
+  }
 }
 
 //===----------------------------------------------------------------------===//

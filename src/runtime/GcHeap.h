@@ -123,6 +123,24 @@ public:
   void setHeapLimit(uint64_t Bytes) { HeapLimitBytes = Bytes; }
   uint64_t heapLimit() const { return HeapLimitBytes; }
 
+  /// Soft heap limit (0 = none), the graceful-degradation threshold below
+  /// the hard limit: an allocation that would cross it triggers an
+  /// emergency collect-then-shrink pass (rate-limited by allocation
+  /// volume), and if the heap is still over afterwards the profiler hooks
+  /// are told (`onHeapPressure`) so they can shed load; once usage drops
+  /// back under the limit with 1/8 hysteresis headroom the hooks get
+  /// `onHeapPressureCleared`. Unlike the hard limit, crossing the soft
+  /// limit is never an error.
+  void setSoftHeapLimit(uint64_t Bytes) { SoftLimitBytes = Bytes; }
+  uint64_t softHeapLimit() const { return SoftLimitBytes; }
+
+  /// Number of emergency (soft-limit) collections so far.
+  uint64_t emergencyCollects() const { return EmergencyCollects; }
+
+  /// True while the heap sits over its soft limit even after an emergency
+  /// collection (i.e. the profiler has been told to shed).
+  bool underPressure() const { return UnderPressure; }
+
   /// Minimum fraction of the heap limit that must be free after a
   /// pressure collection; less means the program is effectively spending
   /// its time collecting, and the heap declares OutOfMemory (HotSpot's
@@ -356,6 +374,13 @@ private:
   /// mutators are active).
   ObjectRef allocateLocked(std::unique_ptr<HeapObject> Obj);
 
+  /// Returns trailing all-empty slot-table capacity to the OS analogue:
+  /// trims the published slot count past the last live slot, drops the
+  /// free-slot entries above it, and frees wholly-trailing chunks. Safe
+  /// against concurrent lock-free readers because no live reference can
+  /// point into the trimmed region. Called after emergency collections.
+  void shrinkSlotTable();
+
   /// The collection body, entered with the world already stopped (or no
   /// mutators registered).
   const GcCycleRecord &collectStopped(bool Forced);
@@ -394,6 +419,10 @@ private:
   double MinFreeFraction = 0.10;
   uint64_t GcSampleEveryBytes = 0;
   uint64_t LastSampleAt = 0;
+  uint64_t SoftLimitBytes = 0;
+  uint64_t LastEmergencyAt = 0;
+  uint64_t EmergencyCollects = 0;
+  bool UnderPressure = false;
   TypeRegistry Types;
   HeapProfilerHooks *Hooks = nullptr;
 

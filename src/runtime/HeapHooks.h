@@ -48,6 +48,21 @@ public:
   /// live/death statistics fold against up-to-date contexts (DESIGN.md §9).
   /// Default: nothing — single-threaded profilers have nothing to drain.
   virtual void onStopTheWorld() {}
+
+  /// Called when an allocation leaves the heap over its soft limit even
+  /// after an emergency collection: the profiler should shed load (back off
+  /// its sampling rate, bound its buffers). May fire repeatedly while the
+  /// pressure lasts — one call per emergency collection that failed to get
+  /// back under the limit. Default: ignore (no soft limit configured, or
+  /// the sink has nothing to shed).
+  virtual void onHeapPressure(uint64_t BytesInUse, uint64_t SoftLimitBytes) {
+    (void)BytesInUse;
+    (void)SoftLimitBytes;
+  }
+
+  /// Called once heap usage has dropped back under the soft limit (with
+  /// hysteresis); the profiler may start restoring its sampling rate.
+  virtual void onHeapPressureCleared() {}
 };
 
 } // namespace chameleon

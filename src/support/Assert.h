@@ -29,4 +29,15 @@
     std::abort();                                                              \
   } while (false)
 
+/// Contract check for caller bugs the runtime can also tolerate (double
+/// retire, use after retire, ...). The build keeps plain assert() enabled
+/// even in optimized configurations, so these checks get their own opt-in
+/// macro: compiling with -DCHAMELEON_PARANOID turns them into hard aborts,
+/// the default build counts the violation and carries on.
+#ifdef CHAMELEON_PARANOID
+#define CHAM_DCHECK(Cond, Msg) assert((Cond) && Msg)
+#else
+#define CHAM_DCHECK(Cond, Msg) ((void)0)
+#endif
+
 #endif // CHAMELEON_SUPPORT_ASSERT_H

@@ -1,0 +1,110 @@
+//===--- FaultInjector.cpp - Deterministic fault injection ----------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+namespace chameleon {
+
+bool faultSiteMatch(const char *Pattern, const char *Site) {
+  // Iterative glob with single-star backtracking: on mismatch past a '*',
+  // rewind to the star and let it swallow one more site character.
+  const char *Star = nullptr;
+  const char *Resume = nullptr;
+  while (*Site) {
+    if (*Pattern == '*') {
+      Star = Pattern++;
+      Resume = Site;
+    } else if (*Pattern == *Site) {
+      ++Pattern;
+      ++Site;
+    } else if (Star) {
+      Pattern = Star + 1;
+      Site = ++Resume;
+    } else {
+      return false;
+    }
+  }
+  while (*Pattern == '*')
+    ++Pattern;
+  return *Pattern == '\0';
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Injector;
+  return Injector;
+}
+
+void FaultInjector::arm(const FaultPlan &Plan) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Rules.clear();
+  Rules.reserve(Plan.Rules.size());
+  for (size_t I = 0; I < Plan.Rules.size(); ++I) {
+    RuleState State;
+    State.Rule = Plan.Rules[I];
+    // Each rule gets its own stream: decorrelate the rules of one plan, and
+    // decorrelate the same rule list under different seeds.
+    State.Rng = SplitMix64(Plan.Seed + 0x9E3779B97F4A7C15ull * (I + 1));
+    Rules.push_back(std::move(State));
+  }
+  Stats = FaultStats();
+  Armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() { Armed.store(false, std::memory_order_release); }
+
+FaultAction FaultInjector::evaluate(const char *Site, bool AllowFail,
+                                    bool AllowGc) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Armed.load(std::memory_order_relaxed))
+    return FaultAction::None; // lost a disarm race; stay quiet
+  ++Stats.Hits;
+  FaultAction Delivered = FaultAction::None;
+  for (RuleState &State : Rules) {
+    if (!faultSiteMatch(State.Rule.SitePattern.c_str(), Site))
+      continue;
+    ++State.Hits;
+    bool WantsFire;
+    if (State.Rule.NthHit != 0)
+      WantsFire = State.Hits == State.Rule.NthHit;
+    else
+      // Draw unconditionally so the stream position depends only on the hit
+      // count, never on what other rules delivered.
+      WantsFire = State.Rng.nextBool(State.Rule.Probability);
+    if (!WantsFire || State.Fires >= State.Rule.MaxFires)
+      continue;
+    if (State.Rule.Action == FaultAction::FailAlloc && !AllowFail) {
+      ++Stats.SuppressedFailures;
+      continue;
+    }
+    if (State.Rule.Action == FaultAction::ForceGc && !AllowGc)
+      continue;
+    if (Delivered != FaultAction::None)
+      continue; // a prior rule already claimed this hit
+    ++State.Fires;
+    Delivered = State.Rule.Action;
+    if (Delivered == FaultAction::FailAlloc)
+      ++Stats.AllocFailuresThrown;
+    else
+      ++Stats.ForcedGcs;
+  }
+  return Delivered;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+std::vector<FaultInjector::RuleReport> FaultInjector::ruleReports() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<RuleReport> Reports;
+  Reports.reserve(Rules.size());
+  for (const RuleState &State : Rules)
+    Reports.push_back({State.Rule.SitePattern, State.Hits, State.Fires});
+  return Reports;
+}
+
+} // namespace chameleon

@@ -106,6 +106,21 @@ TEST_F(EvaluatorTest, DivisionByZeroYieldsZero) {
   EXPECT_TRUE(eval("#add / #remove(Object) == 0"));
 }
 
+TEST_F(EvaluatorTest, DivisionGuardHitsAreCounted) {
+  Evaluator E(*Info, Profiler);
+  EXPECT_EQ(E.divGuardHits(), 0u);
+  CondPtr Guarded = cond("#add / #remove(Object) == 0");
+  EXPECT_TRUE(E.evalCond(*Guarded));
+  EXPECT_EQ(E.divGuardHits(), 1u);
+  // A clean division leaves the counter alone; a second x/0 adds to it.
+  CondPtr Clean = cond("totLive / totUsed > 1.6");
+  EXPECT_TRUE(E.evalCond(*Clean));
+  EXPECT_EQ(E.divGuardHits(), 1u);
+  CondPtr Again = cond("#put / @put == 0");
+  EXPECT_TRUE(E.evalCond(*Again));
+  EXPECT_EQ(E.divGuardHits(), 2u);
+}
+
 TEST_F(EvaluatorTest, BooleanConnectives) {
   EXPECT_TRUE(eval("maxSize == 3 && #put == 1"));
   EXPECT_FALSE(eval("maxSize == 3 && #put == 2"));

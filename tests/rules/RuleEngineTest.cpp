@@ -429,6 +429,32 @@ TEST_F(RuleEngineTest, ExplainReportsUnstableAndMissingParams) {
   EXPECT_NE(Text.find("[tuned] unbound $-parameter"), std::string::npos);
 }
 
+TEST_F(RuleEngineTest, ExplainSurfacesDivisionGuard) {
+  // A ratio rule over a profile with zero removes divides by zero; the
+  // evaluator defines x/0 = 0, which silently falsifies the condition.
+  // The explanation must say that, or the silence is undiagnosable.
+  RuleEngine Custom;
+  Custom.addRules(
+      "[ratio] HashMap : #get(Object) / #remove(Object) > 2 -> ArrayMap");
+  ContextInfo *Info = makeContext("HashMap", 10,
+                                  [](ObjectContextInfo &U, unsigned) {
+                                    U.count(OpKind::Get);
+                                    U.count(OpKind::Put);
+                                    U.noteSize(3);
+                                  });
+  std::string Text = Custom.explainContext(*Info, Profiler);
+  EXPECT_NE(Text.find("[ratio] condition false"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("(division guard: 1 division by zero evaluated as 0)"),
+            std::string::npos)
+      << Text;
+
+  // No divisions by zero, no note.
+  RuleEngine Plain;
+  Plain.addRules("[plain] HashMap : maxSize > 100 -> ArrayMap");
+  std::string PlainText = Plain.explainContext(*Info, Profiler);
+  EXPECT_EQ(PlainText.find("division guard"), std::string::npos) << PlainText;
+}
+
 TEST_F(RuleEngineTest, ParamsTuneRuleConstants) {
   RuleEngine Custom;
   Custom.addRules(

@@ -1,0 +1,217 @@
+//===--- FaultInjectionTest.cpp - Fault injector unit tests ---------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault injector's own contracts: glob matching over site names,
+/// exact Nth-hit delivery, seed-replayable probability streams, FailScope
+/// suppression, ForceGc site gating, MaxFires, and stats survival across
+/// disarm.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+
+namespace {
+
+/// Disarms the process-global injector when a test ends, whatever happens.
+struct DisarmGuard {
+  ~DisarmGuard() { FaultInjector::instance().disarm(); }
+};
+
+TEST(FaultSiteMatch, Globs) {
+  EXPECT_TRUE(faultSiteMatch("gc.alloc", "gc.alloc"));
+  EXPECT_FALSE(faultSiteMatch("gc.alloc", "gc.allocate"));
+  EXPECT_FALSE(faultSiteMatch("gc.allocate", "gc.alloc"));
+
+  EXPECT_TRUE(faultSiteMatch("*", "anything.at.all"));
+  EXPECT_TRUE(faultSiteMatch("*", ""));
+  EXPECT_TRUE(faultSiteMatch("", ""));
+  EXPECT_FALSE(faultSiteMatch("", "x"));
+
+  EXPECT_TRUE(faultSiteMatch("migrate.*", "migrate.begin"));
+  EXPECT_TRUE(faultSiteMatch("migrate.*", "migrate."));
+  EXPECT_FALSE(faultSiteMatch("migrate.*", "migrat.begin"));
+
+  EXPECT_TRUE(faultSiteMatch("*.reserve", "hashmap.reserve"));
+  EXPECT_TRUE(faultSiteMatch("*.reserve", ".reserve"));
+  EXPECT_FALSE(faultSiteMatch("*.reserve", "hashmap.resize"));
+
+  EXPECT_TRUE(faultSiteMatch("a*b", "ab"));
+  EXPECT_TRUE(faultSiteMatch("a*b", "a.middle.b"));
+  EXPECT_FALSE(faultSiteMatch("a*b", "a.middle.c"));
+
+  // Multiple stars, with backtracking past a false partial match.
+  EXPECT_TRUE(faultSiteMatch("*map*reserve", "hashmap.reserve"));
+  EXPECT_TRUE(faultSiteMatch("*.re*ve", "arraylist.reserve"));
+  EXPECT_FALSE(faultSiteMatch("*map*reserve", "arraylist.reserve"));
+}
+
+TEST(FaultInjector, NthHitFiresExactlyOnce) {
+  DisarmGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  FaultPlan Plan;
+  Plan.Rules.push_back({"x.site", FaultAction::FailAlloc, /*NthHit=*/3});
+  FI.arm(Plan);
+  ASSERT_TRUE(FaultInjector::enabled());
+
+  for (int Hit = 1; Hit <= 10; ++Hit) {
+    FaultAction A = FI.evaluate("x.site", /*AllowFail=*/true,
+                                /*AllowGc=*/false);
+    if (Hit == 3)
+      EXPECT_EQ(A, FaultAction::FailAlloc) << "hit " << Hit;
+    else
+      EXPECT_EQ(A, FaultAction::None) << "hit " << Hit;
+  }
+  // Non-matching sites advance nothing.
+  EXPECT_EQ(FI.evaluate("y.other", true, false), FaultAction::None);
+
+  FaultStats Stats = FI.stats();
+  EXPECT_EQ(Stats.Hits, 11u);
+  EXPECT_EQ(Stats.AllocFailuresThrown, 1u);
+  EXPECT_EQ(Stats.SuppressedFailures, 0u);
+  ASSERT_EQ(FI.ruleReports().size(), 1u);
+  EXPECT_EQ(FI.ruleReports()[0].Hits, 10u);
+  EXPECT_EQ(FI.ruleReports()[0].Fires, 1u);
+}
+
+TEST(FaultInjector, SeedReplayIsExact) {
+  DisarmGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+
+  auto firePattern = [&FI](uint64_t Seed) {
+    FaultPlan Plan;
+    Plan.Seed = Seed;
+    Plan.Rules.push_back(
+        {"p.site", FaultAction::FailAlloc, /*NthHit=*/0, /*Probability=*/0.3});
+    FI.arm(Plan);
+    std::vector<bool> Pattern;
+    for (int I = 0; I < 256; ++I)
+      Pattern.push_back(FI.evaluate("p.site", true, false)
+                        == FaultAction::FailAlloc);
+    return Pattern;
+  };
+
+  std::vector<bool> First = firePattern(0xFEED);
+  std::vector<bool> Replay = firePattern(0xFEED);
+  EXPECT_EQ(First, Replay) << "same seed must replay the exact schedule";
+
+  std::vector<bool> Other = firePattern(0xFEED + 1);
+  EXPECT_NE(First, Other) << "different seed, different schedule";
+
+  // The schedule actually fires sometimes and skips sometimes.
+  size_t Fires = 0;
+  for (bool B : First)
+    Fires += B;
+  EXPECT_GT(Fires, 0u);
+  EXPECT_LT(Fires, First.size());
+}
+
+TEST(FaultInjector, StreamPositionIgnoresScopeState) {
+  DisarmGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  FaultPlan Plan;
+  Plan.Seed = 0xAB;
+  Plan.Rules.push_back(
+      {"s.site", FaultAction::FailAlloc, /*NthHit=*/0, /*Probability=*/0.5});
+
+  // Reference run: all hits inside a fail scope.
+  FI.arm(Plan);
+  std::vector<FaultAction> Reference;
+  for (int I = 0; I < 64; ++I)
+    Reference.push_back(FI.evaluate("s.site", true, false));
+
+  // Interleaved run: even hits outside any scope (suppressed, not thrown)
+  // must not shift the odd hits' draws.
+  FI.arm(Plan);
+  for (int I = 0; I < 64; ++I) {
+    FaultAction A = FI.evaluate("s.site", /*AllowFail=*/I % 2 != 0, false);
+    if (I % 2 != 0)
+      EXPECT_EQ(A, Reference[I]) << "hit " << I;
+    else
+      EXPECT_EQ(A, FaultAction::None) << "hit " << I;
+  }
+  EXPECT_GT(FI.stats().SuppressedFailures, 0u);
+}
+
+TEST(FaultInjector, FailScopeGatesDeliveryAndMacroThrows) {
+  DisarmGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  FaultPlan Plan;
+  Plan.Rules.push_back({"m.site", FaultAction::FailAlloc, /*NthHit=*/1});
+  FI.arm(Plan);
+
+  // First (and only) firing hit lands outside a scope: suppressed.
+  EXPECT_EQ(FI.evaluate("m.site", /*AllowFail=*/false, false),
+            FaultAction::None);
+  EXPECT_EQ(FI.stats().SuppressedFailures, 1u);
+  EXPECT_EQ(FI.stats().AllocFailuresThrown, 0u);
+
+  // Re-arm; with a scope armed the macro delivers a typed throw.
+  FI.arm(Plan);
+  FaultInjector::FailScope Scope;
+  bool Thrown = false;
+  try {
+    CHAM_FAULT("m.site");
+  } catch (const InjectedFault &F) {
+    Thrown = true;
+    EXPECT_STREQ(F.Site, "m.site");
+  }
+  EXPECT_TRUE(Thrown);
+  EXPECT_EQ(FI.stats().AllocFailuresThrown, 1u);
+}
+
+TEST(FaultInjector, ForceGcOnlyAtGcCapableSites) {
+  DisarmGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  FaultPlan Plan;
+  Plan.Rules.push_back(
+      {"g.site", FaultAction::ForceGc, /*NthHit=*/0, /*Probability=*/1.0});
+  FI.arm(Plan);
+
+  EXPECT_EQ(FI.evaluate("g.site", true, /*AllowGc=*/false),
+            FaultAction::None)
+      << "throw-only sites must never see a forced GC";
+  EXPECT_EQ(FI.evaluate("g.site", true, /*AllowGc=*/true),
+            FaultAction::ForceGc);
+  EXPECT_EQ(FI.stats().ForcedGcs, 1u);
+}
+
+TEST(FaultInjector, MaxFiresBoundsDelivery) {
+  DisarmGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  FaultPlan Plan;
+  Plan.Rules.push_back({"b.site", FaultAction::FailAlloc, /*NthHit=*/0,
+                        /*Probability=*/1.0, /*MaxFires=*/2});
+  FI.arm(Plan);
+  int Delivered = 0;
+  for (int I = 0; I < 10; ++I)
+    Delivered += FI.evaluate("b.site", true, false) == FaultAction::FailAlloc;
+  EXPECT_EQ(Delivered, 2);
+}
+
+TEST(FaultInjector, DisarmKeepsStatsForReporting) {
+  DisarmGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  FaultPlan Plan;
+  Plan.Rules.push_back({"d.site", FaultAction::FailAlloc, /*NthHit=*/1});
+  FI.arm(Plan);
+  {
+    FaultInjector::FailScope Scope;
+    EXPECT_EQ(FI.evaluate("d.site", true, false), FaultAction::FailAlloc);
+  }
+  FI.disarm();
+  EXPECT_FALSE(FaultInjector::enabled());
+  // Disarmed sites stay quiet but the run's stats survive for the report.
+  EXPECT_EQ(FI.evaluate("d.site", true, false), FaultAction::None);
+  EXPECT_EQ(FI.stats().AllocFailuresThrown, 1u);
+  EXPECT_EQ(FI.stats().Hits, 1u);
+}
+
+} // namespace

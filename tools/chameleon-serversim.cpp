@@ -1,0 +1,113 @@
+//===--- chameleon-serversim.cpp - Server simulacrum driver ----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver for the multi-threaded server simulacrum, including
+/// its chaos mode (randomized fault injection against the transactional
+/// online-replacement machinery and the heap-pressure degradation path):
+///
+///   chameleon-serversim                       # plain run, print report
+///   chameleon-serversim --chaos               # chaos run, default seed
+///   chameleon-serversim --chaos --seed 0xBEEF # replay a chaos schedule
+///   chameleon-serversim --threads 8 --epochs 5 --requests 480
+///
+/// A chaos run prints the fault/migration/degradation accounting followed
+/// by the regular profiling report, and echoes the seed so any failure is
+/// replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/ServerSim.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::printf("usage: %s [options]\n"
+              "  --chaos            run under a randomized fault plan\n"
+              "  --seed N           chaos plan seed (decimal or 0x hex)\n"
+              "  --soft-limit N     soft heap limit in bytes for chaos mode\n"
+              "  --threads N        mutator threads (default 4)\n"
+              "  --epochs N         epochs (default 3)\n"
+              "  --requests N       requests per epoch (default 240)\n"
+              "  --quiet            suppress the profiling report\n"
+              "  -h, --help         show this help\n",
+              Argv0);
+}
+
+uint64_t parseU64(const char *Arg, const char *Flag) {
+  char *End = nullptr;
+  uint64_t V = std::strtoull(Arg, &End, 0);
+  if (End == Arg || *End != '\0') {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Flag, Arg);
+    std::exit(2);
+  }
+  return V;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerSimConfig Config;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(Arg, "--chaos") == 0) {
+      Config.Chaos = true;
+    } else if (std::strcmp(Arg, "--seed") == 0) {
+      Config.ChaosSeed = parseU64(needValue("--seed"), "--seed");
+    } else if (std::strcmp(Arg, "--soft-limit") == 0) {
+      Config.ChaosSoftHeapLimitBytes =
+          parseU64(needValue("--soft-limit"), "--soft-limit");
+    } else if (std::strcmp(Arg, "--threads") == 0) {
+      Config.MutatorThreads = static_cast<uint32_t>(
+          parseU64(needValue("--threads"), "--threads"));
+    } else if (std::strcmp(Arg, "--epochs") == 0) {
+      Config.Epochs =
+          static_cast<uint32_t>(parseU64(needValue("--epochs"), "--epochs"));
+    } else if (std::strcmp(Arg, "--requests") == 0) {
+      Config.RequestsPerEpoch = static_cast<uint32_t>(
+          parseU64(needValue("--requests"), "--requests"));
+    } else if (std::strcmp(Arg, "--quiet") == 0) {
+      Quiet = true;
+    } else if (std::strcmp(Arg, "-h") == 0
+               || std::strcmp(Arg, "--help") == 0) {
+      printUsage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      printUsage(argv[0]);
+      return 2;
+    }
+  }
+
+  CollectionRuntime RT(serverSimRuntimeConfig());
+  ServerSimResult Result = runServerSim(RT, Config);
+
+  if (Config.Chaos)
+    std::fputs(Result.ChaosReport.c_str(), stdout);
+  if (!Quiet)
+    std::fputs(Result.Report.c_str(), stdout);
+  std::printf("done: requests=%llu%s\n",
+              static_cast<unsigned long long>(Result.TotalRequests),
+              Config.Chaos ? " (chaos run survived)" : "");
+  return 0;
+}
