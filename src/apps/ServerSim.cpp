@@ -7,6 +7,8 @@
 #include "apps/ServerSim.h"
 
 #include "core/OnlineAdaptor.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "support/FaultInjector.h"
 #include "support/SplitMix64.h"
 
@@ -60,6 +62,7 @@ void appendf(std::string &Out, const char *Fmt, ...) {
 /// session and the handler kind so every epoch replays the same pattern.
 void handleRequest(CollectionRuntime &RT, const RunState &S, uint64_t Task,
                    uint32_t Req) {
+  CHAM_TRACE_SPAN_ARG("server", "request", "task", Task);
   SemanticProfiler &Prof = RT.profiler();
   Prof.setCurrentTask(Task);
   SplitMix64 Rng(S.Config.Seed ^ (Gamma * Task));
@@ -272,9 +275,34 @@ RuntimeConfig chameleon::apps::serverSimRuntimeConfig() {
   return Config;
 }
 
+/// The --ticker line: one stderr glance per epoch barrier at the run's
+/// live telemetry. stderr only — never part of the deterministic report.
+static void printTicker(CollectionRuntime &RT, uint32_t Epoch, uint32_t Epochs) {
+  obs::TraceRecorder &Rec = obs::TraceRecorder::instance();
+  std::fprintf(
+      stderr,
+      "[telemetry] epoch %u/%u gc=%llu migrations=%llu/%llu/%llu shed=%s "
+      "events=%llu dropped=%llu\n",
+      Epoch + 1, Epochs,
+      static_cast<unsigned long long>(RT.heap().cycleCount()),
+      static_cast<unsigned long long>(RT.migrationAttempts()),
+      static_cast<unsigned long long>(RT.migrationCommits()),
+      static_cast<unsigned long long>(RT.migrationAborts()),
+      RT.profiler().degradationStats().ShedActive ? "on" : "off",
+      static_cast<unsigned long long>(Rec.recordedEvents()),
+      static_cast<unsigned long long>(Rec.droppedEvents()));
+}
+
 ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
                                               const ServerSimConfig &Config) {
   SemanticProfiler &Prof = RT.profiler();
+  // Telemetry capture is strictly read-only with respect to the simulated
+  // run: it records what happens but feeds nothing back, so Report stays
+  // byte-identical with it on or off (ServerSimTest pins this).
+  const bool Telemetry =
+      !Config.TelemetryOutDir.empty() || Config.TelemetryTicker;
+  if (Telemetry)
+    obs::TraceRecorder::instance().arm();
   // Buffer statistics from the first event even when the caller's config
   // did not opt in (sticky; required before any worker touches the heap).
   Prof.enableConcurrentMutators();
@@ -333,6 +361,7 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
     }
     // All workers are parked in safe regions: flush the per-thread event
     // buffers deterministically, then take the epoch's statistics cycle.
+    CHAM_TRACE_SPAN_ARG("server", "epoch_barrier", "epoch", Epoch);
     RT.flushMutatorStatistics();
     RT.heap().collect(/*Forced=*/true);
     if (Config.Chaos) {
@@ -350,6 +379,8 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
         (void)RT.migrateCollection(S.SessionHistory[I], ListTarget);
       }
     }
+    if (Config.TelemetryTicker)
+      printTicker(RT, Epoch, Config.Epochs);
     {
       std::lock_guard<std::mutex> L(B.Mu);
       B.Arrived = 0;
@@ -373,5 +404,15 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
     Result.ChaosReport = buildChaosReport(RT, *ChaosAdaptor, Config);
   }
   Result.Report = buildReport(RT, Config);
+  if (Telemetry) {
+    obs::TraceRecorder::instance().disarm();
+    if (!Config.TelemetryOutDir.empty()) {
+      std::string Error;
+      if (!obs::Telemetry::writeTelemetryDir(Config.TelemetryOutDir, "cham.",
+                                             &Error))
+        std::fprintf(stderr, "[telemetry] export failed: %s\n",
+                     Error.c_str());
+    }
+  }
   return Result;
 }

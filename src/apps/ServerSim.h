@@ -61,6 +61,15 @@ struct ServerSimConfig {
   /// below the workload's natural live size, so emergency collections fail
   /// to clear it and the profiler's shed mode actually engages.
   uint64_t ChaosSoftHeapLimitBytes = 8 * 1024;
+
+  /// When non-empty, arm the trace recorder for the run and write the
+  /// telemetry bundle (trace.json / metrics.json / metrics.prom, DESIGN.md
+  /// §11) into this directory at the end. Strictly observational: Report
+  /// stays byte-identical to a run without it.
+  std::string TelemetryOutDir;
+  /// Print a one-line live telemetry ticker to stderr at every epoch
+  /// barrier (arms the trace recorder like TelemetryOutDir does).
+  bool TelemetryTicker = false;
 };
 
 /// What a run produces.

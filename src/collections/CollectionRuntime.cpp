@@ -15,6 +15,7 @@
 #include "collections/OtherMapImpls.h"
 #include "collections/SetImpls.h"
 #include "collections/SmallListImpls.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/FaultInjector.h"
 
@@ -393,6 +394,8 @@ ObjectRef CollectionRuntime::allocateCollection(AdtKind Adt,
     ImplAllocCounts[implIndex(Kind)].fetch_add(1,
                                                std::memory_order_relaxed);
   }
+  CHAM_TRACE_INSTANT_ARG("collections", "alloc", "impl",
+                         static_cast<int64_t>(implIndex(Kind)));
   return WrapperRef;
 }
 
@@ -563,7 +566,7 @@ void CollectionRuntime::retireCollection(ObjectRef Wrapper) {
     // The death event was already folded; folding again would double-count
     // every per-instance statistic. Report the contract violation and
     // carry on (CHAMELEON_PARANOID builds abort instead).
-    DoubleRetireCount.fetch_add(1, std::memory_order_relaxed);
+    DoubleRetireCount.inc();
     CHAM_DCHECK(false, "double retire of a collection wrapper");
     return;
   }
@@ -600,7 +603,10 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
       || !implSupportsAdt(Target, W.Adt) || !isMigratableTarget(Target))
     return MigrationOutcome::NoOp;
 
-  MigrationAttempts.fetch_add(1, std::memory_order_relaxed);
+  MigrationAttempts.inc();
+  [[maybe_unused]] const int64_t CtxId =
+      W.Ctx ? static_cast<int64_t>(W.Ctx->id()) : -1;
+  CHAM_TRACE_SPAN_ARG("migrate", "transaction", "ctx", CtxId);
   Handle ShadowRoot;
   bool Verified = false;
   // Phase 1+2 form the transaction: any injected allocation failure below
@@ -617,10 +623,14 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
     // allocations of the copy.
     uint32_t SrcSize = Heap.getAs<CollectionImplBase>(W.Impl).size();
     uint32_t TargetCapacity = Capacity ? Capacity : SrcSize;
-    ShadowRoot.set(Heap, makeImpl(Target, TargetCapacity));
-    initImpl(Heap, ShadowRoot.ref(), Target);
+    {
+      CHAM_TRACE_SPAN_ARG("migrate", "build", "ctx", CtxId);
+      ShadowRoot.set(Heap, makeImpl(Target, TargetCapacity));
+      initImpl(Heap, ShadowRoot.ref(), Target);
+    }
     CHAM_FAULT("migrate.copy");
     if (W.Adt == AdtKind::Map) {
+      CHAM_TRACE_SPAN_ARG("migrate", "copy_verify", "ctx", CtxId);
       const MapImpl &Src = Heap.getAs<MapImpl>(W.Impl);
       MapImpl &Dst = Heap.getAs<MapImpl>(ShadowRoot.ref());
       IterState It;
@@ -642,6 +652,7 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
         }
       }
     } else {
+      CHAM_TRACE_SPAN_ARG("migrate", "copy_verify", "ctx", CtxId);
       const SeqImpl &Src = Heap.getAs<SeqImpl>(W.Impl);
       SeqImpl &Dst = Heap.getAs<SeqImpl>(ShadowRoot.ref());
       bool Representable = true;
@@ -687,11 +698,12 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
       // program-facing handles re-fetch the impl through the wrapper on
       // every operation, so they observe the swap atomically; the old
       // impl becomes garbage.
+      CHAM_TRACE_SPAN_ARG("migrate", "publish", "ctx", CtxId);
       CHAM_FAULT("migrate.publish");
       W.Impl = ShadowRoot.ref();
       W.CurrentImpl = Target;
       ++W.MigrationEpoch;
-      MigrationCommits.fetch_add(1, std::memory_order_relaxed);
+      MigrationCommits.inc();
       if (W.Ctx)
         W.Ctx->noteMigrationCommit();
       return MigrationOutcome::Committed;
@@ -699,7 +711,8 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
   } catch (const InjectedFault &) {
     // Clean abort: nothing was published, the shadow is garbage.
   }
-  MigrationAborts.fetch_add(1, std::memory_order_relaxed);
+  MigrationAborts.inc();
+  CHAM_TRACE_INSTANT_ARG("migrate", "abort", "ctx", CtxId);
   if (W.Ctx)
     W.Ctx->noteMigrationAbort();
   return MigrationOutcome::Aborted;

@@ -20,6 +20,7 @@
 
 #include "collections/ImplBase.h"
 #include "collections/Internals.h"
+#include "obs/Metrics.h"
 #include "collections/Kinds.h"
 #include "collections/ReplacementPlan.h"
 #include "collections/Wrapper.h"
@@ -156,6 +157,14 @@ public:
     (void)Info;
     (void)Committed;
   }
+
+  /// One-line description of this selector's per-context state (current
+  /// plan, back-off, pin) for diagnostics — RuleEngine::explainContext
+  /// appends it verbatim. Default: nothing to say.
+  virtual std::string describeContext(const ContextInfo *Info) const {
+    (void)Info;
+    return std::string();
+  }
 };
 
 /// Result of CollectionRuntime::migrateCollection.
@@ -269,16 +278,11 @@ public:
   MigrationOutcome migrateCollection(ObjectRef Wrapper, ImplKind Target,
                                      uint32_t Capacity = 0);
 
-  /// Live-migration counters (whole runtime).
-  uint64_t migrationAttempts() const {
-    return MigrationAttempts.load(std::memory_order_relaxed);
-  }
-  uint64_t migrationCommits() const {
-    return MigrationCommits.load(std::memory_order_relaxed);
-  }
-  uint64_t migrationAborts() const {
-    return MigrationAborts.load(std::memory_order_relaxed);
-  }
+  /// Live-migration counters (whole runtime; thin reads of the
+  /// registry-backed cham.collections.* metrics).
+  uint64_t migrationAttempts() const { return MigrationAttempts.value(); }
+  uint64_t migrationCommits() const { return MigrationCommits.value(); }
+  uint64_t migrationAborts() const { return MigrationAborts.value(); }
 
   /// -- Application payloads -------------------------------------------------
 
@@ -337,15 +341,9 @@ public:
   }
 
   /// Contract-violation counters (see retireCollection / Handles).
-  uint64_t doubleRetires() const {
-    return DoubleRetireCount.load(std::memory_order_relaxed);
-  }
-  uint64_t usesAfterRetire() const {
-    return UseAfterRetireCount.load(std::memory_order_relaxed);
-  }
-  void noteUseAfterRetire() {
-    UseAfterRetireCount.fetch_add(1, std::memory_order_relaxed);
-  }
+  uint64_t doubleRetires() const { return DoubleRetireCount.value(); }
+  uint64_t usesAfterRetire() const { return UseAfterRetireCount.value(); }
+  void noteUseAfterRetire() { UseAfterRetireCount.inc(); }
 
   /// Periodic online-revision check, called by the handles after mutating
   /// operations: every OnlineRevisePeriod such operations, asks the
@@ -414,11 +412,14 @@ private:
   std::vector<CustomImpl> CustomImpls;
   /// Deque of atomics: stable addresses under growth, lock-free bumps.
   std::deque<std::atomic<uint64_t>> CustomAllocCounts;
-  std::atomic<uint64_t> MigrationAttempts{0};
-  std::atomic<uint64_t> MigrationCommits{0};
-  std::atomic<uint64_t> MigrationAborts{0};
-  std::atomic<uint64_t> DoubleRetireCount{0};
-  std::atomic<uint64_t> UseAfterRetireCount{0};
+  /// Instance-owned, registry-backed counters (cham.collections.*): each
+  /// runtime reads its own values (so a fresh runtime reads zero) while
+  /// the telemetry exporters merge every live instance.
+  obs::Counter MigrationAttempts{"cham.collections.migration_attempts"};
+  obs::Counter MigrationCommits{"cham.collections.migration_commits"};
+  obs::Counter MigrationAborts{"cham.collections.migration_aborts"};
+  obs::Counter DoubleRetireCount{"cham.collections.double_retires"};
+  obs::Counter UseAfterRetireCount{"cham.collections.use_after_retire"};
 };
 
 /// RAII registration of the calling thread as a mutator, pairing the

@@ -6,9 +6,18 @@
 
 #include "core/OnlineAdaptor.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 
 using namespace chameleon;
+
+namespace {
+/// Trace-arg value for a (possibly null) context.
+[[maybe_unused]] int64_t ctxArg(const ContextInfo *Info) {
+  return Info ? static_cast<int64_t>(Info->id()) : -1;
+}
+} // namespace
 
 OnlineAdaptor::Decision &
 OnlineAdaptor::evaluateLocked(const ContextInfo *Info) {
@@ -20,7 +29,8 @@ OnlineAdaptor::evaluateLocked(const ContextInfo *Info) {
   if (!NeedEval)
     return It->second;
 
-  ++Evaluations;
+  Evaluations.inc();
+  CHAM_TRACE_INSTANT_ARG("online", "evaluate", "ctx", ctxArg(Info));
   // Preserve the migration backoff state across re-evaluations: a fresh
   // rule verdict does not forgive past aborts.
   Decision Fresh;
@@ -59,7 +69,8 @@ ImplKind OnlineAdaptor::chooseImpl(const ContextInfo *Info, AdtKind Adt,
   if (D.Impl) {
     if (std::optional<ImplKind> Adapted = adaptImplToAdt(*D.Impl, Adt);
         Adapted && *Adapted != Requested) {
-      ++Replacements;
+      Replacements.inc();
+      CHAM_TRACE_INSTANT_ARG("online", "replace", "ctx", ctxArg(Info));
       return *Adapted;
     }
   }
@@ -89,7 +100,8 @@ std::optional<ImplKind> OnlineAdaptor::reviseImpl(const ContextInfo *Info,
     return std::nullopt;
   if (D.Capacity)
     Capacity = *D.Capacity;
-  ++MigrationsRequested;
+  MigrationsRequested.inc();
+  CHAM_TRACE_INSTANT_ARG("online", "migrate_request", "ctx", ctxArg(Info));
   return Adapted;
 }
 
@@ -98,17 +110,19 @@ void OnlineAdaptor::onMigrationResult(const ContextInfo *Info,
   std::lock_guard<std::mutex> Lock(Mu);
   Decision &D = Cache[Info];
   if (Committed) {
-    ++MigrationsCommitted;
+    MigrationsCommitted.inc();
     D.Aborts = 0;
     D.RetryAtAllocations = 0;
     return;
   }
-  ++MigrationsAborted;
+  MigrationsAborted.inc();
+  CHAM_TRACE_INSTANT_ARG("online", "migrate_abort", "ctx", ctxArg(Info));
   ++D.Aborts;
   if (D.Aborts >= Config.MaxMigrationAborts) {
     if (!D.Pinned) {
       D.Pinned = true;
-      ++PinnedContexts;
+      PinnedContexts.inc();
+      CHAM_TRACE_INSTANT_ARG("online", "pin", "ctx", ctxArg(Info));
     }
     return;
   }
@@ -117,4 +131,27 @@ void OnlineAdaptor::onMigrationResult(const ContextInfo *Info,
                                : Config.MigrationBackoffBase << Shift;
   Delay = std::min(Delay, Config.MigrationBackoffCap);
   D.RetryAtAllocations = (Info ? Info->allocations() : 0) + Delay;
+}
+
+std::string OnlineAdaptor::describeContext(const ContextInfo *Info) const {
+  if (!Info)
+    return std::string();
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Cache.find(Info);
+  if (It == Cache.end())
+    return std::string();
+  const Decision &D = It->second;
+  std::string Out = "online: plan=";
+  Out += D.Impl ? implKindName(*D.Impl) : "keep";
+  if (D.Capacity)
+    Out += " cap=" + std::to_string(*D.Capacity);
+  if (D.Evaluated)
+    Out += " evaluatedAtAlloc=" + std::to_string(D.AtAllocationCount);
+  if (D.Aborts)
+    Out += " consecutiveAborts=" + std::to_string(D.Aborts);
+  if (D.RetryAtAllocations)
+    Out += " retryAtAlloc=" + std::to_string(D.RetryAtAllocations);
+  if (D.Pinned)
+    Out += " pinned";
+  return Out;
 }

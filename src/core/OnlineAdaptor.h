@@ -72,42 +72,31 @@ public:
 
   void onMigrationResult(const ContextInfo *Info, bool Committed) override;
 
+  /// One line of per-context adaptation state (current plan, backoff, pin)
+  /// for RuleEngine::explainContext.
+  std::string describeContext(const ContextInfo *Info) const override;
+
+  // The counters below are registry-backed (cham.online.*, DESIGN.md §11):
+  // thread-safe on their own, so the accessors no longer take Mu.
+
   /// Number of allocations redirected to a different implementation.
-  uint64_t replacements() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return Replacements;
-  }
+  uint64_t replacements() const { return Replacements.value(); }
 
   /// Number of rule-engine evaluations performed.
-  uint64_t evaluations() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return Evaluations;
-  }
+  uint64_t evaluations() const { return Evaluations.value(); }
 
   /// Number of live migrations proposed via reviseImpl.
-  uint64_t migrationsRequested() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return MigrationsRequested;
-  }
+  uint64_t migrationsRequested() const { return MigrationsRequested.value(); }
 
   /// Number of proposed migrations the runtime committed.
-  uint64_t migrationsCommitted() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return MigrationsCommitted;
-  }
+  uint64_t migrationsCommitted() const { return MigrationsCommitted.value(); }
 
   /// Number of proposed migrations that aborted (injected or real failure).
-  uint64_t migrationsAborted() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return MigrationsAborted;
-  }
+  uint64_t migrationsAborted() const { return MigrationsAborted.value(); }
 
   /// Contexts permanently pinned after MaxMigrationAborts consecutive
   /// aborts.
-  uint64_t pinnedContexts() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return PinnedContexts;
-  }
+  uint64_t pinnedContexts() const { return PinnedContexts.value(); }
 
 private:
   struct Decision {
@@ -133,12 +122,12 @@ private:
   OnlineConfig Config;
   mutable std::mutex Mu;
   std::unordered_map<const ContextInfo *, Decision> Cache;
-  uint64_t Replacements = 0;
-  uint64_t Evaluations = 0;
-  uint64_t MigrationsRequested = 0;
-  uint64_t MigrationsCommitted = 0;
-  uint64_t MigrationsAborted = 0;
-  uint64_t PinnedContexts = 0;
+  obs::Counter Replacements{"cham.online.replacements"};
+  obs::Counter Evaluations{"cham.online.evaluations"};
+  obs::Counter MigrationsRequested{"cham.online.migrations_requested"};
+  obs::Counter MigrationsCommitted{"cham.online.migrations_committed"};
+  obs::Counter MigrationsAborted{"cham.online.migrations_aborted"};
+  obs::Counter PinnedContexts{"cham.online.pinned_contexts"};
 };
 
 } // namespace chameleon

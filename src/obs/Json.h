@@ -1,0 +1,68 @@
+//===--- Json.h - Minimal JSON value model and parser ----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON reader for the telemetry layer's own output:
+/// chameleon-stats re-reads the metrics snapshot and trace files that the
+/// exporters in obs/Telemetry.h wrote, and the tests round-trip exporter
+/// output through it to prove the files are well-formed. It supports the
+/// full JSON value grammar (objects, arrays, strings with escapes,
+/// numbers, booleans, null) but no streaming, comments, or extensions —
+/// it is a validator for our own emitters, not a general-purpose library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_OBS_JSON_H
+#define CHAMELEON_OBS_JSON_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace chameleon::obs::json {
+
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  bool boolean() const { return Bool; }
+  double number() const { return Num; }
+  const std::string &str() const { return Str; }
+  const std::vector<Value> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &object() const {
+    return Obj;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const;
+
+  /// Convenience: find(Key)->number() with a default.
+  double numberOr(const std::string &Key, double Default) const;
+  /// Convenience: find(Key)->str() with a default.
+  std::string strOr(const std::string &Key, const std::string &Default) const;
+
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses \p Text into \p Out. On failure returns false and, when
+/// \p Error is non-null, describes the first problem with its offset.
+bool parse(std::string_view Text, Value &Out, std::string *Error = nullptr);
+
+/// Escapes \p Raw for embedding in a JSON string literal (no quotes).
+std::string escape(std::string_view Raw);
+
+} // namespace chameleon::obs::json
+
+#endif // CHAMELEON_OBS_JSON_H

@@ -1,0 +1,124 @@
+//===--- Metrics.cpp - Named counters, gauges, and histograms -------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace chameleon::obs;
+
+const char *chameleon::obs::metricKindName(MetricKind Kind) {
+  switch (Kind) {
+  case MetricKind::Counter:
+    return "counter";
+  case MetricKind::Gauge:
+    return "gauge";
+  case MetricKind::Histogram:
+    return "histogram";
+  }
+  return "unknown";
+}
+
+size_t chameleon::obs::detail::shardIndex() {
+  static std::atomic<size_t> NextThread{0};
+  static thread_local size_t Mine =
+      NextThread.fetch_add(1, std::memory_order_relaxed) %
+      Counter::NumShards;
+  return Mine;
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+Metric::Metric(const char *Name, MetricKind Kind) : Name(Name), Kind(Kind) {
+  // instance() runs before the first registration, so the registry's
+  // function-local static outlives every metric, including statics in
+  // other translation units.
+  MetricsRegistry::instance().add(this);
+}
+
+Metric::~Metric() { MetricsRegistry::instance().remove(this); }
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+void MetricsRegistry::add(Metric *M) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Metrics.push_back(M);
+}
+
+void MetricsRegistry::remove(Metric *M) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Metrics.erase(std::remove(Metrics.begin(), Metrics.end(), M),
+                Metrics.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+void Counter::mergeInto(MetricSnapshot &Out) const { Out.Value += value(); }
+
+void Gauge::mergeInto(MetricSnapshot &Out) const { Out.GaugeValue += value(); }
+
+Histogram::Histogram(const char *Name,
+                     std::initializer_list<uint64_t> UpperBounds)
+    : Metric(Name, MetricKind::Histogram), Bounds(UpperBounds),
+      Buckets(new std::atomic<uint64_t>[UpperBounds.size() + 1]) {
+  assert(std::is_sorted(Bounds.begin(), Bounds.end()) &&
+         "histogram bounds must ascend");
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::mergeInto(MetricSnapshot &Out) const {
+  if (Out.Bounds.empty()) {
+    Out.Bounds = Bounds;
+    Out.Buckets.assign(Bounds.size() + 1, 0);
+  } else if (Out.Bounds != Bounds) {
+    // Same-name histograms with different bucketing cannot merge; keep
+    // the first instance's shape and fold only count/sum.
+    Out.Count += count();
+    Out.Sum += sum();
+    return;
+  }
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Out.Buckets[I] += bucketCount(I);
+  Out.Count += count();
+  Out.Sum += sum();
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot(const std::string &Prefix) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<MetricSnapshot> Out;
+  for (const Metric *M : Metrics) {
+    if (!Prefix.empty() &&
+        std::strncmp(M->name(), Prefix.c_str(), Prefix.size()) != 0)
+      continue;
+    auto It = std::find_if(Out.begin(), Out.end(), [&](MetricSnapshot &S) {
+      return S.Name == M->name() && S.Kind == M->kind();
+    });
+    if (It == Out.end()) {
+      MetricSnapshot Fresh;
+      Fresh.Name = M->name();
+      Fresh.Kind = M->kind();
+      Out.push_back(std::move(Fresh));
+      It = Out.end() - 1;
+    }
+    M->mergeInto(*It);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricSnapshot &A, const MetricSnapshot &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}

@@ -1,0 +1,208 @@
+//===--- Metrics.h - Named counters, gauges, and histograms ----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the telemetry layer (DESIGN.md §11): named counters,
+/// gauges, and fixed-bucket histograms registered in a process-global
+/// MetricsRegistry and exported as one snapshot (JSON / Prometheus text,
+/// see obs/Telemetry.h). Metric names follow `cham.<layer>.<name>`.
+///
+/// Hot paths are sharded and lock-free: a Counter spreads its adds over
+/// cache-line-padded per-thread-group shards and sums them on read, so the
+/// write side is a single relaxed fetch_add with no sharing between
+/// threads that land on different shards. Histogram observation is a pair
+/// of relaxed fetch_adds.
+///
+/// Metrics are *accounting*, not optional tracing: the per-feature
+/// counters of the runtime (migration, retire, fault, shed accounting)
+/// are registry-backed instances whose public accessors read them, so
+/// they stay live even under -DCHAMELEON_NO_TELEMETRY (which compiles out
+/// only the trace-event sites, see obs/Trace.h). A metric can be a static
+/// (via CHAM_METRIC_*) or a class member; several live instances may share
+/// one name — a CollectionRuntime per test, say — and the registry merges
+/// them at snapshot time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_OBS_METRICS_H
+#define CHAMELEON_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chameleon::obs {
+
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+/// \returns "counter", "gauge", or "histogram".
+const char *metricKindName(MetricKind Kind);
+
+namespace detail {
+/// This thread's counter-shard index, assigned round-robin on first use.
+size_t shardIndex();
+} // namespace detail
+
+/// One metric's merged state at snapshot time.
+struct MetricSnapshot {
+  std::string Name;
+  MetricKind Kind = MetricKind::Counter;
+  /// Counter: the summed value.
+  uint64_t Value = 0;
+  /// Gauge: the summed value (signed).
+  int64_t GaugeValue = 0;
+  /// Histogram: inclusive upper bounds, one per finite bucket.
+  std::vector<uint64_t> Bounds;
+  /// Histogram: per-bucket counts (NOT cumulative), size Bounds.size()+1;
+  /// the last bucket is the +Inf overflow.
+  std::vector<uint64_t> Buckets;
+  uint64_t Count = 0; ///< Histogram: total observations.
+  uint64_t Sum = 0;   ///< Histogram: sum of observed values.
+};
+
+/// Base of every metric: registers itself on construction, unregisters on
+/// destruction. \p Name must be a static string (a literal).
+class Metric {
+public:
+  const char *name() const { return Name; }
+  MetricKind kind() const { return Kind; }
+
+  Metric(const Metric &) = delete;
+  Metric &operator=(const Metric &) = delete;
+
+  /// Adds this instance's current state into \p Out (same-name instances
+  /// merge commutatively).
+  virtual void mergeInto(MetricSnapshot &Out) const = 0;
+
+protected:
+  Metric(const char *Name, MetricKind Kind);
+  virtual ~Metric();
+
+private:
+  const char *Name;
+  MetricKind Kind;
+};
+
+/// Monotonic counter with a sharded lock-free write side.
+class Counter : public Metric {
+public:
+  static constexpr size_t NumShards = 8;
+
+  explicit Counter(const char *Name) : Metric(Name, MetricKind::Counter) {}
+
+  void add(uint64_t N) {
+    Shards[detail::shardIndex()].V.fetch_add(N, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  /// Sum over the shards. Racing adds may or may not be included.
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const Shard &S : Shards)
+      Sum += S.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  /// Zeroes every shard. Not atomic as a whole: only call quiescently
+  /// (e.g. FaultInjector::arm re-baselining its stats).
+  void reset() {
+    for (Shard &S : Shards)
+      S.V.store(0, std::memory_order_relaxed);
+  }
+
+  void mergeInto(MetricSnapshot &Out) const override;
+
+private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> V{0};
+  };
+  Shard Shards[NumShards];
+};
+
+/// Last-write-wins signed gauge.
+class Gauge : public Metric {
+public:
+  explicit Gauge(const char *Name) : Metric(Name, MetricKind::Gauge) {}
+
+  void set(int64_t V) { Val.store(V, std::memory_order_relaxed); }
+  void add(int64_t N) { Val.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return Val.load(std::memory_order_relaxed); }
+
+  void mergeInto(MetricSnapshot &Out) const override;
+
+private:
+  std::atomic<int64_t> Val{0};
+};
+
+/// Fixed-bucket histogram: counts per inclusive upper bound plus a +Inf
+/// overflow bucket, with a running count and sum.
+class Histogram : public Metric {
+public:
+  Histogram(const char *Name, std::initializer_list<uint64_t> UpperBounds);
+
+  void observe(uint64_t V) {
+    size_t I = 0;
+    while (I < Bounds.size() && V > Bounds[I])
+      ++I;
+    Buckets[I].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+  }
+
+  const std::vector<uint64_t> &bounds() const { return Bounds; }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// \p I in [0, bounds().size()]; the last index is the +Inf bucket.
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  void mergeInto(MetricSnapshot &Out) const override;
+
+private:
+  std::vector<uint64_t> Bounds;
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets; // Bounds.size() + 1
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+};
+
+/// The process-global registry every Metric joins. Snapshots merge live
+/// instances by name and return them name-sorted.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  /// Merged, name-sorted state of every live metric whose name starts
+  /// with \p Prefix (empty = all).
+  std::vector<MetricSnapshot> snapshot(const std::string &Prefix = {}) const;
+
+private:
+  friend class Metric;
+  void add(Metric *M);
+  void remove(Metric *M);
+
+  mutable std::mutex Mu;
+  std::vector<Metric *> Metrics;
+};
+
+} // namespace chameleon::obs
+
+/// Static registration: `CHAM_METRIC_COUNTER(GcCycles, "cham.gc.cycles");`
+/// at file or function scope defines a registered metric named by a
+/// literal. Metrics stay live under -DCHAMELEON_NO_TELEMETRY — they back
+/// the runtime's own accounting; only trace sites compile out.
+#define CHAM_METRIC_COUNTER(Var, NameStr)                                      \
+  static ::chameleon::obs::Counter Var { NameStr }
+#define CHAM_METRIC_GAUGE(Var, NameStr)                                        \
+  static ::chameleon::obs::Gauge Var { NameStr }
+#define CHAM_METRIC_HISTOGRAM(Var, NameStr, ...)                               \
+  static ::chameleon::obs::Histogram Var { NameStr, { __VA_ARGS__ } }
+
+#endif // CHAMELEON_OBS_METRICS_H

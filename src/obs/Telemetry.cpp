@@ -1,0 +1,256 @@
+//===--- Telemetry.cpp - Metric and trace exporters -----------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Telemetry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+
+using namespace chameleon::obs;
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted scheme maps
+/// '.' (and any other outsider) to '_'.
+std::string promName(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out)
+    if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == ':'))
+      C = '_';
+  return Out;
+}
+
+bool writeFile(const std::filesystem::path &Path, const std::string &Data,
+               std::string *Error) {
+  std::FILE *F = std::fopen(Path.string().c_str(), "w");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open " + Path.string() + " for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), F);
+  bool Ok = Written == Data.size() && std::fclose(F) == 0;
+  if (!Ok && Error)
+    *Error = "short write to " + Path.string();
+  return Ok;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Metrics exporters
+//===----------------------------------------------------------------------===//
+
+std::string
+chameleon::obs::jsonFromSnapshots(const std::vector<MetricSnapshot> &Snaps) {
+  std::string Out = "{\"metrics\":[";
+  bool First = true;
+  for (const MetricSnapshot &S : Snaps) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendf(Out, "\n  {\"name\":\"%s\",\"kind\":\"%s\"",
+            json::escape(S.Name).c_str(), metricKindName(S.Kind));
+    switch (S.Kind) {
+    case MetricKind::Counter:
+      appendf(Out, ",\"value\":%" PRIu64, S.Value);
+      break;
+    case MetricKind::Gauge:
+      appendf(Out, ",\"value\":%" PRId64, S.GaugeValue);
+      break;
+    case MetricKind::Histogram: {
+      appendf(Out, ",\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"buckets\":[",
+              S.Count, S.Sum);
+      for (size_t I = 0; I < S.Buckets.size(); ++I) {
+        if (I)
+          Out += ',';
+        if (I < S.Bounds.size())
+          appendf(Out, "{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+                  S.Bounds[I], S.Buckets[I]);
+        else
+          appendf(Out, "{\"le\":\"+Inf\",\"count\":%" PRIu64 "}",
+                  S.Buckets[I]);
+      }
+      Out += ']';
+      break;
+    }
+    }
+    Out += '}';
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string chameleon::obs::prometheusFromSnapshots(
+    const std::vector<MetricSnapshot> &Snaps) {
+  std::string Out;
+  for (const MetricSnapshot &S : Snaps) {
+    std::string Name = promName(S.Name);
+    appendf(Out, "# TYPE %s %s\n", Name.c_str(), metricKindName(S.Kind));
+    switch (S.Kind) {
+    case MetricKind::Counter:
+      appendf(Out, "%s %" PRIu64 "\n", Name.c_str(), S.Value);
+      break;
+    case MetricKind::Gauge:
+      appendf(Out, "%s %" PRId64 "\n", Name.c_str(), S.GaugeValue);
+      break;
+    case MetricKind::Histogram: {
+      uint64_t Cumulative = 0;
+      for (size_t I = 0; I < S.Buckets.size(); ++I) {
+        Cumulative += S.Buckets[I];
+        if (I < S.Bounds.size())
+          appendf(Out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                  Name.c_str(), S.Bounds[I], Cumulative);
+        else
+          appendf(Out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", Name.c_str(),
+                  Cumulative);
+      }
+      appendf(Out, "%s_sum %" PRIu64 "\n", Name.c_str(), S.Sum);
+      appendf(Out, "%s_count %" PRIu64 "\n", Name.c_str(), S.Count);
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+bool chameleon::obs::snapshotsFromJson(const json::Value &Doc,
+                                       std::vector<MetricSnapshot> &Out,
+                                       std::string *Error) {
+  const json::Value *Metrics = Doc.find("metrics");
+  if (!Metrics || Metrics->kind() != json::Value::Kind::Array) {
+    if (Error)
+      *Error = "document has no \"metrics\" array";
+    return false;
+  }
+  for (const json::Value &M : Metrics->array()) {
+    MetricSnapshot S;
+    S.Name = M.strOr("name", "");
+    std::string Kind = M.strOr("kind", "");
+    if (S.Name.empty() || Kind.empty()) {
+      if (Error)
+        *Error = "metric entry without name/kind";
+      return false;
+    }
+    if (Kind == "counter") {
+      S.Kind = MetricKind::Counter;
+      S.Value = static_cast<uint64_t>(M.numberOr("value", 0));
+    } else if (Kind == "gauge") {
+      S.Kind = MetricKind::Gauge;
+      S.GaugeValue = static_cast<int64_t>(M.numberOr("value", 0));
+    } else if (Kind == "histogram") {
+      S.Kind = MetricKind::Histogram;
+      S.Count = static_cast<uint64_t>(M.numberOr("count", 0));
+      S.Sum = static_cast<uint64_t>(M.numberOr("sum", 0));
+      const json::Value *Buckets = M.find("buckets");
+      if (!Buckets || Buckets->kind() != json::Value::Kind::Array) {
+        if (Error)
+          *Error = "histogram \"" + S.Name + "\" has no buckets array";
+        return false;
+      }
+      for (const json::Value &B : Buckets->array()) {
+        const json::Value *Le = B.find("le");
+        if (Le && Le->kind() == json::Value::Kind::Number)
+          S.Bounds.push_back(static_cast<uint64_t>(Le->number()));
+        S.Buckets.push_back(static_cast<uint64_t>(B.numberOr("count", 0)));
+      }
+    } else {
+      if (Error)
+        *Error = "unknown metric kind \"" + Kind + "\"";
+      return false;
+    }
+    Out.push_back(std::move(S));
+  }
+  return true;
+}
+
+std::string Telemetry::snapshotJson(const std::string &Prefix) {
+  return jsonFromSnapshots(MetricsRegistry::instance().snapshot(Prefix));
+}
+
+std::string Telemetry::prometheusText(const std::string &Prefix) {
+  return prometheusFromSnapshots(MetricsRegistry::instance().snapshot(Prefix));
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace exporter
+//===----------------------------------------------------------------------===//
+
+std::string
+chameleon::obs::chromeTraceFromEvents(const std::vector<TraceEvent> &Events) {
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  appendf(Out, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"args\":{\"name\":\"chameleon\"}}");
+  uint32_t MaxTid = 0;
+  for (const TraceEvent &Ev : Events)
+    MaxTid = std::max(MaxTid, Ev.Tid);
+  for (uint32_t T = 0; Events.size() && T <= MaxTid; ++T)
+    appendf(Out,
+            ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"tid\":%u,\"args\":{\"name\":\"thread %u\"}}",
+            T, T);
+  for (const TraceEvent &Ev : Events) {
+    // Timestamps are microseconds (double) in the trace_event format.
+    double Ts = static_cast<double>(Ev.StartNanos) / 1000.0;
+    appendf(Out, ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,\"tid\":%u",
+            json::escape(Ev.Name).c_str(), json::escape(Ev.Category).c_str(),
+            Ev.Tid);
+    if (Ev.Kind == TraceKind::Span)
+      appendf(Out, ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f", Ts,
+              static_cast<double>(Ev.DurNanos) / 1000.0);
+    else
+      appendf(Out, ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f", Ts);
+    if (Ev.ArgName)
+      appendf(Out, ",\"args\":{\"%s\":%" PRIu64 "}",
+              json::escape(Ev.ArgName).c_str(), Ev.ArgValue);
+    Out += '}';
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string Telemetry::chromeTraceJson() {
+  return chromeTraceFromEvents(TraceRecorder::instance().snapshot());
+}
+
+//===----------------------------------------------------------------------===//
+// Directory bundle
+//===----------------------------------------------------------------------===//
+
+bool Telemetry::writeTelemetryDir(const std::string &Dir,
+                                  const std::string &MetricsPrefix,
+                                  std::string *Error) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec) {
+    if (Error)
+      *Error = "cannot create " + Dir + ": " + Ec.message();
+    return false;
+  }
+  std::filesystem::path Base(Dir);
+  return writeFile(Base / "trace.json", chromeTraceJson(), Error) &&
+         writeFile(Base / "metrics.json", snapshotJson(MetricsPrefix),
+                   Error) &&
+         writeFile(Base / "metrics.prom", prometheusText(MetricsPrefix),
+                   Error);
+}

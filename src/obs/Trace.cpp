@@ -1,0 +1,174 @@
+//===--- Trace.cpp - Trace-event recorder (spans & instants) --------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace chameleon::obs;
+
+TraceRecorder &TraceRecorder::instance() {
+  static TraceRecorder Recorder;
+  return Recorder;
+}
+
+void TraceRecorder::arm(uint32_t PerThreadCapacity) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (std::unique_ptr<ThreadLog> &Log : Logs)
+    Retired.push_back(std::move(Log));
+  Logs.clear();
+  Capacity = PerThreadCapacity == 0 ? 1 : PerThreadCapacity;
+  Epoch = std::chrono::steady_clock::now();
+  // Bumping the generation makes every thread's cached ring stale; stale
+  // rings live on in Retired, so a writer racing the arm at worst records
+  // into a ring that is no longer exported.
+  Generation.fetch_add(1, std::memory_order_release);
+  Armed.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disarm() {
+  Armed.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> L(Mu);
+  for (std::unique_ptr<ThreadLog> &Log : Logs)
+    Retired.push_back(std::move(Log));
+  Logs.clear();
+  Generation.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t TraceRecorder::nowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+TraceRecorder::ThreadLog &TraceRecorder::threadLog() {
+  struct Cached {
+    ThreadLog *Log = nullptr;
+    uint64_t Generation = ~0ull;
+  };
+  static thread_local Cached Cache;
+
+  if (Cache.Log == nullptr ||
+      Cache.Generation != Generation.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> L(Mu);
+    auto Fresh = std::make_unique<ThreadLog>();
+    Fresh->Capacity = Capacity;
+    Fresh->Tid = static_cast<uint32_t>(Logs.size());
+    Fresh->Ring.reserve(std::min<uint32_t>(Capacity, 1024));
+    Cache.Log = Fresh.get();
+    Cache.Generation = Generation.load(std::memory_order_relaxed);
+    Logs.push_back(std::move(Fresh));
+  }
+  return *Cache.Log;
+}
+
+void TraceRecorder::record(TraceEvent Ev) {
+  ThreadLog &Log = threadLog();
+  // The ring mutex is only ever contended by an exporting snapshot; the
+  // owning thread is its sole writer.
+  std::lock_guard<std::mutex> L(Log.Mu);
+  if (Log.Written < Log.Capacity)
+    Log.Ring.push_back(Ev);
+  else
+    Log.Ring[Log.Written % Log.Capacity] = Ev;
+  ++Log.Written;
+}
+
+void TraceRecorder::recordInstant(const char *Category, const char *Name,
+                                  const char *ArgName, uint64_t ArgValue) {
+  if (!enabled())
+    return;
+  TraceEvent Ev;
+  Ev.Category = Category;
+  Ev.Name = Name;
+  Ev.ArgName = ArgName;
+  Ev.ArgValue = ArgValue;
+  Ev.StartNanos = nowNanos();
+  Ev.Kind = TraceKind::Instant;
+  record(Ev);
+}
+
+void TraceRecorder::recordSpan(const char *Category, const char *Name,
+                               uint64_t StartNanos, const char *ArgName,
+                               uint64_t ArgValue) {
+  if (!enabled())
+    return;
+  uint64_t Now = nowNanos();
+  TraceEvent Ev;
+  Ev.Category = Category;
+  Ev.Name = Name;
+  Ev.ArgName = ArgName;
+  Ev.ArgValue = ArgValue;
+  Ev.StartNanos = StartNanos;
+  Ev.DurNanos = Now > StartNanos ? Now - StartNanos : 0;
+  Ev.Kind = TraceKind::Span;
+  record(Ev);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<TraceEvent> Out;
+  for (const std::unique_ptr<ThreadLog> &Log : Logs) {
+    std::lock_guard<std::mutex> RingLock(Log->Mu);
+    size_t Kept = Log->Ring.size();
+    for (size_t K = 0; K < Kept; ++K) {
+      // Chronological within the ring: the oldest retained event sits at
+      // Written % Capacity once the ring has wrapped.
+      size_t I = Log->Written <= Log->Capacity
+                     ? K
+                     : (Log->Written + K) % Log->Capacity;
+      TraceEvent Ev = Log->Ring[I];
+      Ev.Tid = Log->Tid;
+      Out.push_back(Ev);
+    }
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.StartNanos < B.StartNanos;
+                   });
+  return Out;
+}
+
+std::vector<TraceEvent> TraceRecorder::recentByArg(const char *ArgName,
+                                                   uint64_t ArgValue,
+                                                   size_t MaxEvents) const {
+  std::vector<TraceEvent> All = snapshot();
+  std::vector<TraceEvent> Matched;
+  for (const TraceEvent &Ev : All)
+    if (Ev.ArgName && std::strcmp(Ev.ArgName, ArgName) == 0 &&
+        Ev.ArgValue == ArgValue)
+      Matched.push_back(Ev);
+  if (Matched.size() > MaxEvents)
+    Matched.erase(Matched.begin(),
+                  Matched.end() - static_cast<ptrdiff_t>(MaxEvents));
+  return Matched;
+}
+
+uint64_t TraceRecorder::droppedEvents() const {
+  std::lock_guard<std::mutex> L(Mu);
+  uint64_t Dropped = 0;
+  for (const std::unique_ptr<ThreadLog> &Log : Logs) {
+    std::lock_guard<std::mutex> RingLock(Log->Mu);
+    if (Log->Written > Log->Capacity)
+      Dropped += Log->Written - Log->Capacity;
+  }
+  return Dropped;
+}
+
+uint64_t TraceRecorder::recordedEvents() const {
+  std::lock_guard<std::mutex> L(Mu);
+  uint64_t Written = 0;
+  for (const std::unique_ptr<ThreadLog> &Log : Logs) {
+    std::lock_guard<std::mutex> RingLock(Log->Mu);
+    Written += Log->Written;
+  }
+  return Written;
+}

@@ -6,11 +6,18 @@
 
 #include "profiler/SemanticProfiler.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 
 using namespace chameleon;
 
 namespace {
+
+// Process-wide profiler accounting (cham.profiler.*, DESIGN.md §11).
+CHAM_METRIC_COUNTER(ProfSpilledEvents, "cham.profiler.spilled_events");
+CHAM_METRIC_COUNTER(ProfEpochFlushes, "cham.profiler.epoch_flushes");
+CHAM_METRIC_GAUGE(ProfShedMultiplier, "cham.profiler.shed_multiplier");
 
 /// Monotonic profiler-instance ids for the thread-local state cache (see
 /// SemanticProfiler::tlsStateSlow).
@@ -273,6 +280,9 @@ void SemanticProfiler::boundPending(ProfilerThreadState &S) {
   }
   S.Pending.erase(S.Pending.begin(),
                   S.Pending.begin() + static_cast<ptrdiff_t>(Spill));
+  ProfSpilledEvents.add(Spill);
+  CHAM_TRACE_INSTANT_ARG("profiler", "shed_spill", "events",
+                         static_cast<int64_t>(Spill));
 }
 
 void SemanticProfiler::flushMutatorBuffers() {
@@ -313,6 +323,8 @@ void SemanticProfiler::flushMutatorBuffers() {
 }
 
 void SemanticProfiler::flushEpoch() {
+  CHAM_TRACE_SPAN("profiler", "flush_epoch");
+  ProfEpochFlushes.inc();
   flushMutatorBuffers();
   if (MtActive.load(std::memory_order_relaxed))
     canonicalizeContextOrder();
@@ -358,7 +370,7 @@ void SemanticProfiler::onHeapPressure(uint64_t BytesInUse,
                                       uint64_t SoftLimitBytes) {
   (void)BytesInUse;
   (void)SoftLimitBytes;
-  HeapPressureEvents.fetch_add(1, std::memory_order_relaxed);
+  HeapPressureEvents.inc();
   ShedActive.store(true, std::memory_order_relaxed);
   // Multiplicative back-off, capped: each failed emergency collection
   // halves the effective sampling rate again.
@@ -366,17 +378,21 @@ void SemanticProfiler::onHeapPressure(uint64_t BytesInUse,
   uint32_t Next = std::min<uint64_t>(static_cast<uint64_t>(Mult) * 2,
                                      std::max(1u, Config.MaxShedMultiplier));
   ShedMultiplier.store(Next, std::memory_order_relaxed);
+  ProfShedMultiplier.set(Next);
+  CHAM_TRACE_INSTANT_ARG("profiler", "shed_on", "multiplier",
+                         static_cast<int64_t>(Next));
 }
 
 void SemanticProfiler::onHeapPressureCleared() {
   ShedActive.store(false, std::memory_order_relaxed);
+  CHAM_TRACE_INSTANT("profiler", "shed_off");
 }
 
 ProfilerDegradationStats SemanticProfiler::degradationStats() const {
   ProfilerDegradationStats D;
   D.ShedActive = ShedActive.load(std::memory_order_relaxed);
   D.ShedMultiplier = ShedMultiplier.load(std::memory_order_relaxed);
-  D.HeapPressureEvents = HeapPressureEvents.load(std::memory_order_relaxed);
+  D.HeapPressureEvents = HeapPressureEvents.value();
   D.FoldedAllocs = FoldedAllocs;
   D.FoldedDeaths = FoldedDeaths;
   std::lock_guard<std::mutex> L(StatesMu);
@@ -404,8 +420,10 @@ void SemanticProfiler::onCycleEnd(const GcCycleRecord &Record) {
   // control: fast back-off, cautious recovery).
   if (!ShedActive.load(std::memory_order_relaxed)) {
     uint32_t Mult = ShedMultiplier.load(std::memory_order_relaxed);
-    if (Mult > 1)
+    if (Mult > 1) {
       ShedMultiplier.store(Mult - 1, std::memory_order_relaxed);
+      ProfShedMultiplier.set(Mult - 1);
+    }
   }
 
   HeapLive.observe(Record.LiveBytes);

@@ -33,6 +33,7 @@
 #ifndef CHAMELEON_PROFILER_SEMANTICPROFILER_H
 #define CHAMELEON_PROFILER_SEMANTICPROFILER_H
 
+#include "obs/Metrics.h"
 #include "profiler/ContextInfo.h"
 #include "profiler/ProfilerThreadState.h"
 #include "runtime/HeapHooks.h"
@@ -385,7 +386,9 @@ private:
   /// sampling decision, hence atomic.
   std::atomic<bool> ShedActive{false};
   std::atomic<uint32_t> ShedMultiplier{1};
-  std::atomic<uint64_t> HeapPressureEvents{0};
+  /// Registry-backed (cham.profiler.pressure_events): thread-safe like the
+  /// atomic it replaced, and exported by the telemetry layer for free.
+  obs::Counter HeapPressureEvents{"cham.profiler.pressure_events"};
   /// Fold-side accounting (bumped while folding directly in single-threaded
   /// mode or replaying buffers at a quiescent-world flush — never
   /// concurrently).

@@ -6,13 +6,25 @@
 
 #include "rules/RuleEngine.h"
 
+#include "collections/CollectionRuntime.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 using namespace chameleon;
 using namespace chameleon::rules;
+
+namespace {
+// Rule-engine outcome accounting (cham.rules.*, DESIGN.md §11):
+// evaluations counts (rule, context) pairs, fired the subset that
+// produced a suggestion.
+CHAM_METRIC_COUNTER(RuleEvaluations, "cham.rules.evaluations");
+CHAM_METRIC_COUNTER(RuleFired, "cham.rules.fired");
+} // namespace
 
 std::string Suggestion::fixDescription() const {
   switch (Action) {
@@ -266,16 +278,25 @@ RuleEngine::evaluateRule(const Rule &R, const ContextInfo &Info,
 void RuleEngine::evaluateContext(const ContextInfo &Info,
                                  const SemanticProfiler &Profiler,
                                  std::vector<Suggestion> &Out) const {
+  CHAM_TRACE_INSTANT_ARG("rules", "evaluate_context", "ctx",
+                         static_cast<int64_t>(Info.id()));
+  size_t Fired = 0;
   for (const Rule &R : Rules) {
     Suggestion S;
-    if (evaluateRule(R, Info, Profiler, &S) == RuleOutcome::Fired)
+    if (evaluateRule(R, Info, Profiler, &S) == RuleOutcome::Fired) {
       Out.push_back(std::move(S));
+      ++Fired;
+    }
   }
+  RuleEvaluations.add(Rules.size());
+  RuleFired.add(Fired);
 }
 
 std::string
 RuleEngine::explainContext(const ContextInfo &Info,
-                           const SemanticProfiler &Profiler) const {
+                           const SemanticProfiler &Profiler,
+                           const OnlineSelector *Selector,
+                           size_t TraceInstantLimit) const {
   std::string Text = "rules for " + Profiler.contextLabel(Info) + ":\n";
   for (const Rule &R : Rules) {
     Suggestion S;
@@ -307,6 +328,33 @@ RuleEngine::explainContext(const ContextInfo &Info,
       Text += ')';
     }
     Text += '\n';
+  }
+  // Live-migration state: what actually happened to this context, next to
+  // what the rules say should happen.
+  if (Info.migrationCommits() != 0 || Info.migrationAborts() != 0) {
+    Text += "  migrations: " + std::to_string(Info.migrationCommits())
+            + " committed, " + std::to_string(Info.migrationAborts())
+            + " aborted\n";
+  }
+  if (Selector) {
+    std::string State = Selector->describeContext(&Info);
+    if (!State.empty())
+      Text += "  " + State + '\n';
+  }
+  // The context's recent telemetry instants (migration aborts, online
+  // decisions, ...) — only those tagged with this context's id.
+  std::vector<obs::TraceEvent> Recent = obs::TraceRecorder::instance()
+      .recentByArg("ctx", static_cast<int64_t>(Info.id()),
+                   TraceInstantLimit);
+  if (!Recent.empty()) {
+    Text += "  recent telemetry:\n";
+    for (const obs::TraceEvent &Ev : Recent) {
+      char Line[128];
+      std::snprintf(Line, sizeof(Line), "    [%s] %s @%.3fms\n",
+                    Ev.Category, Ev.Name,
+                    static_cast<double>(Ev.StartNanos) / 1e6);
+      Text += Line;
+    }
   }
   return Text;
 }

@@ -25,6 +25,12 @@
 #include <string>
 #include <vector>
 
+namespace chameleon {
+// Declared in collections/CollectionRuntime.h; explainContext only calls
+// through a pointer, so the rules layer needs no include of the runtime.
+class OnlineSelector;
+} // namespace chameleon
+
 namespace chameleon::rules {
 
 /// Stability thresholds (Definition 3.1). A size metric is stable when
@@ -141,9 +147,16 @@ public:
                        std::vector<Suggestion> &Out) const;
 
   /// Renders, rule by rule, why each fired or stayed silent for one
-  /// context — the debuggability view for tuning rule constants.
+  /// context — the debuggability view for tuning rule constants. When a
+  /// \p Selector is given (the runtime's online selector), its per-context
+  /// adaptation state (plan, migration backoff, pin) is appended, along
+  /// with the context's migration commit/abort counts and — when the trace
+  /// recorder holds any — the last \p TraceInstantLimit telemetry instants
+  /// tagged with this context's id.
   std::string explainContext(const ContextInfo &Info,
-                             const SemanticProfiler &Profiler) const;
+                             const SemanticProfiler &Profiler,
+                             const OnlineSelector *Selector = nullptr,
+                             size_t TraceInstantLimit = 8) const;
 
   /// Evaluates every context in the profiler, ranked by saving potential.
   std::vector<Suggestion> evaluate(const SemanticProfiler &Profiler) const;

@@ -6,6 +6,8 @@
 
 #include "runtime/GcHeap.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/FaultInjector.h"
 
@@ -24,6 +26,18 @@ HeapProfilerHooks::~HeapProfilerHooks() = default;
 void HeapObject::trace(GcTracer &Tracer) const { (void)Tracer; }
 
 namespace {
+
+// Process-wide GC accounting (cham.gc.*, DESIGN.md §11). Sums over every
+// heap instance; the per-heap accessors stay authoritative for tests.
+CHAM_METRIC_COUNTER(GcCycles, "cham.gc.cycles");
+CHAM_METRIC_COUNTER(GcForcedCycles, "cham.gc.forced_cycles");
+CHAM_METRIC_COUNTER(GcEmergencyCollects, "cham.gc.emergency_collects");
+CHAM_METRIC_COUNTER(GcFreedBytes, "cham.gc.freed_bytes");
+CHAM_METRIC_COUNTER(GcFreedObjects, "cham.gc.freed_objects");
+CHAM_METRIC_GAUGE(GcBytesInUse, "cham.gc.bytes_in_use");
+CHAM_METRIC_GAUGE(GcObjectsInUse, "cham.gc.objects_in_use");
+CHAM_METRIC_HISTOGRAM(GcPauseNanos, "cham.gc.pause_nanos", 10000, 100000,
+                      1000000, 10000000, 100000000, 1000000000);
 
 /// Monotonic heap-instance ids: a heap constructed at a destroyed heap's
 /// address gets a different id, so the thread-local mutator cache below can
@@ -238,10 +252,15 @@ ObjectRef GcHeap::allocateLocked(std::unique_ptr<HeapObject> Obj) {
              >= std::max<uint64_t>(SoftLimitBytes / 16, 1)) {
     LastEmergencyAt = TotalAllocatedBytes;
     ++EmergencyCollects;
+    GcEmergencyCollects.inc();
+    CHAM_TRACE_INSTANT_ARG("gc", "emergency_collect", "bytes",
+                           static_cast<int64_t>(BytesInUse));
     collect(/*Forced=*/false);
     shrinkSlotTable();
     if (BytesInUse + Bytes > SoftLimitBytes) {
       UnderPressure = true;
+      CHAM_TRACE_INSTANT_ARG("gc", "heap_pressure", "bytes",
+                             static_cast<int64_t>(BytesInUse));
       if (Hooks)
         Hooks->onHeapPressure(BytesInUse, SoftLimitBytes);
     }
@@ -249,6 +268,7 @@ ObjectRef GcHeap::allocateLocked(std::unique_ptr<HeapObject> Obj) {
   if (UnderPressure && SoftLimitBytes != 0
       && BytesInUse + Bytes <= SoftLimitBytes - SoftLimitBytes / 8) {
     UnderPressure = false;
+    CHAM_TRACE_INSTANT("gc", "heap_pressure_cleared");
     if (Hooks)
       Hooks->onHeapPressureCleared();
   }
@@ -481,7 +501,11 @@ public:
   }
 
   void run() {
-    Heap.runOnWorkers([this](unsigned T) { workerLoop(States[T]); });
+    Heap.runOnWorkers([this](unsigned T) {
+      CHAM_TRACE_SPAN_ARG("gc", "mark.worker", "worker",
+                          static_cast<int64_t>(T));
+      workerLoop(States[T]);
+    });
   }
 
   /// Folds the per-worker results into \p Record and replays collection
@@ -683,6 +707,8 @@ void GcHeap::sweepPhaseParallel(GcCycleRecord &Record) {
   std::vector<SweepState> States(Workers);
 
   runOnWorkers([&](unsigned W) {
+    CHAM_TRACE_SPAN_ARG("gc", "sweep.worker", "worker",
+                        static_cast<int64_t>(W));
     SweepState &State = States[W];
     uint32_t Begin = std::min(W * ChunkSlots, NumSlots);
     uint32_t End = std::min(Begin + ChunkSlots, NumSlots);
@@ -769,6 +795,8 @@ const GcCycleRecord &GcHeap::collect(bool Forced) {
 const GcCycleRecord &GcHeap::collectStopped(bool Forced) {
   assert(!InCollection && "re-entrant collection");
   InCollection = true;
+  CHAM_TRACE_SPAN_ARG("gc", "cycle", "cycle",
+                      static_cast<int64_t>(CycleRecords.size() + 1));
   auto Start = std::chrono::steady_clock::now();
 
   // Let the profiler drain per-thread event buffers before any live/death
@@ -781,18 +809,37 @@ const GcCycleRecord &GcHeap::collectStopped(bool Forced) {
   Record.Cycle = CycleRecords.size() + 1;
   Record.Forced = Forced;
 
-  markPhase(Record);
-  sweepPhase(Record);
+  {
+    CHAM_TRACE_SPAN("gc", "mark");
+    markPhase(Record);
+  }
+  {
+    CHAM_TRACE_SPAN("gc", "sweep");
+    sweepPhase(Record);
+  }
 
   auto End = std::chrono::steady_clock::now();
   Record.DurationNanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
           .count());
 
+  GcCycles.inc();
+  if (Forced)
+    GcForcedCycles.inc();
+  GcFreedBytes.add(Record.FreedBytes);
+  GcFreedObjects.add(Record.FreedObjects);
+  GcPauseNanos.observe(Record.DurationNanos);
+  GcBytesInUse.set(static_cast<int64_t>(BytesInUse));
+  GcObjectsInUse.set(static_cast<int64_t>(ObjectsInUse));
+
   CycleRecords.push_back(std::move(Record));
   InCollection = false;
-  if (Hooks)
+  if (Hooks) {
+    // "fold": the profiler folds this cycle's liveness statistics into its
+    // per-context models (DESIGN.md §9).
+    CHAM_TRACE_SPAN("gc", "fold");
     Hooks->onCycleEnd(CycleRecords.back());
+  }
   return CycleRecords.back();
 }
 

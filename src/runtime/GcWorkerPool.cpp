@@ -6,9 +6,18 @@
 
 #include "runtime/GcWorkerPool.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <cassert>
 
 using namespace chameleon;
+
+namespace {
+// One increment per worker wake-up across every pool: dispatches / cycles
+// approximates how many parallel phases each collection ran.
+CHAM_METRIC_COUNTER(GcPoolTasks, "cham.gc.pool_tasks");
+} // namespace
 
 GcWorkerPool::GcWorkerPool(unsigned Workers) : Workers(Workers) {
   assert(Workers >= 1 && "pool needs at least one worker");
@@ -50,7 +59,12 @@ void GcWorkerPool::workerMain(unsigned Index) {
     SeenGeneration = Generation;
     const std::function<void(unsigned)> *Current = Task;
     Lock.unlock();
-    (*Current)(Index);
+    GcPoolTasks.inc();
+    {
+      CHAM_TRACE_SPAN_ARG("gc", "pool.task", "worker",
+                          static_cast<int64_t>(Index));
+      (*Current)(Index);
+    }
     Lock.lock();
     if (--Remaining == 0)
       DoneCv.notify_one();

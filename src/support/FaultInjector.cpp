@@ -6,6 +6,17 @@
 
 #include "support/FaultInjector.h"
 
+#include "obs/Metrics.h"
+
+namespace {
+// The injector's accounting, registry-backed (one global injector, so
+// plain statics). arm() re-baselines them; stats() reads them back.
+CHAM_METRIC_COUNTER(FaultHits, "cham.fault.hits");
+CHAM_METRIC_COUNTER(FaultAllocFailures, "cham.fault.alloc_failures_thrown");
+CHAM_METRIC_COUNTER(FaultForcedGcs, "cham.fault.forced_gcs");
+CHAM_METRIC_COUNTER(FaultSuppressed, "cham.fault.suppressed_failures");
+} // namespace
+
 namespace chameleon {
 
 bool faultSiteMatch(const char *Pattern, const char *Site) {
@@ -49,7 +60,10 @@ void FaultInjector::arm(const FaultPlan &Plan) {
     State.Rng = SplitMix64(Plan.Seed + 0x9E3779B97F4A7C15ull * (I + 1));
     Rules.push_back(std::move(State));
   }
-  Stats = FaultStats();
+  FaultHits.reset();
+  FaultAllocFailures.reset();
+  FaultForcedGcs.reset();
+  FaultSuppressed.reset();
   Armed.store(true, std::memory_order_release);
 }
 
@@ -60,7 +74,7 @@ FaultAction FaultInjector::evaluate(const char *Site, bool AllowFail,
   std::lock_guard<std::mutex> Lock(Mu);
   if (!Armed.load(std::memory_order_relaxed))
     return FaultAction::None; // lost a disarm race; stay quiet
-  ++Stats.Hits;
+  FaultHits.inc();
   FaultAction Delivered = FaultAction::None;
   for (RuleState &State : Rules) {
     if (!faultSiteMatch(State.Rule.SitePattern.c_str(), Site))
@@ -76,7 +90,7 @@ FaultAction FaultInjector::evaluate(const char *Site, bool AllowFail,
     if (!WantsFire || State.Fires >= State.Rule.MaxFires)
       continue;
     if (State.Rule.Action == FaultAction::FailAlloc && !AllowFail) {
-      ++Stats.SuppressedFailures;
+      FaultSuppressed.inc();
       continue;
     }
     if (State.Rule.Action == FaultAction::ForceGc && !AllowGc)
@@ -86,16 +100,20 @@ FaultAction FaultInjector::evaluate(const char *Site, bool AllowFail,
     ++State.Fires;
     Delivered = State.Rule.Action;
     if (Delivered == FaultAction::FailAlloc)
-      ++Stats.AllocFailuresThrown;
+      FaultAllocFailures.inc();
     else
-      ++Stats.ForcedGcs;
+      FaultForcedGcs.inc();
   }
   return Delivered;
 }
 
 FaultStats FaultInjector::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Stats;
+  FaultStats S;
+  S.Hits = FaultHits.value();
+  S.AllocFailuresThrown = FaultAllocFailures.value();
+  S.ForcedGcs = FaultForcedGcs.value();
+  S.SuppressedFailures = FaultSuppressed.value();
+  return S;
 }
 
 std::vector<FaultInjector::RuleReport> FaultInjector::ruleReports() const {

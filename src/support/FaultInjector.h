@@ -69,6 +69,9 @@ struct FaultPlan {
   std::vector<FaultRule> Rules;
 };
 
+/// Snapshot of the injector's accounting. The counters themselves live in
+/// the telemetry metrics registry (`cham.fault.*`, DESIGN.md §11); this
+/// struct is the thin read the pre-telemetry callers keep using.
 struct FaultStats {
   uint64_t Hits = 0;               ///< Injection points evaluated while armed.
   uint64_t AllocFailuresThrown = 0;///< FailAlloc actually delivered.
@@ -135,7 +138,6 @@ private:
 
   mutable std::mutex Mu;
   std::vector<RuleState> Rules;
-  FaultStats Stats;
 };
 
 } // namespace chameleon

@@ -13,8 +13,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/ServerSim.h"
+#include "obs/Json.h"
+#include "obs/Trace.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
 
 using namespace chameleon;
 using namespace chameleon::apps;
@@ -42,6 +47,87 @@ TEST(ServerSim, MutatorThreadsInvariance) {
       << "2-thread report diverged from the single-threaded baseline";
   EXPECT_EQ(One.Report, Eight.Report)
       << "8-thread report diverged from the single-threaded baseline";
+}
+
+std::string slurp(const std::string &Path) {
+  std::string Out;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+/// Telemetry is strictly read-only: exporting a bundle must not perturb
+/// the simulation, so the report stays byte-identical to a plain run.
+TEST(ServerSim, TelemetryDoesNotChangeTheReport) {
+  ServerSimResult Plain = runWithThreads(4);
+  ASSERT_FALSE(Plain.Report.empty());
+
+  CollectionRuntime RT(serverSimRuntimeConfig());
+  ServerSimConfig Config;
+  Config.MutatorThreads = 4;
+  Config.TelemetryOutDir = ::testing::TempDir() + "serversim-telemetry";
+  ServerSimResult Traced = runServerSim(RT, Config);
+
+  EXPECT_EQ(Plain.Report, Traced.Report)
+      << "telemetry export perturbed the simulation";
+  EXPECT_FALSE(obs::TraceRecorder::enabled())
+      << "runServerSim must disarm the recorder before returning";
+}
+
+/// The exported bundle is complete and well-formed: valid JSON with GC
+/// phase spans and request spans on the timeline (chaos mode adds the
+/// migration/degradation events — covered by the chameleon-stats smoke
+/// tests over a chaos bundle).
+TEST(ServerSim, TelemetryBundleHasExpectedTimeline) {
+  CollectionRuntime RT(serverSimRuntimeConfig());
+  ServerSimConfig Config;
+  Config.TelemetryOutDir = ::testing::TempDir() + "serversim-bundle";
+  runServerSim(RT, Config);
+
+  std::string Trace = slurp(Config.TelemetryOutDir + "/trace.json");
+  ASSERT_FALSE(Trace.empty()) << "trace.json was not written";
+  obs::json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(obs::json::parse(Trace, Doc, &Error)) << Error;
+  const obs::json::Value *Events = Doc.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+
+#if !defined(CHAMELEON_NO_TELEMETRY)
+  bool SawGcCycle = false, SawMark = false, SawSweep = false;
+  bool SawRequest = false, SawBarrier = false;
+  for (const obs::json::Value &Ev : Events->array()) {
+    const std::string Cat = Ev.strOr("cat", "");
+    const std::string Name = Ev.strOr("name", "");
+    SawGcCycle |= Cat == "gc" && Name == "cycle";
+    SawMark |= Cat == "gc" && Name == "mark";
+    SawSweep |= Cat == "gc" && Name == "sweep";
+    SawRequest |= Cat == "server" && Name == "request";
+    SawBarrier |= Cat == "server" && Name == "epoch_barrier";
+  }
+  EXPECT_TRUE(SawGcCycle);
+  EXPECT_TRUE(SawMark);
+  EXPECT_TRUE(SawSweep);
+  EXPECT_TRUE(SawRequest);
+  EXPECT_TRUE(SawBarrier);
+#endif
+
+  std::string Metrics = slurp(Config.TelemetryOutDir + "/metrics.json");
+  ASSERT_TRUE(obs::json::parse(Metrics, Doc, &Error)) << Error;
+  bool SawGcCycles = false;
+  for (const obs::json::Value &M : Doc.find("metrics")->array())
+    SawGcCycles |= M.strOr("name", "") == "cham.gc.cycles" &&
+                   M.numberOr("value", 0) > 0;
+  EXPECT_TRUE(SawGcCycles) << "cham.gc.cycles missing or zero";
+
+  std::string Prom = slurp(Config.TelemetryOutDir + "/metrics.prom");
+  EXPECT_NE(Prom.find("# TYPE cham_gc_pause_nanos histogram"),
+            std::string::npos);
 }
 
 TEST(ServerSim, ReportReflectsWorkload) {

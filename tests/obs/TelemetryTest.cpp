@@ -1,0 +1,384 @@
+//===--- TelemetryTest.cpp - Telemetry layer tests ------------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry layer (DESIGN.md §11) under test: registry correctness
+/// under concurrent writers, histogram bucket boundaries, trace-ring
+/// overwrite semantics, and golden renderings of every exporter (the JSON
+/// snapshot chameleon-stats re-reads, Prometheus text, Chrome trace
+/// JSON). The trace-site assertions are gated on CHAMELEON_NO_TELEMETRY
+/// so the suite also passes in the compiled-out configuration — where it
+/// instead asserts the sites really are gone.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace chameleon;
+using namespace chameleon::obs;
+
+namespace {
+
+/// Snapshot filtered to one test-owned prefix (the process-global registry
+/// also holds every cham.* metric of the linked runtime).
+std::vector<MetricSnapshot> snapshotOf(const std::string &Prefix) {
+  return MetricsRegistry::instance().snapshot(Prefix);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, CounterSumsConcurrentAdds) {
+  Counter C("test.mt.counter");
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 100000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&C] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(C.value(), Threads * PerThread);
+
+  std::vector<MetricSnapshot> Snaps = snapshotOf("test.mt.");
+  ASSERT_EQ(Snaps.size(), 1u);
+  EXPECT_EQ(Snaps[0].Name, "test.mt.counter");
+  EXPECT_EQ(Snaps[0].Kind, MetricKind::Counter);
+  EXPECT_EQ(Snaps[0].Value, Threads * PerThread);
+}
+
+TEST(MetricsTest, SameNameInstancesMergeAtSnapshot) {
+  Counter A("test.merge.counter");
+  Counter B("test.merge.counter");
+  A.add(3);
+  B.add(4);
+  // Each instance reads only itself (per-instance accessor semantics)...
+  EXPECT_EQ(A.value(), 3u);
+  EXPECT_EQ(B.value(), 4u);
+  // ...while the registry merges live same-name instances.
+  std::vector<MetricSnapshot> Snaps = snapshotOf("test.merge.");
+  ASSERT_EQ(Snaps.size(), 1u);
+  EXPECT_EQ(Snaps[0].Value, 7u);
+}
+
+TEST(MetricsTest, InstanceUnregistersOnDestruction) {
+  {
+    Counter C("test.scoped.counter");
+    C.inc();
+    EXPECT_EQ(snapshotOf("test.scoped.").size(), 1u);
+  }
+  EXPECT_TRUE(snapshotOf("test.scoped.").empty());
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge G("test.gauge");
+  G.set(10);
+  G.add(-3);
+  EXPECT_EQ(G.value(), 7);
+  std::vector<MetricSnapshot> Snaps = snapshotOf("test.gauge");
+  ASSERT_EQ(Snaps.size(), 1u);
+  EXPECT_EQ(Snaps[0].GaugeValue, 7);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusive) {
+  Histogram H("test.hist", {10, 20});
+  for (uint64_t V : {5u, 10u, 11u, 20u, 21u})
+    H.observe(V);
+  // Inclusive upper bounds: 5,10 -> le(10); 11,20 -> le(20); 21 -> +Inf.
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 67u);
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAndPrefixFiltered) {
+  Counter B("test.sorted.b");
+  Counter A("test.sorted.a");
+  Gauge Z("test.zother");
+  std::vector<MetricSnapshot> Snaps = snapshotOf("test.sorted.");
+  ASSERT_EQ(Snaps.size(), 2u);
+  EXPECT_EQ(Snaps[0].Name, "test.sorted.a");
+  EXPECT_EQ(Snaps[1].Name, "test.sorted.b");
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recorder
+//===----------------------------------------------------------------------===//
+
+/// Arms the recorder for one test and disarms + clears on the way out so
+/// no other test observes leftover events.
+class RecorderScope {
+public:
+  explicit RecorderScope(uint32_t Capacity = TraceRecorder::DefaultCapacity) {
+    TraceRecorder::instance().arm(Capacity);
+  }
+  ~RecorderScope() {
+    TraceRecorder::instance().disarm();
+    TraceRecorder::instance().clear();
+  }
+};
+
+TEST(TraceTest, DisarmedRecorderKeepsNoEvents) {
+  TraceRecorder &Rec = TraceRecorder::instance();
+  Rec.disarm();
+  Rec.clear();
+  CHAM_TRACE_INSTANT("test", "ignored");
+  { CHAM_TRACE_SPAN("test", "ignored_span"); }
+  EXPECT_FALSE(TraceRecorder::enabled());
+  EXPECT_TRUE(Rec.snapshot().empty());
+  EXPECT_EQ(Rec.recordedEvents(), 0u);
+}
+
+TEST(TraceTest, RingOverwriteKeepsNewestEvents) {
+  RecorderScope Scope(/*Capacity=*/4);
+  TraceRecorder &Rec = TraceRecorder::instance();
+  for (uint64_t I = 1; I <= 6; ++I)
+    Rec.recordInstant("test", "ev", "i", I);
+  EXPECT_EQ(Rec.recordedEvents(), 6u);
+  EXPECT_EQ(Rec.droppedEvents(), 2u);
+  std::vector<TraceEvent> Events = Rec.snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  // Oldest two were overwritten; survivors are in chronological order.
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].ArgValue, I + 3);
+}
+
+TEST(TraceTest, SpansRecordDurationsAndInstantsDoNot) {
+  RecorderScope Scope;
+  TraceRecorder &Rec = TraceRecorder::instance();
+  uint64_t Start = Rec.nowNanos();
+  Rec.recordSpan("test", "span", Start, "k", 7);
+  Rec.recordInstant("test", "instant");
+  std::vector<TraceEvent> Events = Rec.snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  const TraceEvent *Span = &Events[0];
+  const TraceEvent *Instant = &Events[1];
+  if (Span->Kind != TraceKind::Span)
+    std::swap(Span, Instant);
+  EXPECT_EQ(Span->Kind, TraceKind::Span);
+  EXPECT_STREQ(Span->ArgName, "k");
+  EXPECT_EQ(Span->ArgValue, 7u);
+  EXPECT_EQ(Instant->Kind, TraceKind::Instant);
+  EXPECT_EQ(Instant->DurNanos, 0u);
+}
+
+TEST(TraceTest, RecentByArgFiltersAndBounds) {
+  RecorderScope Scope;
+  TraceRecorder &Rec = TraceRecorder::instance();
+  for (uint64_t I = 0; I < 10; ++I)
+    Rec.recordInstant("test", "ctxev", "ctx", I % 2);
+  Rec.recordInstant("test", "other", "task", 0);
+  std::vector<TraceEvent> Recent = Rec.recentByArg("ctx", 0, 3);
+  ASSERT_EQ(Recent.size(), 3u);
+  for (const TraceEvent &Ev : Recent) {
+    EXPECT_STREQ(Ev.ArgName, "ctx");
+    EXPECT_EQ(Ev.ArgValue, 0u);
+  }
+}
+
+TEST(TraceTest, ConcurrentWritersLoseNothingWithinCapacity) {
+  RecorderScope Scope;
+  TraceRecorder &Rec = TraceRecorder::instance();
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 2000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&Rec] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        Rec.recordInstant("test", "mt");
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Rec.recordedEvents(), Threads * PerThread);
+  EXPECT_EQ(Rec.droppedEvents(), 0u);
+  EXPECT_EQ(Rec.snapshot().size(), Threads * PerThread);
+}
+
+TEST(TraceTest, MacrosCompileOutWithNoTelemetry) {
+  RecorderScope Scope;
+  CHAM_TRACE_INSTANT_ARG("test", "macro_instant", "v", 1);
+  { CHAM_TRACE_SPAN_ARG("test", "macro_span", "v", 2); }
+#if defined(CHAMELEON_NO_TELEMETRY)
+  EXPECT_EQ(TraceRecorder::instance().recordedEvents(), 0u);
+#else
+  EXPECT_EQ(TraceRecorder::instance().recordedEvents(), 2u);
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST(ExporterTest, JsonGolden) {
+  Counter C("testgold.a.counter");
+  Gauge G("testgold.b.gauge");
+  Histogram H("testgold.c.hist", {10, 20});
+  C.add(42);
+  G.set(-5);
+  H.observe(5);
+  H.observe(15);
+  H.observe(25);
+  EXPECT_EQ(Telemetry::snapshotJson("testgold."),
+            "{\"metrics\":[\n"
+            "  {\"name\":\"testgold.a.counter\",\"kind\":\"counter\","
+            "\"value\":42},\n"
+            "  {\"name\":\"testgold.b.gauge\",\"kind\":\"gauge\","
+            "\"value\":-5},\n"
+            "  {\"name\":\"testgold.c.hist\",\"kind\":\"histogram\","
+            "\"count\":3,\"sum\":45,\"buckets\":["
+            "{\"le\":10,\"count\":1},{\"le\":20,\"count\":1},"
+            "{\"le\":\"+Inf\",\"count\":1}]}\n"
+            "]}\n");
+}
+
+TEST(ExporterTest, PrometheusGolden) {
+  Counter C("testgold.a.counter");
+  Gauge G("testgold.b.gauge");
+  Histogram H("testgold.c.hist", {10, 20});
+  C.add(42);
+  G.set(-5);
+  H.observe(5);
+  H.observe(15);
+  H.observe(25);
+  // Names sanitized ('.' -> '_'), histogram buckets cumulative.
+  EXPECT_EQ(Telemetry::prometheusText("testgold."),
+            "# TYPE testgold_a_counter counter\n"
+            "testgold_a_counter 42\n"
+            "# TYPE testgold_b_gauge gauge\n"
+            "testgold_b_gauge -5\n"
+            "# TYPE testgold_c_hist histogram\n"
+            "testgold_c_hist_bucket{le=\"10\"} 1\n"
+            "testgold_c_hist_bucket{le=\"20\"} 2\n"
+            "testgold_c_hist_bucket{le=\"+Inf\"} 3\n"
+            "testgold_c_hist_sum 45\n"
+            "testgold_c_hist_count 3\n");
+}
+
+TEST(ExporterTest, JsonSnapshotRoundTripsThroughParser) {
+  Counter C("testrt.counter");
+  Gauge G("testrt.gauge");
+  Histogram H("testrt.hist", {100});
+  C.add(7);
+  G.set(9);
+  H.observe(50);
+  H.observe(500);
+  std::string Doc = Telemetry::snapshotJson("testrt.");
+
+  json::Value Parsed;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Doc, Parsed, &Error)) << Error;
+  std::vector<MetricSnapshot> Snaps;
+  ASSERT_TRUE(snapshotsFromJson(Parsed, Snaps, &Error)) << Error;
+  ASSERT_EQ(Snaps.size(), 3u);
+
+  // The re-read snapshots render to the very same documents — the
+  // chameleon-stats byte-identity property.
+  EXPECT_EQ(jsonFromSnapshots(Snaps), Doc);
+  EXPECT_EQ(prometheusFromSnapshots(Snaps),
+            Telemetry::prometheusText("testrt."));
+}
+
+TEST(ExporterTest, ChromeTraceJsonIsValidAndComplete) {
+  std::vector<TraceEvent> Events;
+  TraceEvent Span;
+  Span.Category = "gc";
+  Span.Name = "cycle";
+  Span.ArgName = "cycle";
+  Span.ArgValue = 1;
+  Span.StartNanos = 1500;
+  Span.DurNanos = 2500;
+  Span.Tid = 0;
+  Span.Kind = TraceKind::Span;
+  Events.push_back(Span);
+  TraceEvent Instant;
+  Instant.Category = "profiler";
+  Instant.Name = "shed_on";
+  Instant.StartNanos = 3000;
+  Instant.Tid = 1;
+  Instant.Kind = TraceKind::Instant;
+  Events.push_back(Instant);
+
+  std::string Doc = chromeTraceFromEvents(Events);
+  json::Value Parsed;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Doc, Parsed, &Error)) << Error;
+  const json::Value *Trace = Parsed.find("traceEvents");
+  ASSERT_NE(Trace, nullptr);
+  ASSERT_EQ(Trace->kind(), json::Value::Kind::Array);
+  // process_name + 2 thread_name metadata + the 2 events.
+  ASSERT_EQ(Trace->array().size(), 5u);
+
+  const json::Value &SpanJson = Trace->array()[3];
+  EXPECT_EQ(SpanJson.strOr("ph", ""), "X");
+  EXPECT_EQ(SpanJson.strOr("cat", ""), "gc");
+  EXPECT_DOUBLE_EQ(SpanJson.numberOr("ts", 0), 1.5);
+  EXPECT_DOUBLE_EQ(SpanJson.numberOr("dur", 0), 2.5);
+  const json::Value *Args = SpanJson.find("args");
+  ASSERT_NE(Args, nullptr);
+  EXPECT_DOUBLE_EQ(Args->numberOr("cycle", 0), 1);
+
+  const json::Value &InstJson = Trace->array()[4];
+  EXPECT_EQ(InstJson.strOr("ph", ""), "i");
+  EXPECT_EQ(InstJson.strOr("s", ""), "t");
+  EXPECT_EQ(InstJson.find("dur"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, ParsesNestedDocument) {
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"s\": \"hi\\n\\u0041\"}",
+      V, &Error))
+      << Error;
+  const json::Value *A = V.find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(A->array()[1].number(), 2.5);
+  EXPECT_DOUBLE_EQ(A->array()[2].number(), -300.0);
+  const json::Value *B = V.find("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(B->find("c")->boolean());
+  EXPECT_TRUE(B->find("d")->isNull());
+  EXPECT_EQ(V.strOr("s", ""), "hi\nA");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  json::Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse("{\"a\": }", V, &Error));
+  EXPECT_FALSE(json::parse("[1, 2", V, &Error));
+  EXPECT_FALSE(json::parse("{} trailing", V, &Error));
+  EXPECT_FALSE(json::parse("\"unterminated", V, &Error));
+  EXPECT_FALSE(json::parse("", V, &Error));
+}
+
+TEST(JsonTest, EscapeRoundTrips) {
+  std::string Escaped = json::escape("a\"b\\c\nd\x01");
+  EXPECT_EQ(Escaped, "a\\\"b\\\\c\\nd\\u0001");
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse("\"" + Escaped + "\"", V, &Error)) << Error;
+  EXPECT_EQ(V.str(), "a\"b\\c\nd\x01");
+}
+
+} // namespace

@@ -14,6 +14,9 @@
 
 #include "rules/RuleEngine.h"
 
+#include "collections/CollectionRuntime.h"
+#include "obs/Trace.h"
+
 #include <gtest/gtest.h>
 
 using namespace chameleon;
@@ -453,6 +456,73 @@ TEST_F(RuleEngineTest, ExplainSurfacesDivisionGuard) {
   Plain.addRules("[plain] HashMap : maxSize > 100 -> ArrayMap");
   std::string PlainText = Plain.explainContext(*Info, Profiler);
   EXPECT_EQ(PlainText.find("division guard"), std::string::npos) << PlainText;
+}
+
+/// A selector with one line of per-context state, as OnlineAdaptor has.
+struct DescribingSelector : OnlineSelector {
+  ImplKind chooseImpl(const ContextInfo *, AdtKind, ImplKind Requested,
+                      uint32_t &) override {
+    return Requested;
+  }
+  std::string describeContext(const ContextInfo *) const override {
+    return "online: plan=ArrayMap cap=4 consecutiveAborts=2";
+  }
+};
+
+TEST_F(RuleEngineTest, ExplainContextShowsRuntimeIntrospection) {
+  ContextInfo *Info = makeContext(
+      "HashMap", 10,
+      [](ObjectContextInfo &U, unsigned) {
+        for (int I = 0; I < 3; ++I)
+          U.count(OpKind::Put);
+        U.noteSize(3);
+      },
+      /*InitialCapacity=*/16);
+
+  // Bare explanation: no migration state, no selector, no telemetry.
+  std::string Bare = Engine.explainContext(*Info, Profiler);
+  EXPECT_EQ(Bare.find("migrations:"), std::string::npos) << Bare;
+  EXPECT_EQ(Bare.find("recent telemetry:"), std::string::npos) << Bare;
+
+  // With live-migration history, selector state, and trace instants
+  // tagged with this context's id, all three sections appear.
+  Info->noteMigrationCommit();
+  Info->noteMigrationAbort();
+  Info->noteMigrationAbort();
+  DescribingSelector Selector;
+
+#if !defined(CHAMELEON_NO_TELEMETRY)
+  obs::TraceRecorder &Rec = obs::TraceRecorder::instance();
+  Rec.arm();
+  for (int I = 0; I < 5; ++I)
+    Rec.recordInstant("online", "evaluate", "ctx", Info->id());
+  Rec.recordInstant("migrate", "abort", "ctx", Info->id());
+  Rec.recordInstant("online", "evaluate", "ctx", Info->id() + 1);
+  Rec.disarm();
+#endif
+
+  std::string Text =
+      Engine.explainContext(*Info, Profiler, &Selector,
+                            /*TraceInstantLimit=*/4);
+  EXPECT_NE(Text.find("  migrations: 1 committed, 2 aborted\n"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("  online: plan=ArrayMap cap=4 consecutiveAborts=2\n"),
+            std::string::npos)
+      << Text;
+
+#if !defined(CHAMELEON_NO_TELEMETRY)
+  EXPECT_NE(Text.find("  recent telemetry:\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("    [migrate] abort @"), std::string::npos) << Text;
+  // Limited to the newest 4 of this context's 6 instants, none from the
+  // neighbouring context.
+  size_t Shown = 0;
+  for (size_t At = Text.find("    ["); At != std::string::npos;
+       At = Text.find("    [", At + 1))
+    ++Shown;
+  EXPECT_EQ(Shown, 4u) << Text;
+  obs::TraceRecorder::instance().clear();
+#endif
 }
 
 TEST_F(RuleEngineTest, ParamsTuneRuleConstants) {

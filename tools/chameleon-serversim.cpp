@@ -40,6 +40,10 @@ void printUsage(const char *Argv0) {
               "  --threads N        mutator threads (default 4)\n"
               "  --epochs N         epochs (default 3)\n"
               "  --requests N       requests per epoch (default 240)\n"
+              "  --telemetry-out D  write trace.json/metrics.json/metrics.prom"
+              " into directory D\n"
+              "  --ticker           print a per-epoch telemetry line to"
+              " stderr\n"
               "  --quiet            suppress the profiling report\n"
               "  -h, --help         show this help\n",
               Argv0);
@@ -86,6 +90,10 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(Arg, "--requests") == 0) {
       Config.RequestsPerEpoch = static_cast<uint32_t>(
           parseU64(needValue("--requests"), "--requests"));
+    } else if (std::strcmp(Arg, "--telemetry-out") == 0) {
+      Config.TelemetryOutDir = needValue("--telemetry-out");
+    } else if (std::strcmp(Arg, "--ticker") == 0) {
+      Config.TelemetryTicker = true;
     } else if (std::strcmp(Arg, "--quiet") == 0) {
       Quiet = true;
     } else if (std::strcmp(Arg, "-h") == 0

@@ -1,0 +1,236 @@
+//===--- chameleon-stats.cpp - Telemetry bundle inspector ------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the telemetry bundle a `chameleon-serversim --telemetry-out=DIR`
+/// run wrote (DESIGN.md §11), without re-running anything:
+///
+///   chameleon-stats out/                 # human table of metrics.json
+///   chameleon-stats --format prom out/   # Prometheus text (byte-identical
+///                                        #   to the bundle's metrics.prom)
+///   chameleon-stats --format json out/   # re-emit metrics.json
+///   chameleon-stats --trace out/         # append a trace.json summary
+///
+/// The prom/json renderings go through the same renderers the instrumented
+/// process used, over snapshots re-read from metrics.json — so what this
+/// tool prints is exactly what the process exported.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Telemetry.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace chameleon;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::printf("usage: %s [options] <telemetry-dir | metrics.json>\n"
+              "  --format table|prom|json  output format (default table)\n"
+              "  --trace                   also summarize the bundle's"
+              " trace.json\n"
+              "  -h, --help                show this help\n",
+              Argv0);
+}
+
+bool readFile(const std::string &Path, std::string &Out, std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  if (!Ok)
+    Error = "read error on " + Path;
+  return Ok;
+}
+
+std::string u64Str(uint64_t V) { return std::to_string(V); }
+
+/// The human view: one row per metric, histograms with their bucket
+/// breakdown folded into the value cell.
+std::string renderTable(const std::vector<obs::MetricSnapshot> &Snaps) {
+  TextTable Table({"metric", "kind", "value"});
+  for (const obs::MetricSnapshot &S : Snaps) {
+    std::string Value;
+    switch (S.Kind) {
+    case obs::MetricKind::Counter:
+      Value = u64Str(S.Value);
+      break;
+    case obs::MetricKind::Gauge:
+      Value = std::to_string(S.GaugeValue);
+      break;
+    case obs::MetricKind::Histogram: {
+      Value = "count=" + u64Str(S.Count) + " sum=" + u64Str(S.Sum);
+      for (size_t I = 0; I < S.Buckets.size(); ++I) {
+        if (S.Buckets[I] == 0)
+          continue;
+        Value += " le(";
+        Value += I < S.Bounds.size() ? u64Str(S.Bounds[I]) : "+Inf";
+        Value += ")=" + u64Str(S.Buckets[I]);
+      }
+      break;
+    }
+    }
+    Table.addRow({S.Name, metricKindName(S.Kind), Value});
+  }
+  return Table.render();
+}
+
+/// Summarizes a Chrome trace_event document: event counts per category,
+/// split into spans and instants, plus the recorded wall span.
+bool summarizeTrace(const std::string &Path, std::string &Out,
+                    std::string &Error) {
+  std::string Text;
+  if (!readFile(Path, Text, Error))
+    return false;
+  obs::json::Value Doc;
+  if (!obs::json::parse(Text, Doc, &Error))
+    return false;
+  const obs::json::Value *Events = Doc.find("traceEvents");
+  if (!Events || Events->K != obs::json::Value::Kind::Array) {
+    Error = "no traceEvents array in " + Path;
+    return false;
+  }
+  struct CatStats {
+    uint64_t Spans = 0;
+    uint64_t Instants = 0;
+  };
+  std::map<std::string, CatStats> Cats;
+  double EndMicros = 0;
+  uint64_t Metadata = 0;
+  for (const obs::json::Value &Ev : Events->Arr) {
+    const std::string Ph = Ev.strOr("ph", "");
+    if (Ph == "M") {
+      ++Metadata;
+      continue;
+    }
+    CatStats &C = Cats[Ev.strOr("cat", "?")];
+    double Ts = Ev.numberOr("ts", 0);
+    if (Ph == "X") {
+      ++C.Spans;
+      Ts += Ev.numberOr("dur", 0);
+    } else {
+      ++C.Instants;
+    }
+    EndMicros = std::max(EndMicros, Ts);
+  }
+  TextTable Table({"category", "spans", "instants"});
+  uint64_t Spans = 0, Instants = 0;
+  for (const auto &[Cat, C] : Cats) {
+    Table.addRow({Cat, u64Str(C.Spans), u64Str(C.Instants)});
+    Spans += C.Spans;
+    Instants += C.Instants;
+  }
+  Out += "trace: " + u64Str(Spans) + " spans, " + u64Str(Instants)
+         + " instants, " + u64Str(Metadata) + " metadata events over "
+         + formatDouble(EndMicros / 1000.0, 3) + " ms\n";
+  Out += Table.render();
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Format = "table";
+  bool WithTrace = false;
+  std::string Path;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--format") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --format expects a value\n");
+        return 2;
+      }
+      Format = argv[++I];
+      if (Format != "table" && Format != "prom" && Format != "json") {
+        std::fprintf(stderr, "error: unknown format '%s'\n", Format.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--trace") == 0) {
+      WithTrace = true;
+    } else if (std::strcmp(Arg, "-h") == 0 || std::strcmp(Arg, "--help") == 0) {
+      printUsage(argv[0]);
+      return 0;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      printUsage(argv[0]);
+      return 2;
+    } else if (!Path.empty()) {
+      std::fprintf(stderr, "error: more than one input path\n");
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    printUsage(argv[0]);
+    return 2;
+  }
+
+  std::string MetricsPath = Path;
+  std::string TracePath;
+  std::error_code Ec;
+  if (std::filesystem::is_directory(Path, Ec)) {
+    MetricsPath = Path + "/metrics.json";
+    TracePath = Path + "/trace.json";
+  } else {
+    TracePath =
+        std::filesystem::path(Path).replace_filename("trace.json").string();
+  }
+
+  std::string Text, Error;
+  if (!readFile(MetricsPath, Text, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  obs::json::Value Doc;
+  if (!obs::json::parse(Text, Doc, &Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", MetricsPath.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  std::vector<obs::MetricSnapshot> Snaps;
+  if (!obs::snapshotsFromJson(Doc, Snaps, &Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", MetricsPath.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+
+  std::string Out;
+  if (Format == "prom")
+    Out = obs::prometheusFromSnapshots(Snaps);
+  else if (Format == "json")
+    Out = obs::jsonFromSnapshots(Snaps);
+  else
+    Out = renderTable(Snaps);
+  std::fputs(Out.c_str(), stdout);
+
+  if (WithTrace) {
+    std::string Summary;
+    if (!summarizeTrace(TracePath, Summary, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fputs(Summary.c_str(), stdout);
+  }
+  return 0;
+}
