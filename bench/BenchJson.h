@@ -36,6 +36,9 @@ inline std::string jsonOutputPath(int Argc, char **Argv) {
   return {};
 }
 
+class JsonDoc;
+inline void addProvenance(JsonDoc &Doc);
+
 /// Minimal JSON document builder: a flat object of scalar fields plus one
 /// array of record objects — the shape every bench measurement fits.
 class JsonDoc {
@@ -104,6 +107,21 @@ private:
   std::string ArrayName = "records";
   std::vector<std::vector<std::string>> Records;
 };
+
+/// Build provenance, baked in by bench.cmake so a BENCH_*.json records
+/// which commit and flags produced it. Falls back to "unknown" when built
+/// outside the bench harness (e.g. a hand-rolled compile).
+#ifndef CHAMELEON_GIT_DESCRIBE
+#define CHAMELEON_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CHAMELEON_BUILD_FLAGS
+#define CHAMELEON_BUILD_FLAGS "unknown"
+#endif
+
+inline void addProvenance(JsonDoc &Doc) {
+  Doc.field("git_describe", std::string(CHAMELEON_GIT_DESCRIBE));
+  Doc.field("build_flags", std::string(CHAMELEON_BUILD_FLAGS));
+}
 
 } // namespace chameleon::bench
 

@@ -3,9 +3,30 @@
 # runnable binaries ("for b in build/bench/*; do $b; done" regenerates
 # every table and figure).
 
+# Provenance baked into every bench binary so the JSON trajectories
+# (BENCH_*.json) record which build produced them (BenchJson.h
+# addProvenance).
+if(NOT DEFINED CHAMELEON_GIT_DESCRIBE)
+  execute_process(COMMAND git describe --always --dirty
+                  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+                  OUTPUT_VARIABLE CHAMELEON_GIT_DESCRIBE
+                  OUTPUT_STRIP_TRAILING_WHITESPACE
+                  ERROR_QUIET)
+  if(NOT CHAMELEON_GIT_DESCRIBE)
+    set(CHAMELEON_GIT_DESCRIBE "unknown")
+  endif()
+endif()
+string(TOUPPER "${CMAKE_BUILD_TYPE}" _cham_build_type_upper)
+set(CHAMELEON_BUILD_FLAGS
+    "${CMAKE_BUILD_TYPE}: ${CMAKE_CXX_FLAGS} ${CMAKE_CXX_FLAGS_${_cham_build_type_upper}}")
+string(STRIP "${CHAMELEON_BUILD_FLAGS}" CHAMELEON_BUILD_FLAGS)
+
 function(chameleon_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE chameleon_apps)
+  target_compile_definitions(${name} PRIVATE
+    CHAMELEON_GIT_DESCRIBE="${CHAMELEON_GIT_DESCRIBE}"
+    CHAMELEON_BUILD_FLAGS="${CHAMELEON_BUILD_FLAGS}")
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()

@@ -68,6 +68,7 @@ CollectionRuntime::CollectionRuntime(RuntimeConfig Config)
   Heap.setGcThreads(Config.GcThreads ? Config.GcThreads : 1);
   Heap.setUseWorkerPool(Config.GcUseWorkerPool);
   Heap.setSoftHeapLimit(Config.SoftHeapLimitBytes);
+  Heap.setUseThreadCaches(Config.UseThreadCaches);
   registerTypes();
 }
 

@@ -78,6 +78,11 @@ struct RuntimeConfig {
   /// Soft heap limit in model bytes (0 = none): the graceful-degradation
   /// threshold — see GcHeap::setSoftHeapLimit.
   uint64_t SoftHeapLimitBytes = 0;
+  /// Per-mutator-thread slot caches on the allocation fast path
+  /// (DESIGN.md §12). Off serialises every allocation on the heap's
+  /// allocation mutex — the A/B baseline for the contended-allocation
+  /// bench; results are identical either way.
+  bool UseThreadCaches = true;
   /// Consult the online selector about migrating a *live* collection every
   /// this many mutating operations on it (0 disables live migration;
   /// allocation-time selection is unaffected).

@@ -21,8 +21,14 @@
 
 #include "profiler/ContextInfo.h"
 
+#include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
+
+namespace chameleon::alloc {
+class ThreadCache;
+} // namespace chameleon::alloc
 
 namespace chameleon {
 
@@ -102,6 +108,14 @@ struct ProfilerThreadState {
 
   /// Owning thread, for reuse when the same thread re-registers.
   std::thread::id ThreadId;
+
+  /// Liveness-guarded handle to the owning thread's storage-allocator
+  /// cache (runtime/ThreadCache.h), captured at registration so epoch
+  /// flushes can publish its plain per-thread tallies into the
+  /// cham.alloc.* registry counters at a deterministic point. The cell
+  /// reads null once the owning thread has exited (its thread_local cache
+  /// was destroyed — and published itself on the way out).
+  std::shared_ptr<std::atomic<alloc::ThreadCache *>> AllocCache;
 };
 
 } // namespace chameleon

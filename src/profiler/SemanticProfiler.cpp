@@ -7,6 +7,7 @@
 #include "profiler/SemanticProfiler.h"
 
 #include "obs/Trace.h"
+#include "runtime/ThreadCache.h"
 
 #include <algorithm>
 
@@ -44,6 +45,7 @@ SemanticProfiler::SemanticProfiler(ProfilerConfig Config)
   static_assert((ContextCacheSize & (ContextCacheSize - 1)) == 0,
                 "cache size must be a power of two");
   MainState.ThreadId = MainThreadId;
+  MainState.AllocCache = alloc::threadCache().liveCell();
   if (Config.ContextFastPath && !Config.ExpensiveContextCapture)
     MainState.ContextCache.resize(ContextCacheSize);
   if (Config.ConcurrentMutators)
@@ -74,6 +76,9 @@ ProfilerThreadState &SemanticProfiler::findOrCreateState() {
       return *S;
   auto S = std::make_unique<ProfilerThreadState>();
   S->ThreadId = Tid;
+  // findOrCreateState runs on the owning thread, so this captures that
+  // thread's storage-allocator cache for the epoch-flush stat publish.
+  S->AllocCache = alloc::threadCache().liveCell();
   if (Config.ContextFastPath && !Config.ExpensiveContextCapture)
     S->ContextCache.resize(ContextCacheSize);
   States.push_back(std::move(S));
@@ -326,6 +331,24 @@ void SemanticProfiler::flushEpoch() {
   CHAM_TRACE_SPAN("profiler", "flush_epoch");
   ProfEpochFlushes.inc();
   flushMutatorBuffers();
+  // Publish every thread's storage-allocator tallies at the same quiescent
+  // point the event buffers drain, so cham.alloc.* snapshots taken after a
+  // flush are complete and deterministic.
+  {
+    std::lock_guard<std::mutex> L(StatesMu);
+    auto Publish = [](const ProfilerThreadState &S) {
+      if (!S.AllocCache)
+        return;
+      // Null once the owning thread exited — its cache already published
+      // itself from the thread_local destructor.
+      if (alloc::ThreadCache *Cache =
+              S.AllocCache->load(std::memory_order_acquire))
+        Cache->publishStats();
+    };
+    Publish(MainState);
+    for (const std::unique_ptr<ProfilerThreadState> &S : States)
+      Publish(*S);
+  }
   if (MtActive.load(std::memory_order_relaxed))
     canonicalizeContextOrder();
 }

@@ -1,0 +1,106 @@
+//===--- CentralFreeList.cpp - Per-class central transfer lists -----------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CentralFreeList.h"
+
+#include "obs/Metrics.h"
+#include "runtime/PageArena.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace chameleon;
+using namespace chameleon::alloc;
+
+namespace {
+
+// Central-tier telemetry (cham.alloc.*, DESIGN.md §12). Bumped only on the
+// batched slow paths, never per allocation.
+CHAM_METRIC_COUNTER(AllocSpansCarved, "cham.alloc.spans_carved");
+CHAM_METRIC_COUNTER(AllocCentralContention, "cham.alloc.central_contention");
+CHAM_METRIC_GAUGE(AllocReservedBytes, "cham.alloc.reserved_bytes");
+
+/// Free-list linkage lives in the first payload word (the header is kept
+/// intact for tag checks).
+BlockHeader *&nextOf(BlockHeader *B) {
+  return *static_cast<BlockHeader **>(blockPayload(B));
+}
+
+} // namespace
+
+uint32_t CentralFreeList::popBatch(BlockHeader **Out, uint32_t N,
+                                   uint32_t ClassIdx, PageArena &Arena) {
+  assert(N > 0 && ClassIdx < kNumClasses);
+  uint64_t Contended = 0;
+  Mu.lockCounted(Contended);
+  uint32_t Got = 0;
+  while (Got < N && Head) {
+    BlockHeader *B = Head;
+    Head = nextOf(B);
+    assert(B->State == kFreeTag && "central list holds a non-free block");
+    Out[Got++] = B;
+  }
+  bool Carved = false;
+  if (Got < N) {
+    // Dry: carve one span of fresh blocks — the requested remainder plus
+    // one extra transfer batch so the next pop usually stays in-list.
+    const uint32_t Size = classSize(ClassIdx);
+    const uint32_t Extra = transferBatch(ClassIdx);
+    const uint32_t Want = (N - Got) + Extra;
+    char *Run = static_cast<char *>(
+        Arena.carve(static_cast<size_t>(Want) * Size));
+    for (uint32_t I = 0; I < Want; ++I) {
+      auto *B = reinterpret_cast<BlockHeader *>(Run + size_t{I} * Size);
+      B->State = kFreeTag;
+      B->ClassOrSize = ClassIdx;
+      if (Got < N) {
+        Out[Got++] = B;
+      } else {
+        nextOf(B) = Head;
+        Head = B;
+      }
+    }
+    Carved = true;
+  }
+  Mu.unlock();
+  if (Contended)
+    AllocCentralContention.add(Contended);
+  if (Carved) {
+    AllocSpansCarved.inc();
+    AllocReservedBytes.set(
+        static_cast<int64_t>(Arena.reservedBytes()));
+  }
+  return Got;
+}
+
+void CentralFreeList::pushBatch(BlockHeader **Blocks, uint32_t N) {
+  if (N == 0)
+    return;
+  // Pre-link outside the lock (the pushing thread still owns the blocks);
+  // only the head splice needs the lock.
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    nextOf(Blocks[I]) = Blocks[I + 1];
+  uint64_t Contended = 0;
+  Mu.lockCounted(Contended);
+  nextOf(Blocks[N - 1]) = Head;
+  Head = Blocks[0];
+  Mu.unlock();
+  if (Contended)
+    AllocCentralContention.add(Contended);
+}
+
+CentralState &chameleon::alloc::centralState() {
+  // Leaked on purpose: thread caches flush into the central lists from
+  // thread_local destructors, which can run during static destruction —
+  // the central state must never be destroyed first. The pointer keeps the
+  // state (and through it every slab) reachable for leak checkers.
+  static CentralState *State = [] {
+    auto *S = new CentralState();
+    S->Arena = new PageArena();
+    return S;
+  }();
+  return *State;
+}

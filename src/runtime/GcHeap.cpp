@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 using namespace chameleon;
 
@@ -38,6 +39,13 @@ CHAM_METRIC_GAUGE(GcBytesInUse, "cham.gc.bytes_in_use");
 CHAM_METRIC_GAUGE(GcObjectsInUse, "cham.gc.objects_in_use");
 CHAM_METRIC_HISTOGRAM(GcPauseNanos, "cham.gc.pause_nanos", 10000, 100000,
                       1000000, 10000000, 100000000, 1000000000);
+
+// Slot-grant side of the allocation substrate (cham.alloc.*, DESIGN.md
+// §12). Hits are tallied per thread (MutatorThread::SlotHits) and drained
+// here at refills and flushes, so the hot path never touches an atomic.
+CHAM_METRIC_COUNTER(AllocSlotCacheHits, "cham.alloc.slot_cache_hits");
+CHAM_METRIC_COUNTER(AllocSlotRefills, "cham.alloc.slot_refills");
+CHAM_METRIC_COUNTER(AllocLockedFallbacks, "cham.alloc.locked_fallbacks");
 
 /// Monotonic heap-instance ids: a heap constructed at a destroyed heap's
 /// address gets a different id, so the thread-local mutator cache below can
@@ -152,6 +160,15 @@ void GcHeap::unregisterMutatorThread(MutatorThread *M) {
     M->AtSafepoint = false;
   }
 
+  // Return the thread's ungranted cached slots; after this record goes
+  // inactive nothing would ever flush them. The world is running, so no
+  // un-bump (that needs a stable frontier) — entries go back on FreeSlots
+  // under SlotMu against concurrent refills.
+  {
+    SpinLockGuard SlotGuard(SlotMu);
+    flushSlotCache(*M, /*StoppedWorld=*/false);
+  }
+
   // Splice surviving roots into the main segment so handles created on
   // this thread stay valid after it exits. removeRoot is positional, so
   // the handles themselves need no update.
@@ -214,9 +231,25 @@ void GcHeap::leaveSafeRegion() {
 //===----------------------------------------------------------------------===//
 
 ObjectRef GcHeap::allocate(std::unique_ptr<HeapObject> Obj) {
+  assert(Obj && "allocating a null object");
+
+  // Every allocation in the system funnels through here, so this one site
+  // lets a fault plan fail any allocation (inside a migration transaction)
+  // or force a collection at any allocation instant.
+  CHAM_FAULT_GC("gc.alloc", *this);
+
+  // Lock-free fast path: a cached slot grant, a placement, and four
+  // relaxed counter bumps. Falls back to the serialised path whenever a
+  // collection trigger is pending (the mirror in allocTriggersPending), so
+  // every trigger decision is still made under AllocMu with stable state.
+  ObjectRef Ref;
+  if (UseThreadCaches && allocateFast(Obj, Ref))
+    return Ref;
+
   if (!MutatorsActive.load(std::memory_order_acquire))
     return allocateLocked(std::move(Obj));
 
+  AllocLockedFallbacks.inc();
   std::unique_lock<std::mutex> AL(AllocMu, std::defer_lock);
   {
     // Park while blocked on the allocation lock so a pending
@@ -228,46 +261,176 @@ ObjectRef GcHeap::allocate(std::unique_ptr<HeapObject> Obj) {
   return allocateLocked(std::move(Obj));
 }
 
+bool GcHeap::allocTriggersPending(uint64_t Bytes) const {
+  // Exact relaxed-load mirror of allocateLocked's four trigger conditions.
+  // A stale read costs one harmless trip through AllocMu (where the
+  // condition is re-evaluated under the lock); it can never skip a trigger
+  // the locked path would have taken, because on the fast path this thread
+  // is the only one advancing the counters it reads.
+  const uint64_t Total = TotalAllocatedBytes.load(std::memory_order_relaxed);
+  const uint64_t InUse = BytesInUse.load(std::memory_order_relaxed);
+  const bool Oom = OomFlag.load(std::memory_order_relaxed);
+  if (GcSampleEveryBytes != 0
+      && Total - LastSampleAt.load(std::memory_order_relaxed)
+             >= GcSampleEveryBytes)
+    return true;
+  if (SoftLimitBytes != 0 && !Oom && InUse + Bytes > SoftLimitBytes
+      && Total - LastEmergencyAt.load(std::memory_order_relaxed)
+             >= std::max<uint64_t>(SoftLimitBytes / 16, 1))
+    return true;
+  if (UnderPressure.load(std::memory_order_relaxed) && SoftLimitBytes != 0
+      && InUse + Bytes <= SoftLimitBytes - SoftLimitBytes / 8)
+    return true;
+  if (!Oom && HeapLimitBytes != 0 && InUse + Bytes > HeapLimitBytes)
+    return true;
+  return false;
+}
+
+bool GcHeap::allocateFast(std::unique_ptr<HeapObject> &Obj,
+                          ObjectRef &RefOut) {
+  const uint64_t Bytes = Obj->shallowBytes();
+  if (allocTriggersPending(Bytes))
+    return false;
+  MutatorThread &M = rootOwner();
+  const uint32_t Slot = grantSlot(M);
+  std::unique_ptr<HeapObject> &Cell = slotRef(Slot);
+  assert(!Cell && "granted slot still occupied");
+  Cell = std::move(Obj);
+  HeapObject &Placed = *Cell;
+  Placed.Self = ObjectRef::fromSlot(Slot);
+  BytesInUse.fetch_add(Bytes, std::memory_order_relaxed);
+  ObjectsInUse.fetch_add(1, std::memory_order_relaxed);
+  TotalAllocatedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  TotalAllocatedObjects.fetch_add(1, std::memory_order_relaxed);
+  RefOut = Placed.Self;
+  return true;
+}
+
+uint32_t GcHeap::grantSlot(MutatorThread &M) {
+  if (M.SlotCachePos == M.SlotCache.size())
+    refillSlotCache(M);
+  else
+    ++M.SlotHits;
+  return M.SlotCache[M.SlotCachePos++] & SlotIndexMask;
+}
+
+void GcHeap::refillSlotCache(MutatorThread &M) {
+  M.SlotCache.clear();
+  M.SlotCachePos = 0;
+  // Single-threaded heaps skip the spinlock entirely; with mutators active
+  // it guards FreeSlots and the bump frontier against concurrent refills
+  // (and against the flush in unregisterMutatorThread).
+  const bool Locked = MutatorsActive.load(std::memory_order_relaxed);
+  if (Locked)
+    SlotMu.lock();
+  for (uint32_t I = 0; I < SlotCacheBatch; ++I) {
+    if (!FreeSlots.empty()) {
+      // LIFO pops into a FIFO cache: served in exactly the order the
+      // locked path would have popped them.
+      M.SlotCache.push_back(FreeSlots.back());
+      FreeSlots.pop_back();
+      continue;
+    }
+    const uint32_t Slot = SlotCount.load(std::memory_order_relaxed);
+    const uint32_t ChunkIdx = Slot >> SlotChunkShift;
+    assert(ChunkIdx < MaxSlotChunks && "slot table exhausted");
+    if (!Chunks[ChunkIdx].load(std::memory_order_relaxed))
+      Chunks[ChunkIdx].store(new SlotChunk(), std::memory_order_release);
+    // Publishing the count before the cell is filled is safe: the cell is
+    // empty until this thread places an object in it, and no reference to
+    // the slot can exist before that placement.
+    SlotCount.store(Slot + 1, std::memory_order_release);
+    M.SlotCache.push_back(Slot | SlotBumpTag);
+  }
+  if (Locked)
+    SlotMu.unlock();
+  AllocSlotRefills.inc();
+  if (M.SlotHits != 0) {
+    AllocSlotCacheHits.add(M.SlotHits);
+    M.SlotHits = 0;
+  }
+}
+
+void GcHeap::flushSlotCache(MutatorThread &M, bool StoppedWorld) {
+  // Reverse order: within one cache the bump-carved entries sit at the
+  // tail in ascending slot order, so walking backwards un-bumps a maximal
+  // frontier-adjacent suffix and re-pushes recycled entries in exactly the
+  // order the locked path would have left them on FreeSlots.
+  while (M.SlotCache.size() > M.SlotCachePos) {
+    const uint32_t Entry = M.SlotCache.back();
+    M.SlotCache.pop_back();
+    const uint32_t Slot = Entry & SlotIndexMask;
+    if (StoppedWorld && (Entry & SlotBumpTag) != 0
+        && Slot + 1 == SlotCount.load(std::memory_order_relaxed)) {
+      assert(!slotRef(Slot) && "un-bumping an occupied slot");
+      SlotCount.store(Slot, std::memory_order_release);
+      continue;
+    }
+    FreeSlots.push_back(Slot);
+  }
+  M.SlotCache.clear();
+  M.SlotCachePos = 0;
+  if (M.SlotHits != 0) {
+    AllocSlotCacheHits.add(M.SlotHits);
+    M.SlotHits = 0;
+  }
+}
+
+void GcHeap::flushAllSlotCaches() {
+  flushSlotCache(Main, /*StoppedWorld=*/true);
+  for (const std::unique_ptr<MutatorThread> &Mut : Mutators)
+    flushSlotCache(*Mut, /*StoppedWorld=*/true);
+}
+
+void GcHeap::setUseThreadCaches(bool On) {
+  assert(!InCollection && "changing allocator mode during a GC cycle");
+  if (On == UseThreadCaches)
+    return;
+  flushAllSlotCaches();
+  UseThreadCaches = On;
+}
+
 ObjectRef GcHeap::allocateLocked(std::unique_ptr<HeapObject> Obj) {
   assert(Obj && "allocating a null object");
   assert(!InCollection && "allocation during a GC cycle");
 
-  // Every allocation in the system funnels through here, so this one site
-  // lets a fault plan fail any allocation (inside a migration transaction)
-  // or force a collection at any allocation instant.
-  CHAM_FAULT_GC("gc.alloc", *this);
-
   uint64_t Bytes = Obj->shallowBytes();
   if (GcSampleEveryBytes != 0
-      && TotalAllocatedBytes - LastSampleAt >= GcSampleEveryBytes) {
-    LastSampleAt = TotalAllocatedBytes;
+      && totalAllocatedBytes() - LastSampleAt.load(std::memory_order_relaxed)
+             >= GcSampleEveryBytes) {
+    LastSampleAt.store(totalAllocatedBytes(), std::memory_order_relaxed);
     collect(/*Forced=*/true);
   }
   // Soft limit (graceful degradation): crossing it buys an emergency
   // collect-then-shrink pass, rate-limited by allocation volume so a long
   // over-limit plateau does not collect on every allocation. Staying over
   // even after that tells the profiler hooks to start shedding.
-  if (SoftLimitBytes != 0 && !OomFlag && BytesInUse + Bytes > SoftLimitBytes
-      && TotalAllocatedBytes - LastEmergencyAt
+  if (SoftLimitBytes != 0 && !outOfMemory()
+      && bytesInUse() + Bytes > SoftLimitBytes
+      && totalAllocatedBytes()
+                 - LastEmergencyAt.load(std::memory_order_relaxed)
              >= std::max<uint64_t>(SoftLimitBytes / 16, 1)) {
-    LastEmergencyAt = TotalAllocatedBytes;
+    LastEmergencyAt.store(totalAllocatedBytes(), std::memory_order_relaxed);
     ++EmergencyCollects;
     GcEmergencyCollects.inc();
     CHAM_TRACE_INSTANT_ARG("gc", "emergency_collect", "bytes",
-                           static_cast<int64_t>(BytesInUse));
+                           static_cast<int64_t>(bytesInUse()));
+    // The shrink must run while the world is still stopped — a concurrent
+    // cache refill reads FreeSlots — so collectStopped performs it after
+    // the sweep (PendingShrink).
+    PendingShrink = true;
     collect(/*Forced=*/false);
-    shrinkSlotTable();
-    if (BytesInUse + Bytes > SoftLimitBytes) {
-      UnderPressure = true;
+    if (bytesInUse() + Bytes > SoftLimitBytes) {
+      UnderPressure.store(true, std::memory_order_relaxed);
       CHAM_TRACE_INSTANT_ARG("gc", "heap_pressure", "bytes",
-                             static_cast<int64_t>(BytesInUse));
+                             static_cast<int64_t>(bytesInUse()));
       if (Hooks)
-        Hooks->onHeapPressure(BytesInUse, SoftLimitBytes);
+        Hooks->onHeapPressure(bytesInUse(), SoftLimitBytes);
     }
   }
-  if (UnderPressure && SoftLimitBytes != 0
-      && BytesInUse + Bytes <= SoftLimitBytes - SoftLimitBytes / 8) {
-    UnderPressure = false;
+  if (underPressure() && SoftLimitBytes != 0
+      && bytesInUse() + Bytes <= SoftLimitBytes - SoftLimitBytes / 8) {
+    UnderPressure.store(false, std::memory_order_relaxed);
     CHAM_TRACE_INSTANT("gc", "heap_pressure_cleared");
     if (Hooks)
       Hooks->onHeapPressureCleared();
@@ -275,32 +438,39 @@ ObjectRef GcHeap::allocateLocked(std::unique_ptr<HeapObject> Obj) {
   // Once out of memory the run is already failed; collecting on every
   // further allocation would only slow the program's (short) path to
   // noticing the flag.
-  if (!OomFlag && HeapLimitBytes != 0
-      && BytesInUse + Bytes > HeapLimitBytes) {
+  if (!outOfMemory() && HeapLimitBytes != 0
+      && bytesInUse() + Bytes > HeapLimitBytes) {
     const GcCycleRecord &Rec = collect(/*Forced=*/false);
-    if (BytesInUse + Bytes > HeapLimitBytes) {
-      OomFlag = true;
+    if (bytesInUse() + Bytes > HeapLimitBytes) {
+      OomFlag.store(true, std::memory_order_relaxed);
     } else if (MinFreeFraction > 0.0
-               && HeapLimitBytes - (BytesInUse + Bytes)
+               && HeapLimitBytes - (bytesInUse() + Bytes)
                       < static_cast<uint64_t>(MinFreeFraction
                                               * static_cast<double>(
                                                   HeapLimitBytes))) {
       // Too little breathing room: the program would spend its remaining
       // life collecting. Fail fast, as HotSpot's overhead criterion does.
-      OomFlag = true;
+      OomFlag.store(true, std::memory_order_relaxed);
     }
     // Second overhead guard: repeated pressure collections that reclaim
     // almost nothing.
     if (Rec.FreedBytes < HeapLimitBytes / 64) {
       if (++LowYieldStreak >= GcOverheadLimit)
-        OomFlag = true;
+        OomFlag.store(true, std::memory_order_relaxed);
     } else {
       LowYieldStreak = 0;
     }
   }
 
   uint32_t Slot;
-  if (!FreeSlots.empty()) {
+  if (UseThreadCaches) {
+    // Grant through the cache even on the slow path, so the slot sequence
+    // a thread observes is one stream regardless of which path served it.
+    Slot = grantSlot(rootOwner());
+    std::unique_ptr<HeapObject> &Cell = slotRef(Slot);
+    assert(!Cell && "granted slot still occupied");
+    Cell = std::move(Obj);
+  } else if (!FreeSlots.empty()) {
     Slot = FreeSlots.back();
     FreeSlots.pop_back();
     std::unique_ptr<HeapObject> &Cell = slotRef(Slot);
@@ -321,10 +491,10 @@ ObjectRef GcHeap::allocateLocked(std::unique_ptr<HeapObject> Obj) {
 
   HeapObject &Placed = *slotRef(Slot);
   Placed.Self = ObjectRef::fromSlot(Slot);
-  BytesInUse += Bytes;
-  ++ObjectsInUse;
-  TotalAllocatedBytes += Bytes;
-  ++TotalAllocatedObjects;
+  BytesInUse.fetch_add(Bytes, std::memory_order_relaxed);
+  ObjectsInUse.fetch_add(1, std::memory_order_relaxed);
+  TotalAllocatedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  TotalAllocatedObjects.fetch_add(1, std::memory_order_relaxed);
   return Placed.Self;
 }
 
@@ -672,8 +842,8 @@ void GcHeap::sweepPhase(GcCycleRecord &Record) {
 
     Record.FreedBytes += Obj->shallowBytes();
     ++Record.FreedObjects;
-    BytesInUse -= Obj->shallowBytes();
-    --ObjectsInUse;
+    BytesInUse.fetch_sub(Obj->shallowBytes(), std::memory_order_relaxed);
+    ObjectsInUse.fetch_sub(1, std::memory_order_relaxed);
     Cell.reset();
     FreeSlots.push_back(Slot);
   }
@@ -745,8 +915,8 @@ void GcHeap::sweepPhaseParallel(GcCycleRecord &Record) {
   for (const SweepState &State : States) {
     Record.FreedBytes += State.FreedBytes;
     Record.FreedObjects += State.FreedObjects;
-    BytesInUse -= State.FreedBytes;
-    ObjectsInUse -= State.FreedObjects;
+    BytesInUse.fetch_sub(State.FreedBytes, std::memory_order_relaxed);
+    ObjectsInUse.fetch_sub(State.FreedObjects, std::memory_order_relaxed);
     FreeSlots.insert(FreeSlots.end(), State.DeadSlots.begin(),
                      State.DeadSlots.end());
   }
@@ -799,6 +969,12 @@ const GcCycleRecord &GcHeap::collectStopped(bool Forced) {
                       static_cast<int64_t>(CycleRecords.size() + 1));
   auto Start = std::chrono::steady_clock::now();
 
+  // Return every thread's ungranted cached slots first (un-bumping the
+  // frontier where possible): the slot table then looks exactly as if the
+  // locked path had served every allocation, which keeps sweep order and
+  // future slot reuse independent of the caching (DESIGN.md §12).
+  flushAllSlotCaches();
+
   // Let the profiler drain per-thread event buffers before any live/death
   // statistics of this cycle land (DESIGN.md §9: flush precedes fold).
   if (Hooks)
@@ -818,6 +994,14 @@ const GcCycleRecord &GcHeap::collectStopped(bool Forced) {
     sweepPhase(Record);
   }
 
+  // Deferred emergency shrink (see allocateLocked): caches are flushed and
+  // the world is stopped, so trimming FreeSlots and the published count
+  // cannot race a refill.
+  if (PendingShrink) {
+    PendingShrink = false;
+    shrinkSlotTable();
+  }
+
   auto End = std::chrono::steady_clock::now();
   Record.DurationNanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
@@ -829,8 +1013,8 @@ const GcCycleRecord &GcHeap::collectStopped(bool Forced) {
   GcFreedBytes.add(Record.FreedBytes);
   GcFreedObjects.add(Record.FreedObjects);
   GcPauseNanos.observe(Record.DurationNanos);
-  GcBytesInUse.set(static_cast<int64_t>(BytesInUse));
-  GcObjectsInUse.set(static_cast<int64_t>(ObjectsInUse));
+  GcBytesInUse.set(static_cast<int64_t>(bytesInUse()));
+  GcObjectsInUse.set(static_cast<int64_t>(objectsInUse()));
 
   CycleRecords.push_back(std::move(Record));
   InCollection = false;
@@ -902,14 +1086,43 @@ bool GcHeap::verifyHeap(std::string *ErrorOut) const {
                   + Tracer.Problem);
   }
 
-  if (Bytes != BytesInUse)
+  if (Bytes != bytesInUse())
     return Fail("byte accounting mismatch: tracked "
-                + std::to_string(BytesInUse) + ", actual "
+                + std::to_string(bytesInUse()) + ", actual "
                 + std::to_string(Bytes));
-  if (Objects != ObjectsInUse)
+  if (Objects != objectsInUse())
     return Fail("object accounting mismatch: tracked "
-                + std::to_string(ObjectsInUse) + ", actual "
+                + std::to_string(objectsInUse()) + ", actual "
                 + std::to_string(Objects));
+
+  // Every ungranted cached slot must be an in-range empty cell, and no
+  // slot may be grantable twice (cached twice, or both cached and free).
+  std::unordered_set<uint32_t> Grantable(FreeSlots.begin(), FreeSlots.end());
+  if (Grantable.size() != FreeSlots.size())
+    return Fail("duplicate entry in the free-slot list");
+  auto VerifyCache = [&](const MutatorThread &Mut) -> std::string {
+    for (size_t I = Mut.SlotCachePos; I < Mut.SlotCache.size(); ++I) {
+      uint32_t Slot = Mut.SlotCache[I] & SlotIndexMask;
+      if (Slot >= NumSlots)
+        return "cached slot " + std::to_string(Slot)
+               + " is beyond the slot table";
+      if (slotRef(Slot))
+        return "cached slot " + std::to_string(Slot) + " is occupied";
+      if (!Grantable.insert(Slot).second)
+        return "slot " + std::to_string(Slot)
+               + " is grantable through two paths";
+    }
+    return "";
+  };
+  std::string CacheProblem = VerifyCache(Main);
+  if (CacheProblem.empty())
+    for (const std::unique_ptr<MutatorThread> &Mut : Mutators) {
+      CacheProblem = VerifyCache(*Mut);
+      if (!CacheProblem.empty())
+        break;
+    }
+  if (!CacheProblem.empty())
+    return Fail(CacheProblem);
 
   // Root list linkage, every thread's segment.
   auto VerifySegment = [&](const MutatorThread &Mut) -> std::string {

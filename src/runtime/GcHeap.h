@@ -50,6 +50,7 @@
 #include "runtime/HeapObject.h"
 #include "runtime/MemoryModel.h"
 #include "runtime/SemanticMap.h"
+#include "support/SpinLock.h"
 
 #include <atomic>
 #include <cassert>
@@ -94,6 +95,21 @@ struct MutatorThread {
   bool AtSafepoint = false;
   /// False once unregistered (the record is retained; its lists are empty).
   bool Registered = false;
+
+  /// -- Per-thread slot cache (DESIGN.md §12) -------------------------------
+  /// A FIFO batch of pre-granted slot ids served without any lock on the
+  /// allocation fast path. Entries tagged with SlotBumpTag were carved off
+  /// the bump frontier (rather than popped from FreeSlots); the flush at
+  /// every stop-the-world uses the tag to restore exactly the slot-table
+  /// state the locked path would have, which is what keeps slot sequences
+  /// — and therefore sweep order and every downstream statistic —
+  /// byte-identical with caches on or off. Owned by the thread; touched by
+  /// the collector only while the world is stopped.
+  std::vector<uint32_t> SlotCache;
+  size_t SlotCachePos = 0;
+  /// Plain tally of cache-served grants, drained into the registry's
+  /// cham.alloc.slot_cache_hits at refills and flushes.
+  uint64_t SlotHits = 0;
 };
 
 /// A managed heap. Single-threaded by default; N mutator threads are
@@ -139,7 +155,9 @@ public:
 
   /// True while the heap sits over its soft limit even after an emergency
   /// collection (i.e. the profiler has been told to shed).
-  bool underPressure() const { return UnderPressure; }
+  bool underPressure() const {
+    return UnderPressure.load(std::memory_order_relaxed);
+  }
 
   /// Minimum fraction of the heap limit that must be free after a
   /// pressure collection; less means the program is effectively spending
@@ -175,6 +193,16 @@ public:
   /// pre-pool behaviour, kept as an A/B knob for the GC-throughput bench.
   void setUseWorkerPool(bool On);
   bool useWorkerPool() const { return UseWorkerPool; }
+
+  /// When true (default), each mutator thread allocates slot ids out of a
+  /// per-thread cache refilled in batches under a spinlock, so the hot
+  /// allocation path takes no lock at all; when false, every allocation
+  /// serialises on AllocMu exactly as before (the A/B baseline for the
+  /// `--contend` bench). Flushes all caches on any change, so slot-table
+  /// state is identical to what the locked path would have produced; safe
+  /// to call only while no mutator threads are running.
+  void setUseThreadCaches(bool On);
+  bool useThreadCaches() const { return UseThreadCaches; }
 
   /// -- Concurrent mutators (DESIGN.md §9) ----------------------------------
 
@@ -318,7 +346,7 @@ public:
   /// overhead guard tripped (GcOverheadLimit consecutive pressure
   /// collections each reclaiming less than 1/64 of the limit, the analogue
   /// of HotSpot's "GC overhead limit exceeded"). Sticky until cleared.
-  bool outOfMemory() const { return OomFlag; }
+  bool outOfMemory() const { return OomFlag.load(std::memory_order_relaxed); }
 
   /// Consecutive low-yield pressure collections tolerated before the heap
   /// declares OutOfMemory. Prevents unbounded collect-per-allocation
@@ -327,17 +355,25 @@ public:
 
   /// Clears the out-of-memory flag (used between bisection probes that
   /// reuse a heap; fresh heaps are the common case).
-  void clearOutOfMemory() { OomFlag = false; }
+  void clearOutOfMemory() { OomFlag.store(false, std::memory_order_relaxed); }
 
   /// Bytes currently occupied by allocated (not yet swept) objects.
-  uint64_t bytesInUse() const { return BytesInUse; }
+  uint64_t bytesInUse() const {
+    return BytesInUse.load(std::memory_order_relaxed);
+  }
 
   /// Number of allocated (not yet swept) objects.
-  uint64_t objectsInUse() const { return ObjectsInUse; }
+  uint64_t objectsInUse() const {
+    return ObjectsInUse.load(std::memory_order_relaxed);
+  }
 
   /// Cumulative allocation volume since construction.
-  uint64_t totalAllocatedBytes() const { return TotalAllocatedBytes; }
-  uint64_t totalAllocatedObjects() const { return TotalAllocatedObjects; }
+  uint64_t totalAllocatedBytes() const {
+    return TotalAllocatedBytes.load(std::memory_order_relaxed);
+  }
+  uint64_t totalAllocatedObjects() const {
+    return TotalAllocatedObjects.load(std::memory_order_relaxed);
+  }
 
   /// Number of completed GC cycles.
   uint64_t cycleCount() const { return CycleRecords.size(); }
@@ -373,6 +409,43 @@ private:
   /// The single-threaded allocation body (caller holds AllocMu when
   /// mutators are active).
   ObjectRef allocateLocked(std::unique_ptr<HeapObject> Obj);
+
+  /// -- Per-thread slot caches (DESIGN.md §12) ------------------------------
+  /// Bit set on SlotCache entries carved off the bump frontier (as opposed
+  /// to recycled from FreeSlots); the flush uses it to un-bump instead of
+  /// pushing a free-slot entry the locked path would never have produced.
+  static constexpr uint32_t SlotBumpTag = 1u << 31;
+  static constexpr uint32_t SlotIndexMask = SlotBumpTag - 1;
+  /// Slots granted per refill. Small enough that a stop-the-world flush
+  /// rarely un-bumps much; large enough that SlotMu is cold.
+  static constexpr uint32_t SlotCacheBatch = 32;
+
+  /// True when allocating \p Bytes must fall back to the locked path
+  /// because one of allocateLocked's collection triggers would fire (sample
+  /// cadence, soft limit, pressure clearing, hard limit). Relaxed mirror of
+  /// the exact trigger conditions; a stale read only costs a harmless trip
+  /// through AllocMu.
+  bool allocTriggersPending(uint64_t Bytes) const;
+
+  /// Grants \p M the next slot id, refilling its cache (batched, under
+  /// SlotMu) when empty. Caller must be M's owning thread; returns the slot
+  /// with any SlotBumpTag already stripped.
+  uint32_t grantSlot(MutatorThread &M);
+  /// Refills M.SlotCache with SlotCacheBatch grants: FreeSlots entries
+  /// first (FIFO order of the locked path), then bump-carved tagged ones.
+  void refillSlotCache(MutatorThread &M);
+  /// Returns M's ungranted slots. With \p StoppedWorld, cached bump-carved
+  /// slots adjacent to the frontier are un-bumped (SlotCount rolled back)
+  /// so the table state is exactly the locked path's; otherwise they are
+  /// pushed on FreeSlots (caller holds SlotMu or is single-threaded).
+  void flushSlotCache(MutatorThread &M, bool StoppedWorld);
+  /// Flushes every thread's cache; world must be stopped (or no mutators).
+  void flushAllSlotCaches();
+
+  /// Lock-free fast path: grants a cached slot and places the object
+  /// without AllocMu. Returns false when a trigger is pending or the cache
+  /// machinery is off, in which case the caller takes the locked path.
+  bool allocateFast(std::unique_ptr<HeapObject> &Obj, ObjectRef &RefOut);
 
   /// Returns trailing all-empty slot-table capacity to the OS analogue:
   /// trims the published slot count past the last live slot, drops the
@@ -418,17 +491,20 @@ private:
   uint64_t HeapLimitBytes;
   double MinFreeFraction = 0.10;
   uint64_t GcSampleEveryBytes = 0;
-  uint64_t LastSampleAt = 0;
+  std::atomic<uint64_t> LastSampleAt{0};
   uint64_t SoftLimitBytes = 0;
-  uint64_t LastEmergencyAt = 0;
+  std::atomic<uint64_t> LastEmergencyAt{0};
   uint64_t EmergencyCollects = 0;
-  bool UnderPressure = false;
+  std::atomic<bool> UnderPressure{false};
   TypeRegistry Types;
   HeapProfilerHooks *Hooks = nullptr;
 
   std::unique_ptr<std::atomic<SlotChunk *>[]> Chunks;
   std::atomic<uint32_t> SlotCount{0};
   std::vector<uint32_t> FreeSlots;
+  /// Guards FreeSlots and the bump frontier during batched cache refills
+  /// while mutators are active (AllocMu alone covers them otherwise).
+  SpinLock SlotMu;
 
   /// The main (unregistered) thread's roots and temp roots; also the
   /// landing segment for roots spliced out of unregistering mutators.
@@ -451,17 +527,22 @@ private:
   /// Serialises allocation when mutators are active.
   std::mutex AllocMu;
 
-  uint64_t BytesInUse = 0;
-  uint64_t ObjectsInUse = 0;
-  uint64_t TotalAllocatedBytes = 0;
-  uint64_t TotalAllocatedObjects = 0;
+  std::atomic<uint64_t> BytesInUse{0};
+  std::atomic<uint64_t> ObjectsInUse{0};
+  std::atomic<uint64_t> TotalAllocatedBytes{0};
+  std::atomic<uint64_t> TotalAllocatedObjects{0};
   uint64_t CurrentEpoch = 0;
   unsigned LowYieldStreak = 0;
-  bool OomFlag = false;
+  std::atomic<bool> OomFlag{false};
   bool InCollection = false;
   bool RecordTypeDistribution = false;
   unsigned GcThreads = 1;
   bool UseWorkerPool = true;
+  bool UseThreadCaches = true;
+  /// Set instead of shrinking inline when an emergency collection runs
+  /// with mutators active: the shrink must not race cache refills reading
+  /// FreeSlots, so collectStopped performs it while the world is stopped.
+  bool PendingShrink = false;
   /// Lazily created on the first parallel cycle; retired when the thread
   /// count changes or the pool is disabled.
   std::unique_ptr<GcWorkerPool> Pool;

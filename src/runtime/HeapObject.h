@@ -19,6 +19,7 @@
 #include "runtime/ObjectRef.h"
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace chameleon {
@@ -49,6 +50,18 @@ public:
 
   HeapObject(const HeapObject &) = delete;
   HeapObject &operator=(const HeapObject &) = delete;
+
+  /// Managed-object C++ storage comes from the runtime's size-class
+  /// allocator (thread caches over central free lists, DESIGN.md §12), so
+  /// sweep-time destruction recycles storage instead of hitting malloc.
+  /// Class-scope operators: every `new Subclass(...)` — all allocation
+  /// goes through std::make_unique — routes here with no call-site change.
+  /// Defined in ThreadCache.cpp. Over-aligned subclasses (alignof > 16)
+  /// would need an aligned overload; none exist and adding one without the
+  /// allocator's support is a compile error by design.
+  static void *operator new(size_t Size);
+  static void operator delete(void *P) noexcept;
+  static void operator delete(void *P, size_t Size) noexcept;
 
   /// Reports every outgoing reference to \p Tracer. The default reports
   /// nothing (leaf object).

@@ -1,0 +1,37 @@
+//===--- PageArena.cpp - Slab backing store for the allocator -------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PageArena.h"
+
+#include <cassert>
+#include <new>
+
+using namespace chameleon::alloc;
+
+void *PageArena::carve(size_t Bytes) {
+  assert(Bytes > 0 && Bytes <= kSlabBytes && "span exceeds slab size");
+  Bytes = (Bytes + 15) & ~size_t{15}; // keep the cursor 16-aligned
+  SpinLockGuard G(Mu);
+  if (Remaining < Bytes) {
+    // The slab tail (< one span) is abandoned, a bounded waste tcmalloc
+    // accepts too; ::operator new returns max_align_t-aligned storage so
+    // the fresh cursor is 16-aligned.
+    char *Slab = static_cast<char *>(::operator new(kSlabBytes));
+    Slabs.push_back(Slab);
+    Cursor = Slab;
+    Remaining = kSlabBytes;
+    Reserved += kSlabBytes;
+  }
+  char *Run = Cursor;
+  Cursor += Bytes;
+  Remaining -= Bytes;
+  return Run;
+}
+
+uint64_t PageArena::reservedBytes() const {
+  SpinLockGuard G(Mu);
+  return Reserved;
+}

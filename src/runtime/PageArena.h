@@ -1,0 +1,61 @@
+//===--- PageArena.h - Slab backing store for the allocator ----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backing store of the allocation substrate (DESIGN.md §12): a bump
+/// allocator over large slabs obtained from ::operator new. Central free
+/// lists carve spans (runs of same-class blocks) out of the arena when they
+/// run dry; carved memory is never returned to the C++ heap — blocks
+/// recirculate through the central lists and thread caches for the life of
+/// the process, exactly like tcmalloc's page heap. Every span starts
+/// 16-aligned (see SizeClasses.h for why that suffices).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RUNTIME_PAGEARENA_H
+#define CHAMELEON_RUNTIME_PAGEARENA_H
+
+#include "support/SpinLock.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chameleon::alloc {
+
+class PageArena {
+public:
+  /// Slab granularity. Spans never exceed this, so one allocation from the
+  /// C++ heap serves many carve requests.
+  static constexpr size_t kSlabBytes = 1u << 20; // 1 MiB
+
+  PageArena() = default;
+  PageArena(const PageArena &) = delete;
+  PageArena &operator=(const PageArena &) = delete;
+
+  /// Carves a 16-aligned run of \p Bytes (<= kSlabBytes) from the current
+  /// slab, starting a fresh slab when the remainder is too small.
+  /// Thread-safe.
+  void *carve(size_t Bytes);
+
+  /// Total bytes obtained from the C++ heap so far.
+  uint64_t reservedBytes() const;
+
+private:
+  mutable SpinLock Mu;
+  char *Cursor = nullptr;
+  size_t Remaining = 0;
+  uint64_t Reserved = 0;
+  /// Slab bookkeeping. The arena is only ever destroyed at process exit
+  /// (it lives behind a leaked singleton, see ThreadCache.cpp), so blocks
+  /// handed out can never dangle; the vector keeps the slabs reachable so
+  /// leak checkers see "still reachable", not "lost".
+  std::vector<char *> Slabs;
+};
+
+} // namespace chameleon::alloc
+
+#endif // CHAMELEON_RUNTIME_PAGEARENA_H

@@ -1,0 +1,94 @@
+//===--- SizeClasses.h - Allocation size-class table -----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The size-class map of the tcmalloc-style allocation substrate
+/// (DESIGN.md §12). A size class is a bucket of C++ block sizes that share
+/// one central free list and one per-thread cache list; allocating from a
+/// class hands out a block of the class's (rounded-up) size.
+///
+/// The table follows the gperftools shape: 8-byte-granular classes up to
+/// 128 bytes (where most of the simulated-JVM object headers, map entries
+/// and iterator objects land), geometrically coarser granularity up to one
+/// 4 KiB page, and page-multiple classes up to 32 KiB. Anything larger is
+/// not pooled at all (kDirectClass): oversize blocks go straight to
+/// ::operator new/delete.
+///
+/// Layout guarantee: class sizes above 128 bytes are multiples of 16, and
+/// the odd (…%16 == 8) classes all sit below 128 bytes. Since any C++ type
+/// with alignof 16 has sizeof a multiple of 16 — and the block header is
+/// 16 bytes — every allocation that needs 16-byte alignment lands in a
+/// 16-multiple class and therefore on a 16-aligned block (spans start
+/// 16-aligned). 8-aligned blocks only ever serve types with alignof <= 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_RUNTIME_SIZECLASSES_H
+#define CHAMELEON_RUNTIME_SIZECLASSES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chameleon::alloc {
+
+/// Number of pooled size classes. 16 classes of 8 B steps to 128, then 8
+/// classes each of 16/32/64/128/256 B steps to 4 KiB, then 4 page-multiple
+/// classes (8/16/24/32 KiB): 16 + 5*8 + 4 = 60.
+inline constexpr uint32_t kNumClasses = 60;
+
+/// Largest block size served from the pools; bigger requests bypass them.
+inline constexpr uint32_t kMaxPooledSize = 32768;
+
+/// Sentinel class index for blocks handed to ::operator new directly
+/// (oversize blocks, and every block in passthrough mode).
+inline constexpr uint32_t kDirectClass = 0xFFFFFFFFu;
+
+/// Block size of class \p Idx in bytes.
+constexpr uint32_t classSize(uint32_t Idx) {
+  if (Idx < 16)
+    return (Idx + 1) * 8; // 8, 16, …, 128
+  if (Idx < 24)
+    return 128 + (Idx - 15) * 16; // 144, …, 256
+  if (Idx < 32)
+    return 256 + (Idx - 23) * 32; // 288, …, 512
+  if (Idx < 40)
+    return 512 + (Idx - 31) * 64; // 576, …, 1024
+  if (Idx < 48)
+    return 1024 + (Idx - 39) * 128; // 1152, …, 2048
+  if (Idx < 56)
+    return 2048 + (Idx - 47) * 256; // 2304, …, 4096
+  return (Idx - 55) * 8192; // 8192, 16384, 24576, 32768
+}
+
+/// Smallest class whose block fits \p Size bytes. \p Size must be in
+/// [1, kMaxPooledSize].
+constexpr uint32_t classIndexFor(size_t Size) {
+  if (Size <= 128)
+    return static_cast<uint32_t>((Size + 7) / 8) - 1;
+  if (Size <= 256)
+    return 16 + static_cast<uint32_t>((Size - 128 + 15) / 16) - 1;
+  if (Size <= 512)
+    return 24 + static_cast<uint32_t>((Size - 256 + 31) / 32) - 1;
+  if (Size <= 1024)
+    return 32 + static_cast<uint32_t>((Size - 512 + 63) / 64) - 1;
+  if (Size <= 2048)
+    return 40 + static_cast<uint32_t>((Size - 1024 + 127) / 128) - 1;
+  if (Size <= 4096)
+    return 48 + static_cast<uint32_t>((Size - 2048 + 255) / 256) - 1;
+  return 56 + static_cast<uint32_t>((Size + 8191) / 8192) - 1;
+}
+
+/// How many blocks move between a thread cache and the central list in one
+/// transfer: enough to amortise the central lock, capped so big classes do
+/// not hoard whole pages per thread.
+constexpr uint32_t transferBatch(uint32_t Idx) {
+  uint32_t N = 4096 / classSize(Idx);
+  return N < 2 ? 2 : (N > 32 ? 32 : N);
+}
+
+} // namespace chameleon::alloc
+
+#endif // CHAMELEON_RUNTIME_SIZECLASSES_H

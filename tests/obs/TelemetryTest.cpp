@@ -19,6 +19,10 @@
 #include "obs/Metrics.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
+#include "runtime/GcHeap.h"
+#include "runtime/ThreadCache.h"
+
+#include "TestHelpers.h"
 
 #include <gtest/gtest.h>
 
@@ -336,6 +340,134 @@ TEST(ExporterTest, ChromeTraceJsonIsValidAndComplete) {
   EXPECT_EQ(InstJson.strOr("ph", ""), "i");
   EXPECT_EQ(InstJson.strOr("s", ""), "t");
   EXPECT_EQ(InstJson.find("dur"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Allocator metrics
+//===----------------------------------------------------------------------===//
+
+/// Sum of every live instance of one cham.alloc.* metric.
+uint64_t allocCounter(const std::string &Name) {
+  uint64_t V = 0;
+  for (const MetricSnapshot &S : MetricsRegistry::instance().snapshot(Name))
+    V += S.Value;
+  return V;
+}
+
+/// The allocation substrate (DESIGN.md §12) must be observable through the
+/// same exporters as everything else: its counters appear in registry
+/// snapshots, in the JSON bundle chameleon-stats re-reads, and in the
+/// Prometheus text with the usual name sanitisation.
+TEST(AllocMetricsTest, CountersExportThroughTelemetry) {
+  // Touch the cached, central and direct paths so the counters are warm,
+  // then publish the thread-local tallies.
+  for (int I = 0; I < 64; ++I) {
+    void *P = alloc::allocateBlock(40 + 8 * (I % 16));
+    alloc::deallocateBlock(P);
+  }
+  void *Big = alloc::allocateBlock(alloc::kMaxPooledSize + 1);
+  alloc::deallocateBlock(Big);
+  alloc::threadCache().publishStats();
+
+  std::vector<MetricSnapshot> Snaps = snapshotOf("cham.alloc.");
+  auto Find = [&Snaps](const std::string &Name) -> const MetricSnapshot * {
+    for (const MetricSnapshot &S : Snaps)
+      if (S.Name == Name)
+        return &S;
+    return nullptr;
+  };
+  for (const char *Name :
+       {"cham.alloc.cache_hits", "cham.alloc.cache_misses",
+        "cham.alloc.transfer_batches", "cham.alloc.direct_allocs",
+        "cham.alloc.spans_carved", "cham.alloc.central_contention",
+        "cham.alloc.double_free", "cham.alloc.slot_cache_hits",
+        "cham.alloc.slot_refills", "cham.alloc.locked_fallbacks"}) {
+    const MetricSnapshot *S = Find(Name);
+    ASSERT_NE(S, nullptr) << Name;
+    EXPECT_EQ(S->Kind, MetricKind::Counter) << Name;
+  }
+  const MetricSnapshot *Reserved = Find("cham.alloc.reserved_bytes");
+  ASSERT_NE(Reserved, nullptr);
+  EXPECT_EQ(Reserved->Kind, MetricKind::Gauge);
+  EXPECT_GT(Reserved->GaugeValue, 0) << "spans were carved above";
+  EXPECT_GT(Find("cham.alloc.direct_allocs")->Value, 0u);
+
+  // Both exporter renderings carry the substrate's counters.
+  EXPECT_NE(Telemetry::snapshotJson("cham.alloc.")
+                .find("cham.alloc.reserved_bytes"),
+            std::string::npos);
+  std::string Prom = Telemetry::prometheusText("cham.alloc.");
+  EXPECT_NE(Prom.find("cham_alloc_cache_hits"), std::string::npos);
+  EXPECT_NE(Prom.find("cham_alloc_reserved_bytes"), std::string::npos);
+}
+
+/// Deltas of the workload-determined alloc counters over one fixed
+/// single-threaded workload.
+struct AllocDeltas {
+  uint64_t SlotHits;
+  uint64_t SlotRefills;
+  uint64_t LockedFallbacks;
+  uint64_t DirectAllocs;
+  uint64_t PoolAllocs; // cache hits + misses: every pooled block request
+
+  bool operator==(const AllocDeltas &O) const = default;
+};
+
+AllocDeltas measureAllocWorkload() {
+  using namespace chameleon::testing;
+  // Make the cache state deterministic before measuring: return every
+  // cached block centralward and drain the thread-local tallies.
+  alloc::threadCache().flush();
+  alloc::threadCache().publishStats();
+  const uint64_t SlotHits0 = allocCounter("cham.alloc.slot_cache_hits");
+  const uint64_t SlotRefills0 = allocCounter("cham.alloc.slot_refills");
+  const uint64_t Fallbacks0 = allocCounter("cham.alloc.locked_fallbacks");
+  const uint64_t Direct0 = allocCounter("cham.alloc.direct_allocs");
+  const uint64_t Pool0 = allocCounter("cham.alloc.cache_hits") +
+                         allocCounter("cham.alloc.cache_misses");
+  {
+    GcHeap Heap;
+    TypeId Type = registerNodeType(Heap);
+    std::vector<Handle> Roots;
+    for (int I = 0; I < 3000; ++I) {
+      ObjectRef R = allocNode(Heap, Type, 2, 8 + 8 * (I % 512));
+      if (I % 7 == 0)
+        Roots.emplace_back(Heap, R);
+    }
+    Heap.collect(true);
+  }
+  // Heap objects embed their variable parts in std::vector members, so
+  // the direct path needs an explicit oversize block.
+  void *Big = alloc::allocateBlock(alloc::kMaxPooledSize + 1);
+  alloc::deallocateBlock(Big);
+  alloc::threadCache().publishStats();
+  return {allocCounter("cham.alloc.slot_cache_hits") - SlotHits0,
+          allocCounter("cham.alloc.slot_refills") - SlotRefills0,
+          allocCounter("cham.alloc.locked_fallbacks") - Fallbacks0,
+          allocCounter("cham.alloc.direct_allocs") - Direct0,
+          allocCounter("cham.alloc.cache_hits") +
+              allocCounter("cham.alloc.cache_misses") - Pool0};
+}
+
+/// Identical single-threaded runs must move the workload-determined
+/// counters by identical deltas — slot-cache traffic, locked fallbacks,
+/// direct allocations, and total pooled requests (hits + misses; the
+/// split between them may shift with the AIMD cache capacities the
+/// process history left behind, their sum may not). spans_carved,
+/// central_contention and reserved_bytes are deliberately excluded: they
+/// depend on what earlier tests left in the central lists.
+TEST(AllocMetricsTest, DeltasDeterministicAcrossIdenticalRuns) {
+  (void)measureAllocWorkload(); // warm-up: settle arena + cache capacities
+  AllocDeltas First = measureAllocWorkload();
+  AllocDeltas Second = measureAllocWorkload();
+  EXPECT_GT(First.SlotHits, 0u);
+  EXPECT_GT(First.PoolAllocs, 0u);
+  EXPECT_GT(First.DirectAllocs, 0u);
+  EXPECT_EQ(First.SlotHits, Second.SlotHits);
+  EXPECT_EQ(First.SlotRefills, Second.SlotRefills);
+  EXPECT_EQ(First.LockedFallbacks, Second.LockedFallbacks);
+  EXPECT_EQ(First.DirectAllocs, Second.DirectAllocs);
+  EXPECT_EQ(First.PoolAllocs, Second.PoolAllocs);
 }
 
 //===----------------------------------------------------------------------===//
