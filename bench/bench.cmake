@@ -40,6 +40,12 @@ chameleon_bench(fig6_min_heap)
 chameleon_bench(fig7_runtime)
 chameleon_bench(fig8_bloat_spike)
 chameleon_bench(table2_rules)
+chameleon_bench(micro_checker)
+# The checker bench analyzes the checkout itself, so it needs the analysis
+# library and the source-root path.
+target_link_libraries(micro_checker PRIVATE chameleon_analysis)
+target_compile_definitions(micro_checker PRIVATE
+  CHAMELEON_SOURCE_ROOT="${CMAKE_SOURCE_DIR}")
 chameleon_bench(micro_fault_overhead)
 chameleon_bench(micro_gc_throughput)
 chameleon_bench(micro_mt_mutator)

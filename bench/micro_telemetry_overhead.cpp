@@ -76,7 +76,7 @@ double disarmedSiteNs(uint64_t Iters) {
 
 /// Nanoseconds one sharded Counter::inc() costs (always compiled in).
 double counterIncNs(uint64_t Iters) {
-  obs::Counter C("bench.telemetry.counter");
+  obs::Counter C("cham.obs.bench_counter_cost");
   volatile uint64_t Sink = 0;
 
   auto Start = std::chrono::steady_clock::now();

@@ -1,0 +1,175 @@
+//===--- CallGraph.cpp - Cross-TU name-based call graph -------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace chameleon::analysis {
+
+namespace {
+std::string qualKey(const std::string &Class, const std::string &Name) {
+  return Class + "::" + Name;
+}
+} // namespace
+
+FunctionIndex::FunctionIndex(TreeModel &Model) {
+  for (FileModel &FM : Model.Files)
+    for (FunctionDef &F : FM.Functions) {
+      All.push_back(&F);
+      ByName[F.Name].push_back(&F);
+      ByQualified[qualKey(F.ClassName, F.Name)].push_back(&F);
+    }
+
+  // Merge annotations on declarations (headers) into the definitions.
+  for (FileModel &FM : Model.Files)
+    for (const AnnotatedDecl &D : FM.AnnotatedDecls) {
+      auto It = ByQualified.find(qualKey(D.ClassName, D.Name));
+      if (It == ByQualified.end())
+        continue;
+      for (FunctionDef *F : It->second) {
+        F->MaySafepointAnnot |= D.MaySafepoint;
+        F->NoSafepointAnnot |= D.NoSafepoint;
+      }
+    }
+
+  computeFixpoint(&FunctionDef::MaySafepoint, &FunctionIndex::safepointSeed);
+  computeFixpoint(&FunctionDef::MayAllocate, &FunctionIndex::allocateSeed);
+}
+
+const std::vector<FunctionDef *> &
+FunctionIndex::byName(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? Empty : It->second;
+}
+
+const std::vector<FunctionDef *> &
+FunctionIndex::byQualified(const std::string &Class,
+                           const std::string &Name) const {
+  auto It = ByQualified.find(qualKey(Class, Name));
+  return It == ByQualified.end() ? Empty : It->second;
+}
+
+std::vector<FunctionDef *>
+FunctionIndex::resolve(const FunctionDef &From, const CallSite &Call) const {
+  if (!Call.Qualifier.empty()) {
+    const auto &Q = byQualified(Call.Qualifier, Call.Callee);
+    if (!Q.empty())
+      return Q;
+    // Qualifier may be a namespace (`obs::emit`): fall through to name.
+  } else if (!From.ClassName.empty() && !Call.MemberAccess) {
+    // Unqualified call in a member function: prefer a same-class member.
+    const auto &Own = byQualified(From.ClassName, Call.Callee);
+    if (!Own.empty())
+      return Own;
+  }
+  return byName(Call.Callee);
+}
+
+bool FunctionIndex::callMaySafepoint(const FunctionDef &From,
+                                     const CallSite &Call) const {
+  auto Cands = resolve(From, Call);
+  if (Cands.empty())
+    return false;
+  for (const FunctionDef *F : Cands)
+    if (!F->MaySafepoint)
+      return false;
+  return true;
+}
+
+bool FunctionIndex::callMayAllocate(const FunctionDef &From,
+                                    const CallSite &Call) const {
+  auto Cands = resolve(From, Call);
+  if (Cands.empty())
+    return false;
+  for (const FunctionDef *F : Cands)
+    if (!F->MayAllocate)
+      return false;
+  return true;
+}
+
+bool FunctionIndex::safepointSeed(const FunctionDef &F) const {
+  return F.MaySafepointAnnot || F.HasFaultGcSite;
+}
+
+bool FunctionIndex::allocateSeed(const FunctionDef &F) const {
+  return !F.Allocs.empty();
+}
+
+void FunctionIndex::computeFixpoint(
+    bool FunctionDef::*Prop,
+    bool (FunctionIndex::*Seed)(const FunctionDef &) const) {
+  for (FunctionDef *F : All)
+    F->*Prop = (this->*Seed)(*F);
+
+  // Iterate to fixpoint. The graph is small (a few thousand defs) and the
+  // all-candidates rule keeps fan-in low, so a simple sweep converges in
+  // a handful of rounds.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (FunctionDef *F : All) {
+      if (F->*Prop)
+        continue;
+      // NO_SAFEPOINT definitions do not propagate may-safepoint upward:
+      // any poll reached from them is *their* finding, reported once.
+      if (Prop == &FunctionDef::MaySafepoint && F->NoSafepointAnnot)
+        continue;
+      for (const CallSite &C : F->Calls) {
+        auto Cands = resolve(*F, C);
+        if (Cands.empty())
+          continue;
+        bool AllHave = true;
+        for (const FunctionDef *G : Cands)
+          if (!(G->*Prop)) {
+            AllHave = false;
+            break;
+          }
+        if (AllHave) {
+          F->*Prop = true;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string FunctionIndex::explainSafepointPath(const FunctionDef &F) const {
+  if (safepointSeed(F))
+    return "";
+  // Greedy walk: from F, repeatedly step to the first may-safepoint call
+  // whose candidates are all may-safepoint, until a seed. The fixpoint
+  // guarantees such a step exists from every may-safepoint non-seed.
+  std::string Path = F.qualifiedName();
+  const FunctionDef *Cur = &F;
+  std::unordered_map<const FunctionDef *, bool> Seen{{&F, true}};
+  for (int Depth = 0; Depth < 12; ++Depth) {
+    const FunctionDef *Next = nullptr;
+    for (const CallSite &C : Cur->Calls) {
+      if (!callMaySafepoint(*Cur, C))
+        continue;
+      for (FunctionDef *G : resolve(*Cur, C))
+        if (!Seen.count(G)) {
+          Next = G;
+          break;
+        }
+      if (Next)
+        break;
+    }
+    if (!Next)
+      break;
+    Seen[Next] = true;
+    Path += " -> " + Next->qualifiedName();
+    if (safepointSeed(*Next))
+      return Path;
+    Cur = Next;
+  }
+  return Path + " -> ...";
+}
+
+} // namespace chameleon::analysis

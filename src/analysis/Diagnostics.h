@@ -1,0 +1,102 @@
+//===--- Diagnostics.h - Checker diagnostics -------------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File-position diagnostics for chameleon-checker, in the same shape as
+/// the rule DSL's (src/rules/Diagnostics.h): "file:line:col: severity:
+/// message [check-id]". Every checker diagnostic carries a stable `check-*`
+/// identifier plus a *baseline key* — a position-independent fingerprint
+/// (id + file + subject symbol) that tools/checker_baseline.txt matches on,
+/// so recorded findings survive unrelated edits that shift line numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_ANALYSIS_DIAGNOSTICS_H
+#define CHAMELEON_ANALYSIS_DIAGNOSTICS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chameleon::analysis {
+
+enum class CheckSeverity : uint8_t { Error, Warning, Note };
+
+/// One checker finding.
+struct CheckDiag {
+  std::string File;
+  unsigned Line = 0;
+  unsigned Col = 0;
+  CheckSeverity Sev = CheckSeverity::Warning;
+  /// Stable identifier ("check-safepoint-reach", ...).
+  std::string ID;
+  std::string Message;
+  /// The symbol the finding is about (function, lock, tag, metric name);
+  /// with ID and File it forms the baseline fingerprint.
+  std::string Subject;
+
+  /// "file:line:col: severity: message [id]".
+  std::string format() const {
+    std::string Out = File + ":" + std::to_string(Line) + ":" +
+                      std::to_string(Col) + ": ";
+    Out += Sev == CheckSeverity::Error     ? "error: "
+           : Sev == CheckSeverity::Warning ? "warning: "
+                                           : "note: ";
+    Out += Message;
+    if (!ID.empty()) {
+      Out += " [";
+      Out += ID;
+      Out += ']';
+    }
+    return Out;
+  }
+
+  /// Position-independent baseline fingerprint: "id|file|subject".
+  std::string baselineKey() const { return ID + "|" + File + "|" + Subject; }
+};
+
+/// True when any diagnostic is an error.
+inline bool hasCheckErrors(const std::vector<CheckDiag> &Diags) {
+  return std::any_of(Diags.begin(), Diags.end(), [](const CheckDiag &D) {
+    return D.Sev == CheckSeverity::Error;
+  });
+}
+
+/// True when any diagnostic is a warning.
+inline bool hasCheckWarnings(const std::vector<CheckDiag> &Diags) {
+  return std::any_of(Diags.begin(), Diags.end(), [](const CheckDiag &D) {
+    return D.Sev == CheckSeverity::Warning;
+  });
+}
+
+/// Orders by (file, line, col, id); stable for equal positions.
+inline void sortCheckDiags(std::vector<CheckDiag> &Diags) {
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [](const CheckDiag &A, const CheckDiag &B) {
+                     if (A.File != B.File)
+                       return A.File < B.File;
+                     if (A.Line != B.Line)
+                       return A.Line < B.Line;
+                     if (A.Col != B.Col)
+                       return A.Col < B.Col;
+                     return A.ID < B.ID;
+                   });
+}
+
+/// Renders a diagnostic list, one per line.
+inline std::string formatCheckDiags(const std::vector<CheckDiag> &Diags) {
+  std::string Out;
+  for (const CheckDiag &D : Diags) {
+    Out += D.format();
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace chameleon::analysis
+
+#endif // CHAMELEON_ANALYSIS_DIAGNOSTICS_H

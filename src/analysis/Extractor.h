@@ -1,0 +1,39 @@
+//===--- Extractor.h - Function/call/lock extraction -----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns one lexed C++ file into a FileModel: function definitions with
+/// their call sites, lock acquisitions, allocation sites, and raw
+/// heap-reference locals; class lock members with CHAM_LOCK_RANK ranks;
+/// annotated member declarations; metric registrations; and fault sites.
+///
+/// The extractor is a structural scanner, not a parser: it tracks
+/// namespace / class / brace nesting and classifies each `{` opener
+/// (namespace, class, enum, function body, braced initializer) from the
+/// declaration tokens before it. Known limitations — preprocessor
+/// conditionals leave both arms in the stream, lambdas attribute their
+/// facts to the enclosing function, and templates are matched purely by
+/// name — are documented in DESIGN.md §13 and are the reason findings can
+/// be waived with `cham-checker-ok` comments or the baseline file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_ANALYSIS_EXTRACTOR_H
+#define CHAMELEON_ANALYSIS_EXTRACTOR_H
+
+#include "analysis/Model.h"
+
+#include <string>
+
+namespace chameleon::analysis {
+
+/// Extracts the model of \p Source, which will be reported under the file
+/// name \p File.
+FileModel extractFile(const std::string &File, const std::string &Source);
+
+} // namespace chameleon::analysis
+
+#endif // CHAMELEON_ANALYSIS_EXTRACTOR_H

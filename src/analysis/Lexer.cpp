@@ -1,0 +1,262 @@
+//===--- Lexer.cpp - Token-level C++ lexer for the checker ----------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lexer.h"
+
+namespace chameleon::analysis {
+
+namespace {
+
+bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+bool isIdentBody(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
+bool isDigit(char C) { return C >= '0' && C <= '9'; }
+
+/// Cursor over the source with line/col tracking.
+class Cursor {
+public:
+  explicit Cursor(const std::string &S) : S(S) {}
+
+  bool atEnd() const { return Pos >= S.size(); }
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < S.size() ? S[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = S[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  bool startsWith(const char *Lit) const {
+    return S.compare(Pos, std::char_traits<char>::length(Lit), Lit) == 0;
+  }
+
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+private:
+  const std::string &S;
+};
+
+/// Records a `cham-checker-ok(id)` waiver found in \p Comment (if any).
+void scanSuppression(const std::string &Comment, unsigned Line,
+                     std::vector<Suppression> &Out) {
+  static const char Marker[] = "cham-checker-ok(";
+  size_t At = Comment.find(Marker);
+  if (At == std::string::npos)
+    return;
+  size_t Start = At + sizeof(Marker) - 1;
+  size_t End = Comment.find(')', Start);
+  if (End == std::string::npos)
+    return;
+  Out.push_back({Line, Comment.substr(Start, End - Start)});
+}
+
+} // namespace
+
+LexedFile lexCxx(const std::string &Source) {
+  LexedFile Out;
+  Cursor C(Source);
+  bool AtLineStart = true;
+
+  auto push = [&](CxxTokKind Kind, std::string Text, unsigned Line,
+                  unsigned Col) {
+    Out.Toks.push_back({Kind, std::move(Text), Line, Col});
+  };
+
+  while (!C.atEnd()) {
+    char Ch = C.peek();
+
+    // Whitespace.
+    if (Ch == ' ' || Ch == '\t' || Ch == '\r' || Ch == '\n' || Ch == '\v' ||
+        Ch == '\f') {
+      if (Ch == '\n')
+        AtLineStart = true;
+      C.advance();
+      continue;
+    }
+
+    // Line comment (may carry a suppression).
+    if (Ch == '/' && C.peek(1) == '/') {
+      unsigned Line = C.Line;
+      std::string Text;
+      while (!C.atEnd() && C.peek() != '\n')
+        Text += C.advance();
+      scanSuppression(Text, Line, Out.Suppressions);
+      continue;
+    }
+
+    // Block comment.
+    if (Ch == '/' && C.peek(1) == '*') {
+      unsigned Line = C.Line;
+      std::string Text;
+      C.advance();
+      C.advance();
+      while (!C.atEnd() && !(C.peek() == '*' && C.peek(1) == '/'))
+        Text += C.advance();
+      if (!C.atEnd()) {
+        C.advance();
+        C.advance();
+      }
+      scanSuppression(Text, Line, Out.Suppressions);
+      AtLineStart = false;
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line, honouring backslash
+    // continuations. Both arms of an #if survive in the token stream; the
+    // extractor tolerates the (rare) resulting brace imbalance.
+    if (Ch == '#' && AtLineStart) {
+      while (!C.atEnd()) {
+        char D = C.advance();
+        if (D == '\\' && C.peek() == '\n') {
+          C.advance();
+          continue;
+        }
+        if (D == '\n')
+          break;
+      }
+      AtLineStart = true;
+      continue;
+    }
+
+    AtLineStart = false;
+    unsigned Line = C.Line, Col = C.Col;
+
+    // Raw string literal: R"delim( ... )delim".
+    if (Ch == 'R' && C.peek(1) == '"') {
+      C.advance();
+      C.advance();
+      std::string Delim;
+      while (!C.atEnd() && C.peek() != '(')
+        Delim += C.advance();
+      if (!C.atEnd())
+        C.advance(); // '('
+      std::string Close = ")" + Delim + "\"";
+      std::string Text;
+      while (!C.atEnd() && !C.startsWith(Close.c_str()))
+        Text += C.advance();
+      for (size_t I = 0; I < Close.size() && !C.atEnd(); ++I)
+        C.advance();
+      push(CxxTokKind::String, std::move(Text), Line, Col);
+      continue;
+    }
+
+    // Identifier (possibly a string-literal prefix).
+    if (isIdentStart(Ch)) {
+      std::string Text;
+      while (!C.atEnd() && isIdentBody(C.peek()))
+        Text += C.advance();
+      // u8"..." / u"..." / U"..." / L"..." — fold the prefix into the
+      // string token that follows.
+      if ((Text == "u8" || Text == "u" || Text == "U" || Text == "L") &&
+          (C.peek() == '"' || C.peek() == '\'')) {
+        Ch = C.peek();
+        // fall through to the literal lexers below with the prefix dropped
+      } else {
+        push(CxxTokKind::Ident, std::move(Text), Line, Col);
+        continue;
+      }
+    }
+
+    // String literal.
+    if (Ch == '"') {
+      C.advance();
+      std::string Text;
+      while (!C.atEnd() && C.peek() != '"') {
+        char D = C.advance();
+        if (D == '\\' && !C.atEnd()) {
+          Text += D;
+          Text += C.advance();
+          continue;
+        }
+        if (D == '\n')
+          break; // unterminated; recover at end of line
+        Text += D;
+      }
+      if (!C.atEnd() && C.peek() == '"')
+        C.advance();
+      push(CxxTokKind::String, std::move(Text), Line, Col);
+      continue;
+    }
+
+    // Character literal.
+    if (Ch == '\'') {
+      C.advance();
+      std::string Text;
+      while (!C.atEnd() && C.peek() != '\'') {
+        char D = C.advance();
+        if (D == '\\' && !C.atEnd()) {
+          Text += D;
+          Text += C.advance();
+          continue;
+        }
+        if (D == '\n')
+          break;
+        Text += D;
+      }
+      if (!C.atEnd() && C.peek() == '\'')
+        C.advance();
+      push(CxxTokKind::Char, std::move(Text), Line, Col);
+      continue;
+    }
+
+    // Number (pp-number: digits, idents, dots, exponent signs, and digit
+    // separators run together).
+    if (isDigit(Ch) || (Ch == '.' && isDigit(C.peek(1)))) {
+      std::string Text;
+      while (!C.atEnd()) {
+        char D = C.peek();
+        if (isIdentBody(D) || D == '.') {
+          Text += C.advance();
+          continue;
+        }
+        if (D == '\'' && isIdentBody(C.peek(1))) { // digit separator
+          C.advance();
+          continue;
+        }
+        if ((D == '+' || D == '-') && !Text.empty()) {
+          char Prev = Text.back();
+          if (Prev == 'e' || Prev == 'E' || Prev == 'p' || Prev == 'P') {
+            Text += C.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      push(CxxTokKind::Number, std::move(Text), Line, Col);
+      continue;
+    }
+
+    // Punctuation. '::' and '->' are folded into one token (the extractor
+    // matches on them); everything else is a single character.
+    if (Ch == ':' && C.peek(1) == ':') {
+      C.advance();
+      C.advance();
+      push(CxxTokKind::Punct, "::", Line, Col);
+      continue;
+    }
+    if (Ch == '-' && C.peek(1) == '>') {
+      C.advance();
+      C.advance();
+      push(CxxTokKind::Punct, "->", Line, Col);
+      continue;
+    }
+    C.advance();
+    push(CxxTokKind::Punct, std::string(1, Ch), Line, Col);
+  }
+
+  Out.Toks.push_back({CxxTokKind::Eof, "", C.Line, C.Col});
+  return Out;
+}
+
+} // namespace chameleon::analysis

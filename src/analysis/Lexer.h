@@ -1,0 +1,76 @@
+//===--- Lexer.h - Token-level C++ lexer for the checker -------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written token-level lexer for C++ source, in the style of the
+/// rule DSL's Lexer (src/rules/Lexer.h) but for a language we do not
+/// parse fully: chameleon-checker's extractor works on the token stream
+/// plus brace/paren structure, never on a real C++ AST. The lexer
+/// therefore only needs to get token *boundaries* right: identifiers,
+/// numbers, string/char literals (including raw strings), punctuation,
+/// comments, and preprocessor lines.
+///
+/// Comments are not discarded silently: suppression comments of the form
+/// `// cham-checker-ok(check-id): reason` are collected with their line so
+/// the checks can honour in-place waivers; everything else is skipped.
+/// Preprocessor directives — including `#define` bodies — are skipped to
+/// end-of-line (honouring continuation backslashes), so a macro's
+/// *definition* never registers fact sites; only its expansion points do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_ANALYSIS_LEXER_H
+#define CHAMELEON_ANALYSIS_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace chameleon::analysis {
+
+enum class CxxTokKind : uint8_t {
+  Ident,   ///< Identifiers and keywords (the extractor tells them apart).
+  Number,  ///< Integer / floating literals (value unused).
+  String,  ///< String literal; Text holds the *unquoted* contents.
+  Char,    ///< Character literal; Text holds the raw spelling.
+  Punct,   ///< One punctuation character ('{', '(', ':', ...).
+  Eof,
+};
+
+struct CxxToken {
+  CxxTokKind Kind = CxxTokKind::Eof;
+  std::string Text;
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  bool is(CxxTokKind K) const { return Kind == K; }
+  bool isIdent(const char *S) const {
+    return Kind == CxxTokKind::Ident && Text == S;
+  }
+  bool isPunct(char C) const {
+    return Kind == CxxTokKind::Punct && Text.size() == 1 && Text[0] == C;
+  }
+};
+
+/// A `// cham-checker-ok(check-id): reason` waiver and the line it sits on.
+/// It silences matching diagnostics on its own line and the next.
+struct Suppression {
+  unsigned Line = 0;
+  std::string ID;
+};
+
+/// The lexed form of one file.
+struct LexedFile {
+  std::vector<CxxToken> Toks; ///< Always ends with an Eof token.
+  std::vector<Suppression> Suppressions;
+};
+
+/// Lexes \p Source. Never fails: unexpected bytes become single-character
+/// Punct tokens, and an unterminated literal runs to end of input.
+LexedFile lexCxx(const std::string &Source);
+
+} // namespace chameleon::analysis
+
+#endif // CHAMELEON_ANALYSIS_LEXER_H

@@ -501,6 +501,8 @@ Map CollectionRuntime::newMapOf(ImplKind Impl, FrameId Site,
 
 List CollectionRuntime::newArrayListCopy(FrameId Site, const List &Source) {
   List Fresh = newArrayList(Site, Source.size());
+  // The wrapper is rooted by Fresh's handle and the GC is non-moving.
+  // cham-checker-ok(check-raw-across-safepoint): rooted via Fresh
   CollectionObject &W = Heap.getAs<CollectionObject>(Fresh.wrapperRef());
   if (W.Ctx)
     W.Usage.count(OpKind::CopiedFrom);
@@ -521,6 +523,8 @@ List CollectionRuntime::newArrayListCopy(FrameId Site, const List &Source) {
 
 Set CollectionRuntime::newHashSetCopy(FrameId Site, const Set &Source) {
   Set Fresh = newHashSet(Site, Source.size() * 2);
+  // The wrapper is rooted by Fresh's handle and the GC is non-moving.
+  // cham-checker-ok(check-raw-across-safepoint): rooted via Fresh
   CollectionObject &W = Heap.getAs<CollectionObject>(Fresh.wrapperRef());
   if (W.Ctx)
     W.Usage.count(OpKind::CopiedFrom);
@@ -641,6 +645,7 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
         Dst.put(K, V);
       }
       // Phase 2: verify the shadow represents the contents exactly.
+      // cham-checker-ok(check-fault-tag-dup): same verify phase, map branch
       CHAM_FAULT("migrate.verify");
       Verified = Dst.size() == Src.size();
       if (Verified) {
@@ -669,6 +674,7 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
         TempRootScope Guard(Heap, V.refOrNull());
         Dst.add(V);
       }
+      // cham-checker-ok(check-fault-tag-dup): same verify phase, seq branch
       CHAM_FAULT("migrate.verify");
       // Size equality also catches semantics-changing conversions, e.g. a
       // list with duplicates migrating to the deduplicating HashedList.
@@ -722,6 +728,9 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
 void CollectionRuntime::maybeMigrate(ObjectRef Wrapper) {
   if (!Selector || Config.OnlineRevisePeriod == 0)
     return;
+  // Every caller operates on the wrapper through a live collection
+  // handle, and the GC is non-moving, so W stays valid across the polls.
+  // cham-checker-ok(check-raw-across-safepoint): rooted by caller's handle
   CollectionObject &W = Heap.getAs<CollectionObject>(Wrapper);
   if (!W.Ctx || W.CustomId >= 0 || W.Retired)
     return;

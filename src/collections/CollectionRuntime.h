@@ -280,8 +280,9 @@ public:
   /// migrationAborts counter is bumped. \p Capacity sizes the target
   /// (0 = current size / kind default). Single-owner discipline: the
   /// calling thread must be the only one operating on this collection.
-  MigrationOutcome migrateCollection(ObjectRef Wrapper, ImplKind Target,
-                                     uint32_t Capacity = 0);
+  CHAM_MAY_SAFEPOINT MigrationOutcome migrateCollection(ObjectRef Wrapper,
+                                                        ImplKind Target,
+                                                        uint32_t Capacity = 0);
 
   /// Live-migration counters (whole runtime; thin reads of the
   /// registry-backed cham.collections.* metrics).

@@ -32,7 +32,7 @@ ValueArray &HashMapImpl::table() const {
 void HashMapImpl::ensureTable() {
   if (!Table.isNull())
     return;
-  CHAM_FAULT("hashmap.reserve");
+  CHAM_FAULT("hashmap.table.reserve");
   Table = RT.allocValueArray(InitialCapacity);
   Capacity = InitialCapacity;
 }
@@ -41,7 +41,7 @@ void HashMapImpl::resize(uint32_t NewCapacity) {
   // Entries are relinked into the new table, not reallocated — matching
   // java.util.HashMap's transfer, so resizing costs one array, not N
   // entries.
-  CHAM_FAULT("hashmap.reserve");
+  CHAM_FAULT("hashmap.resize.reserve");
   ObjectRef NewTable = RT.allocValueArray(NewCapacity);
   GcHeap &Heap = RT.heap();
   ValueArray &New = Heap.getAs<ValueArray>(NewTable);

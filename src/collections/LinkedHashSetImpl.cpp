@@ -24,7 +24,7 @@ LinkedHashSetImpl::LinkedHashSetImpl(TypeId Type, uint64_t Bytes,
 
 void LinkedHashSetImpl::initEager() {
   assert(Table.isNull() && "already initialised");
-  CHAM_FAULT("linkedhashset.reserve");
+  CHAM_FAULT("linkedhashset.init.reserve");
   Table = RT.allocValueArray(InitialCapacity);
   Capacity = InitialCapacity;
   Sentinel = RT.allocLinkedHashEntry(Value::null(), ObjectRef::null());
@@ -53,7 +53,7 @@ ObjectRef LinkedHashSetImpl::findEntry(Value V) const {
 }
 
 void LinkedHashSetImpl::resize(uint32_t NewCapacity) {
-  CHAM_FAULT("linkedhashset.reserve");
+  CHAM_FAULT("linkedhashset.resize.reserve");
   ObjectRef NewTable = RT.allocValueArray(NewCapacity);
   GcHeap &Heap = RT.heap();
   ValueArray &New = Heap.getAs<ValueArray>(NewTable);

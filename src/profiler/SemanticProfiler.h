@@ -37,6 +37,7 @@
 #include "profiler/ContextInfo.h"
 #include "profiler/ProfilerThreadState.h"
 #include "runtime/HeapHooks.h"
+#include "support/Annotations.h"
 
 #include <array>
 #include <atomic>
@@ -212,12 +213,16 @@ public:
 
   /// -- HeapProfilerHooks (fed by the collection-aware GC) ------------------
 
-  void onLiveCollection(const HeapObject &Obj, const CollectionSizes &Sizes,
-                        void *ContextTag) override;
-  void onCollectionDeath(const HeapObject &Obj, void *ContextTag,
-                         void *ObjectInfoTag) override;
-  void onCycleEnd(const GcCycleRecord &Record) override;
-  void onStopTheWorld() override { flushMutatorBuffers(); }
+  // The GC calls these with the world stopped; they must never re-enter
+  // the safepoint machinery or the managed heap.
+  CHAM_NO_SAFEPOINT void onLiveCollection(const HeapObject &Obj,
+                                          const CollectionSizes &Sizes,
+                                          void *ContextTag) override;
+  CHAM_NO_SAFEPOINT void onCollectionDeath(const HeapObject &Obj,
+                                           void *ContextTag,
+                                           void *ObjectInfoTag) override;
+  CHAM_NO_SAFEPOINT void onCycleEnd(const GcCycleRecord &Record) override;
+  CHAM_NO_SAFEPOINT void onStopTheWorld() override { flushMutatorBuffers(); }
   void onHeapPressure(uint64_t BytesInUse, uint64_t SoftLimitBytes) override;
   void onHeapPressureCleared() override;
 

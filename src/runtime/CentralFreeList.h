@@ -17,6 +17,7 @@
 #define CHAMELEON_RUNTIME_CENTRALFREELIST_H
 
 #include "runtime/SizeClasses.h"
+#include "support/Annotations.h"
 #include "support/SpinLock.h"
 
 #include <cstdint>
@@ -57,14 +58,14 @@ public:
   /// Arena when the list runs dry. Returns the number delivered (always
   /// \p N; the count return keeps the contract explicit). Every returned
   /// block has a kFreeTag header of this class.
-  uint32_t popBatch(BlockHeader **Out, uint32_t N, uint32_t ClassIdx,
-                    PageArena &Arena);
+  CHAM_NO_SAFEPOINT uint32_t popBatch(BlockHeader **Out, uint32_t N,
+                                      uint32_t ClassIdx, PageArena &Arena);
 
   /// Pushes \p N blocks (kFreeTag headers) back onto the list.
-  void pushBatch(BlockHeader **Blocks, uint32_t N);
+  CHAM_NO_SAFEPOINT void pushBatch(BlockHeader **Blocks, uint32_t N);
 
 private:
-  SpinLock Mu;
+  SpinLock Mu CHAM_LOCK_RANK(10);
   /// Singly linked through the first payload word.
   BlockHeader *Head = nullptr;
 };

@@ -50,6 +50,7 @@
 #include "runtime/HeapObject.h"
 #include "runtime/MemoryModel.h"
 #include "runtime/SemanticMap.h"
+#include "support/Annotations.h"
 #include "support/SpinLock.h"
 
 #include <atomic>
@@ -231,7 +232,7 @@ public:
   /// The cheap check mutator threads make at operation boundaries: one
   /// acquire load and a predicted-not-taken branch. When a collection is
   /// pending, blocks until the world restarts.
-  void safepointPoll() {
+  CHAM_MAY_SAFEPOINT void safepointPoll() {
     if (SafepointRequested.load(std::memory_order_acquire))
       safepointSlow();
   }
@@ -243,11 +244,11 @@ public:
   /// the out-of-memory state (the allocation itself still succeeds so the
   /// program remains structurally consistent — run drivers observe
   /// `outOfMemory()` and abort the run, mirroring a JVM OutOfMemoryError).
-  ObjectRef allocate(std::unique_ptr<HeapObject> Obj);
+  CHAM_MAY_SAFEPOINT ObjectRef allocate(std::unique_ptr<HeapObject> Obj);
 
   /// Returns the object \p Ref points to. \p Ref must be non-null and live.
   /// Lock-free: published slots never move (chunked slot table).
-  HeapObject &get(ObjectRef Ref) {
+  CHAM_NO_SAFEPOINT HeapObject &get(ObjectRef Ref) {
     assert(!Ref.isNull() && "dereferencing null ObjectRef");
     assert(Ref.slot() < SlotCount.load(std::memory_order_relaxed)
            && "ObjectRef beyond slot table");
@@ -321,7 +322,7 @@ public:
   /// With registered mutators, first stops the world (all registered
   /// threads other than the caller parked at safepoints). Returns the
   /// completed cycle record.
-  const GcCycleRecord &collect(bool Forced = false);
+  CHAM_MAY_SAFEPOINT const GcCycleRecord &collect(bool Forced = false);
 
   /// Applies \p Fn to every live-or-unswept object in the heap. Used by the
   /// end-of-run harvest that folds statistics of still-live collections;
@@ -430,10 +431,10 @@ private:
   /// Grants \p M the next slot id, refilling its cache (batched, under
   /// SlotMu) when empty. Caller must be M's owning thread; returns the slot
   /// with any SlotBumpTag already stripped.
-  uint32_t grantSlot(MutatorThread &M);
+  CHAM_NO_SAFEPOINT uint32_t grantSlot(MutatorThread &M);
   /// Refills M.SlotCache with SlotCacheBatch grants: FreeSlots entries
   /// first (FIFO order of the locked path), then bump-carved tagged ones.
-  void refillSlotCache(MutatorThread &M);
+  CHAM_NO_SAFEPOINT void refillSlotCache(MutatorThread &M);
   /// Returns M's ungranted slots. With \p StoppedWorld, cached bump-carved
   /// slots adjacent to the frontier are un-bumped (SlotCount rolled back)
   /// so the table state is exactly the locked path's; otherwise they are
@@ -469,19 +470,21 @@ private:
     return rootOwnerSlow();
   }
 
-  void safepointSlow();
+  CHAM_MAY_SAFEPOINT void safepointSlow();
   void enterSafeRegion();
   void leaveSafeRegion();
 
-  /// Marks from roots; fills the cycle record's live statistics.
-  void markPhase(GcCycleRecord &Record);
+  /// Marks from roots; fills the cycle record's live statistics. The
+  /// phase bodies run with the world stopped and must never re-enter the
+  /// safepoint machinery.
+  CHAM_NO_SAFEPOINT void markPhase(GcCycleRecord &Record);
   /// The multi-threaded tracing phase (GcThreads > 1).
-  void markPhaseParallel(GcCycleRecord &Record);
+  CHAM_NO_SAFEPOINT void markPhaseParallel(GcCycleRecord &Record);
   /// Sweeps unmarked objects; fills the record's freed statistics.
-  void sweepPhase(GcCycleRecord &Record);
+  CHAM_NO_SAFEPOINT void sweepPhase(GcCycleRecord &Record);
   /// The multi-threaded sweep (GcThreads > 1): one contiguous slot range
   /// per worker, per-worker freed/death buffers, deterministic replay.
-  void sweepPhaseParallel(GcCycleRecord &Record);
+  CHAM_NO_SAFEPOINT void sweepPhaseParallel(GcCycleRecord &Record);
   /// Runs `Task(WorkerIndex)` on GcThreads workers and waits for all of
   /// them — through the persistent pool, or (UseWorkerPool off) through
   /// freshly spawned threads.
@@ -504,7 +507,7 @@ private:
   std::vector<uint32_t> FreeSlots;
   /// Guards FreeSlots and the bump frontier during batched cache refills
   /// while mutators are active (AllocMu alone covers them otherwise).
-  SpinLock SlotMu;
+  SpinLock SlotMu CHAM_LOCK_RANK(20);
 
   /// The main (unregistered) thread's roots and temp roots; also the
   /// landing segment for roots spliced out of unregistering mutators.
@@ -522,10 +525,10 @@ private:
   /// Guards the safepoint handshake state (AtSafepoint flags, the Mutators
   /// vector) and is held by the collection initiator for the whole stopped
   /// window.
-  std::mutex SpMu;
+  std::mutex SpMu CHAM_LOCK_RANK(40);
   std::condition_variable SpCv;
   /// Serialises allocation when mutators are active.
-  std::mutex AllocMu;
+  std::mutex AllocMu CHAM_LOCK_RANK(30);
 
   std::atomic<uint64_t> BytesInUse{0};
   std::atomic<uint64_t> ObjectsInUse{0};

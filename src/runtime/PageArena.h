@@ -18,6 +18,7 @@
 #ifndef CHAMELEON_RUNTIME_PAGEARENA_H
 #define CHAMELEON_RUNTIME_PAGEARENA_H
 
+#include "support/Annotations.h"
 #include "support/SpinLock.h"
 
 #include <cstddef>
@@ -39,13 +40,13 @@ public:
   /// Carves a 16-aligned run of \p Bytes (<= kSlabBytes) from the current
   /// slab, starting a fresh slab when the remainder is too small.
   /// Thread-safe.
-  void *carve(size_t Bytes);
+  CHAM_NO_SAFEPOINT void *carve(size_t Bytes);
 
   /// Total bytes obtained from the C++ heap so far.
   uint64_t reservedBytes() const;
 
 private:
-  mutable SpinLock Mu;
+  mutable SpinLock Mu CHAM_LOCK_RANK(5);
   char *Cursor = nullptr;
   size_t Remaining = 0;
   uint64_t Reserved = 0;

@@ -66,10 +66,10 @@ public:
   ~ThreadCache();
 
   /// Pops a block of \p ClassIdx, refilling from the central list on miss.
-  BlockHeader *allocate(uint32_t ClassIdx);
+  CHAM_NO_SAFEPOINT BlockHeader *allocate(uint32_t ClassIdx);
 
   /// Pushes \p Block back; releases a batch centralward on overflow.
-  void deallocate(BlockHeader *Block, uint32_t ClassIdx);
+  CHAM_NO_SAFEPOINT void deallocate(BlockHeader *Block, uint32_t ClassIdx);
 
   /// Returns every cached block to the central lists (the cache stays
   /// usable). Tests use it to make cache-state deterministic across runs.
@@ -117,13 +117,13 @@ ThreadCache &threadCache();
 /// Allocates storage for a HeapObject of \p UserSize bytes according to
 /// the current mode. The returned pointer is the payload (header hidden),
 /// aligned for any HeapObject subclass.
-void *allocateBlock(size_t UserSize);
+CHAM_NO_SAFEPOINT void *allocateBlock(size_t UserSize);
 
 /// Returns a block obtained from allocateBlock. Routes by the block's own
 /// header, so blocks survive mode switches; a double return is counted
 /// (cham.alloc.double_free) and the block leaked rather than corrupting a
 /// free list.
-void deallocateBlock(void *Payload) noexcept;
+CHAM_NO_SAFEPOINT void deallocateBlock(void *Payload) noexcept;
 
 } // namespace chameleon::alloc
 

@@ -1,0 +1,55 @@
+//===--- Annotations.h - Static-analysis annotation macros -----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// No-op annotation macros read by `chameleon-checker` (src/analysis,
+/// DESIGN.md §13). They expand to nothing — the compiler never sees them —
+/// but the checker's token-level frontend recognises the macro names and
+/// turns them into statically enforced contracts:
+///
+///  - `CHAM_MAY_SAFEPOINT` on a function declaration or definition marks a
+///    function that may reach a GC safepoint (poll, allocation, or a
+///    collection trigger). These are the seeds of the checker's transitive
+///    safepoint-reachability analysis.
+///
+///  - `CHAM_NO_SAFEPOINT` marks a function that must never reach a
+///    safepoint — allocator slow paths, marker/sweeper internals, anything
+///    that runs while the world is stopped or while holding a spinlock.
+///    The checker reports `check-safepoint-reach` when such a function can
+///    transitively call anything may-safepoint.
+///
+///  - `CHAM_LOCK_RANK(N)` trails a lock member declaration
+///    (`SpinLock Mu CHAM_LOCK_RANK(10);`) and assigns it a deadlock-
+///    avoidance rank. Locks must be acquired in strictly decreasing rank
+///    order; the checker reports `check-lock-rank` on inversions. The
+///    repo's hierarchy (outermost first): GcHeap::SpMu (40) >
+///    GcHeap::AllocMu (30) > GcHeap::SlotMu (20) > CentralFreeList::Mu
+///    (10) > PageArena::Mu (5).
+///
+/// Findings the checker gets wrong (its frontend is token-level: macros,
+/// templates and overload sets are resolved heuristically) are silenced in
+/// place with a suppression comment naming the diagnostic:
+///
+///     // cham-checker-ok(check-raw-across-safepoint): rooted via ShadowRoot
+///
+/// or recorded in tools/checker_baseline.txt for pre-existing debt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_SUPPORT_ANNOTATIONS_H
+#define CHAMELEON_SUPPORT_ANNOTATIONS_H
+
+/// The annotated function may reach a GC safepoint (transitively).
+#define CHAM_MAY_SAFEPOINT
+
+/// The annotated function must never reach a GC safepoint (transitively).
+#define CHAM_NO_SAFEPOINT
+
+/// Deadlock-avoidance rank of a lock member; acquire in strictly
+/// decreasing rank order.
+#define CHAM_LOCK_RANK(N)
+
+#endif // CHAMELEON_SUPPORT_ANNOTATIONS_H

@@ -1,0 +1,69 @@
+//===--- RuleDiagJson.h - JSON rendering for rule diagnostics --*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--json` output format shared by chameleon-rulelint and
+/// chameleon-rulefmt: one JSON array with an object per diagnostic, in the
+/// same key layout as chameleon-checker's `--json` (file, line, col,
+/// severity, id, message) so downstream tooling can consume all three
+/// tools with one parser. String escaping comes from src/obs/Json.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_TOOLS_RULEDIAGJSON_H
+#define CHAMELEON_TOOLS_RULEDIAGJSON_H
+
+#include "obs/Json.h"
+#include "rules/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace chameleon::tools {
+
+/// One (file, diagnostics) batch; a run over several inputs concatenates
+/// batches into a single array.
+struct RuleDiagBatch {
+  std::string File;
+  std::vector<rules::Diagnostic> Diags;
+};
+
+inline const char *ruleSevName(rules::Severity S) {
+  switch (S) {
+  case rules::Severity::Warning:
+    return "warning";
+  case rules::Severity::Note:
+    return "note";
+  case rules::Severity::Error:
+    break;
+  }
+  return "error";
+}
+
+/// Renders every batch as one flat JSON array (the shape emitted by
+/// `chameleon-rulelint --json a.rules b.rules`).
+inline std::string ruleDiagsToJson(const std::vector<RuleDiagBatch> &Batches) {
+  std::string Out = "[";
+  bool First = true;
+  for (const RuleDiagBatch &B : Batches) {
+    for (const rules::Diagnostic &D : B.Diags) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += "\n  {\"file\": \"" + obs::json::escape(B.File) +
+             "\", \"line\": " + std::to_string(D.Line) +
+             ", \"col\": " + std::to_string(D.Col) + ", \"severity\": \"" +
+             ruleSevName(D.Sev) + "\", \"id\": \"" + obs::json::escape(D.ID) +
+             "\", \"message\": \"" + obs::json::escape(D.Message) + "\"}";
+    }
+  }
+  Out += First ? "]\n" : "\n]\n";
+  return Out;
+}
+
+} // namespace chameleon::tools
+
+#endif // CHAMELEON_TOOLS_RULEDIAGJSON_H

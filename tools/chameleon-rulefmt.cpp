@@ -15,14 +15,17 @@
 ///   chameleon-rulefmt --check file.rules  # diagnostics only
 ///   chameleon-rulefmt --Werror file.rules # warnings fail the run
 ///   chameleon-rulefmt --builtin           # print the built-in rule set
+///   chameleon-rulefmt --json file.rules   # diagnostics as JSON
 ///
 /// All diagnostics for every input are printed before exiting. Exits
 /// nonzero when any file has errors (or, under --Werror, warnings); the
 /// formatted output is only produced for files that parsed without
-/// errors.
+/// errors. --json implies --check (stdout carries the diagnostic array,
+/// in the same key layout as chameleon-checker --json).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "RuleDiagJson.h"
 #include "rules/Printer.h"
 #include "rules/RuleEngine.h"
 #include "rules/Sema.h"
@@ -36,10 +39,14 @@
 using namespace chameleon::rules;
 
 static int runOnSource(const std::string &Name, const std::string &Source,
-                       bool CheckOnly, bool WarningsAreErrors) {
+                       bool CheckOnly, bool WarningsAreErrors, bool Json,
+                       std::vector<chameleon::tools::RuleDiagBatch> &Batches) {
   LintResult Result = lintRuleSource(Source, SemaOptions());
-  for (const Diagnostic &D : Result.Diags)
-    std::fprintf(stderr, "%s:%s\n", Name.c_str(), D.format().c_str());
+  if (Json)
+    Batches.push_back({Name, Result.Diags});
+  else
+    for (const Diagnostic &D : Result.Diags)
+      std::fprintf(stderr, "%s:%s\n", Name.c_str(), D.format().c_str());
   if (Result.hasErrors())
     return 1;
   if (!CheckOnly)
@@ -52,6 +59,7 @@ static int runOnSource(const std::string &Name, const std::string &Source,
 int main(int argc, char **argv) {
   bool CheckOnly = false;
   bool WarningsAreErrors = false;
+  bool Json = false;
   std::vector<std::string> Files;
   bool Builtin = false;
 
@@ -61,11 +69,15 @@ int main(int argc, char **argv) {
       CheckOnly = true;
     } else if (Arg == "--Werror") {
       WarningsAreErrors = true;
+    } else if (Arg == "--json") {
+      Json = true;
+      CheckOnly = true; // stdout carries the diagnostic array
     } else if (Arg == "--builtin") {
       Builtin = true;
     } else if (Arg == "--help" || Arg == "-h") {
-      std::printf("usage: %s [--check] [--Werror] [--builtin] [file...]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--check] [--Werror] [--json] [--builtin] [file...]\n",
+          argv[0]);
       return 0;
     } else {
       Files.push_back(Arg);
@@ -73,9 +85,10 @@ int main(int argc, char **argv) {
   }
 
   int Status = 0;
+  std::vector<chameleon::tools::RuleDiagBatch> Batches;
   if (Builtin)
     Status |= runOnSource("<builtin>", RuleEngine::builtinRulesText(),
-                          CheckOnly, WarningsAreErrors);
+                          CheckOnly, WarningsAreErrors, Json, Batches);
   for (const std::string &File : Files) {
     std::ifstream In(File);
     if (!In) {
@@ -85,8 +98,11 @@ int main(int argc, char **argv) {
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
-    Status |= runOnSource(File, Buf.str(), CheckOnly, WarningsAreErrors);
+    Status |= runOnSource(File, Buf.str(), CheckOnly, WarningsAreErrors, Json,
+                          Batches);
   }
+  if (Json)
+    std::fputs(chameleon::tools::ruleDiagsToJson(Batches).c_str(), stdout);
   if (!Builtin && Files.empty()) {
     std::fprintf(stderr, "%s: no input (try --builtin or a file)\n",
                  argv[0]);

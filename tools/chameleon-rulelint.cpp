@@ -15,14 +15,18 @@
 ///   chameleon-rulelint --Werror file.rules     # warnings fail the lint
 ///   chameleon-rulelint --param X=32 file.rules # bind $X for the analysis
 ///   chameleon-rulelint --builtin               # lint the built-in rules
+///   chameleon-rulelint --json file.rules       # diagnostics as JSON
 ///
 /// Diagnostics print as "file:line:col: [error|warning:] message [id]"
 /// with did-you-mean fix-it hints for misspelled metric, operation,
-/// implementation and source-type names. Exits nonzero when any error (or,
-/// under --Werror, any warning) was reported.
+/// implementation and source-type names; with --json they print to stdout
+/// as one JSON array in the same key layout as chameleon-checker --json.
+/// Exits nonzero when any error (or, under --Werror, any warning) was
+/// reported.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "RuleDiagJson.h"
 #include "rules/RuleEngine.h"
 #include "rules/Sema.h"
 
@@ -41,18 +45,26 @@ void printUsage(const char *Argv0) {
   std::printf("usage: %s [options] [file...]\n"
               "  --builtin       lint the built-in Table-2 rule set\n"
               "  --Werror        treat warnings as errors\n"
+              "  --json          print diagnostics as a JSON array on "
+              "stdout\n"
               "  --param NAME=V  bind the $-parameter NAME to V "
               "(repeatable)\n"
               "  -h, --help      show this help\n",
               Argv0);
 }
 
-/// Lints one source buffer; returns 1 when it should fail the run.
+/// Lints one source buffer; returns 1 when it should fail the run. With
+/// \p Json set, diagnostics accumulate into \p Batches (rendered once at
+/// the end of the run) instead of printing to stderr.
 int lintSource(const std::string &Name, const std::string &Source,
-               const SemaOptions &Opts, bool WarningsAreErrors) {
+               const SemaOptions &Opts, bool WarningsAreErrors, bool Json,
+               std::vector<chameleon::tools::RuleDiagBatch> &Batches) {
   LintResult Result = lintRuleSource(Source, Opts);
-  for (const Diagnostic &D : Result.Diags)
-    std::fprintf(stderr, "%s:%s\n", Name.c_str(), D.format().c_str());
+  if (Json)
+    Batches.push_back({Name, Result.Diags});
+  else
+    for (const Diagnostic &D : Result.Diags)
+      std::fprintf(stderr, "%s:%s\n", Name.c_str(), D.format().c_str());
   if (Result.hasErrors())
     return 1;
   if (WarningsAreErrors && Result.hasWarnings())
@@ -65,6 +77,7 @@ int lintSource(const std::string &Name, const std::string &Source,
 int main(int argc, char **argv) {
   bool Builtin = false;
   bool WarningsAreErrors = false;
+  bool Json = false;
   RuleParams Params;
   bool HaveParams = false;
   std::vector<std::string> Files;
@@ -75,6 +88,8 @@ int main(int argc, char **argv) {
       Builtin = true;
     } else if (Arg == "--Werror") {
       WarningsAreErrors = true;
+    } else if (Arg == "--json") {
+      Json = true;
     } else if (Arg == "--param") {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "%s: --param requires NAME=VALUE\n", argv[0]);
@@ -119,9 +134,10 @@ int main(int argc, char **argv) {
     Opts.Params = &Params;
 
   int Status = 0;
+  std::vector<chameleon::tools::RuleDiagBatch> Batches;
   if (Builtin)
     Status |= lintSource("<builtin>", RuleEngine::builtinRulesText(), Opts,
-                         WarningsAreErrors);
+                         WarningsAreErrors, Json, Batches);
   for (const std::string &File : Files) {
     std::ifstream In(File);
     if (!In) {
@@ -131,7 +147,10 @@ int main(int argc, char **argv) {
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
-    Status |= lintSource(File, Buf.str(), Opts, WarningsAreErrors);
+    Status |= lintSource(File, Buf.str(), Opts, WarningsAreErrors, Json,
+                         Batches);
   }
+  if (Json)
+    std::fputs(chameleon::tools::ruleDiagsToJson(Batches).c_str(), stdout);
   return Status;
 }

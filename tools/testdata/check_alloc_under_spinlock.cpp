@@ -1,0 +1,20 @@
+// chameleon-checker fixture: heap allocation inside a spinlocked section
+// [check-alloc-under-spinlock]. Never compiled — analyzed by
+// tests/analysis/CheckerTest.cpp.
+
+struct SpinLock {
+  void lock();
+  void unlock();
+};
+struct SpinLockGuard {
+  SpinLockGuard(SpinLock &L);
+};
+
+struct Pool {
+  SpinLock Mu;
+
+  int *refill() {
+    SpinLockGuard G(Mu);
+    return new int[16]; // seeded violation: allocation under Mu
+  }
+};

@@ -1,0 +1,51 @@
+// chameleon-checker fixture: exercises every checked construct *correctly*
+// and must produce no diagnostics, including one real hazard waived by a
+// cham-checker-ok suppression comment. Never compiled — analyzed by
+// tests/analysis/CheckerTest.cpp.
+
+struct SpinLock {
+  void lock();
+  void unlock();
+};
+struct SpinLockGuard {
+  SpinLockGuard(SpinLock &L);
+};
+struct HeapObject {
+  void touch();
+};
+HeapObject *lookup();
+
+CHAM_METRIC_COUNTER(CleanHits, "cham.alloc.clean_hits");
+CHAM_METRIC_GAUGE(CleanDepth, "cham.gc.clean_depth");
+
+struct Heap {
+  SpinLock OuterMu CHAM_LOCK_RANK(20);
+  SpinLock InnerMu CHAM_LOCK_RANK(10);
+
+  CHAM_MAY_SAFEPOINT void safepointPoll() {}
+
+  // Correct rank order: 20 then 10 (strictly decreasing).
+  void nestedLocks() {
+    SpinLockGuard G(OuterMu);
+    SpinLockGuard H(InnerMu);
+  }
+
+  // No-safepoint function that stays clear of the poll.
+  CHAM_NO_SAFEPOINT void sweep() { prepare(); }
+  void prepare();
+
+  // A raw reference across a poll, waived with an in-source suppression.
+  void rooted() {
+    // cham-checker-ok(check-raw-across-safepoint): rooted by the caller
+    HeapObject *P = lookup();
+    safepointPoll();
+    P->touch();
+  }
+};
+
+void uniqueTagA() {
+  CHAM_FAULT("clean.alpha");
+}
+void uniqueTagB() {
+  CHAM_FAULT("clean.beta");
+}

@@ -1,0 +1,11 @@
+// chameleon-checker fixture: the same CHAM_FAULT tag at two sites
+// [check-fault-tag-dup]. Never compiled — analyzed by
+// tests/analysis/CheckerTest.cpp.
+
+void growTable() {
+  CHAM_FAULT("list.reserve");
+}
+
+void growBuffer() {
+  CHAM_FAULT("list.reserve"); // seeded violation: tag reused
+}

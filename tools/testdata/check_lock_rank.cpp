@@ -1,0 +1,21 @@
+// chameleon-checker fixture: acquiring a higher-ranked lock while holding
+// a lower-ranked one [check-lock-rank]. Never compiled — analyzed by
+// tests/analysis/CheckerTest.cpp.
+
+struct SpinLock {
+  void lock();
+  void unlock();
+};
+struct SpinLockGuard {
+  SpinLockGuard(SpinLock &L);
+};
+
+struct Allocator {
+  SpinLock OuterMu CHAM_LOCK_RANK(10);
+  SpinLock InnerMu CHAM_LOCK_RANK(20);
+
+  void bad() {
+    SpinLockGuard G(OuterMu);
+    SpinLockGuard H(InnerMu); // seeded violation: rank 20 under rank 10
+  }
+};

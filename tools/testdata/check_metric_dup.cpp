@@ -1,0 +1,6 @@
+// chameleon-checker fixture: one metric name registered twice, the second
+// time as a different kind [check-metric-dup]. Never compiled — analyzed
+// by tests/analysis/CheckerTest.cpp.
+
+CHAM_METRIC_COUNTER(CacheHits, "cham.alloc.cache_hits");
+CHAM_METRIC_GAUGE(CacheHitsGauge, "cham.alloc.cache_hits");

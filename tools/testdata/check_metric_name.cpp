@@ -1,0 +1,5 @@
+// chameleon-checker fixture: telemetry metric named off the
+// cham.<layer>.<name> convention [check-metric-name]. Never compiled —
+// analyzed by tests/analysis/CheckerTest.cpp.
+
+CHAM_METRIC_COUNTER(FastPathHits, "allocator.fast_path_hits");

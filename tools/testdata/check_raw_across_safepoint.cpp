@@ -1,0 +1,19 @@
+// chameleon-checker fixture: a raw HeapObject pointer held live across a
+// may-safepoint call [check-raw-across-safepoint]. Never compiled —
+// analyzed by tests/analysis/CheckerTest.cpp.
+
+struct HeapObject {
+  void touch();
+};
+
+HeapObject *lookup();
+
+struct Heap {
+  CHAM_MAY_SAFEPOINT void safepointPoll() {}
+};
+
+void useAfterPoll(Heap &H) {
+  HeapObject *P = lookup(); // seeded violation: P unrooted across the poll
+  H.safepointPoll();
+  P->touch();
+}

@@ -1,0 +1,13 @@
+// chameleon-checker fixture: a CHAM_NO_SAFEPOINT function reaching a GC
+// safepoint through one level of calls [check-safepoint-reach]. Never
+// compiled — analyzed by tests/analysis/CheckerTest.cpp.
+
+struct Heap {
+  CHAM_MAY_SAFEPOINT void safepointPoll() {}
+  void countOp() { safepointPoll(); }
+  CHAM_NO_SAFEPOINT void sweepInternals();
+};
+
+void Heap::sweepInternals() {
+  countOp(); // seeded violation: transitively reaches safepointPoll
+}
