@@ -50,6 +50,7 @@ chameleon_bench(micro_fault_overhead)
 chameleon_bench(micro_gc_throughput)
 chameleon_bench(micro_mt_mutator)
 chameleon_bench(micro_telemetry_overhead)
+chameleon_bench(micro_trace_replay)
 chameleon_bench(sec23_hybrid_threshold)
 chameleon_bench(sec51_screening)
 chameleon_bench(sec54_online_overhead)

@@ -6,6 +6,7 @@
 
 #include "apps/ServerSim.h"
 
+#include "apps/TraceWorkload.h"
 #include "core/OnlineAdaptor.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
@@ -25,6 +26,33 @@ using namespace chameleon::apps;
 namespace {
 
 constexpr uint64_t Gamma = 0x9E3779B97F4A7C15ULL;
+
+/// Indices into the recorded trace's frame table — the profiler intern
+/// order of runServerSim's frames and sites. The replayer re-interns the
+/// table in this order on a fresh runtime, which is what pins FrameIds
+/// (and so context identities) to the recording run's values.
+enum ServerSimFrame : uint32_t {
+  FrameLogin = 0,
+  FrameQuery = 1,
+  FrameUpdate = 2,
+  FrameScratchSite = 3,
+  FrameResultsSite = 4,
+  FrameAttrsSite = 5,
+  FrameHistorySite = 6,
+  FrameBoot = 7,
+  NumServerSimFrames = 8,
+};
+
+const char *const ServerSimFrameLabels[NumServerSimFrames] = {
+    "Server.handleLogin",
+    "Server.handleQuery",
+    "Server.handleUpdate",
+    "server.LoginHandler.scratch:58",
+    "server.QueryHandler.results:91",
+    "server.Session.attrs:31",
+    "server.Session.history:32",
+    "Server.boot",
+};
 
 /// Epoch barrier. Workers park inside a GcSafeRegion while they wait so
 /// the main thread can stop the world (flush + forced GC) between epochs.
@@ -46,6 +74,9 @@ struct RunState {
   /// thread's handles for the whole run, so the refs stay valid).
   std::vector<ObjectRef> SessionAttrs;
   std::vector<ObjectRef> SessionHistory;
+  /// Armed trace capture, or null (the usual case — one null check per
+  /// request).
+  TraceCapture *Capture = nullptr;
 };
 
 void appendf(std::string &Out, const char *Fmt, ...) {
@@ -60,8 +91,11 @@ void appendf(std::string &Out, const char *Fmt, ...) {
 /// One request. \p Task is globally unique across the whole run (epochs
 /// included); \p Req is the per-epoch request number, which determines the
 /// session and the handler kind so every epoch replays the same pattern.
+/// When \p Rec is non-null, every collection op is appended to it as
+/// executed — the handlers sequence explicitly (no op hidden inside an
+/// argument list) so the recorded order IS the executed order.
 void handleRequest(CollectionRuntime &RT, const RunState &S, uint64_t Task,
-                   uint32_t Req) {
+                   uint32_t Req, TaskTrace *Rec) {
   CHAM_TRACE_SPAN_ARG("server", "request", "task", Task);
   SemanticProfiler &Prof = RT.profiler();
   Prof.setCurrentTask(Task);
@@ -71,39 +105,88 @@ void handleRequest(CollectionRuntime &RT, const RunState &S, uint64_t Task,
 
   Map Attrs = RT.adoptMap(S.SessionAttrs[Session]);
   List History = RT.adoptList(S.SessionHistory[Session]);
+  const uint32_t AttrsReg = traceGlobalReg(2 * Session);
+  const uint32_t HistoryReg = traceGlobalReg(2 * Session + 1);
+  const uint32_t TempReg = traceTempReg(0);
 
   switch (Req % 3) {
   case 0: { // login: refresh attributes through a request-scoped scratch map
     Map Scratch = RT.newHashMap(S.ScratchMapSite, 8);
-    for (int I = 0; I < 6; ++I)
-      Scratch.put(Value::ofInt(static_cast<int64_t>(Rng.nextBelow(16))),
-                  Value::ofInt(static_cast<int64_t>(Task)));
+    if (Rec)
+      Rec->alloc(TempReg, AdtKind::Map, ImplKind::HashMap, FrameScratchSite,
+                 8);
+    for (int I = 0; I < 6; ++I) {
+      int64_t Key = static_cast<int64_t>(Rng.nextBelow(16));
+      Scratch.put(Value::ofInt(Key), Value::ofInt(static_cast<int64_t>(Task)));
+      if (Rec)
+        Rec->op2(TraceOpCode::MapPut, TempReg, Key,
+                 static_cast<int64_t>(Task));
+    }
     Attrs.put(Value::ofInt(0), Value::ofInt(static_cast<int64_t>(Task)));
-    Attrs.put(Value::ofInt(1 + static_cast<int64_t>(Rng.nextBelow(7))),
-              Value::ofInt(static_cast<int64_t>(Scratch.size())));
+    if (Rec)
+      Rec->op2(TraceOpCode::MapPut, AttrsReg, 0, static_cast<int64_t>(Task));
+    int64_t Key = 1 + static_cast<int64_t>(Rng.nextBelow(7));
+    uint32_t Sz = Scratch.size();
+    Attrs.put(Value::ofInt(Key), Value::ofInt(static_cast<int64_t>(Sz)));
+    if (Rec) {
+      Rec->op0(TraceOpCode::Size, TempReg);
+      Rec->op2(TraceOpCode::MapPut, AttrsReg, Key, static_cast<int64_t>(Sz));
+    }
     Scratch.retire();
+    if (Rec)
+      Rec->op0(TraceOpCode::Retire, TempReg);
     break;
   }
   case 1: { // query: read-dominated, request-scoped result list
     List Results = RT.newArrayList(S.ResultListSite, 4);
+    if (Rec)
+      Rec->alloc(TempReg, AdtKind::List, ImplKind::ArrayList,
+                 FrameResultsSite, 4);
     for (int I = 0; I < 12; ++I) {
-      Value V = Attrs.get(
-          Value::ofInt(static_cast<int64_t>(Rng.nextBelow(8))));
-      if (!V.isNull())
+      int64_t Key = static_cast<int64_t>(Rng.nextBelow(8));
+      Value V = Attrs.get(Value::ofInt(Key));
+      if (Rec)
+        Rec->op1(TraceOpCode::MapGet, AttrsReg, Key);
+      if (!V.isNull()) {
         Results.add(V);
+        if (Rec)
+          Rec->op1(TraceOpCode::ListAdd, TempReg, V.asInt());
+      }
     }
     uint32_t E = History.size();
-    for (uint32_t I = 0; I < E && I < 4; ++I)
+    if (Rec)
+      Rec->op0(TraceOpCode::Size, HistoryReg);
+    for (uint32_t I = 0; I < E && I < 4; ++I) {
       (void)History.get(E - 1 - I);
+      if (Rec)
+        Rec->op1(TraceOpCode::ListGet, HistoryReg,
+                 static_cast<int64_t>(E - 1 - I));
+    }
     Results.retire();
+    if (Rec)
+      Rec->op0(TraceOpCode::Retire, TempReg);
     break;
   }
   default: { // update: bounded history append
     History.add(Value::ofInt(static_cast<int64_t>(Task)));
-    while (History.size() > S.Config.HistoryBound)
+    if (Rec)
+      Rec->op1(TraceOpCode::ListAdd, HistoryReg, static_cast<int64_t>(Task));
+    for (;;) {
+      uint32_t Sz = History.size();
+      if (Rec)
+        Rec->op0(TraceOpCode::Size, HistoryReg);
+      if (Sz <= S.Config.HistoryBound)
+        break;
       (void)History.removeFirst();
-    Attrs.put(Value::ofInt(2),
-              Value::ofInt(static_cast<int64_t>(History.size())));
+      if (Rec)
+        Rec->op0(TraceOpCode::ListRemoveFirst, HistoryReg);
+    }
+    uint32_t Sz = History.size();
+    Attrs.put(Value::ofInt(2), Value::ofInt(static_cast<int64_t>(Sz)));
+    if (Rec) {
+      Rec->op0(TraceOpCode::Size, HistoryReg);
+      Rec->op2(TraceOpCode::MapPut, AttrsReg, 2, static_cast<int64_t>(Sz));
+    }
     break;
   }
   }
@@ -114,15 +197,34 @@ void handleRequest(CollectionRuntime &RT, const RunState &S, uint64_t Task,
 void workerMain(CollectionRuntime &RT, const RunState &S, EpochBarrier &B,
                 uint32_t Tid) {
   MutatorScope Scope(RT);
+  // Recording batches each epoch's tasks locally and submits them in one
+  // addTasks call, so the capture mutex never contends on the hot path.
+  std::vector<TraceTask> Recorded;
   for (uint32_t Epoch = 0; Epoch < S.Config.Epochs; ++Epoch) {
+    if (S.Capture)
+      Recorded.reserve(S.Config.RequestsPerEpoch / S.Threads + 1);
     for (uint32_t Req = 0; Req < S.Config.RequestsPerEpoch; ++Req) {
       if ((Req % S.Config.Sessions) % S.Threads != Tid)
         continue;
       // Task 0 is the main thread's boot phase; request tasks start at 1.
       uint64_t Task =
           1 + static_cast<uint64_t>(Epoch) * S.Config.RequestsPerEpoch + Req;
-      handleRequest(RT, S, Task, Req);
+      if (S.Capture) {
+        TaskTrace Rec;
+        Rec.Task.Id = Task;
+        Rec.Task.Session = Req % S.Config.Sessions;
+        Rec.Task.FrameIdx = Req % 3;
+        // The widest request (query) emits ~34 ops; one up-front reserve
+        // keeps the emit helpers reallocation-free.
+        Rec.Task.Ops.reserve(40);
+        handleRequest(RT, S, Task, Req, &Rec);
+        Recorded.push_back(std::move(Rec.Task));
+      } else {
+        handleRequest(RT, S, Task, Req, nullptr);
+      }
     }
+    if (S.Capture)
+      S.Capture->addTasks(Epoch, std::move(Recorded));
     // Park until the main thread has flushed + collected for this epoch.
     GcSafeRegion Region(RT.heap());
     std::unique_lock<std::mutex> L(B.Mu);
@@ -133,14 +235,16 @@ void workerMain(CollectionRuntime &RT, const RunState &S, EpochBarrier &B,
   }
 }
 
-std::string buildReport(CollectionRuntime &RT,
-                        const ServerSimConfig &Config) {
+} // namespace
+
+std::string chameleon::apps::buildServerSimReport(CollectionRuntime &RT,
+                                                  uint32_t Sessions,
+                                                  uint32_t Epochs,
+                                                  uint64_t Requests) {
   SemanticProfiler &Prof = RT.profiler();
   std::string Out;
-  appendf(Out, "ServerSim: sessions=%u epochs=%u requests=%llu\n",
-          Config.Sessions, Config.Epochs,
-          static_cast<unsigned long long>(
-              static_cast<uint64_t>(Config.Epochs) * Config.RequestsPerEpoch));
+  appendf(Out, "ServerSim: sessions=%u epochs=%u requests=%llu\n", Sessions,
+          Epochs, static_cast<unsigned long long>(Requests));
   Out += "gc cycles:\n";
   for (const GcCycleRecord &Rec : RT.heap().cycles())
     appendf(Out,
@@ -170,6 +274,8 @@ std::string buildReport(CollectionRuntime &RT,
             static_cast<unsigned long long>(Ctx->usedData().total()));
   return Out;
 }
+
+namespace {
 
 /// Randomized fault plan for one chaos run, derived entirely from the seed
 /// so a failing run replays from its printed seed.
@@ -323,13 +429,29 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
   RunState S;
   S.Config = Config;
   S.Threads = Config.MutatorThreads ? Config.MutatorThreads : 1;
-  S.HandlerFrames[0] = Prof.internFrame("Server.handleLogin");
-  S.HandlerFrames[1] = Prof.internFrame("Server.handleQuery");
-  S.HandlerFrames[2] = Prof.internFrame("Server.handleUpdate");
-  S.ScratchMapSite = RT.site("server.LoginHandler.scratch:58");
-  S.ResultListSite = RT.site("server.QueryHandler.results:91");
-  FrameId AttrsSite = RT.site("server.Session.attrs:31");
-  FrameId HistorySite = RT.site("server.Session.history:32");
+  S.Capture = Config.RecordTo;
+  S.HandlerFrames[0] = Prof.internFrame(ServerSimFrameLabels[FrameLogin]);
+  S.HandlerFrames[1] = Prof.internFrame(ServerSimFrameLabels[FrameQuery]);
+  S.HandlerFrames[2] = Prof.internFrame(ServerSimFrameLabels[FrameUpdate]);
+  S.ScratchMapSite = RT.site(ServerSimFrameLabels[FrameScratchSite]);
+  S.ResultListSite = RT.site(ServerSimFrameLabels[FrameResultsSite]);
+  FrameId AttrsSite = RT.site(ServerSimFrameLabels[FrameAttrsSite]);
+  FrameId HistorySite = RT.site(ServerSimFrameLabels[FrameHistorySite]);
+
+  if (S.Capture) {
+    TraceHeader Header;
+    Header.Generator = "serversim";
+    Header.Seed = Config.Seed;
+    Header.Sessions = Config.Sessions;
+    Header.Epochs = Config.Epochs;
+    Header.Requests =
+        static_cast<uint64_t>(Config.Epochs) * Config.RequestsPerEpoch;
+    Header.HistoryBound = Config.HistoryBound;
+    Header.Globals = 2 * Config.Sessions;
+    Header.Frames.assign(ServerSimFrameLabels,
+                         ServerSimFrameLabels + NumServerSimFrames);
+    S.Capture->begin(std::move(Header));
+  }
 
   // Boot phase (task 0): the long-lived per-session state, on the main
   // thread so wrapper slots are identical for every thread count.
@@ -337,13 +459,27 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
   std::vector<Map> AttrHandles;
   std::vector<List> HistoryHandles;
   {
-    CallFrame Boot(Prof, Prof.internFrame("Server.boot"));
+    CallFrame Boot(Prof, Prof.internFrame(ServerSimFrameLabels[FrameBoot]));
+    TaskTrace BootRec;
     for (uint32_t I = 0; I < Config.Sessions; ++I) {
       AttrHandles.push_back(RT.newHashMap(AttrsSite, 8));
       HistoryHandles.push_back(
           RT.newArrayList(HistorySite, Config.HistoryBound));
       S.SessionAttrs.push_back(AttrHandles.back().wrapperRef());
       S.SessionHistory.push_back(HistoryHandles.back().wrapperRef());
+      if (S.Capture) {
+        BootRec.alloc(traceGlobalReg(2 * I), AdtKind::Map, ImplKind::HashMap,
+                      FrameAttrsSite, 8);
+        BootRec.alloc(traceGlobalReg(2 * I + 1), AdtKind::List,
+                      ImplKind::ArrayList, FrameHistorySite,
+                      Config.HistoryBound);
+      }
+    }
+    if (S.Capture) {
+      BootRec.Task.Id = 0;
+      BootRec.Task.Session = TraceBootSession;
+      BootRec.Task.FrameIdx = FrameBoot;
+      S.Capture->addTask(TraceCapture::BootEpoch, std::move(BootRec.Task));
     }
   }
 
@@ -403,7 +539,9 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
     FaultInjector::instance().disarm();
     Result.ChaosReport = buildChaosReport(RT, *ChaosAdaptor, Config);
   }
-  Result.Report = buildReport(RT, Config);
+  Result.Report = buildServerSimReport(
+      RT, Config.Sessions, Config.Epochs,
+      static_cast<uint64_t>(Config.Epochs) * Config.RequestsPerEpoch);
   if (Telemetry) {
     obs::TraceRecorder::instance().disarm();
     if (!Config.TelemetryOutDir.empty()) {

@@ -31,6 +31,8 @@
 
 namespace chameleon::apps {
 
+class TraceCapture;
+
 /// Server simulacrum parameters.
 struct ServerSimConfig {
   uint64_t Seed = 0x5E21;
@@ -70,6 +72,12 @@ struct ServerSimConfig {
   /// Print a one-line live telemetry ticker to stderr at every epoch
   /// barrier (arms the trace recorder like TelemetryOutDir does).
   bool TelemetryTicker = false;
+
+  /// When non-null, record the run's canonical op stream into this capture
+  /// (TraceWorkload.h). The recording is observational — Report stays
+  /// byte-identical to an unrecorded run — and costs one null check per
+  /// request when disarmed.
+  TraceCapture *RecordTo = nullptr;
 };
 
 /// What a run produces.
@@ -91,6 +99,12 @@ RuntimeConfig serverSimRuntimeConfig();
 /// Runs the server simulacrum on \p RT.
 ServerSimResult runServerSim(CollectionRuntime &RT,
                              const ServerSimConfig &Config = ServerSimConfig());
+
+/// Renders the deterministic profiling report (GC cycle records plus
+/// canonically-ordered context statistics) for a finished run or replay.
+/// Call after the final forced GC and harvestLiveStatistics().
+std::string buildServerSimReport(CollectionRuntime &RT, uint32_t Sessions,
+                                 uint32_t Epochs, uint64_t Requests);
 
 } // namespace chameleon::apps
 

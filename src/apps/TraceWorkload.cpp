@@ -1,0 +1,569 @@
+//===--- TraceWorkload.cpp - Trace record & replay engine -----------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/TraceWorkload.h"
+
+#include "apps/ServerSim.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+#include "support/FaultInjector.h"
+#include "support/SplitMix64.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdarg>
+#include <cstdio>
+#include <thread>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+// -- TraceCapture ----------------------------------------------------------
+
+void TraceCapture::begin(TraceHeader H) {
+  std::lock_guard<std::mutex> L(Mu);
+  Active = true;
+  Header = std::move(H);
+  Boot.reset();
+  Epochs.clear();
+  Epochs.resize(Header.Epochs);
+}
+
+void TraceCapture::addTask(uint32_t Epoch, TraceTask Task) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Active)
+    return;
+  if (Epoch == BootEpoch) {
+    Boot = std::move(Task);
+    return;
+  }
+  if (Epoch < Epochs.size())
+    Epochs[Epoch].push_back(std::move(Task));
+}
+
+void TraceCapture::addTasks(uint32_t Epoch, std::vector<TraceTask> Tasks) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Active || Epoch >= Epochs.size())
+    return;
+  std::vector<TraceTask> &Dst = Epochs[Epoch];
+  if (Dst.empty()) {
+    Dst = std::move(Tasks);
+    return;
+  }
+  Dst.reserve(Dst.size() + Tasks.size());
+  for (TraceTask &T : Tasks)
+    Dst.push_back(std::move(T));
+}
+
+Trace TraceCapture::finish() {
+  std::lock_guard<std::mutex> L(Mu);
+  Active = false;
+  Trace T;
+  T.Header = std::move(Header);
+  T.Boot = std::move(Boot);
+  // Canonical task-id order per epoch, independent of how the recording
+  // run's worker threads interleaved their submissions.
+  for (std::vector<TraceTask> &Epoch : Epochs)
+    std::sort(Epoch.begin(), Epoch.end(),
+              [](const TraceTask &A, const TraceTask &B) {
+                return A.Id < B.Id;
+              });
+  T.Epochs = std::move(Epochs);
+  Boot.reset();
+  Epochs.clear();
+  return T;
+}
+
+// -- Replay ----------------------------------------------------------------
+
+namespace {
+
+constexpr uint64_t Gamma = 0x9E3779B97F4A7C15ULL;
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+/// Same barrier shape as ServerSim's: workers park in a GcSafeRegion while
+/// the main thread flushes the profile buffers and forces the epoch GC.
+struct ReplayBarrier {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  uint32_t Arrived = 0;
+  uint64_t Generation = 0;
+};
+
+/// Run state shared with the workers. Globals are rooted by main-thread
+/// handles for the whole run; after boot, workers only read this.
+struct ReplayShared {
+  const Trace &T;
+  uint32_t Threads = 1;
+  std::vector<FrameId> Frames;
+  std::vector<ObjectRef> GlobalRefs;
+  std::vector<AdtKind> GlobalAdts;
+  std::vector<uint8_t> GlobalLive;
+  TraceCapture *Capture = nullptr;
+};
+
+/// The randomized chaos plan for a replay run — the same adversarial shape
+/// ServerSim's chaos mode uses (forced GCs at allocation instants,
+/// injected failures inside migration transactions and in the allocations
+/// a shadow build performs).
+FaultPlan replayChaosPlan(uint64_t Seed) {
+  SplitMix64 Rng(Seed ^ Gamma);
+  FaultPlan Plan;
+  Plan.Seed = Seed;
+  Plan.Rules.push_back({"gc.alloc", FaultAction::ForceGc, /*NthHit=*/0,
+                        0.0005 + 0.002 * Rng.nextDouble(), ~0ull});
+  Plan.Rules.push_back({"migrate.*", FaultAction::FailAlloc, /*NthHit=*/0,
+                        0.05 + 0.25 * Rng.nextDouble(), ~0ull});
+  Plan.Rules.push_back({"*.reserve", FaultAction::FailAlloc, /*NthHit=*/0,
+                        0.01 + 0.05 * Rng.nextDouble(), ~0ull});
+  return Plan;
+}
+
+/// Uncounted size read, for the interpreter's index guards: goes straight
+/// to the backing implementation so the guard itself never perturbs the
+/// replayed op profile.
+uint32_t rawSize(CollectionRuntime &RT, const CollectionHandleBase &H) {
+  const CollectionObject &W =
+      RT.heap().getAs<CollectionObject>(H.wrapperRef());
+  return RT.heap().getAs<CollectionImplBase>(W.Impl).size();
+}
+
+/// Executes one task's ops. \p GL / \p GS / \p GM are the task's global
+/// handle slots (persistent main-thread roots during boot, task-local
+/// lazy adoptions on workers). Returns the op count executed.
+uint64_t executeTask(CollectionRuntime &RT, ReplayShared &S,
+                     const TraceTask &TT, uint32_t Epoch, bool IsBoot,
+                     std::vector<List> &GL, std::vector<Set> &GS,
+                     std::vector<Map> &GM) {
+  SemanticProfiler &Prof = RT.profiler();
+  CHAM_TRACE_SPAN_ARG("replay", "task", "task", TT.Id);
+  Prof.setCurrentTask(TT.Id);
+  CallFrame Frame(Prof, S.Frames[TT.FrameIdx]);
+
+  std::vector<List> TL;
+  std::vector<Set> TS;
+  std::vector<Map> TM;
+  std::vector<AdtKind> TempAdt;
+
+  TaskTrace Rec;
+  const bool Recording = S.Capture != nullptr;
+  if (Recording) {
+    Rec.Task.Id = TT.Id;
+    Rec.Task.Session = TT.Session;
+    Rec.Task.FrameIdx = TT.FrameIdx;
+    Rec.Task.Ops.reserve(TT.Ops.size());
+  }
+
+  auto adtOf = [&](const TraceOp &Op) {
+    return traceRegIsTemp(Op.Target) ? TempAdt[traceRegSlot(Op.Target)]
+                                     : S.GlobalAdts[traceRegSlot(Op.Target)];
+  };
+  auto listAt = [&](const TraceOp &Op) -> List & {
+    uint32_t Slot = traceRegSlot(Op.Target);
+    if (traceRegIsTemp(Op.Target))
+      return TL[Slot];
+    if (GL[Slot].isNull())
+      GL[Slot] = RT.adoptList(S.GlobalRefs[Slot]);
+    return GL[Slot];
+  };
+  auto setAt = [&](const TraceOp &Op) -> Set & {
+    uint32_t Slot = traceRegSlot(Op.Target);
+    if (traceRegIsTemp(Op.Target))
+      return TS[Slot];
+    if (GS[Slot].isNull())
+      GS[Slot] = RT.adoptSet(S.GlobalRefs[Slot]);
+    return GS[Slot];
+  };
+  auto mapAt = [&](const TraceOp &Op) -> Map & {
+    uint32_t Slot = traceRegSlot(Op.Target);
+    if (traceRegIsTemp(Op.Target))
+      return TM[Slot];
+    if (GM[Slot].isNull())
+      GM[Slot] = RT.adoptMap(S.GlobalRefs[Slot]);
+    return GM[Slot];
+  };
+  auto iv = [](int64_t V) { return Value::ofInt(V); };
+
+  for (const TraceOp &Op : TT.Ops) {
+    const uint32_t Slot = traceRegSlot(Op.Target);
+    switch (Op.Code) {
+    case TraceOpCode::Alloc: {
+      FrameId Site = S.Frames[Op.SiteIdx];
+      if (traceRegIsTemp(Op.Target)) {
+        if (Slot >= TempAdt.size()) {
+          TL.resize(Slot + 1);
+          TS.resize(Slot + 1);
+          TM.resize(Slot + 1);
+          TempAdt.resize(Slot + 1, AdtKind::List);
+        }
+        TempAdt[Slot] = Op.Adt;
+        switch (Op.Adt) {
+        case AdtKind::List:
+          TL[Slot] = RT.newListOf(Op.Impl, Site, Op.Capacity);
+          break;
+        case AdtKind::Set:
+          TS[Slot] = RT.newSetOf(Op.Impl, Site, Op.Capacity);
+          break;
+        case AdtKind::Map:
+          TM[Slot] = RT.newMapOf(Op.Impl, Site, Op.Capacity);
+          break;
+        }
+      } else {
+        // validateTrace guarantees this only happens during boot, so the
+        // shared tables are still main-thread-private here.
+        switch (Op.Adt) {
+        case AdtKind::List:
+          GL[Slot] = RT.newListOf(Op.Impl, Site, Op.Capacity);
+          S.GlobalRefs[Slot] = GL[Slot].wrapperRef();
+          break;
+        case AdtKind::Set:
+          GS[Slot] = RT.newSetOf(Op.Impl, Site, Op.Capacity);
+          S.GlobalRefs[Slot] = GS[Slot].wrapperRef();
+          break;
+        case AdtKind::Map:
+          GM[Slot] = RT.newMapOf(Op.Impl, Site, Op.Capacity);
+          S.GlobalRefs[Slot] = GM[Slot].wrapperRef();
+          break;
+        }
+        S.GlobalAdts[Slot] = Op.Adt;
+        S.GlobalLive[Slot] = 1;
+      }
+      break;
+    }
+    case TraceOpCode::Retire:
+      switch (TempAdt[Slot]) {
+      case AdtKind::List:
+        TL[Slot].retire();
+        break;
+      case AdtKind::Set:
+        TS[Slot].retire();
+        break;
+      case AdtKind::Map:
+        TM[Slot].retire();
+        break;
+      }
+      break;
+    case TraceOpCode::MapPut:
+      mapAt(Op).put(iv(Op.A), iv(Op.B));
+      break;
+    case TraceOpCode::MapGet:
+      (void)mapAt(Op).get(iv(Op.A));
+      break;
+    case TraceOpCode::MapContainsKey:
+      (void)mapAt(Op).containsKey(iv(Op.A));
+      break;
+    case TraceOpCode::MapRemove:
+      (void)mapAt(Op).remove(iv(Op.A));
+      break;
+    case TraceOpCode::ListAdd:
+      listAt(Op).add(iv(Op.A));
+      break;
+    case TraceOpCode::ListAddAt: {
+      List &L = listAt(Op);
+      uint64_t N = rawSize(RT, L);
+      L.add(static_cast<uint32_t>(static_cast<uint64_t>(Op.A) % (N + 1)),
+            iv(Op.B));
+      break;
+    }
+    case TraceOpCode::ListGet: {
+      List &L = listAt(Op);
+      uint64_t N = rawSize(RT, L);
+      if (N)
+        (void)L.get(static_cast<uint32_t>(static_cast<uint64_t>(Op.A) % N));
+      break;
+    }
+    case TraceOpCode::ListSet: {
+      List &L = listAt(Op);
+      uint64_t N = rawSize(RT, L);
+      if (N)
+        (void)L.set(static_cast<uint32_t>(static_cast<uint64_t>(Op.A) % N),
+                    iv(Op.B));
+      break;
+    }
+    case TraceOpCode::ListRemoveAt: {
+      List &L = listAt(Op);
+      uint64_t N = rawSize(RT, L);
+      if (N)
+        (void)L.removeAt(
+            static_cast<uint32_t>(static_cast<uint64_t>(Op.A) % N));
+      break;
+    }
+    case TraceOpCode::ListRemoveFirst: {
+      List &L = listAt(Op);
+      if (rawSize(RT, L))
+        (void)L.removeFirst();
+      break;
+    }
+    case TraceOpCode::ListContains:
+      (void)listAt(Op).contains(iv(Op.A));
+      break;
+    case TraceOpCode::SetAdd:
+      (void)setAt(Op).add(iv(Op.A));
+      break;
+    case TraceOpCode::SetContains:
+      (void)setAt(Op).contains(iv(Op.A));
+      break;
+    case TraceOpCode::SetRemove:
+      (void)setAt(Op).remove(iv(Op.A));
+      break;
+    case TraceOpCode::Size:
+      switch (adtOf(Op)) {
+      case AdtKind::List:
+        (void)listAt(Op).size();
+        break;
+      case AdtKind::Set:
+        (void)setAt(Op).size();
+        break;
+      case AdtKind::Map:
+        (void)mapAt(Op).size();
+        break;
+      }
+      break;
+    case TraceOpCode::Clear:
+      switch (adtOf(Op)) {
+      case AdtKind::List:
+        listAt(Op).clear();
+        break;
+      case AdtKind::Set:
+        setAt(Op).clear();
+        break;
+      case AdtKind::Map:
+        mapAt(Op).clear();
+        break;
+      }
+      break;
+    }
+    if (Recording)
+      Rec.Task.Ops.push_back(Op);
+  }
+  if (Recording)
+    S.Capture->addTask(IsBoot ? TraceCapture::BootEpoch : Epoch,
+                       std::move(Rec.Task));
+  return TT.Ops.size();
+}
+
+/// Worker body: same partition and barrier discipline as ServerSim —
+/// session s belongs to worker s % Threads, tasks run in trace order.
+void replayWorker(CollectionRuntime &RT, ReplayShared &S, ReplayBarrier &B,
+                  uint32_t Tid, std::atomic<uint64_t> &OpsOut) {
+  MutatorScope Scope(RT);
+  uint64_t Ops = 0;
+  const uint32_t Globals = static_cast<uint32_t>(S.GlobalRefs.size());
+  for (uint32_t Epoch = 0; Epoch < S.T.Epochs.size(); ++Epoch) {
+    for (const TraceTask &Task : S.T.Epochs[Epoch]) {
+      if (Task.Session % S.Threads != Tid)
+        continue;
+      // Fresh adoption slots per task, mirroring ServerSim's per-request
+      // adoptMap/adoptList (adoption is uncounted, so this is free with
+      // respect to the profile).
+      std::vector<List> GL(Globals);
+      std::vector<Set> GS(Globals);
+      std::vector<Map> GM(Globals);
+      Ops += executeTask(RT, S, Task, Epoch, /*IsBoot=*/false, GL, GS, GM);
+    }
+    GcSafeRegion Region(RT.heap());
+    std::unique_lock<std::mutex> L(B.Mu);
+    uint64_t Gen = B.Generation;
+    ++B.Arrived;
+    B.Cv.notify_all();
+    B.Cv.wait(L, [&] { return B.Generation != Gen; });
+  }
+  OpsOut.fetch_add(Ops, std::memory_order_relaxed);
+}
+
+std::string buildAdaptReport(CollectionRuntime &RT,
+                             const OnlineAdaptor *Adaptor,
+                             const ReplayConfig &Config,
+                             const ReplayResult &Result) {
+  std::string Out;
+  appendf(Out, "adapt: revise=%u chaos=%d chaosSeed=0x%llx softLimit=%llu\n",
+          Config.OnlineRevisePeriod, Config.Chaos ? 1 : 0,
+          static_cast<unsigned long long>(Config.ChaosSeed),
+          static_cast<unsigned long long>(Config.ChaosSoftHeapLimitBytes));
+  if (Adaptor)
+    appendf(Out,
+            "online: evaluations=%llu replacements=%llu requested=%llu "
+            "committed=%llu aborted=%llu pinned=%llu\n",
+            static_cast<unsigned long long>(Adaptor->evaluations()),
+            static_cast<unsigned long long>(Adaptor->replacements()),
+            static_cast<unsigned long long>(Adaptor->migrationsRequested()),
+            static_cast<unsigned long long>(Adaptor->migrationsCommitted()),
+            static_cast<unsigned long long>(Adaptor->migrationsAborted()),
+            static_cast<unsigned long long>(Adaptor->pinnedContexts()));
+  appendf(Out, "migrations: attempts=%llu commits=%llu aborts=%llu\n",
+          static_cast<unsigned long long>(RT.migrationAttempts()),
+          static_cast<unsigned long long>(RT.migrationCommits()),
+          static_cast<unsigned long long>(RT.migrationAborts()));
+  Out += "globals:";
+  for (const auto &[Impl, Count] : Result.GlobalBackings)
+    appendf(Out, " %s=%u", implKindName(Impl), Count);
+  Out += "\n";
+  if (Config.Chaos) {
+    FaultStats FS = FaultInjector::instance().stats();
+    appendf(Out,
+            "faults: hits=%llu thrown=%llu forcedGcs=%llu suppressed=%llu\n",
+            static_cast<unsigned long long>(FS.Hits),
+            static_cast<unsigned long long>(FS.AllocFailuresThrown),
+            static_cast<unsigned long long>(FS.ForcedGcs),
+            static_cast<unsigned long long>(FS.SuppressedFailures));
+    ProfilerDegradationStats D = RT.profiler().degradationStats();
+    appendf(Out,
+            "events: notedAllocs=%llu foldedAllocs=%llu droppedAllocs=%llu "
+            "notedDeaths=%llu foldedDeaths=%llu droppedDeaths=%llu\n",
+            static_cast<unsigned long long>(D.NotedAllocs),
+            static_cast<unsigned long long>(D.FoldedAllocs),
+            static_cast<unsigned long long>(D.DroppedAllocs),
+            static_cast<unsigned long long>(D.NotedDeaths),
+            static_cast<unsigned long long>(D.FoldedDeaths),
+            static_cast<unsigned long long>(D.DroppedDeaths));
+  }
+  return Out;
+}
+
+} // namespace
+
+RuntimeConfig chameleon::apps::traceReplayRuntimeConfig(
+    const ReplayConfig &Config) {
+  RuntimeConfig RC = serverSimRuntimeConfig();
+  RC.OnlineRevisePeriod = Config.OnlineRevisePeriod;
+  return RC;
+}
+
+ReplayResult chameleon::apps::replayTrace(CollectionRuntime &RT,
+                                          const Trace &T,
+                                          const ReplayConfig &Config) {
+  ReplayResult Result;
+  if (!validateTrace(T, &Result.Error))
+    return Result;
+
+  SemanticProfiler &Prof = RT.profiler();
+  const bool Telemetry = !Config.TelemetryOutDir.empty();
+  if (Telemetry)
+    obs::TraceRecorder::instance().arm();
+  Prof.enableConcurrentMutators();
+
+  // Optional adversarial machinery, scoped to this replay.
+  std::optional<rules::RuleEngine> Engine;
+  std::optional<OnlineAdaptor> Adaptor;
+  if (Config.OnlineAdapt) {
+    Engine.emplace();
+    Engine->addBuiltinRules();
+    Adaptor.emplace(*Engine, Prof, Config.Online);
+    RT.setOnlineSelector(&*Adaptor);
+  }
+  if (Config.Chaos) {
+    RT.heap().setSoftHeapLimit(Config.ChaosSoftHeapLimitBytes);
+    FaultInjector::instance().arm(replayChaosPlan(Config.ChaosSeed));
+  }
+
+  ReplayShared S{T,  1,  {}, {}, {}, {}, Config.RecordTo};
+  S.Threads = Config.MutatorThreads ? Config.MutatorThreads : 1;
+  if (S.Capture)
+    S.Capture->begin(T.Header);
+  // Intern the frame table in recorded order, on the main thread, before
+  // anything else touches the profiler: this pins every FrameId — and so
+  // every context identity — to the recording run's values.
+  S.Frames.reserve(T.Header.Frames.size());
+  for (const std::string &Label : T.Header.Frames)
+    S.Frames.push_back(Prof.internFrame(Label));
+  S.GlobalRefs.resize(T.Header.Globals);
+  S.GlobalAdts.assign(T.Header.Globals, AdtKind::List);
+  S.GlobalLive.assign(T.Header.Globals, 0);
+
+  // Boot on the main thread; these handles root the global registers for
+  // the whole run.
+  std::vector<List> BootL(T.Header.Globals);
+  std::vector<Set> BootS(T.Header.Globals);
+  std::vector<Map> BootM(T.Header.Globals);
+  uint64_t MainOps = 0;
+  if (T.Boot)
+    MainOps += executeTask(RT, S, *T.Boot, 0, /*IsBoot=*/true, BootL, BootS,
+                           BootM);
+
+  ReplayBarrier B;
+  std::atomic<uint64_t> WorkerOps{0};
+  std::vector<std::thread> Workers;
+  Workers.reserve(S.Threads);
+  for (uint32_t Tid = 0; Tid < S.Threads; ++Tid)
+    Workers.emplace_back([&RT, &S, &B, Tid, &WorkerOps] {
+      replayWorker(RT, S, B, Tid, WorkerOps);
+    });
+
+  for (uint32_t Epoch = 0; Epoch < T.Header.Epochs; ++Epoch) {
+    {
+      std::unique_lock<std::mutex> L(B.Mu);
+      B.Cv.wait(L, [&] { return B.Arrived == S.Threads; });
+    }
+    CHAM_TRACE_SPAN_ARG("replay", "epoch_barrier", "epoch", Epoch);
+    RT.flushMutatorStatistics();
+    RT.heap().collect(/*Forced=*/true);
+    {
+      std::lock_guard<std::mutex> L(B.Mu);
+      B.Arrived = 0;
+      ++B.Generation;
+      B.Cv.notify_all();
+    }
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  RT.harvestLiveStatistics();
+
+  Result.Tasks = T.taskCount();
+  Result.Ops = MainOps + WorkerOps.load(std::memory_order_relaxed);
+  if (Config.Chaos)
+    FaultInjector::instance().disarm(); // stats survive for the report
+  if (Adaptor) {
+    Result.MigrationsRequested = Adaptor->migrationsRequested();
+    Result.MigrationsCommitted = Adaptor->migrationsCommitted();
+    Result.MigrationsAborted = Adaptor->migrationsAborted();
+    Result.PinnedContexts = Adaptor->pinnedContexts();
+  }
+  {
+    std::vector<uint32_t> Census(NumImplKinds, 0);
+    for (uint32_t Slot = 0; Slot < T.Header.Globals; ++Slot) {
+      if (!S.GlobalLive[Slot])
+        continue;
+      const CollectionObject &W =
+          RT.heap().getAs<CollectionObject>(S.GlobalRefs[Slot]);
+      if (W.CustomId < 0)
+        ++Census[implIndex(W.CurrentImpl)];
+    }
+    for (unsigned I = 0; I < NumImplKinds; ++I)
+      if (Census[I])
+        Result.GlobalBackings.emplace_back(static_cast<ImplKind>(I),
+                                           Census[I]);
+  }
+  if (Config.OnlineAdapt || Config.Chaos)
+    Result.AdaptReport =
+        buildAdaptReport(RT, Adaptor ? &*Adaptor : nullptr, Config, Result);
+  Result.Report = buildServerSimReport(RT, T.Header.Sessions,
+                                       T.Header.Epochs, T.Header.Requests);
+
+  // Teardown in reverse arming order.
+  if (Config.Chaos)
+    RT.heap().setSoftHeapLimit(0);
+  if (Config.OnlineAdapt)
+    RT.setOnlineSelector(nullptr);
+  if (Telemetry) {
+    obs::TraceRecorder::instance().disarm();
+    std::string Error;
+    if (!obs::Telemetry::writeTelemetryDir(Config.TelemetryOutDir, "cham.",
+                                           &Error))
+      std::fprintf(stderr, "[telemetry] export failed: %s\n", Error.c_str());
+  }
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,185 @@
+//===--- TraceWorkload.h - Trace record & replay engine --------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Record and replay of collection workloads (DESIGN.md §14).
+///
+/// Recording: a `TraceCapture` armed on a run (ServerSim via
+/// `ServerSimConfig::RecordTo`, or a replay re-recording itself) collects
+/// the canonical per-task op stream — allocations, operations, retires,
+/// epoch boundaries — into a `Trace`. Disarmed, the hooks cost one null
+/// check per op.
+///
+/// Replay: `replayTrace` feeds a trace back through the same mutator-pool
+/// shape ServerSim uses (statically partitioned sessions, epoch barriers
+/// with a deterministic flush + forced GC) at any MutatorThreads count.
+/// For a valid trace the profiling report is byte-identical to the
+/// recording run's at every thread count. Optionally the replay runs
+/// under the OnlineAdaptor (builtin rules, live migration with
+/// backoff/pinning) and/or the chaos fault injector — the adversarial
+/// harness the generated workloads in WorkloadGen.h are tuned for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_APPS_TRACEWORKLOAD_H
+#define CHAMELEON_APPS_TRACEWORKLOAD_H
+
+#include "apps/TraceFormat.h"
+#include "collections/Handles.h"
+#include "core/OnlineAdaptor.h"
+
+#include <mutex>
+#include <optional>
+
+namespace chameleon::apps {
+
+/// Emit-side helper: builds one task's op list. Cheap to construct; the
+/// recording hooks in ServerSim/replay only touch it when a capture is
+/// armed.
+struct TaskTrace {
+  TraceTask Task;
+
+  void alloc(uint32_t Reg, AdtKind Adt, ImplKind Impl, uint32_t SiteIdx,
+             uint32_t Capacity) {
+    TraceOp Op;
+    Op.Code = TraceOpCode::Alloc;
+    Op.Target = Reg;
+    Op.Adt = Adt;
+    Op.Impl = Impl;
+    Op.SiteIdx = SiteIdx;
+    Op.Capacity = Capacity;
+    Task.Ops.push_back(Op);
+  }
+
+  /// Operand-less op (Retire, ListRemoveFirst, Size, Clear).
+  void op0(TraceOpCode Code, uint32_t Reg) {
+    TraceOp Op;
+    Op.Code = Code;
+    Op.Target = Reg;
+    Task.Ops.push_back(Op);
+  }
+
+  /// One-operand op (value or index in A).
+  void op1(TraceOpCode Code, uint32_t Reg, int64_t A) {
+    TraceOp Op;
+    Op.Code = Code;
+    Op.Target = Reg;
+    Op.A = A;
+    Task.Ops.push_back(Op);
+  }
+
+  /// Two-operand op (key/index in A, value in B).
+  void op2(TraceOpCode Code, uint32_t Reg, int64_t A, int64_t B) {
+    TraceOp Op;
+    Op.Code = Code;
+    Op.Target = Reg;
+    Op.A = A;
+    Op.B = B;
+    Task.Ops.push_back(Op);
+  }
+};
+
+/// Thread-safe collector for the task blocks of one recorded run. Workers
+/// submit finished tasks tagged with their epoch; `finish()` sorts each
+/// epoch into canonical task-id order and assembles the Trace, so the
+/// serialized bytes are identical no matter how the recording run's
+/// threads interleaved.
+class TraceCapture {
+public:
+  /// Epoch tag for the boot task.
+  static constexpr uint32_t BootEpoch = 0xFFFFFFFFu;
+
+  /// Arms the capture: resets state and fixes the header (the epoch count
+  /// sizes the epoch structure).
+  void begin(TraceHeader Header);
+
+  /// True between begin() and finish().
+  bool armed() const { return Active; }
+
+  /// Submits one finished task. Thread-safe. \p Epoch is the 0-based
+  /// epoch, or BootEpoch for the boot task.
+  void addTask(uint32_t Epoch, TraceTask Task);
+
+  /// Submits a worker's whole epoch batch under one lock acquisition.
+  /// Recording hot paths use this so the capture mutex is uncontended.
+  void addTasks(uint32_t Epoch, std::vector<TraceTask> Tasks);
+
+  /// Disarms and returns the assembled trace.
+  Trace finish();
+
+private:
+  std::mutex Mu;
+  bool Active = false;
+  TraceHeader Header;
+  std::optional<TraceTask> Boot;
+  std::vector<std::vector<TraceTask>> Epochs;
+};
+
+/// Replay parameters.
+struct ReplayConfig {
+  /// Worker threads; the report is byte-identical at any count.
+  uint32_t MutatorThreads = 4;
+  /// Install the builtin rule engine behind an OnlineAdaptor for the run,
+  /// so the replayed workload drives live migrations (backoff/pinning
+  /// included). Report byte-identity across thread counts is not
+  /// guaranteed in this mode — migration timing depends on interleaving.
+  bool OnlineAdapt = false;
+  /// RuntimeConfig::OnlineRevisePeriod for the replay runtime (see
+  /// traceReplayRuntimeConfig). Replay defaults low so the generated
+  /// workloads revise — and thus migrate — frequently.
+  uint32_t OnlineRevisePeriod = 8;
+  /// Adaptor tuning (warmup, backoff, pinning) for OnlineAdapt mode.
+  OnlineConfig Online;
+  /// Arm the fault injector with a randomized plan for the run (forced
+  /// GCs at allocation, failures inside migration transactions).
+  bool Chaos = false;
+  uint64_t ChaosSeed = 0xC4A05;
+  /// Soft heap limit installed for a chaos run (0 = none).
+  uint64_t ChaosSoftHeapLimitBytes = 0;
+  /// Re-record the replayed op stream (for round-trip verification).
+  TraceCapture *RecordTo = nullptr;
+  /// When non-empty, arm the telemetry recorder and export the bundle
+  /// into this directory at the end of the replay.
+  std::string TelemetryOutDir;
+};
+
+/// What a replay produces.
+struct ReplayResult {
+  /// False when the trace failed validation; Error carries the diagnostic
+  /// and nothing was executed.
+  bool Ok = false;
+  std::string Error;
+  /// Request tasks and total ops executed.
+  uint64_t Tasks = 0;
+  uint64_t Ops = 0;
+  /// The deterministic profiling report (same shape as ServerSim's).
+  std::string Report;
+  /// OnlineAdapt/Chaos accounting (empty otherwise).
+  std::string AdaptReport;
+  /// OnlineAdapt mode: adaptor counters for assertions.
+  uint64_t MigrationsRequested = 0;
+  uint64_t MigrationsCommitted = 0;
+  uint64_t MigrationsAborted = 0;
+  uint64_t PinnedContexts = 0;
+  /// Final backing census of the global registers (counts per ImplKind,
+  /// ascending impl index; zero-count kinds omitted).
+  std::vector<std::pair<ImplKind, uint32_t>> GlobalBackings;
+};
+
+/// The RuntimeConfig a replay runtime should be constructed with:
+/// ServerSim's determinism config plus the replay's revise period.
+RuntimeConfig traceReplayRuntimeConfig(const ReplayConfig &Config);
+
+/// Replays \p T on \p RT. The trace is validated first (see
+/// validateTrace); an invalid trace is rejected without executing
+/// anything. \p RT must be freshly constructed — replay determinism
+/// depends on starting from an empty frame table and heap.
+ReplayResult replayTrace(CollectionRuntime &RT, const Trace &T,
+                         const ReplayConfig &Config = ReplayConfig());
+
+} // namespace chameleon::apps
+
+#endif // CHAMELEON_APPS_TRACEWORKLOAD_H

@@ -1,0 +1,317 @@
+//===--- WorkloadGen.cpp - Adversarial synthetic workload zoo -------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/WorkloadGen.h"
+
+#include "apps/TraceWorkload.h"
+#include "support/SplitMix64.h"
+
+#include <cmath>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+namespace {
+
+constexpr uint64_t Gamma = 0x9E3779B97F4A7C15ULL;
+
+/// Assembles a trace: interns frames, numbers tasks (boot = 0, requests
+/// from 1 in emission order), and fills the header's request count.
+struct TraceBuilder {
+  Trace T;
+  uint64_t NextId = 1;
+  uint32_t CurEpoch = 0;
+
+  TraceBuilder(const char *Generator, const WorkloadGenConfig &Config) {
+    T.Header.Generator = Generator;
+    T.Header.Seed = Config.Seed;
+    T.Header.Sessions = Config.Sessions;
+    T.Header.Epochs = Config.Epochs;
+    T.Header.HistoryBound = Config.HistoryBound;
+    T.Header.Globals = 2 * Config.Sessions;
+    T.Epochs.resize(Config.Epochs);
+  }
+
+  uint32_t frame(const char *Label) {
+    T.Header.Frames.push_back(Label);
+    return static_cast<uint32_t>(T.Header.Frames.size() - 1);
+  }
+
+  void boot(uint32_t FrameIdx, TaskTrace &&Rec) {
+    Rec.Task.Id = 0;
+    Rec.Task.Session = TraceBootSession;
+    Rec.Task.FrameIdx = FrameIdx;
+    T.Boot = std::move(Rec.Task);
+  }
+
+  void add(uint32_t Session, uint32_t FrameIdx, TaskTrace &&Rec) {
+    Rec.Task.Id = NextId++;
+    Rec.Task.Session = Session;
+    Rec.Task.FrameIdx = FrameIdx;
+    T.Epochs[CurEpoch].push_back(std::move(Rec.Task));
+  }
+
+  void endEpoch() { ++CurEpoch; }
+
+  Trace build() {
+    T.Header.Requests = T.taskCount();
+    return std::move(T);
+  }
+};
+
+int64_t payload(SplitMix64 &Rng) {
+  return static_cast<int64_t>(Rng.next() & 0xFFFF);
+}
+
+} // namespace
+
+// The boot task runs under the SAME frame as the request tasks, so the
+// globals it allocates share their allocation context with the request
+// tasks' same-site temps: the temps' deaths build the context profile
+// that makes the still-live globals migration-eligible.
+
+Trace chameleon::apps::generatePhaseShiftTrace(
+    const WorkloadGenConfig &Config) {
+  TraceBuilder B("phase-shift", Config);
+  const uint32_t RunFrame = B.frame("PhaseGen.run");
+  const uint32_t AttrsSite = B.frame("phasegen.session.attrs:10");
+  const uint32_t WorkSite = B.frame("phasegen.session.work:11");
+  SplitMix64 Rng(Config.Seed ^ Gamma);
+
+  TaskTrace Boot;
+  for (uint32_t S = 0; S < Config.Sessions; ++S) {
+    Boot.alloc(traceGlobalReg(2 * S), AdtKind::Map, ImplKind::HashMap,
+               AttrsSite, 4);
+    Boot.alloc(traceGlobalReg(2 * S + 1), AdtKind::List, ImplKind::LinkedList,
+               WorkSite, 0);
+  }
+  B.boot(RunFrame, std::move(Boot));
+
+  std::vector<uint32_t> WorkSize(Config.Sessions, 0);
+  const uint32_t MapEpochs = (Config.Epochs + 1) / 2;
+  for (uint32_t E = 0; E < Config.Epochs; ++E) {
+    const bool MapPhase = E < MapEpochs;
+    for (uint32_t R = 0; R < Config.RequestsPerEpoch; ++R) {
+      const uint32_t S = R % Config.Sessions;
+      const uint32_t AttrsReg = traceGlobalReg(2 * S);
+      const uint32_t WorkReg = traceGlobalReg(2 * S + 1);
+      const uint32_t T0 = traceTempReg(0);
+      TaskTrace Rec;
+      if (MapPhase) {
+        // Map-heavy: the temp dies at maxSize exactly 4, every time — a
+        // rock-stable small-map profile, squarely inside the
+        // [small-hashmap] rule (HashMap -> ArrayMap for maxSize <= 8).
+        Rec.alloc(T0, AdtKind::Map, ImplKind::HashMap, AttrsSite, 4);
+        for (int64_t K = 0; K < 4; ++K)
+          Rec.op2(TraceOpCode::MapPut, T0, K, payload(Rng));
+        for (int I = 0; I < 6; ++I)
+          Rec.op1(TraceOpCode::MapGet, T0,
+                  static_cast<int64_t>(Rng.nextBelow(4)));
+        Rec.op0(TraceOpCode::Retire, T0);
+        Rec.op2(TraceOpCode::MapPut, AttrsReg,
+                static_cast<int64_t>(Rng.nextBelow(6)), payload(Rng));
+        Rec.op2(TraceOpCode::MapPut, AttrsReg,
+                static_cast<int64_t>(Rng.nextBelow(6)), payload(Rng));
+        Rec.op1(TraceOpCode::MapGet, AttrsReg,
+                static_cast<int64_t>(Rng.nextBelow(6)));
+      } else {
+        // List-heavy: the temp dies at maxSize 12 after 40 random gets —
+        // inside the [linkedlist-random-access] rule (LinkedList ->
+        // ArrayList for #get > 32, maxSize > 8).
+        Rec.alloc(T0, AdtKind::List, ImplKind::LinkedList, WorkSite, 0);
+        for (int I = 0; I < 12; ++I)
+          Rec.op1(TraceOpCode::ListAdd, T0, payload(Rng));
+        for (int I = 0; I < 40; ++I)
+          Rec.op1(TraceOpCode::ListGet, T0,
+                  static_cast<int64_t>(Rng.nextBelow(12)));
+        Rec.op0(TraceOpCode::Retire, T0);
+        Rec.op2(TraceOpCode::MapPut, AttrsReg,
+                static_cast<int64_t>(Rng.nextBelow(6)), payload(Rng));
+        Rec.op1(TraceOpCode::MapGet, AttrsReg,
+                static_cast<int64_t>(Rng.nextBelow(6)));
+      }
+      // Both phases keep mutating the session work list, so its revise
+      // ticks keep flowing and it migrates as soon as its (temp-fed)
+      // context profile flips.
+      Rec.op1(TraceOpCode::ListAdd, WorkReg, payload(Rng));
+      if (++WorkSize[S] > Config.HistoryBound) {
+        Rec.op0(TraceOpCode::ListRemoveFirst, WorkReg);
+        --WorkSize[S];
+      }
+      if (!MapPhase)
+        for (int I = 0; I < 2; ++I)
+          Rec.op1(TraceOpCode::ListGet, WorkReg,
+                  static_cast<int64_t>(Rng.nextBelow(WorkSize[S])));
+      B.add(S, RunFrame, std::move(Rec));
+    }
+    B.endEpoch();
+  }
+  return B.build();
+}
+
+Trace chameleon::apps::generateZipfTrace(const WorkloadGenConfig &Config) {
+  TraceBuilder B("zipf", Config);
+  const uint32_t RunFrame = B.frame("ZipfGen.run");
+  const uint32_t StateSite = B.frame("zipfgen.session.state:20");
+  const uint32_t HotSite = B.frame("zipfgen.session.hot:21");
+  SplitMix64 Rng(Config.Seed ^ Gamma);
+
+  TaskTrace Boot;
+  for (uint32_t S = 0; S < Config.Sessions; ++S) {
+    Boot.alloc(traceGlobalReg(2 * S), AdtKind::Map, ImplKind::HashMap,
+               StateSite, 4);
+    Boot.alloc(traceGlobalReg(2 * S + 1), AdtKind::List, ImplKind::LinkedList,
+               HotSite, 0);
+  }
+  B.boot(RunFrame, std::move(Boot));
+
+  // Zipf(alpha=1.1) session popularity via the inverse CDF: a couple of
+  // hot sessions soak up most revise ticks, the cold tail starves.
+  std::vector<double> Cdf(Config.Sessions);
+  double Sum = 0.0;
+  for (uint32_t S = 0; S < Config.Sessions; ++S) {
+    Sum += 1.0 / std::pow(static_cast<double>(S + 1), 1.1);
+    Cdf[S] = Sum;
+  }
+  auto pickSession = [&] {
+    double X = Rng.nextDouble() * Sum;
+    for (uint32_t S = 0; S < Config.Sessions; ++S)
+      if (X < Cdf[S])
+        return S;
+    return Config.Sessions - 1;
+  };
+
+  std::vector<uint32_t> HotSize(Config.Sessions, 0);
+  for (uint32_t E = 0; E < Config.Epochs; ++E) {
+    for (uint32_t R = 0; R < Config.RequestsPerEpoch; ++R) {
+      const uint32_t S = pickSession();
+      const uint32_t StateReg = traceGlobalReg(2 * S);
+      const uint32_t HotReg = traceGlobalReg(2 * S + 1);
+      const uint32_t T0 = traceTempReg(0);
+      const uint32_t T1 = traceTempReg(1);
+      TaskTrace Rec;
+      // Same-site temps feed both rules at once: a stable 3-entry map
+      // (small-hashmap) and a 10-entry list with 36 random gets
+      // (linkedlist-random-access).
+      Rec.alloc(T0, AdtKind::Map, ImplKind::HashMap, StateSite, 4);
+      for (int64_t K = 0; K < 3; ++K)
+        Rec.op2(TraceOpCode::MapPut, T0, K, payload(Rng));
+      for (int I = 0; I < 4; ++I)
+        Rec.op1(TraceOpCode::MapGet, T0,
+                static_cast<int64_t>(Rng.nextBelow(3)));
+      Rec.op0(TraceOpCode::Retire, T0);
+      Rec.alloc(T1, AdtKind::List, ImplKind::LinkedList, HotSite, 0);
+      for (int I = 0; I < 10; ++I)
+        Rec.op1(TraceOpCode::ListAdd, T1, payload(Rng));
+      for (int I = 0; I < 36; ++I)
+        Rec.op1(TraceOpCode::ListGet, T1,
+                static_cast<int64_t>(Rng.nextBelow(10)));
+      Rec.op0(TraceOpCode::Retire, T1);
+      Rec.op2(TraceOpCode::MapPut, StateReg,
+              static_cast<int64_t>(Rng.nextBelow(6)), payload(Rng));
+      Rec.op1(TraceOpCode::MapGet, StateReg,
+              static_cast<int64_t>(Rng.nextBelow(6)));
+      Rec.op1(TraceOpCode::MapGet, StateReg,
+              static_cast<int64_t>(Rng.nextBelow(6)));
+      Rec.op1(TraceOpCode::ListAdd, HotReg, payload(Rng));
+      if (++HotSize[S] > 8) {
+        Rec.op0(TraceOpCode::ListRemoveFirst, HotReg);
+        --HotSize[S];
+      }
+      Rec.op1(TraceOpCode::ListGet, HotReg,
+              static_cast<int64_t>(Rng.nextBelow(HotSize[S])));
+      B.add(S, RunFrame, std::move(Rec));
+    }
+    B.endEpoch();
+  }
+  return B.build();
+}
+
+Trace chameleon::apps::generateBurstTrace(const WorkloadGenConfig &Config) {
+  TraceBuilder B("burst", Config);
+  const uint32_t RunFrame = B.frame("BurstGen.run");
+  const uint32_t AttrsSite = B.frame("burstgen.session.attrs:30");
+  const uint32_t QueueSite = B.frame("burstgen.session.queue:32");
+  const uint32_t ScratchSite = B.frame("burstgen.scratch:33");
+  const uint32_t SpoolSite = B.frame("burstgen.spool:34");
+  SplitMix64 Rng(Config.Seed ^ Gamma);
+
+  // Boot brings every global to its steady-state size: 6 fixed attribute
+  // keys, a full queue. Every request's net effect on the globals is zero
+  // (overwriting puts, add+removeFirst pairs), so post-barrier live bytes
+  // are constant across epochs — the baseline a soak harness asserts.
+  TaskTrace Boot;
+  for (uint32_t S = 0; S < Config.Sessions; ++S) {
+    const uint32_t AttrsReg = traceGlobalReg(2 * S);
+    const uint32_t QueueReg = traceGlobalReg(2 * S + 1);
+    Boot.alloc(AttrsReg, AdtKind::Map, ImplKind::HashMap, AttrsSite, 8);
+    for (int64_t K = 0; K < 6; ++K)
+      Boot.op2(TraceOpCode::MapPut, AttrsReg, K, payload(Rng));
+    Boot.alloc(QueueReg, AdtKind::List, ImplKind::ArrayList, QueueSite,
+               Config.HistoryBound);
+    for (uint32_t I = 0; I < Config.HistoryBound; ++I)
+      Boot.op1(TraceOpCode::ListAdd, QueueReg, payload(Rng));
+  }
+  B.boot(RunFrame, std::move(Boot));
+
+  for (uint32_t E = 0; E < Config.Epochs; ++E) {
+    const bool Quiet = (E % 2) == 0;
+    const uint32_t Requests =
+        Quiet ? Config.RequestsPerEpoch / 4 : Config.RequestsPerEpoch;
+    for (uint32_t R = 0; R < Requests; ++R) {
+      const uint32_t S = R % Config.Sessions;
+      const uint32_t AttrsReg = traceGlobalReg(2 * S);
+      const uint32_t QueueReg = traceGlobalReg(2 * S + 1);
+      const uint32_t T0 = traceTempReg(0);
+      const uint32_t T1 = traceTempReg(1);
+      TaskTrace Rec;
+      Rec.alloc(T0, AdtKind::Map, ImplKind::HashMap, ScratchSite, 8);
+      for (int64_t K = 0; K < 4; ++K)
+        Rec.op2(TraceOpCode::MapPut, T0, K, payload(Rng));
+      for (int I = 0; I < 2; ++I)
+        Rec.op1(TraceOpCode::MapGet, T0,
+                static_cast<int64_t>(Rng.nextBelow(4)));
+      Rec.op0(TraceOpCode::Retire, T0);
+      Rec.alloc(T1, AdtKind::List, ImplKind::ArrayList, SpoolSite, 4);
+      for (int I = 0; I < 6; ++I)
+        Rec.op1(TraceOpCode::ListAdd, T1, payload(Rng));
+      for (int I = 0; I < 3; ++I)
+        Rec.op1(TraceOpCode::ListGet, T1,
+                static_cast<int64_t>(Rng.nextBelow(6)));
+      Rec.op0(TraceOpCode::Retire, T1);
+      Rec.op2(TraceOpCode::MapPut, AttrsReg,
+              static_cast<int64_t>(Rng.nextBelow(6)), payload(Rng));
+      Rec.op1(TraceOpCode::MapGet, AttrsReg,
+              static_cast<int64_t>(Rng.nextBelow(6)));
+      Rec.op1(TraceOpCode::ListAdd, QueueReg, payload(Rng));
+      Rec.op0(TraceOpCode::ListRemoveFirst, QueueReg);
+      Rec.op0(TraceOpCode::Size, QueueReg);
+      B.add(S, RunFrame, std::move(Rec));
+    }
+    B.endEpoch();
+  }
+  return B.build();
+}
+
+const std::vector<WorkloadGenerator> &chameleon::apps::workloadZoo() {
+  static const std::vector<WorkloadGenerator> Zoo = {
+      {"phase-shift", "map-heavy request mix flips to list-heavy mid-run",
+       /*SteadyState=*/false, generatePhaseShiftTrace},
+      {"zipf", "Zipf-skewed session popularity (alpha 1.1)",
+       /*SteadyState=*/false, generateZipfTrace},
+      {"burst", "alternating quiet/burst epochs, steady-state live data",
+       /*SteadyState=*/true, generateBurstTrace},
+  };
+  return Zoo;
+}
+
+const WorkloadGenerator *
+chameleon::apps::findWorkloadGenerator(const std::string &Name) {
+  for (const WorkloadGenerator &G : workloadZoo())
+    if (Name == G.Name)
+      return &G;
+  return nullptr;
+}

@@ -1,0 +1,77 @@
+//===--- WorkloadGen.h - Adversarial synthetic workload zoo ----*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic workload generators, emitted *as traces* (TraceFormat.h) so
+/// every generated workload is replayable, diffable, and archivable like a
+/// recorded one. The zoo is adversarial by design: each generator is tuned
+/// to make the OnlineAdaptor migrate the long-lived session collections
+/// repeatedly (and, under chaos replay, to exercise abort/backoff/pinning):
+///
+///  - phase-shift: map-heavy request mix flips to list-heavy mid-run, so
+///    contexts that first justify HashMap→ArrayMap later justify
+///    LinkedList→ArrayList on the co-located list state;
+///  - zipf: session popularity follows a Zipf law, concentrating revise
+///    ticks (and so migrations) on a few hot sessions while cold sessions
+///    starve below the warmup threshold;
+///  - burst: alternating quiet/burst epochs with steady-state live data,
+///    for soak runs asserting the heap returns to baseline between epochs.
+///
+/// The trick all three share: request-scoped temps are allocated at the
+/// *same site, under the same frame* as the long-lived globals, so the
+/// temps' deaths feed the context profile that makes the still-live
+/// globals migration-eligible (the profiler folds by allocation context,
+/// not by instance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_APPS_WORKLOADGEN_H
+#define CHAMELEON_APPS_WORKLOADGEN_H
+
+#include "apps/TraceFormat.h"
+
+namespace chameleon::apps {
+
+/// Shape parameters shared by all generators.
+struct WorkloadGenConfig {
+  uint64_t Seed = 0x50AC;
+  uint32_t Sessions = 8;
+  uint32_t Epochs = 4;
+  uint32_t RequestsPerEpoch = 192;
+  /// Bound on the per-session history/queue lists.
+  uint32_t HistoryBound = 24;
+};
+
+/// A zoo entry.
+struct WorkloadGenerator {
+  /// Identifier (also the trace header's generator token).
+  const char *Name;
+  /// One-line description for --list output.
+  const char *Summary;
+  /// True when post-barrier live bytes are constant across epochs, so a
+  /// soak harness may assert the heap returns to baseline between epochs.
+  bool SteadyState;
+  Trace (*Generate)(const WorkloadGenConfig &Config);
+};
+
+/// Map-heavy flipping to list-heavy mid-run.
+Trace generatePhaseShiftTrace(const WorkloadGenConfig &Config);
+
+/// Zipf-skewed session popularity (alpha ~1.1).
+Trace generateZipfTrace(const WorkloadGenConfig &Config);
+
+/// Alternating quiet/burst epochs, steady-state live data.
+Trace generateBurstTrace(const WorkloadGenConfig &Config);
+
+/// The registry, in stable order.
+const std::vector<WorkloadGenerator> &workloadZoo();
+
+/// Zoo lookup by name (nullptr when unknown).
+const WorkloadGenerator *findWorkloadGenerator(const std::string &Name);
+
+} // namespace chameleon::apps
+
+#endif // CHAMELEON_APPS_WORKLOADGEN_H

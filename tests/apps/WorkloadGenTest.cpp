@@ -1,0 +1,145 @@
+//===--- WorkloadGenTest.cpp - Adversarial workload zoo tests -------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload zoo's adversarial guarantees: the phase-shift and Zipf
+/// traces provably force the OnlineAdaptor into repeated live migrations
+/// (≥2 each, with the expected target backings), the phase-change
+/// accounting is deterministic under a fixed chaos seed (golden-run
+/// equality plus the exact counter identities), and the burst trace's
+/// heap returns to its baseline at every epoch barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/TraceWorkload.h"
+#include "apps/WorkloadGen.h"
+#include "runtime/GcCycle.h"
+
+#include <gtest/gtest.h>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+
+namespace {
+
+uint32_t backingCount(const ReplayResult &R, ImplKind Kind) {
+  for (const auto &[Impl, Count] : R.GlobalBackings)
+    if (Impl == Kind)
+      return Count;
+  return 0;
+}
+
+ReplayResult adaptiveReplay(const Trace &T, uint32_t Threads, bool Chaos,
+                            uint64_t ChaosSeed = 0xC4A05) {
+  ReplayConfig Config;
+  Config.MutatorThreads = Threads;
+  Config.OnlineAdapt = true;
+  Config.Chaos = Chaos;
+  Config.ChaosSeed = ChaosSeed;
+  if (Chaos)
+    Config.ChaosSoftHeapLimitBytes = 16 * 1024;
+  CollectionRuntime RT(traceReplayRuntimeConfig(Config));
+  return replayTrace(RT, T, Config);
+}
+
+TEST(WorkloadGen, ZooTracesAreValidAndReplayable) {
+  WorkloadGenConfig Config;
+  Config.Sessions = 4;
+  Config.Epochs = 2;
+  Config.RequestsPerEpoch = 32;
+  for (const WorkloadGenerator &G : workloadZoo()) {
+    Trace T = G.Generate(Config);
+    std::string Error;
+    EXPECT_TRUE(validateTrace(T, &Error)) << G.Name << ": " << Error;
+    EXPECT_EQ(T.Header.Generator, G.Name);
+    ReplayConfig RC;
+    RC.MutatorThreads = 2;
+    CollectionRuntime RT(traceReplayRuntimeConfig(RC));
+    ReplayResult R = replayTrace(RT, T, RC);
+    EXPECT_TRUE(R.Ok) << G.Name << ": " << R.Error;
+    EXPECT_EQ(R.Tasks, T.taskCount()) << G.Name;
+  }
+  EXPECT_NE(findWorkloadGenerator("zipf"), nullptr);
+  EXPECT_EQ(findWorkloadGenerator("no-such-generator"), nullptr);
+}
+
+TEST(WorkloadGen, PhaseShiftForcesRepeatedMigrations) {
+  Trace T = generatePhaseShiftTrace(WorkloadGenConfig());
+  ReplayResult R = adaptiveReplay(T, 2, /*Chaos=*/false);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // The phase change must drive at least two distinct online migrations:
+  // session maps to ArrayMap in the map phase, session lists to ArrayList
+  // after the flip.
+  EXPECT_GE(R.MigrationsCommitted, 2u);
+  EXPECT_GE(backingCount(R, ImplKind::ArrayMap), 1u);
+  EXPECT_GE(backingCount(R, ImplKind::ArrayList), 1u);
+  EXPECT_EQ(R.MigrationsRequested,
+            R.MigrationsCommitted + R.MigrationsAborted);
+  EXPECT_FALSE(R.AdaptReport.empty());
+}
+
+TEST(WorkloadGen, ZipfForcesRepeatedMigrations) {
+  Trace T = generateZipfTrace(WorkloadGenConfig());
+  ReplayResult R = adaptiveReplay(T, 2, /*Chaos=*/false);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GE(R.MigrationsCommitted, 2u);
+  EXPECT_GE(backingCount(R, ImplKind::ArrayMap) +
+                backingCount(R, ImplKind::ArrayList),
+            2u);
+}
+
+TEST(WorkloadGen, PhaseChangeAccountingIsGoldenUnderFixedChaosSeed) {
+  Trace T = generatePhaseShiftTrace(WorkloadGenConfig());
+  // Single-threaded chaos replay is fully deterministic: the golden run
+  // and the checked run must agree on every counter and report byte.
+  ReplayResult Golden = adaptiveReplay(T, 1, /*Chaos=*/true, 0xC4A05);
+  ASSERT_TRUE(Golden.Ok) << Golden.Error;
+  ReplayResult R = adaptiveReplay(T, 1, /*Chaos=*/true, 0xC4A05);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  EXPECT_EQ(R.MigrationsRequested, Golden.MigrationsRequested);
+  EXPECT_EQ(R.MigrationsCommitted, Golden.MigrationsCommitted);
+  EXPECT_EQ(R.MigrationsAborted, Golden.MigrationsAborted);
+  EXPECT_EQ(R.PinnedContexts, Golden.PinnedContexts);
+  EXPECT_EQ(R.AdaptReport, Golden.AdaptReport);
+  EXPECT_EQ(R.Report, Golden.Report);
+
+  // The accounting identities hold exactly — no leaked attempts, every
+  // request resolved as a commit or an abort.
+  EXPECT_EQ(R.MigrationsRequested,
+            R.MigrationsCommitted + R.MigrationsAborted);
+  EXPECT_GE(R.MigrationsCommitted, 2u);
+  // The chaos plan's migrate.* failure rate makes aborts overwhelmingly
+  // likely across hundreds of requests; backoff/pinning is exercised.
+  EXPECT_GT(R.MigrationsAborted, 0u);
+}
+
+TEST(WorkloadGen, BurstHeapReturnsToBaselineBetweenEpochs) {
+  WorkloadGenConfig Config;
+  Trace T = generateBurstTrace(Config);
+  ReplayConfig RC;
+  RC.MutatorThreads = 2;
+  CollectionRuntime RT(traceReplayRuntimeConfig(RC));
+  ReplayResult R = replayTrace(RT, T, RC);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  // One forced cycle per epoch barrier; every request's net heap effect
+  // is zero, so post-GC live bytes are identical at every barrier.
+  const std::vector<GcCycleRecord> &Cycles = RT.heap().cycles();
+  ASSERT_GE(Cycles.size(), Config.Epochs);
+  uint64_t Baseline = 0;
+  uint32_t Forced = 0;
+  for (const GcCycleRecord &Rec : Cycles) {
+    if (!Rec.Forced)
+      continue;
+    if (++Forced == 1)
+      Baseline = Rec.LiveBytes;
+    EXPECT_EQ(Rec.LiveBytes, Baseline) << "cycle " << Rec.Cycle;
+  }
+  EXPECT_EQ(Forced, Config.Epochs);
+}
+
+} // namespace

@@ -17,6 +17,8 @@
 
 #include "collections/Handles.h"
 
+#include "apps/TraceFormat.h"
+#include "apps/WorkloadGen.h"
 #include "support/SplitMix64.h"
 
 #include <gtest/gtest.h>
@@ -109,8 +111,9 @@ void runWave(uint64_t Seed) {
         Value Got = F.M.get(Value::ofInt(K));
         auto It = F.Model.find(K);
         ASSERT_EQ(Got.isNull(), It == F.Model.end());
-        if (It != F.Model.end())
+        if (It != F.Model.end()) {
           ASSERT_EQ(Got.asInt(), It->second);
+        }
       } else if (Kind < 9) {
         ASSERT_EQ(F.M.remove(Value::ofInt(K)), F.Model.erase(K) > 0);
       } else {
@@ -146,6 +149,79 @@ TEST(FuzzSmoke, SeededWaves) {
   for (int Wave = 0; Wave < 8; ++Wave) {
     SCOPED_TRACE("wave seed=" + std::to_string(FuzzSeed ^ (Gamma * Wave)));
     runWave(FuzzSeed ^ (Gamma * Wave));
+  }
+}
+
+/// Seeded corruption fuzz over the trace wire format (DESIGN.md §14): a
+/// valid generated trace's bytes are mutated — byte flips, truncations,
+/// zeroed runs, splices — and every mutant must either be rejected with a
+/// diagnostic or parse into a trace the validator then judges; nothing may
+/// crash, hang, or read out of bounds. The reader + validator pair is the
+/// only gate between untrusted trace files and the replay interpreter.
+TEST(FuzzSmoke, TraceBytesNeverCrashTheReader) {
+  apps::WorkloadGenConfig Config;
+  Config.Sessions = 4;
+  Config.Epochs = 2;
+  Config.RequestsPerEpoch = 24;
+  Config.HistoryBound = 8;
+  apps::Trace T = apps::generateBurstTrace(Config);
+  const std::string Source = apps::writeTrace(T);
+  ASSERT_FALSE(Source.empty());
+
+  SplitMix64 Rng(FuzzSeed ^ (Gamma * 0x7ACE));
+  uint64_t Rejected = 0, Parsed = 0, Valid = 0;
+  for (int Mutant = 0; Mutant < 600; ++Mutant) {
+    std::string Bytes = Source;
+    switch (Rng.nextBelow(4)) {
+    case 0: // flip 1-8 bytes anywhere (header text and binary payload)
+      for (uint64_t F = 0, N = 1 + Rng.nextBelow(8); F < N; ++F)
+        Bytes[Rng.nextBelow(Bytes.size())] ^=
+            static_cast<char>(1 + Rng.nextBelow(255));
+      break;
+    case 1: // truncate at a random point
+      Bytes.resize(Rng.nextBelow(Bytes.size()));
+      break;
+    case 2: { // zero a run (models a torn write)
+      uint64_t At = Rng.nextBelow(Bytes.size());
+      uint64_t Len = std::min<uint64_t>(1 + Rng.nextBelow(64),
+                                        Bytes.size() - At);
+      std::fill_n(Bytes.begin() + At, Len, '\0');
+      break;
+    }
+    default: { // splice a random chunk of the trace over another offset
+      uint64_t From = Rng.nextBelow(Bytes.size());
+      uint64_t To = Rng.nextBelow(Bytes.size());
+      uint64_t Len = std::min<uint64_t>(1 + Rng.nextBelow(32),
+                                        Bytes.size() - std::max(From, To));
+      std::copy_n(Source.begin() + From, Len, Bytes.begin() + To);
+      break;
+    }
+    }
+
+    apps::Trace Out;
+    std::string Error;
+    if (!apps::readTrace(Bytes, Out, &Error)) {
+      EXPECT_FALSE(Error.empty()) << "rejection without a diagnostic";
+      ++Rejected;
+      continue;
+    }
+    ++Parsed;
+    // A mutant that still parses (checksummed payload + digested header
+    // make this rare) must round-trip and satisfy the replay validator
+    // before anything may feed it to the interpreter.
+    if (apps::validateTrace(Out, &Error)) {
+      ++Valid;
+      EXPECT_EQ(apps::writeTrace(Out), Bytes);
+    } else {
+      EXPECT_FALSE(Error.empty());
+    }
+  }
+  // The corpus must actually exercise the reject path; mutants that leave
+  // the bytes intact (splice of identical content) may legitimately parse.
+  EXPECT_GT(Rejected, 500u);
+  EXPECT_EQ(Rejected + Parsed, 600u);
+  if (Valid != 0) {
+    EXPECT_LE(Valid, Parsed);
   }
 }
 

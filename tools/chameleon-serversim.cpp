@@ -13,14 +13,19 @@
 ///   chameleon-serversim --chaos               # chaos run, default seed
 ///   chameleon-serversim --chaos --seed 0xBEEF # replay a chaos schedule
 ///   chameleon-serversim --threads 8 --epochs 5 --requests 480
+///   chameleon-serversim --record run.trace    # record the run as a trace
+///   chameleon-serversim --replay run.trace    # replay it (any --threads)
+///   chameleon-serversim --replay run.trace --adapt   # under the adaptor
 ///
 /// A chaos run prints the fault/migration/degradation accounting followed
 /// by the regular profiling report, and echoes the seed so any failure is
-/// replayable.
+/// replayable. A replay of a recorded trace prints a report byte-identical
+/// to the recording run's at any thread count (DESIGN.md §14).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "apps/ServerSim.h"
+#include "apps/TraceWorkload.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +49,11 @@ void printUsage(const char *Argv0) {
               " into directory D\n"
               "  --ticker           print a per-epoch telemetry line to"
               " stderr\n"
+              "  --record FILE      record the run's op stream to FILE\n"
+              "  --replay FILE      replay a recorded trace instead of"
+              " running the sim\n"
+              "  --adapt            replay under the online adaptor"
+              " (builtin rules)\n"
               "  --quiet            suppress the profiling report\n"
               "  -h, --help         show this help\n",
               Argv0);
@@ -64,6 +74,9 @@ uint64_t parseU64(const char *Arg, const char *Flag) {
 int main(int argc, char **argv) {
   ServerSimConfig Config;
   bool Quiet = false;
+  bool Adapt = false;
+  std::string RecordPath;
+  std::string ReplayPath;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -94,6 +107,12 @@ int main(int argc, char **argv) {
       Config.TelemetryOutDir = needValue("--telemetry-out");
     } else if (std::strcmp(Arg, "--ticker") == 0) {
       Config.TelemetryTicker = true;
+    } else if (std::strcmp(Arg, "--record") == 0) {
+      RecordPath = needValue("--record");
+    } else if (std::strcmp(Arg, "--replay") == 0) {
+      ReplayPath = needValue("--replay");
+    } else if (std::strcmp(Arg, "--adapt") == 0) {
+      Adapt = true;
     } else if (std::strcmp(Arg, "--quiet") == 0) {
       Quiet = true;
     } else if (std::strcmp(Arg, "-h") == 0
@@ -107,9 +126,57 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (!ReplayPath.empty()) {
+    Trace T;
+    std::string Error;
+    if (!readTraceFile(ReplayPath, T, &Error)) {
+      std::fprintf(stderr, "error: %s: %s\n", ReplayPath.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    ReplayConfig RC;
+    RC.MutatorThreads = Config.MutatorThreads;
+    RC.OnlineAdapt = Adapt;
+    RC.Chaos = Config.Chaos;
+    RC.ChaosSeed = Config.ChaosSeed;
+    RC.ChaosSoftHeapLimitBytes = Config.ChaosSoftHeapLimitBytes;
+    RC.TelemetryOutDir = Config.TelemetryOutDir;
+    CollectionRuntime RT(traceReplayRuntimeConfig(RC));
+    ReplayResult R = replayTrace(RT, T, RC);
+    if (!R.Ok) {
+      std::fprintf(stderr, "error: invalid trace: %s\n", R.Error.c_str());
+      return 1;
+    }
+    if (!R.AdaptReport.empty())
+      std::fputs(R.AdaptReport.c_str(), stdout);
+    if (!Quiet)
+      std::fputs(R.Report.c_str(), stdout);
+    std::printf("done: replayed tasks=%llu ops=%llu (%s seed=0x%llx)\n",
+                static_cast<unsigned long long>(R.Tasks),
+                static_cast<unsigned long long>(R.Ops),
+                T.Header.Generator.c_str(),
+                static_cast<unsigned long long>(T.Header.Seed));
+    return 0;
+  }
+
+  TraceCapture Capture;
+  if (!RecordPath.empty())
+    Config.RecordTo = &Capture;
   CollectionRuntime RT(serverSimRuntimeConfig());
   ServerSimResult Result = runServerSim(RT, Config);
 
+  if (!RecordPath.empty()) {
+    Trace T = Capture.finish();
+    std::string Error;
+    if (!writeTraceFile(RecordPath, T, &Error)) {
+      std::fprintf(stderr, "error: %s: %s\n", RecordPath.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[trace] recorded %llu tasks to %s\n",
+                 static_cast<unsigned long long>(T.taskCount()),
+                 RecordPath.c_str());
+  }
   if (Config.Chaos)
     std::fputs(Result.ChaosReport.c_str(), stdout);
   if (!Quiet)
