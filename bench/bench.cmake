@@ -47,6 +47,8 @@ target_link_libraries(micro_checker PRIVATE chameleon_analysis)
 target_compile_definitions(micro_checker PRIVATE
   CHAMELEON_SOURCE_ROOT="${CMAKE_SOURCE_DIR}")
 chameleon_bench(micro_fault_overhead)
+chameleon_bench(micro_fleet)
+target_link_libraries(micro_fleet PRIVATE chameleon_fleet)
 chameleon_bench(micro_gc_throughput)
 chameleon_bench(micro_mt_mutator)
 chameleon_bench(micro_telemetry_overhead)

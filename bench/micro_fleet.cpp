@@ -1,0 +1,302 @@
+//===--- micro_fleet.cpp - Fleet profiling hook cost -----------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost of fleet profiling (DESIGN.md §15) on the process being
+/// profiled, plus the pipeline's own throughput. Three measurements:
+///
+///  1. Hook overhead. The disarmed fleet hook (installed but no agent
+///     attached — what every fleet-capable process pays when fleet
+///     profiling is off) is measured per-call in a tight loop, then
+///     scaled by the trace's barrier count against the null-hook replay
+///     time — the fault-bench methodology, robust against replay noise
+///     that would swamp a nanosecond-scale delta. The headline claim is
+///     that the disarmed hook stays under 1% of replay time. The armed
+///     hook (capture the per-context profile, commit it through a
+///     FleetAgent, pump it into an in-memory aggregator) is re-replayed
+///     whole and reported as the price of opting in.
+///  2. Commit-path throughput: epochs/s through commit → WAL-less queue →
+///     wire framing → aggregator fold → ack, for a profile of realistic
+///     context count.
+///  3. Snapshot persistence: save + load round-trip time for the merged
+///     fleet state.
+///
+/// `--json <path>` (or CHAMELEON_BENCH_JSON) writes the BENCH_fleet.json
+/// perf-trajectory record; `--quick` shrinks the run for sanitizer CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/TraceWorkload.h"
+#include "apps/WorkloadGen.h"
+#include "fleet/Agent.h"
+#include "fleet/Aggregator.h"
+#include "fleet/FleetProfile.h"
+#include "fleet/Snapshot.h"
+#include "fleet/Transport.h"
+#include "support/Format.h"
+
+#include "BenchJson.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+
+using namespace chameleon;
+using namespace chameleon::apps;
+using namespace chameleon::fleet;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+enum class HookMode {
+  Null,  ///< no epoch barrier installed at all
+  Armed, ///< full capture + commit + pump
+};
+
+/// One replay of the zoo's burst trace with the given barrier shape.
+/// Returns wall seconds.
+double replayOnce(const Trace &T, HookMode Mode) {
+  InMemoryHub Hub;
+  FleetAggregatorConfig GC;
+  GC.PersistEveryUpdates = 1;
+  FleetAggregator Agg(GC);
+  FleetAgentConfig AC;
+  AC.AgentId = "bench-agent";
+  FleetAgent AgentStorage(AC, Hub);
+  FleetAgent *Agent = Mode == HookMode::Armed ? &AgentStorage : nullptr;
+
+  uint64_t Tick = 0;
+  ReplayConfig RC;
+  if (Agent)
+    RC.OnEpochBarrier = [&](uint32_t, CollectionRuntime &RT) {
+      Agent->commitEpoch(captureProcessProfile(RT.profiler(), /*Epoch=*/0));
+      Agent->pump(Tick++);
+      for (auto &C : Hub.acceptAll())
+        Agg.attach(std::move(C));
+      Agg.pump();
+    };
+
+  auto Start = std::chrono::steady_clock::now();
+  CollectionRuntime RT(traceReplayRuntimeConfig(RC));
+  ReplayResult R = replayTrace(RT, T, RC);
+  double Seconds = secondsSince(Start);
+  if (!R.Ok) {
+    std::fprintf(stderr, "replay failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return Seconds;
+}
+
+double median3Replay(const Trace &T, HookMode Mode) {
+  double A = replayOnce(T, Mode), B = replayOnce(T, Mode),
+         C = replayOnce(T, Mode);
+  double Lo = A < B ? (A < C ? A : C) : (B < C ? B : C);
+  double Hi = A > B ? (A > C ? A : C) : (B > C ? B : C);
+  return A + B + C - Lo - Hi;
+}
+
+/// Nanoseconds per disarmed barrier invocation: the std::function call
+/// plus the no-agent check — exactly what a fleet-capable process pays
+/// per epoch barrier when no agent is attached. A whole-replay A/B
+/// cannot resolve this (single-digit ns against seconds of replay with
+/// percent-level run-to-run noise), so it is measured in a tight loop
+/// and scaled by the trace's barrier count, like micro_fault_overhead's
+/// per-site measurement.
+double disarmedHookNs(uint64_t Iters, CollectionRuntime &RT) {
+  FleetAgent *Agent = nullptr;
+  volatile uint64_t Sink = 0;
+  std::function<void(uint32_t, CollectionRuntime &)> Hook =
+      [&](uint32_t E, CollectionRuntime &) {
+        if (!Agent)
+          return;
+        Sink = Sink + E; // unreachable; keeps the capture alive
+      };
+  double Best = 0.0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    for (uint64_t I = 0; I < Iters; ++I)
+      Hook(static_cast<uint32_t>(I), RT);
+    double Seconds = secondsSince(Start);
+    if (Rep == 0 || Seconds < Best)
+      Best = Seconds;
+  }
+  (void)Sink;
+  return Best / static_cast<double>(Iters) * 1e9;
+}
+
+/// A synthetic cumulative profile with \p Contexts contexts — the unit of
+/// work the commit path moves per epoch.
+ProcessProfile syntheticProfile(size_t Contexts, uint64_t Epoch) {
+  ProcessProfile P;
+  P.Epoch = Epoch;
+  P.CyclesSeen = Epoch;
+  P.HeapLive = {Epoch * 4096, 4096, Epoch};
+  P.Contexts.reserve(Contexts);
+  for (size_t I = 0; I < Contexts; ++I) {
+    ContextProfile C;
+    C.TypeName = I % 2 ? "HashMap" : "ArrayList";
+    C.Frames = {"site:" + std::to_string(I), "caller:" + std::to_string(I)};
+    C.Allocations = Epoch * (I + 1);
+    C.MaxSizeStat = {Epoch, 32.0, 1.0, 1.0, 64.0};
+    C.Live = {Epoch * 64, 64, Epoch};
+    P.Contexts.push_back(std::move(C));
+  }
+  return P;
+}
+
+/// Epochs/s through commit → frame → fold → ack, in-memory transport.
+double commitPathEpochsPerSec(uint64_t Epochs, size_t Contexts) {
+  InMemoryHub Hub;
+  FleetAggregatorConfig GC;
+  GC.PersistEveryUpdates = 1;
+  FleetAggregator Agg(GC);
+  FleetAgentConfig AC;
+  AC.AgentId = "bench-agent";
+  AC.MaxQueue = 4; // steady-state: each epoch drains before the next
+  FleetAgent Agent(AC, Hub);
+
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t E = 1; E <= Epochs; ++E) {
+    Agent.commitEpoch(syntheticProfile(Contexts, E));
+    Agent.pump(E);
+    for (auto &C : Hub.acceptAll())
+      Agg.attach(std::move(C));
+    Agg.pump();
+  }
+  // Final ack round.
+  Agent.pump(Epochs + 1);
+  double Seconds = secondsSince(Start);
+  if (!Agent.drained()) {
+    std::fprintf(stderr, "commit path failed to drain\n");
+    std::exit(1);
+  }
+  return static_cast<double>(Epochs) / Seconds;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+
+  std::printf("== micro: fleet profiling hook + pipeline cost ==\n\n");
+
+  // 1. Hook overhead.
+  const WorkloadGenerator *Gen = findWorkloadGenerator("burst");
+  if (!Gen) {
+    std::fprintf(stderr, "burst generator missing\n");
+    return 1;
+  }
+  WorkloadGenConfig WC;
+  applyWorkloadScale(Quick ? WorkloadScale::Ci : WorkloadScale::Large, WC);
+  WC.Seed = 0xF1EE7;
+  Trace T = Gen->Generate(WC);
+
+  double Bare = median3Replay(T, HookMode::Null);
+  double Armed = median3Replay(T, HookMode::Armed);
+  double ArmedPct = (Armed - Bare) / Bare * 100.0;
+  if (ArmedPct < 0)
+    ArmedPct = 0.0;
+
+  double HookNs;
+  {
+    ReplayConfig RC;
+    CollectionRuntime RT(traceReplayRuntimeConfig(RC));
+    HookNs = disarmedHookNs(Quick ? 1u << 20 : 1u << 24, RT);
+  }
+  // The trace crosses one barrier per epoch; the disarmed-hook share of
+  // mutator time is (ns/call x barriers) / bare replay time.
+  double DisarmedPct =
+      HookNs * static_cast<double>(WC.Epochs) / (Bare * 1e9) * 100.0;
+
+  TextTable Replay({"epoch barrier", "replay s", "vs null"});
+  Replay.addRow({"none", formatDouble(Bare, 4), "1.00x"});
+  Replay.addRow({"armed (capture+commit+pump)", formatDouble(Armed, 4),
+                 formatDouble(Armed / Bare, 3) + "x"});
+  std::printf("%s\n", Replay.render().c_str());
+  std::printf("disarmed hook: %s ns/call x %u barriers = %s%% of replay; "
+              "armed: %s%%\n(%u sessions, %u epochs)\n",
+              formatDouble(HookNs, 2).c_str(), WC.Epochs,
+              formatDouble(DisarmedPct, 6).c_str(),
+              formatDouble(ArmedPct, 3).c_str(), WC.Sessions, WC.Epochs);
+  std::printf("claim to check: the disarmed fleet hook stays under 1%% of "
+              "mutator time —\nfleet-capable builds cost nothing until an "
+              "agent attaches.\n");
+  if (DisarmedPct >= 1.0)
+    std::printf("WARNING: overhead claim violated (%.6f%% >= 1%%)\n",
+                DisarmedPct);
+
+  // 2. Commit-path throughput.
+  const uint64_t Epochs = Quick ? 200 : 2000;
+  const size_t Contexts = 64;
+  double EpochsPerSec = commitPathEpochsPerSec(Epochs, Contexts);
+  std::printf("\ncommit path: %s epochs/s (%zu contexts/epoch, in-memory "
+              "wire)\n",
+              formatDouble(EpochsPerSec, 0).c_str(), Contexts);
+
+  // 3. Snapshot save + load round trip over a multi-stream state.
+  FleetState State;
+  for (int A = 0; A < 8; ++A)
+    State.fold({"bench-" + std::to_string(A), 1},
+               syntheticProfile(Contexts, 32));
+  namespace fs = std::filesystem;
+  fs::path SnapPath = fs::temp_directory_path() / "cham-bench-fleet.snap";
+  std::string Err;
+  auto Start = std::chrono::steady_clock::now();
+  if (!saveSnapshot(SnapPath.string(), State, Err)) {
+    std::fprintf(stderr, "snapshot save failed: %s\n", Err.c_str());
+    return 1;
+  }
+  double SaveS = secondsSince(Start);
+  FleetState Loaded;
+  Start = std::chrono::steady_clock::now();
+  SnapshotLoadResult LR = loadSnapshot(SnapPath.string(), Loaded, false);
+  double LoadS = secondsSince(Start);
+  uint64_t SnapBytes = fs::file_size(SnapPath);
+  fs::remove(SnapPath);
+  if (!LR.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", LR.Message.c_str());
+    return 1;
+  }
+  std::printf("snapshot: %llu bytes, save %s ms, load %s ms (8 streams)\n",
+              static_cast<unsigned long long>(SnapBytes),
+              formatDouble(SaveS * 1e3, 3).c_str(),
+              formatDouble(LoadS * 1e3, 3).c_str());
+
+  bench::JsonDoc Json;
+  Json.field("bench", "micro_fleet");
+  bench::addProvenance(Json);
+  Json.field("disarmed_hook_overhead_pct", DisarmedPct);
+  Json.field("disarmed_hook_ns_per_call", HookNs);
+  Json.field("armed_hook_overhead_pct", ArmedPct);
+  Json.field("replay_s_null_hook", Bare);
+  Json.field("replay_s_armed_hook", Armed);
+  Json.field("commit_epochs_per_sec", EpochsPerSec);
+  Json.field("commit_contexts_per_epoch", static_cast<uint64_t>(Contexts));
+  Json.field("snapshot_bytes", SnapBytes);
+  Json.field("snapshot_save_ms", SaveS * 1e3);
+  Json.field("snapshot_load_ms", LoadS * 1e3);
+
+  std::string JsonPath = bench::jsonOutputPath(argc, argv);
+  if (!JsonPath.empty()) {
+    if (!Json.write(JsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -509,6 +509,8 @@ ReplayResult chameleon::apps::replayTrace(CollectionRuntime &RT,
     CHAM_TRACE_SPAN_ARG("replay", "epoch_barrier", "epoch", Epoch);
     RT.flushMutatorStatistics();
     RT.heap().collect(/*Forced=*/true);
+    if (Config.OnEpochBarrier)
+      Config.OnEpochBarrier(Epoch, RT);
     {
       std::lock_guard<std::mutex> L(B.Mu);
       B.Arrived = 0;

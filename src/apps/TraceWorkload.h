@@ -31,6 +31,7 @@
 #include "collections/Handles.h"
 #include "core/OnlineAdaptor.h"
 
+#include <functional>
 #include <mutex>
 #include <optional>
 
@@ -144,6 +145,13 @@ struct ReplayConfig {
   /// When non-empty, arm the telemetry recorder and export the bundle
   /// into this directory at the end of the replay.
   std::string TelemetryOutDir;
+  /// Called on the replay's main thread at every epoch barrier — after the
+  /// deterministic flush (contexts renumbered into canonical order) and the
+  /// forced collection, while the workers are still parked at the barrier.
+  /// This is the quiescent point at which a fleet agent captures and
+  /// commits the per-epoch profile (see fleet/Agent.h). Null costs one
+  /// check per epoch.
+  std::function<void(uint32_t Epoch, CollectionRuntime &RT)> OnEpochBarrier;
 };
 
 /// What a replay produces.

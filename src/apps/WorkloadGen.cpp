@@ -315,3 +315,57 @@ chameleon::apps::findWorkloadGenerator(const std::string &Name) {
       return &G;
   return nullptr;
 }
+
+const char *chameleon::apps::workloadScaleName(WorkloadScale S) {
+  switch (S) {
+  case WorkloadScale::Ci:
+    return "ci";
+  case WorkloadScale::Default:
+    return "default";
+  case WorkloadScale::Large:
+    return "large";
+  case WorkloadScale::Million:
+    return "million";
+  }
+  return "?";
+}
+
+bool chameleon::apps::parseWorkloadScale(const std::string &Name,
+                                         WorkloadScale &Out) {
+  for (WorkloadScale S : {WorkloadScale::Ci, WorkloadScale::Default,
+                          WorkloadScale::Large, WorkloadScale::Million}) {
+    if (Name == workloadScaleName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
+void chameleon::apps::applyWorkloadScale(WorkloadScale S,
+                                         WorkloadGenConfig &Config) {
+  switch (S) {
+  case WorkloadScale::Ci:
+    Config.Sessions = 6;
+    Config.Epochs = 4;
+    Config.RequestsPerEpoch = 96;
+    break;
+  case WorkloadScale::Default:
+    Config.Sessions = 8;
+    Config.Epochs = 4;
+    Config.RequestsPerEpoch = 192;
+    break;
+  case WorkloadScale::Large:
+    Config.Sessions = 1u << 12;
+    Config.Epochs = 8;
+    Config.RequestsPerEpoch = 1u << 13;
+    break;
+  case WorkloadScale::Million:
+    // The trace format's session ceiling: 2^20 sessions whose boot task
+    // alone allocates 2^21 global collections.
+    Config.Sessions = 1u << 20;
+    Config.Epochs = 4;
+    Config.RequestsPerEpoch = 1u << 16;
+    break;
+  }
+}

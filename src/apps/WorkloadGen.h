@@ -45,6 +45,22 @@ struct WorkloadGenConfig {
   uint32_t HistoryBound = 24;
 };
 
+/// Named size presets, so every harness (soak, fleet agents, benches)
+/// agrees on what "ci" or "million" means. `Million` saturates the trace
+/// format's session bound (2^20 sessions, 2^21 globals) — the fleet-soak
+/// shape, far beyond what a single replay report is normally run at.
+enum class WorkloadScale : uint8_t { Ci, Default, Large, Million };
+
+/// Stable preset name ("ci", "default", "large", "million").
+const char *workloadScaleName(WorkloadScale S);
+
+/// Parses a preset name (false on unknown).
+bool parseWorkloadScale(const std::string &Name, WorkloadScale &Out);
+
+/// Applies \p S's size parameters to \p Config (Seed and HistoryBound are
+/// left untouched).
+void applyWorkloadScale(WorkloadScale S, WorkloadGenConfig &Config);
+
 /// A zoo entry.
 struct WorkloadGenerator {
   /// Identifier (also the trace header's generator token).

@@ -1,0 +1,419 @@
+//===--- FleetProfile.cpp - Cross-process profile model ------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetProfile.h"
+
+#include "profiler/SemanticProfiler.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace chameleon;
+using namespace chameleon::fleet;
+
+//===----------------------------------------------------------------------===//
+// Stat state conversions
+//===----------------------------------------------------------------------===//
+
+static uint64_t bitsOf(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+bool StatMoments::operator==(const StatMoments &O) const {
+  // Bit-pattern compare: the determinism guarantee is about bytes, and a
+  // NaN (which never == itself) must still compare equal to its copy.
+  return N == O.N && bitsOf(Mean) == bitsOf(O.Mean) &&
+         bitsOf(M2) == bitsOf(O.M2) && bitsOf(Min) == bitsOf(O.Min) &&
+         bitsOf(Max) == bitsOf(O.Max);
+}
+
+StatMoments fleet::momentsOf(const RunningStat &S) {
+  StatMoments M;
+  M.N = S.count();
+  M.Mean = S.count() == 0 ? 0.0 : S.mean();
+  M.M2 = S.m2();
+  M.Min = S.min();
+  M.Max = S.max();
+  return M;
+}
+
+RunningStat fleet::statFromMoments(const StatMoments &M) {
+  return RunningStat::fromMoments(M.N, M.Mean, M.M2, M.Min, M.Max);
+}
+
+TotalMaxState fleet::stateOf(const TotalMax &T) {
+  return {T.total(), T.max(), T.cycles()};
+}
+
+TotalMax fleet::totalMaxFromState(const TotalMaxState &S) {
+  return TotalMax::fromParts(S.Total, S.Max, S.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// ContextProfile
+//===----------------------------------------------------------------------===//
+
+ContextStatsBundle ContextProfile::statsBundle() const {
+  ContextStatsBundle B;
+  for (unsigned I = 0; I < NumOpKinds; ++I)
+    B.OpStats[I] = statFromMoments(OpStats[I]);
+  B.MaxSizeStat = statFromMoments(MaxSizeStat);
+  B.FinalSizeStat = statFromMoments(FinalSizeStat);
+  B.InitialCapacityStat = statFromMoments(InitialCapacityStat);
+  B.Allocations = Allocations;
+  B.Folded = Folded;
+  B.MigrationAborts = MigrationAborts;
+  B.MigrationCommits = MigrationCommits;
+  B.Live = totalMaxFromState(Live);
+  B.Used = totalMaxFromState(Used);
+  B.Core = totalMaxFromState(Core);
+  B.Objects = totalMaxFromState(Objects);
+  return B;
+}
+
+static StatMoments mergeMoments(const StatMoments &A, const StatMoments &B) {
+  RunningStat S = statFromMoments(A);
+  S.merge(statFromMoments(B));
+  return momentsOf(S);
+}
+
+static TotalMaxState mergeTotalMax(const TotalMaxState &A,
+                                   const TotalMaxState &B) {
+  TotalMax T = totalMaxFromState(A);
+  T.merge(totalMaxFromState(B));
+  return stateOf(T);
+}
+
+void ContextProfile::mergeStats(const ContextProfile &O) {
+  for (unsigned I = 0; I < NumOpKinds; ++I)
+    OpStats[I] = mergeMoments(OpStats[I], O.OpStats[I]);
+  MaxSizeStat = mergeMoments(MaxSizeStat, O.MaxSizeStat);
+  FinalSizeStat = mergeMoments(FinalSizeStat, O.FinalSizeStat);
+  InitialCapacityStat = mergeMoments(InitialCapacityStat, O.InitialCapacityStat);
+  Allocations += O.Allocations;
+  Folded += O.Folded;
+  MigrationAborts += O.MigrationAborts;
+  MigrationCommits += O.MigrationCommits;
+  Live = mergeTotalMax(Live, O.Live);
+  Used = mergeTotalMax(Used, O.Used);
+  Core = mergeTotalMax(Core, O.Core);
+  Objects = mergeTotalMax(Objects, O.Objects);
+}
+
+//===----------------------------------------------------------------------===//
+// Capture
+//===----------------------------------------------------------------------===//
+
+ProcessProfile fleet::captureProcessProfile(const SemanticProfiler &P,
+                                            uint64_t Epoch,
+                                            const std::string &MetricsPrefix) {
+  ProcessProfile Out;
+  Out.Epoch = Epoch;
+  Out.CyclesSeen = P.cyclesSeen();
+  Out.HeapLive = stateOf(P.heapLiveData());
+  Out.HeapCollLive = stateOf(P.heapCollectionLiveData());
+  Out.HeapCollUsed = stateOf(P.heapCollectionUsedData());
+  Out.HeapCollCore = stateOf(P.heapCollectionCoreData());
+
+  Out.Contexts.reserve(P.contexts().size());
+  for (const ContextInfo *Ctx : P.contexts()) {
+    ContextProfile C;
+    C.TypeName = Ctx->typeName();
+    C.Frames.reserve(Ctx->frames().size());
+    for (FrameId F : Ctx->frames())
+      C.Frames.push_back(P.frameName(F));
+    ContextStatsBundle B = Ctx->exportStats();
+    for (unsigned I = 0; I < NumOpKinds; ++I)
+      C.OpStats[I] = momentsOf(B.OpStats[I]);
+    C.MaxSizeStat = momentsOf(B.MaxSizeStat);
+    C.FinalSizeStat = momentsOf(B.FinalSizeStat);
+    C.InitialCapacityStat = momentsOf(B.InitialCapacityStat);
+    C.Allocations = B.Allocations;
+    C.Folded = B.Folded;
+    C.MigrationAborts = B.MigrationAborts;
+    C.MigrationCommits = B.MigrationCommits;
+    C.Live = stateOf(B.Live);
+    C.Used = stateOf(B.Used);
+    C.Core = stateOf(B.Core);
+    C.Objects = stateOf(B.Objects);
+    Out.Contexts.push_back(std::move(C));
+  }
+  // Canonical identity order regardless of the profiler's current
+  // numbering (flushEpoch sorts by label; sorting here makes capture safe
+  // even mid-run in single-threaded mode).
+  std::sort(Out.Contexts.begin(), Out.Contexts.end(),
+            [](const ContextProfile &A, const ContextProfile &B) {
+              return A.identityLess(B);
+            });
+
+  if (!MetricsPrefix.empty())
+    Out.Metrics = obs::MetricsRegistry::instance().snapshot(MetricsPrefix);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+static void encodeMoments(std::string &Out, const StatMoments &M) {
+  putVarint(Out, M.N);
+  putF64(Out, M.Mean);
+  putF64(Out, M.M2);
+  putF64(Out, M.Min);
+  putF64(Out, M.Max);
+}
+
+static bool decodeMoments(ByteReader &R, StatMoments &M) {
+  return R.varint(M.N) && R.f64(M.Mean) && R.f64(M.M2) && R.f64(M.Min) &&
+         R.f64(M.Max);
+}
+
+static void encodeTotalMax(std::string &Out, const TotalMaxState &T) {
+  putVarint(Out, T.Total);
+  putVarint(Out, T.Max);
+  putVarint(Out, T.Cycles);
+}
+
+static bool decodeTotalMax(ByteReader &R, TotalMaxState &T) {
+  return R.varint(T.Total) && R.varint(T.Max) && R.varint(T.Cycles);
+}
+
+static void encodeMetricSnapshot(std::string &Out,
+                                 const obs::MetricSnapshot &M) {
+  putStr(Out, M.Name);
+  Out.push_back(static_cast<char>(M.Kind));
+  putVarint(Out, M.Value);
+  putVarint(Out, zigzag(M.GaugeValue));
+  putVarint(Out, M.Bounds.size());
+  for (uint64_t B : M.Bounds)
+    putVarint(Out, B);
+  putVarint(Out, M.Buckets.size());
+  for (uint64_t B : M.Buckets)
+    putVarint(Out, B);
+  putVarint(Out, M.Count);
+  putVarint(Out, M.Sum);
+}
+
+static bool decodeMetricSnapshot(ByteReader &R, obs::MetricSnapshot &M) {
+  uint8_t Kind;
+  if (!R.str(M.Name, MaxLabelLen) || !R.u8(Kind))
+    return false;
+  if (Kind > static_cast<uint8_t>(obs::MetricKind::Histogram))
+    return false;
+  M.Kind = static_cast<obs::MetricKind>(Kind);
+  uint64_t Gauge;
+  if (!R.varint(M.Value) || !R.varint(Gauge))
+    return false;
+  M.GaugeValue = unzigzag(Gauge);
+  uint64_t NBounds;
+  if (!R.varint(NBounds) || NBounds > MaxHistogramBuckets)
+    return false;
+  M.Bounds.resize(NBounds);
+  for (uint64_t &B : M.Bounds)
+    if (!R.varint(B))
+      return false;
+  uint64_t NBuckets;
+  if (!R.varint(NBuckets) || NBuckets > MaxHistogramBuckets + 1)
+    return false;
+  M.Buckets.resize(NBuckets);
+  for (uint64_t &B : M.Buckets)
+    if (!R.varint(B))
+      return false;
+  return R.varint(M.Count) && R.varint(M.Sum);
+}
+
+static void encodeContext(std::string &Out, const ContextProfile &C) {
+  putStr(Out, C.TypeName);
+  putVarint(Out, C.Frames.size());
+  for (const std::string &F : C.Frames)
+    putStr(Out, F);
+  for (unsigned I = 0; I < NumOpKinds; ++I)
+    encodeMoments(Out, C.OpStats[I]);
+  encodeMoments(Out, C.MaxSizeStat);
+  encodeMoments(Out, C.FinalSizeStat);
+  encodeMoments(Out, C.InitialCapacityStat);
+  putVarint(Out, C.Allocations);
+  putVarint(Out, C.Folded);
+  putVarint(Out, C.MigrationAborts);
+  putVarint(Out, C.MigrationCommits);
+  encodeTotalMax(Out, C.Live);
+  encodeTotalMax(Out, C.Used);
+  encodeTotalMax(Out, C.Core);
+  encodeTotalMax(Out, C.Objects);
+}
+
+static bool decodeContext(ByteReader &R, ContextProfile &C) {
+  if (!R.str(C.TypeName, MaxLabelLen))
+    return false;
+  uint64_t NFrames;
+  if (!R.varint(NFrames) || NFrames > MaxFramesPerContext)
+    return false;
+  C.Frames.resize(NFrames);
+  for (std::string &F : C.Frames)
+    if (!R.str(F, MaxLabelLen))
+      return false;
+  for (unsigned I = 0; I < NumOpKinds; ++I)
+    if (!decodeMoments(R, C.OpStats[I]))
+      return false;
+  if (!decodeMoments(R, C.MaxSizeStat) || !decodeMoments(R, C.FinalSizeStat) ||
+      !decodeMoments(R, C.InitialCapacityStat))
+    return false;
+  if (!R.varint(C.Allocations) || !R.varint(C.Folded) ||
+      !R.varint(C.MigrationAborts) || !R.varint(C.MigrationCommits))
+    return false;
+  return decodeTotalMax(R, C.Live) && decodeTotalMax(R, C.Used) &&
+         decodeTotalMax(R, C.Core) && decodeTotalMax(R, C.Objects);
+}
+
+void fleet::encodeProcessProfile(std::string &Out, const ProcessProfile &P) {
+  putVarint(Out, P.Epoch);
+  putVarint(Out, P.CyclesSeen);
+  encodeTotalMax(Out, P.HeapLive);
+  encodeTotalMax(Out, P.HeapCollLive);
+  encodeTotalMax(Out, P.HeapCollUsed);
+  encodeTotalMax(Out, P.HeapCollCore);
+  putVarint(Out, P.Contexts.size());
+  for (const ContextProfile &C : P.Contexts)
+    encodeContext(Out, C);
+  putVarint(Out, P.Metrics.size());
+  for (const obs::MetricSnapshot &M : P.Metrics)
+    encodeMetricSnapshot(Out, M);
+}
+
+bool fleet::decodeProcessProfile(ByteReader &R, ProcessProfile &Out,
+                                 std::string &Err) {
+  auto Fail = [&](const char *What) {
+    Err = What;
+    return false;
+  };
+  if (!R.varint(Out.Epoch) || !R.varint(Out.CyclesSeen))
+    return Fail("truncated profile header");
+  if (!decodeTotalMax(R, Out.HeapLive) || !decodeTotalMax(R, Out.HeapCollLive) ||
+      !decodeTotalMax(R, Out.HeapCollUsed) ||
+      !decodeTotalMax(R, Out.HeapCollCore))
+    return Fail("truncated heap aggregates");
+  uint64_t NContexts;
+  if (!R.varint(NContexts) || NContexts > MaxContextsPerProfile)
+    return Fail("bad context count");
+  Out.Contexts.resize(NContexts);
+  for (ContextProfile &C : Out.Contexts)
+    if (!decodeContext(R, C))
+      return Fail("truncated context record");
+  uint64_t NMetrics;
+  if (!R.varint(NMetrics) || NMetrics > MaxMetricsPerProfile)
+    return Fail("bad metric count");
+  Out.Metrics.resize(NMetrics);
+  for (obs::MetricSnapshot &M : Out.Metrics)
+    if (!decodeMetricSnapshot(R, M))
+      return Fail("truncated metric record");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// FleetState
+//===----------------------------------------------------------------------===//
+
+bool FleetState::fold(const StreamKey &Key, ProcessProfile Profile) {
+  Stream &S = Streams[Key];
+  if (Profile.Epoch <= S.Latest.Epoch && S.Latest.Epoch != 0)
+    return false;
+  S.Latest = std::move(Profile);
+  return true;
+}
+
+uint64_t FleetState::latestEpoch(const StreamKey &Key) const {
+  auto It = Streams.find(Key);
+  return It == Streams.end() ? 0 : It->second.Latest.Epoch;
+}
+
+uint64_t FleetState::durableEpoch(const StreamKey &Key) const {
+  auto It = Streams.find(Key);
+  return It == Streams.end() ? 0 : It->second.DurableEpoch;
+}
+
+void FleetState::markAllDurable() {
+  for (auto &[Key, S] : Streams)
+    S.DurableEpoch = S.Latest.Epoch;
+}
+
+void FleetState::restore(const StreamKey &Key, ProcessProfile Profile) {
+  Stream &S = Streams[Key];
+  if (Profile.Epoch <= S.Latest.Epoch && S.Latest.Epoch != 0)
+    return;
+  S.DurableEpoch = Profile.Epoch;
+  S.Latest = std::move(Profile);
+}
+
+std::vector<obs::MetricSnapshot> fleet::mergeMetricSnapshots(
+    const std::vector<const std::vector<obs::MetricSnapshot> *> &Inputs) {
+  std::map<std::string, obs::MetricSnapshot> ByName;
+  for (const auto *Snaps : Inputs) {
+    for (const obs::MetricSnapshot &M : *Snaps) {
+      auto It = ByName.find(M.Name);
+      if (It == ByName.end()) {
+        ByName.emplace(M.Name, M);
+        continue;
+      }
+      obs::MetricSnapshot &Acc = It->second;
+      Acc.Value += M.Value;
+      Acc.GaugeValue += M.GaugeValue;
+      Acc.Count += M.Count;
+      Acc.Sum += M.Sum;
+      if (Acc.Bounds == M.Bounds && Acc.Buckets.size() == M.Buckets.size())
+        for (size_t I = 0; I < Acc.Buckets.size(); ++I)
+          Acc.Buckets[I] += M.Buckets[I];
+    }
+  }
+  std::vector<obs::MetricSnapshot> Out;
+  Out.reserve(ByName.size());
+  for (auto &[Name, M] : ByName)
+    Out.push_back(std::move(M));
+  return Out;
+}
+
+ProcessProfile FleetState::mergedProfile() const {
+  ProcessProfile Merged;
+  std::vector<const std::vector<obs::MetricSnapshot> *> MetricInputs;
+  // Streams iterate in sorted key order (std::map), which *is* the
+  // canonical fold order the byte-identity guarantee depends on.
+  for (const auto &[Key, S] : Streams) {
+    const ProcessProfile &P = S.Latest;
+    Merged.Epoch += P.Epoch;
+    Merged.CyclesSeen += P.CyclesSeen;
+    Merged.HeapLive = mergeTotalMax(Merged.HeapLive, P.HeapLive);
+    Merged.HeapCollLive = mergeTotalMax(Merged.HeapCollLive, P.HeapCollLive);
+    Merged.HeapCollUsed = mergeTotalMax(Merged.HeapCollUsed, P.HeapCollUsed);
+    Merged.HeapCollCore = mergeTotalMax(Merged.HeapCollCore, P.HeapCollCore);
+    MetricInputs.push_back(&P.Metrics);
+    for (const ContextProfile &C : P.Contexts) {
+      auto It = std::lower_bound(
+          Merged.Contexts.begin(), Merged.Contexts.end(), C,
+          [](const ContextProfile &A, const ContextProfile &B) {
+            return A.identityLess(B);
+          });
+      if (It != Merged.Contexts.end() && It->sameIdentity(C))
+        It->mergeStats(C);
+      else
+        Merged.Contexts.insert(It, C);
+    }
+  }
+  Merged.Metrics = mergeMetricSnapshots(MetricInputs);
+  return Merged;
+}
+
+void FleetState::restoreInto(SemanticProfiler &P) const {
+  ProcessProfile Merged = mergedProfile();
+  for (const ContextProfile &C : Merged.Contexts) {
+    ContextInfo *Ctx = P.internContext(C.TypeName, C.Frames);
+    Ctx->mergeStats(C.statsBundle());
+  }
+  P.restoreHeapAggregates(
+      totalMaxFromState(Merged.HeapLive), totalMaxFromState(Merged.HeapCollLive),
+      totalMaxFromState(Merged.HeapCollUsed),
+      totalMaxFromState(Merged.HeapCollCore), Merged.CyclesSeen);
+}

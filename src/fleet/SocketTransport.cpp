@@ -1,0 +1,169 @@
+//===--- SocketTransport.cpp - AF_UNIX fleet transport --------------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/SocketTransport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace chameleon::fleet;
+
+static bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+static bool fillUnixAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.size() + 1 > sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SocketConnection
+//===----------------------------------------------------------------------===//
+
+SocketConnection::SocketConnection(int Fd) : Fd(Fd) { setNonBlocking(Fd); }
+
+SocketConnection::~SocketConnection() { close(); }
+
+bool SocketConnection::flushSendBuf() {
+  while (SendPos < SendBuf.size()) {
+    ssize_t N = ::send(Fd, SendBuf.data() + SendPos, SendBuf.size() - SendPos,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N > 0) {
+      SendPos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true; // kernel full; keep the rest buffered
+    return false;  // peer gone / real error
+  }
+  SendBuf.clear();
+  SendPos = 0;
+  return true;
+}
+
+bool SocketConnection::send(const std::string &Bytes) {
+  if (Fd < 0)
+    return false;
+  SendBuf.append(Bytes);
+  return flushSendBuf();
+}
+
+bool SocketConnection::receive(std::string &Out) {
+  if (Fd < 0)
+    return false;
+  // Opportunistically drain our send backlog too: pump loops only call
+  // send when they have fresh records, but the kernel may have made room.
+  if (!flushSendBuf())
+    return false;
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      Out.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0)
+      return false; // orderly hangup (after the final drain above)
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return true;
+    return false;
+  }
+}
+
+void SocketConnection::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SocketDialer
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<chameleon::fleet::Connection> SocketDialer::dial() {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr))
+    return nullptr;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return nullptr;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::make_unique<SocketConnection>(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// SocketListener
+//===----------------------------------------------------------------------===//
+
+SocketListener::~SocketListener() { close(); }
+
+bool SocketListener::listen(const std::string &P, std::string &Err) {
+  close();
+  sockaddr_un Addr;
+  if (!fillUnixAddr(P, Addr)) {
+    Err = P + ": socket path too long";
+    return false;
+  }
+  int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (NewFd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(P.c_str()); // stale socket from a previous (crashed) aggregator
+  if (::bind(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(NewFd, 64) != 0 || !setNonBlocking(NewFd)) {
+    Err = P + ": " + std::strerror(errno);
+    ::close(NewFd);
+    return false;
+  }
+  Fd = NewFd;
+  Path = P;
+  return true;
+}
+
+std::vector<std::unique_ptr<chameleon::fleet::Connection>>
+SocketListener::acceptAll() {
+  std::vector<std::unique_ptr<Connection>> Out;
+  if (Fd < 0)
+    return Out;
+  for (;;) {
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0)
+      break;
+    Out.push_back(std::make_unique<SocketConnection>(Client));
+  }
+  return Out;
+}
+
+void SocketListener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+    if (!Path.empty())
+      ::unlink(Path.c_str());
+    Path.clear();
+  }
+}

@@ -1,0 +1,74 @@
+//===--- SpillWal.h - Agent-side durable spill log -------------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The agent's write-ahead spill log (DESIGN.md §15). Every committed
+/// epoch is appended here *before* it is queued for send — the WAL is the
+/// commit, the socket is an optimisation. Records stay in the log until
+/// the aggregator reports them durable (included in a persisted snapshot);
+/// an aggregator crash, a dropped connection, or an agent restart replays
+/// the tail and loses nothing.
+///
+/// On-disk form: a sequence of checksummed frames (WireFormat framing),
+/// each wrapping `varint epoch | message payload`. Loading is tolerant of
+/// exactly one failure mode — a torn tail from a crash mid-append: the
+/// reader stops at the first incomplete/corrupt frame, reports the torn
+/// byte count, and every frame before it is intact (per-frame digests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_FLEET_SPILLWAL_H
+#define CHAMELEON_FLEET_SPILLWAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chameleon::fleet {
+
+class SpillWal {
+public:
+  struct Record {
+    uint64_t Epoch = 0;
+    /// The framed-message payload as sent on the wire (EpochUpdate).
+    std::string MessagePayload;
+  };
+
+  struct LoadResult {
+    std::vector<Record> Records;
+    /// Bytes discarded from a torn tail (0 = file ended cleanly).
+    uint64_t TornBytes = 0;
+  };
+
+  explicit SpillWal(std::string Path) : Path(std::move(Path)) {}
+
+  const std::string &path() const { return Path; }
+
+  /// Appends one record; with \p Sync the write is flushed and fsynced
+  /// before returning (the durability point). False + \p Err on failure —
+  /// the caller retries the append on its next pump, the epoch is not
+  /// considered committed until this succeeds.
+  bool append(uint64_t Epoch, const std::string &MessagePayload, bool Sync,
+              std::string &Err);
+
+  /// Reads every intact record. A missing file is an empty result, not an
+  /// error. Truncated/corrupt tails are tolerated (see file comment);
+  /// corruption *before* the tail ends the scan there too — everything
+  /// after an undecodable frame is unreachable by design.
+  static bool load(const std::string &Path, LoadResult &Out,
+                   std::string &Err);
+
+  /// Rewrites the log keeping only records with Epoch > \p DurableEpoch
+  /// (temp file + atomic rename; the log is never half-rewritten).
+  bool compact(uint64_t DurableEpoch, std::string &Err);
+
+private:
+  std::string Path;
+};
+
+} // namespace chameleon::fleet
+
+#endif // CHAMELEON_FLEET_SPILLWAL_H

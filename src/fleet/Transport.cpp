@@ -1,0 +1,98 @@
+//===--- Transport.cpp - In-memory deterministic transport ---------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Transport.h"
+
+using namespace chameleon::fleet;
+
+/// One end of a pipe. IsServer selects which buffer is "mine to read".
+class InMemoryHub::End : public Connection {
+public:
+  End(std::shared_ptr<Pipe> P, bool IsServer)
+      : P(std::move(P)), IsServer(IsServer) {}
+
+  ~End() override { close(); }
+
+  bool send(const std::string &Bytes) override {
+    std::lock_guard<std::mutex> L(P->Mu);
+    if (P->ClientClosed || P->ServerClosed)
+      return false;
+    (IsServer ? P->ToClient : P->ToServer).append(Bytes);
+    return true;
+  }
+
+  bool receive(std::string &Out) override {
+    std::lock_guard<std::mutex> L(P->Mu);
+    std::string &Inbox = IsServer ? P->ToServer : P->ToClient;
+    Out.append(Inbox);
+    Inbox.clear();
+    bool PeerClosed = IsServer ? P->ClientClosed : P->ServerClosed;
+    bool SelfClosed = IsServer ? P->ServerClosed : P->ClientClosed;
+    return !PeerClosed && !SelfClosed;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> L(P->Mu);
+    (IsServer ? P->ServerClosed : P->ClientClosed) = true;
+  }
+
+private:
+  std::shared_ptr<Pipe> P;
+  bool IsServer;
+};
+
+std::unique_ptr<Connection> InMemoryHub::dial() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Up)
+    return nullptr;
+  auto P = std::make_shared<Pipe>();
+  Pending.push_back(P);
+  return std::make_unique<End>(P, /*IsServer=*/false);
+}
+
+std::vector<std::unique_ptr<Connection>> InMemoryHub::acceptAll() {
+  std::vector<std::shared_ptr<Pipe>> Taken;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (!Up)
+      return {};
+    Taken.swap(Pending);
+    for (const auto &P : Taken)
+      ServerPipes.push_back(P);
+  }
+  std::vector<std::unique_ptr<Connection>> Conns;
+  Conns.reserve(Taken.size());
+  for (auto &P : Taken)
+    Conns.push_back(std::make_unique<End>(std::move(P), /*IsServer=*/true));
+  return Conns;
+}
+
+void InMemoryHub::stopServer() {
+  std::vector<std::shared_ptr<Pipe>> ToClose;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Up = false;
+    ToClose.swap(ServerPipes);
+    // Un-accepted dials die too: the server never saw them.
+    for (auto &P : Pending)
+      ToClose.push_back(std::move(P));
+    Pending.clear();
+  }
+  for (const auto &P : ToClose) {
+    std::lock_guard<std::mutex> L(P->Mu);
+    P->ServerClosed = true;
+  }
+}
+
+void InMemoryHub::startServer() {
+  std::lock_guard<std::mutex> L(Mu);
+  Up = true;
+}
+
+bool InMemoryHub::serverUp() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Up;
+}

@@ -1,0 +1,96 @@
+//===--- Transport.h - Byte-stream transport abstraction -------*- C++ -*-===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-stream transport the fleet endpoints speak over. Two
+/// implementations: the deterministic `InMemoryHub` (tests and the chaos
+/// suite — supports killing and restarting the "server" side to simulate
+/// an aggregator crash), and the AF_UNIX socket transport in
+/// SocketTransport.h (the tools). The protocol layer only sees buffered
+/// bytes: framing (WireFormat.h) handles message boundaries, so a
+/// transport may deliver any byte chunking it likes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHAMELEON_FLEET_TRANSPORT_H
+#define CHAMELEON_FLEET_TRANSPORT_H
+
+#include "support/Annotations.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chameleon::fleet {
+
+/// One end of a bidirectional byte stream. Non-blocking: send buffers,
+/// receive drains whatever has arrived.
+class Connection {
+public:
+  virtual ~Connection() = default;
+
+  /// Queues \p Bytes for the peer. Returns false when the connection is
+  /// dead (peer closed / transport error); the bytes are then dropped.
+  virtual bool send(const std::string &Bytes) = 0;
+
+  /// Appends any received bytes to \p Out. Returns false when the
+  /// connection is dead *and* fully drained — the caller may still get
+  /// bytes and `false` in the same call (final drain).
+  virtual bool receive(std::string &Out) = 0;
+
+  /// Closes this end; the peer observes death after draining.
+  virtual void close() = 0;
+};
+
+/// Client-side connection factory (the agent's reconnect loop dials it).
+class Dialer {
+public:
+  virtual ~Dialer() = default;
+
+  /// Attempts one connection. Null when the server side is unreachable.
+  virtual std::unique_ptr<Connection> dial() = 0;
+};
+
+/// Deterministic in-process transport: a client dials, the server accepts,
+/// both ends exchange bytes through locked buffers. `stopServer` closes
+/// every server-side end and makes subsequent dials fail — the test
+/// harness's "kill the aggregator mid-stream"; `startServer` brings it
+/// back. Single lock per pipe, no threads, no time.
+class InMemoryHub : public Dialer {
+public:
+  std::unique_ptr<Connection> dial() override;
+
+  /// Server side: connections dialed since the last acceptAll (empty when
+  /// the server is down).
+  std::vector<std::unique_ptr<Connection>> acceptAll();
+
+  /// Simulates an aggregator crash: closes every server-side end (clients
+  /// observe death) and refuses new dials until startServer.
+  void stopServer();
+  void startServer();
+  bool serverUp() const;
+
+private:
+  struct Pipe {
+    std::mutex Mu CHAM_LOCK_RANK(44);
+    std::string ToServer;
+    std::string ToClient;
+    bool ClientClosed = false;
+    bool ServerClosed = false;
+  };
+
+  class End;
+
+  mutable std::mutex Mu CHAM_LOCK_RANK(45);
+  bool Up = true;
+  std::vector<std::shared_ptr<Pipe>> Pending;
+  std::vector<std::shared_ptr<Pipe>> ServerPipes;
+};
+
+} // namespace chameleon::fleet
+
+#endif // CHAMELEON_FLEET_TRANSPORT_H

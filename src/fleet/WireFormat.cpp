@@ -1,0 +1,159 @@
+//===--- WireFormat.cpp - Agent/aggregator wire protocol -----------------===//
+//
+// Part of the Chameleon-CXX project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/WireFormat.h"
+
+using namespace chameleon;
+using namespace chameleon::fleet;
+
+//===----------------------------------------------------------------------===//
+// Payloads
+//===----------------------------------------------------------------------===//
+
+std::string fleet::encodeHello(const HelloMsg &M) {
+  std::string Out;
+  Out.push_back(static_cast<char>(MsgKind::Hello));
+  putVarint(Out, M.Version);
+  putStr(Out, M.AgentId);
+  putU64Le(Out, M.RunSeed);
+  return Out;
+}
+
+std::string fleet::encodeHelloAck(const HelloAckMsg &M) {
+  std::string Out;
+  Out.push_back(static_cast<char>(MsgKind::HelloAck));
+  putVarint(Out, M.Version);
+  putVarint(Out, M.DurableEpoch);
+  return Out;
+}
+
+std::string fleet::encodeEpochUpdate(const EpochUpdateMsg &M) {
+  std::string Out;
+  Out.push_back(static_cast<char>(MsgKind::EpochUpdate));
+  encodeProcessProfile(Out, M.Profile);
+  return Out;
+}
+
+std::string fleet::encodeAck(const AckMsg &M) {
+  std::string Out;
+  Out.push_back(static_cast<char>(MsgKind::Ack));
+  putVarint(Out, M.SeenEpoch);
+  putVarint(Out, M.DurableEpoch);
+  return Out;
+}
+
+bool fleet::decodeMessage(const std::string &Payload, Message &Out,
+                          std::string &Err) {
+  ByteReader R(Payload);
+  uint8_t Kind;
+  if (!R.u8(Kind)) {
+    Err = "empty payload";
+    return false;
+  }
+  switch (static_cast<MsgKind>(Kind)) {
+  case MsgKind::Hello: {
+    Out.Kind = MsgKind::Hello;
+    uint64_t Version;
+    if (!R.varint(Version) || !R.str(Out.Hello.AgentId, MaxLabelLen) ||
+        !R.u64Le(Out.Hello.RunSeed)) {
+      Err = "truncated Hello";
+      return false;
+    }
+    Out.Hello.Version = static_cast<uint32_t>(Version);
+    break;
+  }
+  case MsgKind::HelloAck: {
+    Out.Kind = MsgKind::HelloAck;
+    uint64_t Version;
+    if (!R.varint(Version) || !R.varint(Out.HelloAck.DurableEpoch)) {
+      Err = "truncated HelloAck";
+      return false;
+    }
+    Out.HelloAck.Version = static_cast<uint32_t>(Version);
+    break;
+  }
+  case MsgKind::EpochUpdate:
+    Out.Kind = MsgKind::EpochUpdate;
+    if (!decodeProcessProfile(R, Out.EpochUpdate.Profile, Err)) {
+      Err = "bad EpochUpdate: " + Err;
+      return false;
+    }
+    break;
+  case MsgKind::Ack:
+    Out.Kind = MsgKind::Ack;
+    if (!R.varint(Out.Ack.SeenEpoch) || !R.varint(Out.Ack.DurableEpoch)) {
+      Err = "truncated Ack";
+      return false;
+    }
+    break;
+  default:
+    Err = "unknown message kind " + std::to_string(Kind);
+    return false;
+  }
+  if (!R.atEnd()) {
+    Err = "trailing bytes after message";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+const char *fleet::frameStatusName(FrameStatus S) {
+  switch (S) {
+  case FrameStatus::Ok:
+    return "ok";
+  case FrameStatus::Incomplete:
+    return "incomplete";
+  case FrameStatus::BadMagic:
+    return "bad-magic";
+  case FrameStatus::TooLarge:
+    return "too-large";
+  case FrameStatus::BadDigest:
+    return "bad-digest";
+  }
+  return "?";
+}
+
+void fleet::frameMessage(std::string &Out, const std::string &Payload) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((FrameMagic >> (8 * I)) & 0xFF));
+  putVarint(Out, Payload.size());
+  Out.append(Payload);
+  putU64Le(Out, fnv1a(Payload));
+}
+
+FrameStatus fleet::extractFrame(const std::string &Buf, size_t &Pos,
+                                std::string &Payload) {
+  ByteReader R(Buf.data() + Pos, Buf.size() - Pos);
+  uint32_t Magic = 0;
+  for (int I = 0; I < 4; ++I) {
+    uint8_t B;
+    if (!R.u8(B))
+      return FrameStatus::Incomplete;
+    Magic |= static_cast<uint32_t>(B) << (8 * I);
+  }
+  if (Magic != FrameMagic)
+    return FrameStatus::BadMagic;
+  uint64_t Len;
+  if (!R.varint(Len))
+    return FrameStatus::Incomplete;
+  if (Len > MaxFramePayload)
+    return FrameStatus::TooLarge;
+  if (R.remaining() < Len + 8)
+    return FrameStatus::Incomplete;
+  std::string Body;
+  R.bytes(Body, static_cast<size_t>(Len));
+  uint64_t Digest = 0;
+  R.u64Le(Digest);
+  if (fnv1a(Body) != Digest)
+    return FrameStatus::BadDigest;
+  Payload = std::move(Body);
+  Pos += R.pos();
+  return FrameStatus::Ok;
+}

@@ -45,6 +45,41 @@ void ContextInfo::finishCycle() {
   CycleObjects = 0;
 }
 
+ContextStatsBundle ContextInfo::exportStats() const {
+  ContextStatsBundle B;
+  B.OpStats = OpStats;
+  B.MaxSizeStat = MaxSizeStat;
+  B.FinalSizeStat = FinalSizeStat;
+  B.InitialCapacityStat = InitialCapacityStat;
+  B.Allocations = Allocations;
+  B.Folded = Folded;
+  B.MigrationAborts = MigrationAbortCount.load(std::memory_order_relaxed);
+  B.MigrationCommits = MigrationCommitCount.load(std::memory_order_relaxed);
+  B.Live = Live;
+  B.Used = Used;
+  B.Core = Core;
+  B.Objects = Objects;
+  return B;
+}
+
+void ContextInfo::mergeStats(const ContextStatsBundle &B) {
+  for (unsigned I = 0; I < NumOpKinds; ++I)
+    OpStats[I].merge(B.OpStats[I]);
+  MaxSizeStat.merge(B.MaxSizeStat);
+  FinalSizeStat.merge(B.FinalSizeStat);
+  InitialCapacityStat.merge(B.InitialCapacityStat);
+  Allocations += B.Allocations;
+  Folded += B.Folded;
+  MigrationAbortCount.fetch_add(B.MigrationAborts,
+                                std::memory_order_relaxed);
+  MigrationCommitCount.fetch_add(B.MigrationCommits,
+                                 std::memory_order_relaxed);
+  Live.merge(B.Live);
+  Used.merge(B.Used);
+  Core.merge(B.Core);
+  Objects.merge(B.Objects);
+}
+
 double ContextInfo::avgAllOps() const {
   double Sum = 0;
   for (unsigned I = 0; I < NumOpKinds; ++I)

@@ -68,6 +68,28 @@ struct ObjectContextInfo {
   }
 };
 
+/// A ContextInfo's complete statistical state, detached from its identity
+/// (id / frames / type name). The fleet layer exports one of these per
+/// context per process, ships it over the wire, and folds it back into an
+/// aggregator-side ContextInfo with `ContextInfo::mergeStats`. RunningStat
+/// merges are Welford/Chan — exact-valued but not bitwise commutative — so
+/// the aggregator folds bundles in a canonical order (see
+/// fleet/FleetProfile.h) to keep merged reports byte-identical.
+struct ContextStatsBundle {
+  std::array<RunningStat, NumOpKinds> OpStats;
+  RunningStat MaxSizeStat;
+  RunningStat FinalSizeStat;
+  RunningStat InitialCapacityStat;
+  uint64_t Allocations = 0;
+  uint64_t Folded = 0;
+  uint64_t MigrationAborts = 0;
+  uint64_t MigrationCommits = 0;
+  TotalMax Live;
+  TotalMax Used;
+  TotalMax Core;
+  TotalMax Objects;
+};
+
 /// Aggregate statistics for one allocation context (paper Table 1).
 ///
 /// Trace statistics are distributions over the *instances* allocated at the
@@ -167,6 +189,17 @@ public:
   uint64_t migrationCommits() const {
     return MigrationCommitCount.load(std::memory_order_relaxed);
   }
+
+  /// -- Fleet export / restore ----------------------------------------------
+
+  /// Snapshots the full statistical state (quiescent world; the per-cycle
+  /// scratch is not part of the state and must be folded first).
+  ContextStatsBundle exportStats() const;
+
+  /// Folds an exported bundle into this context. Callers that need
+  /// byte-identical merged output must fold bundles in a canonical order
+  /// (RunningStat::merge is not bitwise commutative).
+  void mergeStats(const ContextStatsBundle &B);
 
 private:
   uint32_t Id;

@@ -222,6 +222,42 @@ ContextInfo *SemanticProfiler::contextForAllocation(FrameId SiteId,
   return Info;
 }
 
+ContextInfo *
+SemanticProfiler::internContext(const std::string &TypeName,
+                                const std::vector<std::string> &FrameLabels) {
+  ContextKey Key;
+  Key.TypeNameId = internFrame(TypeName);
+  Key.Frames.reserve(FrameLabels.size());
+  for (const std::string &Label : FrameLabels)
+    Key.Frames.push_back(internFrame(Label));
+
+  uint64_t Hash = ContextKeyHash{}(Key);
+  RegistryShard &Shard = Registry[(Hash >> 16) & (NumRegistryShards - 1)];
+  std::lock_guard<std::mutex> SL(Shard.Mu);
+  auto It = Shard.Map.find(Key);
+  if (It != Shard.Map.end())
+    return It->second.get();
+  std::lock_guard<std::mutex> OL(OrderedMu);
+  auto Owned = std::make_unique<ContextInfo>(
+      static_cast<uint32_t>(Ordered.size()), Key.Frames, TypeName);
+  ContextInfo *Info = Owned.get();
+  Shard.Map.emplace(std::move(Key), std::move(Owned));
+  Ordered.push_back(Info);
+  return Info;
+}
+
+void SemanticProfiler::restoreHeapAggregates(const TotalMax &Live,
+                                             const TotalMax &CollLive,
+                                             const TotalMax &CollUsed,
+                                             const TotalMax &CollCore,
+                                             uint64_t Cycles) {
+  HeapLive.merge(Live);
+  HeapCollLive.merge(CollLive);
+  HeapCollUsed.merge(CollUsed);
+  HeapCollCore.merge(CollCore);
+  CyclesSeen += Cycles;
+}
+
 void SemanticProfiler::noteAllocation(ContextInfo *Ctx,
                                       uint32_t InitialCapacity) {
   if (!Ctx)

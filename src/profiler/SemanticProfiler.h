@@ -211,6 +211,26 @@ public:
   /// already-folded \p Info is ignored.
   void noteDeath(ContextInfo *Ctx, ObjectContextInfo &Info);
 
+  /// -- Fleet restore (aggregator side) -------------------------------------
+
+  /// Interns \p TypeName and \p FrameLabels (allocation site first, then
+  /// callers outward — the frames() order) and returns the context for that
+  /// (type, frames) key, creating it empty when absent. The aggregator-side
+  /// inverse of contextForAllocation: rebuilds a context from its exported
+  /// labels, independent of the calling thread's simulated stack. Never
+  /// sampled out. Thread-safe like the capture miss path.
+  ContextInfo *internContext(const std::string &TypeName,
+                             const std::vector<std::string> &FrameLabels);
+
+  /// Merges exported whole-heap Total/Max aggregates and a cycle count into
+  /// this profiler (fleet snapshot restore). The rule evaluator reads
+  /// heapLiveData() for its potential-relative-to-heap thresholds; a
+  /// restored profiler must carry them for fleet-wide evaluation to see
+  /// the same ratios the originating processes saw.
+  void restoreHeapAggregates(const TotalMax &Live, const TotalMax &CollLive,
+                             const TotalMax &CollUsed,
+                             const TotalMax &CollCore, uint64_t Cycles);
+
   /// -- HeapProfilerHooks (fed by the collection-aware GC) ------------------
 
   // The GC calls these with the world stopped; they must never re-enter

@@ -25,7 +25,9 @@
 ///    (`SpinLock Mu CHAM_LOCK_RANK(10);`) and assigns it a deadlock-
 ///    avoidance rank. Locks must be acquired in strictly decreasing rank
 ///    order; the checker reports `check-lock-rank` on inversions. The
-///    repo's hierarchy (outermost first): GcHeap::SpMu (40) >
+///    repo's hierarchy (outermost first): FleetAgent::Mu (55) >
+///    FleetAggregator::Mu (50) > InMemoryHub::Mu (45) >
+///    InMemoryHub::Pipe::Mu (44) > GcHeap::SpMu (40) >
 ///    GcHeap::AllocMu (30) > GcHeap::SlotMu (20) > CentralFreeList::Mu
 ///    (10) > PageArena::Mu (5).
 ///

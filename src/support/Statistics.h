@@ -51,6 +51,27 @@ public:
   /// Sum of all samples.
   double sum() const { return Mean * static_cast<double>(N); }
 
+  /// Raw second central moment (sum of squared deviations). Together with
+  /// count/mean/min/max this is the accumulator's complete state, which is
+  /// what the fleet layer serializes: restoring via fromMoments and merging
+  /// in a canonical order reproduces the exact bit pattern a local
+  /// accumulator would have reached.
+  double m2() const { return M2; }
+
+  /// Rebuilds an accumulator from previously exported moments (the inverse
+  /// of count/mean/m2/min/max). The doubles must round-trip bit-exactly —
+  /// serialize them as IEEE-754 bit patterns, not decimal text.
+  static RunningStat fromMoments(uint64_t N, double Mean, double M2,
+                                 double Min, double Max) {
+    RunningStat S;
+    S.N = N;
+    S.Mean = Mean;
+    S.M2 = M2;
+    S.Min = Min;
+    S.Max = Max;
+    return S;
+  }
+
 private:
   uint64_t N = 0;
   double Mean = 0.0;
@@ -79,6 +100,26 @@ public:
 
   /// Number of cycles observed.
   uint64_t cycles() const { return Cycles; }
+
+  /// Merges another accumulator (cycle streams concatenate: totals and
+  /// cycle counts add, maxima take the larger). Integer state, so the merge
+  /// is exact and commutative.
+  void merge(const TotalMax &Other) {
+    Total += Other.Total;
+    if (Other.Maximum > Maximum)
+      Maximum = Other.Maximum;
+    Cycles += Other.Cycles;
+  }
+
+  /// Rebuilds an accumulator from exported state (fleet snapshot restore).
+  static TotalMax fromParts(uint64_t Total, uint64_t Maximum,
+                            uint64_t Cycles) {
+    TotalMax T;
+    T.Total = Total;
+    T.Maximum = Maximum;
+    T.Cycles = Cycles;
+    return T;
+  }
 
 private:
   uint64_t Total = 0;

@@ -15,6 +15,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fleet/Agent.h"
+#include "fleet/Aggregator.h"
+#include "fleet/Transport.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Telemetry.h"
@@ -511,6 +514,85 @@ TEST(JsonTest, EscapeRoundTrips) {
   std::string Error;
   ASSERT_TRUE(json::parse("\"" + Escaped + "\"", V, &Error)) << Error;
   EXPECT_EQ(V.str(), "a\"b\\c\nd\x01");
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet metrics
+//===----------------------------------------------------------------------===//
+
+/// Sum of every live instance of one cham.fleet.* metric.
+uint64_t fleetCounter(const std::string &Name) {
+  uint64_t V = 0;
+  for (const MetricSnapshot &S : MetricsRegistry::instance().snapshot(Name))
+    V += S.Value;
+  return V;
+}
+
+struct FleetDeltas {
+  uint64_t Commits = 0;
+  uint64_t Sent = 0;
+  uint64_t Updates = 0;
+  uint64_t Acks = 0;
+  uint64_t Persists = 0;
+};
+
+/// One fixed agent→aggregator exchange over the in-memory hub: four
+/// committed epochs, fully drained. Single-threaded pump loop, no faults,
+/// no wall time — the counter movement is workload-determined.
+FleetDeltas measureFleetExchange() {
+  uint64_t Commits0 = fleetCounter("cham.fleet.commits");
+  uint64_t Sent0 = fleetCounter("cham.fleet.sent_records");
+  uint64_t Updates0 = fleetCounter("cham.fleet.updates");
+  uint64_t Acks0 = fleetCounter("cham.fleet.acks_sent");
+  uint64_t Persists0 = fleetCounter("cham.fleet.snapshot_persists");
+
+  fleet::InMemoryHub Hub;
+  fleet::FleetAggregatorConfig GC;
+  GC.PersistEveryUpdates = 1;
+  fleet::FleetAggregator Agg(GC);
+  fleet::FleetAgentConfig AC;
+  AC.AgentId = "metrics-agent";
+  fleet::FleetAgent Agent(AC, Hub);
+  for (uint64_t E = 1; E <= 4; ++E) {
+    fleet::ProcessProfile P;
+    P.Epoch = E;
+    P.HeapLive = {E * 100, 100, E};
+    Agent.commitEpoch(std::move(P));
+  }
+  uint64_t Tick = 0;
+  for (int Round = 0; Round < 200 && !Agent.drained(); ++Round) {
+    Agent.pump(Tick++);
+    for (auto &C : Hub.acceptAll())
+      Agg.attach(std::move(C));
+    Agg.pump();
+  }
+  EXPECT_TRUE(Agent.drained());
+
+  return {fleetCounter("cham.fleet.commits") - Commits0,
+          fleetCounter("cham.fleet.sent_records") - Sent0,
+          fleetCounter("cham.fleet.updates") - Updates0,
+          fleetCounter("cham.fleet.acks_sent") - Acks0,
+          fleetCounter("cham.fleet.snapshot_persists") - Persists0};
+}
+
+/// Identical single-threaded fleet exchanges must move the fleet counters
+/// by identical deltas — the determinism guard the other cham.* layers
+/// already have. Backoff/retry counters are excluded only because this
+/// run never fails; the exchange itself pins commits, sends, applied
+/// updates, acks, and persists.
+TEST(FleetMetricsTest, DeltasDeterministicAcrossIdenticalRuns) {
+  FleetDeltas First = measureFleetExchange();
+  FleetDeltas Second = measureFleetExchange();
+  EXPECT_EQ(First.Commits, 4u);
+  EXPECT_EQ(First.Sent, 4u);
+  EXPECT_EQ(First.Updates, 4u);
+  EXPECT_GT(First.Acks, 0u);
+  EXPECT_GT(First.Persists, 0u);
+  EXPECT_EQ(First.Commits, Second.Commits);
+  EXPECT_EQ(First.Sent, Second.Sent);
+  EXPECT_EQ(First.Updates, Second.Updates);
+  EXPECT_EQ(First.Acks, Second.Acks);
+  EXPECT_EQ(First.Persists, Second.Persists);
 }
 
 } // namespace

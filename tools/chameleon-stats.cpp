@@ -18,8 +18,18 @@
 /// process used, over snapshots re-read from metrics.json — so what this
 /// tool prints is exactly what the process exported.
 ///
+/// Fleet snapshots (DESIGN.md §15) are inspected the same way:
+///
+///   chameleon-stats --fleet fleet.snap   # merged fleet profile + metrics
+///   chameleon-stats --diff a.snap b.snap # what changed between snapshots
+///
+/// Inspection is read-only: a corrupt snapshot is reported with its typed
+/// error but never quarantined from here.
+///
 //===----------------------------------------------------------------------===//
 
+#include "fleet/Aggregator.h"
+#include "fleet/Snapshot.h"
 #include "obs/Json.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
@@ -41,6 +51,9 @@ void printUsage(const char *Argv0) {
               "  --format table|prom|json  output format (default table)\n"
               "  --trace                   also summarize the bundle's"
               " trace.json\n"
+              "  --fleet SNAP              render a fleet snapshot's merged"
+              " profile\n"
+              "  --diff SNAP_A SNAP_B      diff two fleet snapshots\n"
               "  -h, --help                show this help\n",
               Argv0);
 }
@@ -146,6 +159,98 @@ bool summarizeTrace(const std::string &Path, std::string &Out,
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Fleet snapshot inspection
+//===----------------------------------------------------------------------===//
+
+bool loadFleet(const std::string &Path, fleet::FleetState &Out) {
+  fleet::SnapshotLoadResult R =
+      fleet::loadSnapshot(Path, Out, /*QuarantineOnError=*/false);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s: %s: %s\n", Path.c_str(),
+                 fleet::snapshotErrorName(R.Error), R.Message.c_str());
+    return false;
+  }
+  return true;
+}
+
+int fleetMode(const std::string &Path) {
+  fleet::FleetState State;
+  if (!loadFleet(Path, State))
+    return 1;
+  std::printf("fleet snapshot: %zu stream%s\n", State.streams().size(),
+              State.streams().size() == 1 ? "" : "s");
+  TextTable Streams({"agent", "run-seed", "epoch"});
+  for (const auto &[Key, S] : State.streams())
+    Streams.addRow({Key.AgentId, u64Str(Key.RunSeed),
+                    u64Str(S.Latest.Epoch)});
+  std::fputs(Streams.render().c_str(), stdout);
+  std::fputs(fleet::renderProfileReport(State.mergedProfile()).c_str(),
+             stdout);
+  return 0;
+}
+
+int diffMode(const std::string &PathA, const std::string &PathB) {
+  fleet::FleetState A, B;
+  if (!loadFleet(PathA, A) || !loadFleet(PathB, B))
+    return 1;
+  fleet::ProcessProfile PA = A.mergedProfile();
+  fleet::ProcessProfile PB = B.mergedProfile();
+
+  std::printf("fleet diff: %s (epoch-sum %llu) -> %s (epoch-sum %llu)\n",
+              PathA.c_str(), static_cast<unsigned long long>(PA.Epoch),
+              PathB.c_str(), static_cast<unsigned long long>(PB.Epoch));
+  std::printf("heap live total: %llu -> %llu; coll-used max: %llu -> %llu\n",
+              static_cast<unsigned long long>(PA.HeapLive.Total),
+              static_cast<unsigned long long>(PB.HeapLive.Total),
+              static_cast<unsigned long long>(PA.HeapCollUsed.Max),
+              static_cast<unsigned long long>(PB.HeapCollUsed.Max));
+
+  // Both context lists are in canonical identity order: a single sweep
+  // classifies every context as removed, added, or common.
+  TextTable Table({"change", "context", "type", "allocs", "live-max"});
+  size_t IA = 0, IB = 0, Changed = 0;
+  auto contextLabel = [](const fleet::ContextProfile &C) {
+    return C.Frames.empty() ? std::string("?") : C.Frames.front();
+  };
+  while (IA < PA.Contexts.size() || IB < PB.Contexts.size()) {
+    const bool TakeA =
+        IB >= PB.Contexts.size() ||
+        (IA < PA.Contexts.size() &&
+         PA.Contexts[IA].identityLess(PB.Contexts[IB]));
+    const bool TakeB =
+        IA >= PA.Contexts.size() ||
+        (IB < PB.Contexts.size() &&
+         PB.Contexts[IB].identityLess(PA.Contexts[IA]));
+    if (TakeA) {
+      const fleet::ContextProfile &C = PA.Contexts[IA++];
+      Table.addRow({"-", contextLabel(C), C.TypeName, u64Str(C.Allocations),
+                    u64Str(C.Live.Max)});
+      ++Changed;
+    } else if (TakeB) {
+      const fleet::ContextProfile &C = PB.Contexts[IB++];
+      Table.addRow({"+", contextLabel(C), C.TypeName, u64Str(C.Allocations),
+                    u64Str(C.Live.Max)});
+      ++Changed;
+    } else {
+      const fleet::ContextProfile &CA = PA.Contexts[IA++];
+      const fleet::ContextProfile &CB = PB.Contexts[IB++];
+      if (CA.Allocations != CB.Allocations || !(CA.Live == CB.Live)) {
+        Table.addRow({"~", contextLabel(CB), CB.TypeName,
+                      u64Str(CA.Allocations) + " -> " +
+                          u64Str(CB.Allocations),
+                      u64Str(CA.Live.Max) + " -> " + u64Str(CB.Live.Max)});
+        ++Changed;
+      }
+    }
+  }
+  if (Changed == 0)
+    std::printf("no per-context changes\n");
+  else
+    std::fputs(Table.render().c_str(), stdout);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -167,6 +272,18 @@ int main(int argc, char **argv) {
       }
     } else if (std::strcmp(Arg, "--trace") == 0) {
       WithTrace = true;
+    } else if (std::strcmp(Arg, "--fleet") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --fleet expects a snapshot path\n");
+        return 2;
+      }
+      return fleetMode(argv[I + 1]);
+    } else if (std::strcmp(Arg, "--diff") == 0) {
+      if (I + 2 >= argc) {
+        std::fprintf(stderr, "error: --diff expects two snapshot paths\n");
+        return 2;
+      }
+      return diffMode(argv[I + 1], argv[I + 2]);
     } else if (std::strcmp(Arg, "-h") == 0 || std::strcmp(Arg, "--help") == 0) {
       printUsage(argv[0]);
       return 0;
