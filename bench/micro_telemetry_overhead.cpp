@@ -22,14 +22,19 @@
 ///     disarmed vs armed.
 ///
 /// (1) x (3) / op time is the disarmed-telemetry overhead; the headline
-/// claim is that it stays under 1%. `--json <path>` (or
-/// CHAMELEON_BENCH_JSON) writes the BENCH_obs.json perf-trajectory
-/// record; `--quick` shrinks the run for sanitizer CI.
+/// claim is that it stays under 1%. The decision ledger and the HDR
+/// histograms (DESIGN.md §16) are priced the same way: a disarmed ledger
+/// site is the same single relaxed load as a trace site, and an armed
+/// ledger record / HDR observe each get a ns/call figure so the §16.4
+/// cost table stays honest. `--json <path>` (or CHAMELEON_BENCH_JSON)
+/// writes the BENCH_obs.json perf-trajectory record; `--quick` shrinks
+/// the run for sanitizer CI.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "collections/CollectionRuntime.h"
 #include "collections/Handles.h"
+#include "obs/DecisionLog.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Format.h"
@@ -93,6 +98,66 @@ double counterIncNs(uint64_t Iters) {
 
   double Delta = (WithInc - Bare) / static_cast<double>(Iters) * 1e9;
   return Delta > 0 ? Delta : 0.0;
+}
+
+/// Nanoseconds one disarmed decision-ledger site adds: the enabled()
+/// guard every instrumentation site runs (one relaxed load) when no
+/// --ledger run armed it. Same shape as the disarmed trace site.
+double disarmedLedgerSiteNs(uint64_t Iters) {
+  obs::DecisionLog &DL = obs::DecisionLog::instance();
+  DL.disarm();
+  obs::DecisionRecord R;
+  R.Kind = obs::DecisionKind::RuleOutcome;
+  volatile uint64_t Sink = 0;
+
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < Iters; ++I) {
+    if (DL.enabled())
+      DL.record(R);
+    Sink = Sink + I;
+  }
+  double WithSite = secondsSince(Start);
+
+  Start = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < Iters; ++I)
+    Sink = Sink + I;
+  double Bare = secondsSince(Start);
+
+  double Delta = (WithSite - Bare) / static_cast<double>(Iters) * 1e9;
+  return Delta > 0 ? Delta : 0.0;
+}
+
+/// Nanoseconds one armed DecisionLog::record() costs: a mutex acquire, a
+/// POD store into the preallocated ring, and the release of the
+/// publication cursor. Only --ledger runs pay this.
+double armedLedgerRecordNs(uint64_t Iters) {
+  obs::DecisionLog &DL = obs::DecisionLog::instance();
+  DL.arm(/*Capacity=*/4096);
+  obs::DecisionRecord R;
+  R.CtxId = 7;
+  R.Kind = obs::DecisionKind::Snapshot;
+  R.Allocations = 31;
+
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < Iters; ++I)
+    DL.record(R);
+  double Seconds = secondsSince(Start);
+  DL.disarm();
+  return Seconds / static_cast<double>(Iters) * 1e9;
+}
+
+/// Nanoseconds one HdrHistogram::observe() costs: a bucket index
+/// computation plus five relaxed atomic updates. HDR sites are always
+/// live (they back the --percentiles table), so this is hot-path cost.
+double hdrObserveNs(uint64_t Iters) {
+  obs::HdrHistogram H("cham.obs.bench_hdr_cost");
+  SplitMix64 Rng(0x0B5);
+
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < Iters; ++I)
+    H.observe(Rng.nextBelow(1 << 20));
+  double Seconds = secondsSince(Start);
+  return Seconds / static_cast<double>(Iters) * 1e9;
 }
 
 /// The churn op: allocate a profiled HashMap, fill it, read it back,
@@ -169,12 +234,21 @@ int main(int argc, char **argv) {
 
   double SiteNs = disarmedSiteNs(SiteIters);
   double CounterNs = counterIncNs(SiteIters);
+  double LedgerSiteNs = disarmedLedgerSiteNs(SiteIters);
+  double LedgerRecordNs = armedLedgerRecordNs(SiteIters / 100);
+  double HdrNs = hdrObserveNs(SiteIters / 10);
   double Events = eventsPerOp(1000);
   std::printf("disarmed CHAM_TRACE_INSTANT: %s ns/site (%llu iters)\n",
               formatDouble(SiteNs, 3).c_str(),
               static_cast<unsigned long long>(SiteIters));
   std::printf("sharded Counter::inc():      %s ns/inc\n",
               formatDouble(CounterNs, 3).c_str());
+  std::printf("disarmed ledger site:        %s ns/site\n",
+              formatDouble(LedgerSiteNs, 3).c_str());
+  std::printf("armed DecisionLog::record(): %s ns/record (--ledger only)\n",
+              formatDouble(LedgerRecordNs, 3).c_str());
+  std::printf("HdrHistogram::observe():     %s ns/observe\n",
+              formatDouble(HdrNs, 3).c_str());
   std::printf("trace events per churn op:   %s (armed)\n\n",
               formatDouble(Events, 1).c_str());
 
@@ -198,17 +272,27 @@ int main(int argc, char **argv) {
               formatDouble(OpNs, 0).c_str());
   std::printf("claim to check: the disarmed hot path (one relaxed atomic "
               "load per site)\nstays under 1%% — tracing costs nothing "
-              "when no exporter is attached.\n");
+              "when no exporter is attached.\nThe disarmed decision-ledger "
+              "site is held to the same bar (DESIGN.md §16.4).\n");
+  double DisarmedLedgerPct = LedgerSiteNs / OpNs * 100.0;
   if (DisarmedOverheadPct >= 1.0)
     std::printf("WARNING: overhead claim violated (%.3f%% >= 1%%)\n",
                 DisarmedOverheadPct);
+  if (DisarmedLedgerPct >= 1.0)
+    std::printf("WARNING: ledger overhead claim violated (%.3f%% >= 1%%)\n",
+                DisarmedLedgerPct);
 
   bench::JsonDoc Json;
   Json.field("bench", "micro_telemetry_overhead");
+  bench::addProvenance(Json);
   Json.field("site_ns_disarmed", SiteNs);
   Json.field("counter_inc_ns", CounterNs);
+  Json.field("ledger_site_ns_disarmed", LedgerSiteNs);
+  Json.field("ledger_record_ns_armed", LedgerRecordNs);
+  Json.field("hdr_observe_ns", HdrNs);
   Json.field("events_per_op_armed", Events);
   Json.field("disarmed_overhead_pct", DisarmedOverheadPct);
+  Json.field("disarmed_ledger_overhead_pct", DisarmedLedgerPct);
   Json.beginRecord("telemetry_overhead");
   Json.record("state", "disarmed");
   Json.record("ops_per_sec", Disarmed);

@@ -94,7 +94,8 @@ private:
                               : T.Text == "CHAM_METRIC_GAUGE"   ? "gauge"
                               : T.Text == "CHAM_METRIC_HISTOGRAM"
                                   ? "histogram"
-                                  : nullptr;
+                              : T.Text == "CHAM_METRIC_HDR" ? "hdr"
+                                                            : nullptr;
       if (MacroKind && tok(I + 1).isPunct('(') &&
           tok(I + 2).is(CxxTokKind::Ident) && tok(I + 3).isPunct(',') &&
           tok(I + 4).is(CxxTokKind::String)) {
@@ -103,10 +104,11 @@ private:
         continue;
       }
       // obs::Counter Var{"name"} / Counter Var("name") member metrics.
-      const char *CtorKind = T.Text == "Counter"     ? "counter"
-                             : T.Text == "Gauge"     ? "gauge"
-                             : T.Text == "Histogram" ? "histogram"
-                                                     : nullptr;
+      const char *CtorKind = T.Text == "Counter"        ? "counter"
+                             : T.Text == "Gauge"        ? "gauge"
+                             : T.Text == "Histogram"    ? "histogram"
+                             : T.Text == "HdrHistogram" ? "hdr"
+                                                        : nullptr;
       if (CtorKind && tok(I + 1).is(CxxTokKind::Ident) &&
           (tok(I + 2).isPunct('{') || tok(I + 2).isPunct('(')) &&
           tok(I + 3).is(CxxTokKind::String)) {

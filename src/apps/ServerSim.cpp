@@ -8,6 +8,8 @@
 
 #include "apps/TraceWorkload.h"
 #include "core/OnlineAdaptor.h"
+#include "obs/DecisionLog.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "support/FaultInjector.h"
@@ -426,6 +428,22 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
     Chaos.emplace(RT, *ChaosAdaptor, Config);
   }
 
+  // Ledger mode: arm (re-arming clears any previous run's records) and
+  // build the builtin rule set the barrier-time evaluation pass uses.
+  std::optional<rules::RuleEngine> LedgerEngine;
+  if (Config.DecisionLedger) {
+    obs::DecisionLog::instance().arm();
+    LedgerEngine.emplace();
+    LedgerEngine->addBuiltinRules();
+  }
+  if (!Config.FlightRecorderPath.empty()) {
+    std::string Error;
+    if (!obs::FlightRecorder::instance().install(Config.FlightRecorderPath,
+                                                 "cham.", &Error))
+      std::fprintf(stderr, "[flight-recorder] install failed: %s\n",
+                   Error.c_str());
+  }
+
   RunState S;
   S.Config = Config;
   S.Threads = Config.MutatorThreads ? Config.MutatorThreads : 1;
@@ -515,6 +533,27 @@ ServerSimResult chameleon::apps::runServerSim(CollectionRuntime &RT,
         (void)RT.migrateCollection(S.SessionHistory[I], ListTarget);
       }
     }
+    if (Config.DecisionLedger) {
+      // Ledger pass: rule evaluation over every context against the
+      // just-folded (post-flush, canonically renumbered) profile, then a
+      // deterministic migration flip of the session collections so the
+      // full lifecycle (start/build/verify/publish/commit) appears in the
+      // ledger. Main thread only, workers parked: the record order is a
+      // pure function of the workload, never of thread scheduling.
+      std::vector<rules::Suggestion> Suggs;
+      for (const ContextInfo *Ctx : Prof.contexts())
+        LedgerEngine->evaluateContext(*Ctx, Prof, Suggs);
+      ImplKind MapTarget =
+          (Epoch % 2 == 0) ? ImplKind::ArrayMap : ImplKind::HashMap;
+      ImplKind ListTarget =
+          (Epoch % 2 == 0) ? ImplKind::LinkedList : ImplKind::ArrayList;
+      for (uint32_t I = 0; I < Config.Sessions; ++I) {
+        (void)RT.migrateCollection(S.SessionAttrs[I], MapTarget);
+        (void)RT.migrateCollection(S.SessionHistory[I], ListTarget);
+      }
+    }
+    if (!Config.FlightRecorderPath.empty())
+      obs::FlightRecorder::instance().checkpoint();
     if (Config.TelemetryTicker)
       printTicker(RT, Epoch, Config.Epochs);
     {

@@ -78,6 +78,21 @@ struct ServerSimConfig {
   /// byte-identical to an unrecorded run — and costs one null check per
   /// request when disarmed.
   TraceCapture *RecordTo = nullptr;
+
+  /// Decision-ledger mode (DESIGN.md §16): arm the DecisionLog for the run
+  /// and, at every epoch barrier (workers parked, per-thread buffers
+  /// flushed, the epoch's GC taken), run a main-thread rule-evaluation
+  /// pass over every context plus a deterministic migration flip of the
+  /// session collections. All ledger-relevant work happens on the main
+  /// thread against canonically-ordered post-flush state, so the exported
+  /// ledger is byte-identical for any MutatorThreads count (with Chaos
+  /// off). The ledger stays armed after the run so the telemetry bundle
+  /// and fleet capture include it.
+  bool DecisionLedger = false;
+
+  /// When non-empty, install the crash-safe flight recorder at this path
+  /// for the run and checkpoint it at every epoch barrier.
+  std::string FlightRecorderPath;
 };
 
 /// What a run produces.

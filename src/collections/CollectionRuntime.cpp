@@ -15,13 +15,48 @@
 #include "collections/OtherMapImpls.h"
 #include "collections/SetImpls.h"
 #include "collections/SmallListImpls.h"
+#include "obs/DecisionLog.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/FaultInjector.h"
 
+#include <chrono>
+
 using namespace chameleon;
 
 OnlineSelector::~OnlineSelector() = default;
+
+namespace {
+
+// Migration-phase latency (cham.collections.migrate_*_nanos, DESIGN.md
+// §16): HDR histograms so the exporters can report tail percentiles of
+// each transactional phase independently.
+CHAM_METRIC_HDR(MigrateBuildHdrNanos, "cham.collections.migrate_build_nanos");
+CHAM_METRIC_HDR(MigrateVerifyHdrNanos,
+                "cham.collections.migrate_verify_nanos");
+CHAM_METRIC_HDR(MigratePublishHdrNanos,
+                "cham.collections.migrate_publish_nanos");
+
+/// Nanoseconds elapsed since \p Start.
+uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+/// Ledger record skeleton for one migration-lifecycle event.
+obs::DecisionRecord migrationRecord(const ContextInfo *Ctx,
+                                    obs::DecisionKind Kind, ImplKind Target) {
+  obs::DecisionRecord R;
+  R.CtxId = Ctx ? Ctx->id() : ~0u;
+  R.Epoch = obs::DecisionLog::instance().currentEpoch();
+  R.Kind = Kind;
+  R.Impl = static_cast<uint8_t>(implIndex(Target));
+  return R;
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Semantic-map functions for wrapper types
@@ -612,6 +647,13 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
   [[maybe_unused]] const int64_t CtxId =
       W.Ctx ? static_cast<int64_t>(W.Ctx->id()) : -1;
   CHAM_TRACE_SPAN_ARG("migrate", "transaction", "ctx", CtxId);
+  obs::DecisionLog &Ledger = obs::DecisionLog::instance();
+  if (Ledger.enabled()) {
+    obs::DecisionRecord Rec =
+        migrationRecord(W.Ctx, obs::DecisionKind::MigrationStart, Target);
+    Rec.Capacity = Capacity;
+    Ledger.record(Rec);
+  }
   Handle ShadowRoot;
   bool Verified = false;
   // Phase 1+2 form the transaction: any injected allocation failure below
@@ -628,11 +670,21 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
     // allocations of the copy.
     uint32_t SrcSize = Heap.getAs<CollectionImplBase>(W.Impl).size();
     uint32_t TargetCapacity = Capacity ? Capacity : SrcSize;
+    auto BuildStart = std::chrono::steady_clock::now();
     {
       CHAM_TRACE_SPAN_ARG("migrate", "build", "ctx", CtxId);
       ShadowRoot.set(Heap, makeImpl(Target, TargetCapacity));
       initImpl(Heap, ShadowRoot.ref(), Target);
     }
+    MigrateBuildHdrNanos.observe(nanosSince(BuildStart));
+    if (Ledger.enabled()) {
+      obs::DecisionRecord Rec =
+          migrationRecord(W.Ctx, obs::DecisionKind::MigrationBuild, Target);
+      Rec.Capacity = TargetCapacity;
+      Rec.Allocations = SrcSize;
+      Ledger.record(Rec);
+    }
+    auto VerifyStart = std::chrono::steady_clock::now();
     CHAM_FAULT("migrate.copy");
     if (W.Adt == AdtKind::Map) {
       CHAM_TRACE_SPAN_ARG("migrate", "copy_verify", "ctx", CtxId);
@@ -700,16 +752,32 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
         }
       }
     }
+    MigrateVerifyHdrNanos.observe(nanosSince(VerifyStart));
+    if (Ledger.enabled()) {
+      obs::DecisionRecord Rec =
+          migrationRecord(W.Ctx, obs::DecisionKind::MigrationVerify, Target);
+      Rec.Capacity = Verified ? 1 : 0;
+      Ledger.record(Rec);
+    }
     if (Verified) {
       // Phase 3: publish. One reference store into the wrapper — the
       // program-facing handles re-fetch the impl through the wrapper on
       // every operation, so they observe the swap atomically; the old
       // impl becomes garbage.
       CHAM_TRACE_SPAN_ARG("migrate", "publish", "ctx", CtxId);
+      auto PublishStart = std::chrono::steady_clock::now();
       CHAM_FAULT("migrate.publish");
       W.Impl = ShadowRoot.ref();
       W.CurrentImpl = Target;
       ++W.MigrationEpoch;
+      MigratePublishHdrNanos.observe(nanosSince(PublishStart));
+      if (Ledger.enabled()) {
+        Ledger.record(
+            migrationRecord(W.Ctx, obs::DecisionKind::MigrationPublish,
+                            Target));
+        Ledger.record(migrationRecord(
+            W.Ctx, obs::DecisionKind::MigrationCommit, Target));
+      }
       MigrationCommits.inc();
       if (W.Ctx)
         W.Ctx->noteMigrationCommit();
@@ -722,6 +790,13 @@ MigrationOutcome CollectionRuntime::migrateCollection(ObjectRef Wrapper,
   CHAM_TRACE_INSTANT_ARG("migrate", "abort", "ctx", CtxId);
   if (W.Ctx)
     W.Ctx->noteMigrationAbort();
+  if (Ledger.enabled()) {
+    obs::DecisionRecord Rec =
+        migrationRecord(W.Ctx, obs::DecisionKind::MigrationAbort, Target);
+    uint64_t Aborts = W.Ctx ? W.Ctx->migrationAborts() : 0;
+    Rec.Rule = static_cast<int16_t>(Aborts > 0x7fff ? 0x7fff : Aborts);
+    Ledger.record(Rec);
+  }
   return MigrationOutcome::Aborted;
 }
 

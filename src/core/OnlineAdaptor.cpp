@@ -6,6 +6,7 @@
 
 #include "core/OnlineAdaptor.h"
 
+#include "obs/DecisionLog.h"
 #include "obs/Trace.h"
 
 #include <algorithm>
@@ -16,6 +17,16 @@ namespace {
 /// Trace-arg value for a (possibly null) context.
 [[maybe_unused]] int64_t ctxArg(const ContextInfo *Info) {
   return Info ? static_cast<int64_t>(Info->id()) : -1;
+}
+
+/// Ledger record skeleton for a (possibly null) context.
+obs::DecisionRecord ledgerRecord(const ContextInfo *Info,
+                                 obs::DecisionKind Kind) {
+  obs::DecisionRecord R;
+  R.CtxId = Info ? Info->id() : ~0u;
+  R.Epoch = obs::DecisionLog::instance().currentEpoch();
+  R.Kind = Kind;
+  return R;
 }
 } // namespace
 
@@ -51,6 +62,15 @@ OnlineAdaptor::evaluateLocked(const ContextInfo *Info) {
     } else if (S.Action == rules::ActionKind::SetCapacity && !Fresh.Capacity) {
       Fresh.Capacity = S.Capacity;
     }
+  }
+  obs::DecisionLog &Ledger = obs::DecisionLog::instance();
+  if (Ledger.enabled()) {
+    obs::DecisionRecord Rec = ledgerRecord(Info, obs::DecisionKind::Choice);
+    if (Fresh.Impl)
+      Rec.Impl = static_cast<uint8_t>(implIndex(*Fresh.Impl));
+    Rec.Capacity = Fresh.Capacity.value_or(0);
+    Rec.Allocations = Fresh.AtAllocationCount;
+    Ledger.record(Rec);
   }
   return Cache.insert_or_assign(Info, Fresh).first->second;
 }
@@ -118,11 +138,18 @@ void OnlineAdaptor::onMigrationResult(const ContextInfo *Info,
   MigrationsAborted.inc();
   CHAM_TRACE_INSTANT_ARG("online", "migrate_abort", "ctx", ctxArg(Info));
   ++D.Aborts;
+  obs::DecisionLog &Ledger = obs::DecisionLog::instance();
   if (D.Aborts >= Config.MaxMigrationAborts) {
     if (!D.Pinned) {
       D.Pinned = true;
       PinnedContexts.inc();
       CHAM_TRACE_INSTANT_ARG("online", "pin", "ctx", ctxArg(Info));
+      if (Ledger.enabled()) {
+        obs::DecisionRecord Rec = ledgerRecord(Info, obs::DecisionKind::Pin);
+        Rec.Rule = static_cast<int16_t>(
+            D.Aborts > 0x7fff ? 0x7fff : D.Aborts);
+        Ledger.record(Rec);
+      }
     }
     return;
   }
@@ -131,6 +158,14 @@ void OnlineAdaptor::onMigrationResult(const ContextInfo *Info,
                                : Config.MigrationBackoffBase << Shift;
   Delay = std::min(Delay, Config.MigrationBackoffCap);
   D.RetryAtAllocations = (Info ? Info->allocations() : 0) + Delay;
+  if (Ledger.enabled()) {
+    obs::DecisionRecord Rec = ledgerRecord(Info, obs::DecisionKind::Backoff);
+    Rec.Rule = static_cast<int16_t>(D.Aborts > 0x7fff ? 0x7fff : D.Aborts);
+    Rec.Allocations = D.RetryAtAllocations;
+    Rec.Capacity = static_cast<uint32_t>(
+        D.RetryAtAllocations > ~0u ? ~0u : D.RetryAtAllocations);
+    Ledger.record(Rec);
+  }
 }
 
 std::string OnlineAdaptor::describeContext(const ContextInfo *Info) const {

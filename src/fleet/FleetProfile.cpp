@@ -153,6 +153,8 @@ ProcessProfile fleet::captureProcessProfile(const SemanticProfiler &P,
 
   if (!MetricsPrefix.empty())
     Out.Metrics = obs::MetricsRegistry::instance().snapshot(MetricsPrefix);
+  if (obs::DecisionLog::instance().enabled())
+    Out.Ledger = obs::DecisionLog::instance().exportCanonical();
   return Out;
 }
 
@@ -197,13 +199,20 @@ static void encodeMetricSnapshot(std::string &Out,
     putVarint(Out, B);
   putVarint(Out, M.Count);
   putVarint(Out, M.Sum);
+  putVarint(Out, M.HdrBuckets.size());
+  for (const auto &[Idx, N] : M.HdrBuckets) {
+    putVarint(Out, Idx);
+    putVarint(Out, N);
+  }
+  putVarint(Out, M.MinValue);
+  putVarint(Out, M.MaxValue);
 }
 
 static bool decodeMetricSnapshot(ByteReader &R, obs::MetricSnapshot &M) {
   uint8_t Kind;
   if (!R.str(M.Name, MaxLabelLen) || !R.u8(Kind))
     return false;
-  if (Kind > static_cast<uint8_t>(obs::MetricKind::Histogram))
+  if (Kind > static_cast<uint8_t>(obs::MetricKind::Hdr))
     return false;
   M.Kind = static_cast<obs::MetricKind>(Kind);
   uint64_t Gauge;
@@ -224,7 +233,113 @@ static bool decodeMetricSnapshot(ByteReader &R, obs::MetricSnapshot &M) {
   for (uint64_t &B : M.Buckets)
     if (!R.varint(B))
       return false;
-  return R.varint(M.Count) && R.varint(M.Sum);
+  if (!R.varint(M.Count) || !R.varint(M.Sum))
+    return false;
+  uint64_t NHdr;
+  if (!R.varint(NHdr) || NHdr > obs::hdrNumBuckets())
+    return false;
+  M.HdrBuckets.resize(NHdr);
+  for (auto &[Idx, N] : M.HdrBuckets) {
+    uint64_t I;
+    if (!R.varint(I) || I >= obs::hdrNumBuckets() || !R.varint(N))
+      return false;
+    Idx = static_cast<uint32_t>(I);
+  }
+  return R.varint(M.MinValue) && R.varint(M.MaxValue);
+}
+
+static void encodeDecisionRecord(std::string &Out,
+                                 const obs::DecisionRecord &E) {
+  putVarint(Out, E.CtxId);
+  putVarint(Out, E.Seq);
+  putVarint(Out, E.Epoch);
+  Out.push_back(static_cast<char>(E.Kind));
+  Out.push_back(static_cast<char>(E.Outcome));
+  Out.push_back(static_cast<char>(E.Impl));
+  putVarint(Out, zigzag(E.Rule));
+  putVarint(Out, E.DivGuard);
+  putVarint(Out, E.Capacity);
+  putVarint(Out, E.Allocations);
+  putVarint(Out, E.Folded);
+  putVarint(Out, E.TotLive);
+  putVarint(Out, E.TotUsed);
+  putVarint(Out, E.TotCore);
+  putF64(Out, E.AvgOps);
+  putF64(Out, E.AvgMaxSize);
+}
+
+static bool decodeDecisionRecord(ByteReader &R, obs::DecisionRecord &E) {
+  uint64_t CtxId, Seq, Rule, DivGuard, Capacity;
+  uint8_t Kind, Outcome, Impl;
+  if (!R.varint(CtxId) || !R.varint(Seq) || !R.varint(E.Epoch) ||
+      !R.u8(Kind) || !R.u8(Outcome) || !R.u8(Impl) || !R.varint(Rule) ||
+      !R.varint(DivGuard) || !R.varint(Capacity))
+    return false;
+  if (Kind > static_cast<uint8_t>(obs::DecisionKind::Pin) ||
+      Outcome > static_cast<uint8_t>(obs::DecisionOutcome::GatedByPotential))
+    return false;
+  E.CtxId = static_cast<uint32_t>(CtxId);
+  E.Seq = static_cast<uint32_t>(Seq);
+  E.Kind = static_cast<obs::DecisionKind>(Kind);
+  E.Outcome = static_cast<obs::DecisionOutcome>(Outcome);
+  E.Impl = Impl;
+  E.Rule = static_cast<int16_t>(unzigzag(Rule));
+  E.DivGuard = static_cast<uint16_t>(DivGuard);
+  E.Capacity = static_cast<uint32_t>(Capacity);
+  return R.varint(E.Allocations) && R.varint(E.Folded) &&
+         R.varint(E.TotLive) && R.varint(E.TotUsed) && R.varint(E.TotCore) &&
+         R.f64(E.AvgOps) && R.f64(E.AvgMaxSize);
+}
+
+static void encodeDecisionExport(std::string &Out,
+                                 const obs::DecisionExport &L) {
+  putVarint(Out, L.Dropped);
+  putVarint(Out, L.Events.size());
+  for (const obs::DecisionRecord &E : L.Events)
+    encodeDecisionRecord(Out, E);
+  putVarint(Out, L.ContextLabels.size());
+  for (const auto &[Id, Label] : L.ContextLabels) {
+    putVarint(Out, Id);
+    putStr(Out, Label);
+  }
+  putVarint(Out, L.RuleNames.size());
+  for (const std::string &N : L.RuleNames)
+    putStr(Out, N);
+  putVarint(Out, L.ImplNames.size());
+  for (const std::string &N : L.ImplNames)
+    putStr(Out, N);
+}
+
+static bool decodeDecisionExport(ByteReader &R, obs::DecisionExport &L) {
+  uint64_t N;
+  if (!R.varint(L.Dropped) || !R.varint(N) || N > MaxLedgerEvents)
+    return false;
+  L.Events.resize(N);
+  for (obs::DecisionRecord &E : L.Events)
+    if (!decodeDecisionRecord(R, E))
+      return false;
+  if (!R.varint(N) || N > MaxContextsPerProfile)
+    return false;
+  L.ContextLabels.resize(N);
+  for (auto &[Id, Label] : L.ContextLabels) {
+    uint64_t I;
+    if (!R.varint(I) || !R.str(Label, MaxLabelLen))
+      return false;
+    Id = static_cast<uint32_t>(I);
+  }
+  if (!R.varint(N) || N > MaxLedgerNames)
+    return false;
+  L.RuleNames.resize(N);
+  for (std::string &Name : L.RuleNames)
+    if (!R.str(Name, MaxLabelLen))
+      return false;
+  if (!R.varint(N) || N > MaxLedgerNames)
+    return false;
+  L.ImplNames.resize(N);
+  for (std::string &Name : L.ImplNames)
+    if (!R.str(Name, MaxLabelLen))
+      return false;
+  return true;
 }
 
 static void encodeContext(std::string &Out, const ContextProfile &C) {
@@ -283,6 +398,7 @@ void fleet::encodeProcessProfile(std::string &Out, const ProcessProfile &P) {
   putVarint(Out, P.Metrics.size());
   for (const obs::MetricSnapshot &M : P.Metrics)
     encodeMetricSnapshot(Out, M);
+  encodeDecisionExport(Out, P.Ledger);
 }
 
 bool fleet::decodeProcessProfile(ByteReader &R, ProcessProfile &Out,
@@ -311,6 +427,8 @@ bool fleet::decodeProcessProfile(ByteReader &R, ProcessProfile &Out,
   for (obs::MetricSnapshot &M : Out.Metrics)
     if (!decodeMetricSnapshot(R, M))
       return Fail("truncated metric record");
+  if (!decodeDecisionExport(R, Out.Ledger))
+    return Fail("truncated decision ledger");
   return true;
 }
 
@@ -362,11 +480,46 @@ std::vector<obs::MetricSnapshot> fleet::mergeMetricSnapshots(
       obs::MetricSnapshot &Acc = It->second;
       Acc.Value += M.Value;
       Acc.GaugeValue += M.GaugeValue;
+      // Min/max fold before Count absorbs M's: a zero-observation side
+      // must not contribute its 0/0 extremes.
+      if (M.Count > 0) {
+        if (Acc.Count == 0) {
+          Acc.MinValue = M.MinValue;
+          Acc.MaxValue = M.MaxValue;
+        } else {
+          Acc.MinValue = std::min(Acc.MinValue, M.MinValue);
+          Acc.MaxValue = std::max(Acc.MaxValue, M.MaxValue);
+        }
+      }
       Acc.Count += M.Count;
       Acc.Sum += M.Sum;
       if (Acc.Bounds == M.Bounds && Acc.Buckets.size() == M.Buckets.size())
         for (size_t I = 0; I < Acc.Buckets.size(); ++I)
           Acc.Buckets[I] += M.Buckets[I];
+      if (!M.HdrBuckets.empty()) {
+        // Sorted sparse merge: both sides are index-sorted by
+        // construction, and the result stays that way.
+        std::vector<std::pair<uint32_t, uint64_t>> MergedHdr;
+        MergedHdr.reserve(Acc.HdrBuckets.size() + M.HdrBuckets.size());
+        size_t I = 0, J = 0;
+        while (I < Acc.HdrBuckets.size() || J < M.HdrBuckets.size()) {
+          if (J >= M.HdrBuckets.size() ||
+              (I < Acc.HdrBuckets.size() &&
+               Acc.HdrBuckets[I].first < M.HdrBuckets[J].first)) {
+            MergedHdr.push_back(Acc.HdrBuckets[I++]);
+          } else if (I >= Acc.HdrBuckets.size() ||
+                     M.HdrBuckets[J].first < Acc.HdrBuckets[I].first) {
+            MergedHdr.push_back(M.HdrBuckets[J++]);
+          } else {
+            MergedHdr.emplace_back(Acc.HdrBuckets[I].first,
+                                   Acc.HdrBuckets[I].second +
+                                       M.HdrBuckets[J].second);
+            ++I;
+            ++J;
+          }
+        }
+        Acc.HdrBuckets = std::move(MergedHdr);
+      }
     }
   }
   std::vector<obs::MetricSnapshot> Out;
@@ -376,9 +529,76 @@ std::vector<obs::MetricSnapshot> fleet::mergeMetricSnapshots(
   return Out;
 }
 
+obs::DecisionExport fleet::mergeDecisionExports(
+    const std::vector<const obs::DecisionExport *> &Inputs) {
+  obs::DecisionExport Out;
+  uint32_t NextCtx = 0;
+  // Find-or-append into a name table; returns the table index.
+  auto Intern = [](std::vector<std::string> &Table, const std::string &Name) {
+    for (size_t I = 0; I < Table.size(); ++I)
+      if (Table[I] == Name)
+        return I;
+    Table.push_back(Name);
+    return Table.size() - 1;
+  };
+  for (const obs::DecisionExport *In : Inputs) {
+    if (!In)
+      continue;
+    std::vector<size_t> RuleMap(In->RuleNames.size());
+    for (size_t I = 0; I < In->RuleNames.size(); ++I)
+      RuleMap[I] = Intern(Out.RuleNames, In->RuleNames[I]);
+    std::vector<size_t> ImplMap(In->ImplNames.size());
+    for (size_t I = 0; I < In->ImplNames.size(); ++I)
+      ImplMap[I] = Intern(Out.ImplNames, In->ImplNames[I]);
+    // Renumber this input's contexts onto the merged id space, in the
+    // input's own (sorted) id order so the mapping is deterministic.
+    std::map<uint32_t, uint32_t> CtxMap;
+    for (const auto &[Id, Label] : In->ContextLabels)
+      CtxMap.emplace(Id, 0);
+    for (const obs::DecisionRecord &E : In->Events)
+      if (E.CtxId != ~0u)
+        CtxMap.emplace(E.CtxId, 0);
+    for (auto &[Id, NewId] : CtxMap)
+      NewId = NextCtx++;
+    for (const auto &[Id, Label] : In->ContextLabels)
+      Out.ContextLabels.emplace_back(CtxMap[Id], Label);
+    for (obs::DecisionRecord E : In->Events) {
+      if (E.CtxId != ~0u)
+        E.CtxId = CtxMap[E.CtxId];
+      if (E.Rule >= 0 && static_cast<size_t>(E.Rule) < RuleMap.size())
+        E.Rule = static_cast<int16_t>(RuleMap[E.Rule]);
+      if (E.Impl != 0xff && E.Impl < ImplMap.size())
+        E.Impl = static_cast<uint8_t>(ImplMap[E.Impl]);
+      Out.Events.push_back(E);
+    }
+    Out.Dropped += In->Dropped;
+  }
+  // Re-canonicalize: globals first, then contexts by merged id, arrival
+  // order preserved within each; Seq reassigned over the merged stream.
+  std::stable_sort(Out.Events.begin(), Out.Events.end(),
+                   [](const obs::DecisionRecord &A,
+                      const obs::DecisionRecord &B) {
+                     uint64_t KA = A.CtxId == ~0u ? 0 : 1ull + A.CtxId;
+                     uint64_t KB = B.CtxId == ~0u ? 0 : 1ull + B.CtxId;
+                     return KA < KB;
+                   });
+  uint32_t Seq = 0;
+  uint32_t LastCtx = ~0u;
+  bool First = true;
+  for (obs::DecisionRecord &E : Out.Events) {
+    if (First || E.CtxId != LastCtx)
+      Seq = 0;
+    First = false;
+    LastCtx = E.CtxId;
+    E.Seq = Seq++;
+  }
+  return Out;
+}
+
 ProcessProfile FleetState::mergedProfile() const {
   ProcessProfile Merged;
   std::vector<const std::vector<obs::MetricSnapshot> *> MetricInputs;
+  std::vector<const obs::DecisionExport *> LedgerInputs;
   // Streams iterate in sorted key order (std::map), which *is* the
   // canonical fold order the byte-identity guarantee depends on.
   for (const auto &[Key, S] : Streams) {
@@ -390,6 +610,7 @@ ProcessProfile FleetState::mergedProfile() const {
     Merged.HeapCollUsed = mergeTotalMax(Merged.HeapCollUsed, P.HeapCollUsed);
     Merged.HeapCollCore = mergeTotalMax(Merged.HeapCollCore, P.HeapCollCore);
     MetricInputs.push_back(&P.Metrics);
+    LedgerInputs.push_back(&P.Ledger);
     for (const ContextProfile &C : P.Contexts) {
       auto It = std::lower_bound(
           Merged.Contexts.begin(), Merged.Contexts.end(), C,
@@ -403,6 +624,7 @@ ProcessProfile FleetState::mergedProfile() const {
     }
   }
   Merged.Metrics = mergeMetricSnapshots(MetricInputs);
+  Merged.Ledger = mergeDecisionExports(LedgerInputs);
   return Merged;
 }
 

@@ -31,6 +31,7 @@
 #define CHAMELEON_FLEET_FLEETPROFILE_H
 
 #include "fleet/Wire.h"
+#include "obs/DecisionLog.h"
 #include "obs/Metrics.h"
 #include "profiler/ContextInfo.h"
 #include "profiler/OpKind.h"
@@ -54,6 +55,8 @@ inline constexpr size_t MaxFramesPerContext = 64;
 inline constexpr size_t MaxLabelLen = 4096;
 inline constexpr size_t MaxMetricsPerProfile = 1u << 16;
 inline constexpr size_t MaxHistogramBuckets = 512;
+inline constexpr size_t MaxLedgerEvents = 1u << 20;
+inline constexpr size_t MaxLedgerNames = 1u << 12;
 
 /// A RunningStat's complete exported state (see RunningStat::fromMoments).
 struct StatMoments {
@@ -135,6 +138,10 @@ struct ProcessProfile {
   std::vector<ContextProfile> Contexts;
   /// The process's metric snapshot at the same instant.
   std::vector<obs::MetricSnapshot> Metrics;
+  /// The process's decision-provenance ledger (canonical export; empty
+  /// when the ledger is disarmed). Rides the same epoch barrier, so the
+  /// ledger tail and the profile describe the same instant.
+  obs::DecisionExport Ledger;
 };
 
 /// Captures \p P's current state as a ProcessProfile. Call at a quiescent
@@ -213,10 +220,20 @@ private:
 };
 
 /// Merges same-name metric snapshots (name-sorted output): counters,
-/// gauges, and histogram buckets add; mismatched histogram shapes keep the
-/// first shape and add what aligns.
+/// gauges, and histogram buckets (fixed-bucket and HDR) add; mismatched
+/// fixed-bucket shapes keep the first shape and add what aligns.
 std::vector<obs::MetricSnapshot>
 mergeMetricSnapshots(const std::vector<const std::vector<obs::MetricSnapshot> *> &Inputs);
+
+/// Merges per-process decision ledgers into one fleet-wide ledger.
+/// Context ids from different inputs are disjoint by construction, so each
+/// input's contexts are renumbered onto a shared id space (inputs must be
+/// supplied in canonical stream order — the caller's sorted-key iteration
+/// — which is what makes the merged bytes independent of arrival order).
+/// Rule/impl name tables are unioned with per-input index remapping, and
+/// per-context Seq is reassigned after the canonical global sort.
+obs::DecisionExport mergeDecisionExports(
+    const std::vector<const obs::DecisionExport *> &Inputs);
 
 } // namespace chameleon::fleet
 

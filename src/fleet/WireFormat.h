@@ -39,7 +39,7 @@
 namespace chameleon::fleet {
 
 inline constexpr uint32_t FrameMagic = 0x544C4643; // "CFLT" little-endian
-inline constexpr uint32_t WireVersion = 1;
+inline constexpr uint32_t WireVersion = 2;
 /// Hard decode bound on one frame's payload.
 inline constexpr uint64_t MaxFramePayload = 256ull << 20;
 

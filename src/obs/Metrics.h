@@ -36,13 +36,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace chameleon::obs {
 
-enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram, Hdr };
 
-/// \returns "counter", "gauge", or "histogram".
+/// \returns "counter", "gauge", "histogram", or "hdr".
 const char *metricKindName(MetricKind Kind);
 
 namespace detail {
@@ -63,9 +64,41 @@ struct MetricSnapshot {
   /// Histogram: per-bucket counts (NOT cumulative), size Bounds.size()+1;
   /// the last bucket is the +Inf overflow.
   std::vector<uint64_t> Buckets;
-  uint64_t Count = 0; ///< Histogram: total observations.
-  uint64_t Sum = 0;   ///< Histogram: sum of observed values.
+  uint64_t Count = 0; ///< Histogram/Hdr: total observations.
+  uint64_t Sum = 0;   ///< Histogram/Hdr: sum of observed values.
+  /// Hdr: sparse non-zero buckets as (bucket index, count), index-sorted.
+  /// Bucket geometry is fixed process-wide (see HdrHistogram), so sparse
+  /// snapshots from any instance merge without shape negotiation.
+  std::vector<std::pair<uint32_t, uint64_t>> HdrBuckets;
+  uint64_t MinValue = 0; ///< Hdr: smallest observed value (0 if Count==0).
+  uint64_t MaxValue = 0; ///< Hdr: largest observed value.
 };
+
+/// Log-linear bucket geometry shared by every HdrHistogram: values below
+/// 2^SubBucketBits land in exact unit buckets; each further power-of-two
+/// range [2^e, 2^(e+1)) splits into 2^SubBucketBits sub-buckets of width
+/// 2^(e-SubBucketBits), bounding the relative quantile error by
+/// 2^-SubBucketBits (3.125%) while covering the full uint64 range in
+/// hdrNumBuckets() counters.
+constexpr unsigned HdrSubBucketBits = 5;
+constexpr uint64_t HdrSubBucketCount = 1ull << HdrSubBucketBits;
+
+/// Total bucket count of the fixed HDR geometry.
+constexpr size_t hdrNumBuckets() {
+  return (64 - HdrSubBucketBits + 1) * HdrSubBucketCount;
+}
+
+/// The bucket index \p V lands in.
+size_t hdrBucketIndex(uint64_t V);
+
+/// Inclusive upper bound of bucket \p I (its representative value).
+uint64_t hdrBucketUpperBound(size_t I);
+
+/// Quantile estimate from an Hdr snapshot's sparse buckets: the inclusive
+/// upper bound of the bucket holding rank ceil(Q*Count), clamped to the
+/// observed min/max. Deterministic given the snapshot, so re-rendering a
+/// parsed snapshot reproduces the original percentiles byte-for-byte.
+uint64_t hdrSnapshotQuantile(const MetricSnapshot &S, double Q);
 
 /// Base of every metric: registers itself on construction, unregisters on
 /// destruction. \p Name must be a static string (a literal).
@@ -173,6 +206,58 @@ private:
   std::atomic<uint64_t> Sum{0};
 };
 
+/// Log-linear (HDR-style) histogram: full uint64 range, fixed geometry
+/// (see HdrSubBucketBits), lock-free relaxed-atomic observation, and
+/// quantile readout with bounded relative error. Used for latency-shaped
+/// distributions (GC pause, migration phases, safepoint stalls) whose
+/// tails the fixed-bucket Histogram cannot resolve.
+class HdrHistogram : public Metric {
+public:
+  explicit HdrHistogram(const char *Name);
+
+  void observe(uint64_t V) {
+    Buckets[hdrBucketIndex(V)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+    atomicMin(Min, V);
+    atomicMax(Max, V);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    uint64_t M = Min.load(std::memory_order_relaxed);
+    return M == ~0ull ? 0 : M;
+  }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+
+  /// Quantile estimate over this instance alone (tests; exporters go
+  /// through snapshots so parsed bundles re-render identically).
+  uint64_t quantile(double Q) const;
+
+  void mergeInto(MetricSnapshot &Out) const override;
+
+private:
+  static void atomicMin(std::atomic<uint64_t> &A, uint64_t V) {
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    while (V < Cur &&
+           !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMax(std::atomic<uint64_t> &A, uint64_t V) {
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets; // hdrNumBuckets()
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{~0ull};
+  std::atomic<uint64_t> Max{0};
+};
+
 /// The process-global registry every Metric joins. Snapshots merge live
 /// instances by name and return them name-sorted.
 class MetricsRegistry {
@@ -204,5 +289,7 @@ private:
   static ::chameleon::obs::Gauge Var { NameStr }
 #define CHAM_METRIC_HISTOGRAM(Var, NameStr, ...)                               \
   static ::chameleon::obs::Histogram Var { NameStr, { __VA_ARGS__ } }
+#define CHAM_METRIC_HDR(Var, NameStr)                                          \
+  static ::chameleon::obs::HdrHistogram Var { NameStr }
 
 #endif // CHAMELEON_OBS_METRICS_H

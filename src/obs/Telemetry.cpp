@@ -6,6 +6,8 @@
 
 #include "obs/Telemetry.h"
 
+#include "obs/DecisionLog.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cinttypes>
@@ -55,6 +57,11 @@ bool writeFile(const std::filesystem::path &Path, const std::string &Data,
   return Ok;
 }
 
+/// The quantiles both exporters publish for hdr metrics.
+constexpr double HdrQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+constexpr const char *HdrQuantileKeys[] = {"p50", "p90", "p99", "p999"};
+constexpr const char *HdrQuantileLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -94,6 +101,26 @@ chameleon::obs::jsonFromSnapshots(const std::vector<MetricSnapshot> &Snaps) {
       Out += ']';
       break;
     }
+    case MetricKind::Hdr: {
+      appendf(Out,
+              ",\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+              ",\"max\":%" PRIu64,
+              S.Count, S.Sum, S.MinValue, S.MaxValue);
+      // Percentiles are derived from the sparse buckets, so re-rendering
+      // a parsed snapshot reproduces these bytes exactly.
+      for (size_t Q = 0; Q < 4; ++Q)
+        appendf(Out, ",\"%s\":%" PRIu64, HdrQuantileKeys[Q],
+                hdrSnapshotQuantile(S, HdrQuantiles[Q]));
+      Out += ",\"hdr\":[";
+      for (size_t I = 0; I < S.HdrBuckets.size(); ++I) {
+        if (I)
+          Out += ',';
+        appendf(Out, "{\"i\":%u,\"count\":%" PRIu64 "}",
+                S.HdrBuckets[I].first, S.HdrBuckets[I].second);
+      }
+      Out += ']';
+      break;
+    }
     }
     Out += '}';
   }
@@ -106,7 +133,10 @@ std::string chameleon::obs::prometheusFromSnapshots(
   std::string Out;
   for (const MetricSnapshot &S : Snaps) {
     std::string Name = promName(S.Name);
-    appendf(Out, "# TYPE %s %s\n", Name.c_str(), metricKindName(S.Kind));
+    // Prometheus has no native log-linear kind; hdr metrics export as a
+    // summary (pre-computed quantiles).
+    appendf(Out, "# TYPE %s %s\n", Name.c_str(),
+            S.Kind == MetricKind::Hdr ? "summary" : metricKindName(S.Kind));
     switch (S.Kind) {
     case MetricKind::Counter:
       appendf(Out, "%s %" PRIu64 "\n", Name.c_str(), S.Value);
@@ -125,6 +155,16 @@ std::string chameleon::obs::prometheusFromSnapshots(
           appendf(Out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", Name.c_str(),
                   Cumulative);
       }
+      appendf(Out, "%s_sum %" PRIu64 "\n", Name.c_str(), S.Sum);
+      appendf(Out, "%s_count %" PRIu64 "\n", Name.c_str(), S.Count);
+      break;
+    }
+    case MetricKind::Hdr: {
+      for (size_t Q = 0; Q < 4; ++Q)
+        appendf(Out, "%s{quantile=\"%s\"} %" PRIu64 "\n", Name.c_str(),
+                HdrQuantileLabels[Q], hdrSnapshotQuantile(S, HdrQuantiles[Q]));
+      appendf(Out, "%s_min %" PRIu64 "\n", Name.c_str(), S.MinValue);
+      appendf(Out, "%s_max %" PRIu64 "\n", Name.c_str(), S.MaxValue);
       appendf(Out, "%s_sum %" PRIu64 "\n", Name.c_str(), S.Sum);
       appendf(Out, "%s_count %" PRIu64 "\n", Name.c_str(), S.Count);
       break;
@@ -174,6 +214,22 @@ bool chameleon::obs::snapshotsFromJson(const json::Value &Doc,
           S.Bounds.push_back(static_cast<uint64_t>(Le->number()));
         S.Buckets.push_back(static_cast<uint64_t>(B.numberOr("count", 0)));
       }
+    } else if (Kind == "hdr") {
+      S.Kind = MetricKind::Hdr;
+      S.Count = static_cast<uint64_t>(M.numberOr("count", 0));
+      S.Sum = static_cast<uint64_t>(M.numberOr("sum", 0));
+      S.MinValue = static_cast<uint64_t>(M.numberOr("min", 0));
+      S.MaxValue = static_cast<uint64_t>(M.numberOr("max", 0));
+      const json::Value *Buckets = M.find("hdr");
+      if (!Buckets || Buckets->kind() != json::Value::Kind::Array) {
+        if (Error)
+          *Error = "hdr metric \"" + S.Name + "\" has no hdr array";
+        return false;
+      }
+      for (const json::Value &B : Buckets->array())
+        S.HdrBuckets.emplace_back(
+            static_cast<uint32_t>(B.numberOr("i", 0)),
+            static_cast<uint64_t>(B.numberOr("count", 0)));
     } else {
       if (Error)
         *Error = "unknown metric kind \"" + Kind + "\"";
@@ -248,9 +304,16 @@ bool Telemetry::writeTelemetryDir(const std::string &Dir,
     return false;
   }
   std::filesystem::path Base(Dir);
-  return writeFile(Base / "trace.json", chromeTraceJson(), Error) &&
-         writeFile(Base / "metrics.json", snapshotJson(MetricsPrefix),
-                   Error) &&
-         writeFile(Base / "metrics.prom", prometheusText(MetricsPrefix),
+  bool Ok = writeFile(Base / "trace.json", chromeTraceJson(), Error) &&
+            writeFile(Base / "metrics.json", snapshotJson(MetricsPrefix),
+                      Error) &&
+            writeFile(Base / "metrics.prom", prometheusText(MetricsPrefix),
+                      Error);
+  // The decision ledger joins the bundle only when armed: disarmed runs
+  // keep producing byte-identical three-file bundles.
+  if (Ok && DecisionLog::instance().enabled())
+    Ok = writeFile(Base / "decisions.json",
+                   decisionsJson(DecisionLog::instance().exportCanonical()),
                    Error);
+  return Ok;
 }

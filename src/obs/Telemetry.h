@@ -18,7 +18,9 @@
 ///
 /// `writeTelemetryDir` bundles all three into a directory
 /// (trace.json / metrics.json / metrics.prom), which is what
-/// `ServerSim --telemetry-out=<dir>` produces.
+/// `ServerSim --telemetry-out=<dir>` produces. When the DecisionLog is
+/// armed the bundle also contains decisions.json — the canonical ledger
+/// export `chameleon-stats --why` renders (DESIGN.md §16).
 ///
 //===----------------------------------------------------------------------===//
 

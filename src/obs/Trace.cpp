@@ -6,10 +6,17 @@
 
 #include "obs/Trace.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cstring>
 
 using namespace chameleon::obs;
+
+// Ring overwrites were invisible except via droppedEvents() polling; the
+// counter makes overflow a first-class signal (and the telemetry
+// determinism guards assert it stays zero for tier-1 workloads).
+CHAM_METRIC_COUNTER(TraceDropped, "cham.obs.trace_dropped");
 
 TraceRecorder &TraceRecorder::instance() {
   static TraceRecorder Recorder;
@@ -75,10 +82,12 @@ void TraceRecorder::record(TraceEvent Ev) {
   // The ring mutex is only ever contended by an exporting snapshot; the
   // owning thread is its sole writer.
   std::lock_guard<std::mutex> L(Log.Mu);
-  if (Log.Written < Log.Capacity)
+  if (Log.Written < Log.Capacity) {
     Log.Ring.push_back(Ev);
-  else
+  } else {
     Log.Ring[Log.Written % Log.Capacity] = Ev;
+    TraceDropped.inc();
+  }
   ++Log.Written;
 }
 

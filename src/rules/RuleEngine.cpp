@@ -7,6 +7,7 @@
 #include "rules/RuleEngine.h"
 
 #include "collections/CollectionRuntime.h"
+#include "obs/DecisionLog.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
@@ -24,6 +25,41 @@ namespace {
 // produced a suggestion.
 CHAM_METRIC_COUNTER(RuleEvaluations, "cham.rules.evaluations");
 CHAM_METRIC_COUNTER(RuleFired, "cham.rules.fired");
+
+/// RuleOutcome -> the ledger's decoupled outcome enum (obs must not
+/// depend on the rules layer, so the mapping lives at the producer).
+obs::DecisionOutcome ledgerOutcome(RuleEngine::RuleOutcome O) {
+  using RO = RuleEngine::RuleOutcome;
+  using DO = obs::DecisionOutcome;
+  switch (O) {
+  case RO::Fired:
+    return DO::Fired;
+  case RO::NeverFires:
+    return DO::NeverFires;
+  case RO::SrcTypeMismatch:
+    return DO::SrcTypeMismatch;
+  case RO::TooFewSamples:
+    return DO::TooFewSamples;
+  case RO::ConditionFalse:
+    return DO::ConditionFalse;
+  case RO::MissingParam:
+    return DO::MissingParam;
+  case RO::Unstable:
+    return DO::Unstable;
+  case RO::GatedByPotential:
+    return DO::GatedByPotential;
+  }
+  return DO::None;
+}
+
+/// The full impl-kind name table, index-aligned with implIndex().
+std::vector<std::string> implNameTable() {
+  std::vector<std::string> Names;
+  Names.reserve(NumImplKinds);
+  for (unsigned I = 0; I < NumImplKinds; ++I)
+    Names.push_back(implKindName(static_cast<ImplKind>(I)));
+  return Names;
+}
 } // namespace
 
 std::string Suggestion::fixDescription() const {
@@ -280,13 +316,58 @@ void RuleEngine::evaluateContext(const ContextInfo &Info,
                                  std::vector<Suggestion> &Out) const {
   CHAM_TRACE_INSTANT_ARG("rules", "evaluate_context", "ctx",
                          static_cast<int64_t>(Info.id()));
+  obs::DecisionLog &Ledger = obs::DecisionLog::instance();
+  bool Led = Ledger.enabled();
+  if (Led) {
+    // Provenance: the Table-1 inputs this evaluation epoch saw, before
+    // any rule verdicts reference them.
+    std::vector<std::string> Names;
+    Names.reserve(Rules.size());
+    for (const Rule &R : Rules)
+      Names.push_back(R.Name);
+    Ledger.noteRuleNames(Names);
+    Ledger.noteImplNames(implNameTable());
+    Ledger.noteContextLabel(Info.id(), Profiler.contextLabel(Info));
+    obs::DecisionRecord Snap;
+    Snap.CtxId = Info.id();
+    Snap.Epoch = Ledger.currentEpoch();
+    Snap.Kind = obs::DecisionKind::Snapshot;
+    Snap.Allocations = Info.allocations();
+    Snap.Folded = Info.foldedInstances();
+    Snap.TotLive = Info.liveData().total();
+    Snap.TotUsed = Info.usedData().total();
+    Snap.TotCore = Info.coreData().total();
+    Snap.AvgOps = Info.avgAllOps();
+    Snap.AvgMaxSize = Info.maxSizeStat().mean();
+    Ledger.record(Snap);
+  }
   size_t Fired = 0;
+  int16_t RuleIdx = 0;
   for (const Rule &R : Rules) {
     Suggestion S;
-    if (evaluateRule(R, Info, Profiler, &S) == RuleOutcome::Fired) {
+    unsigned DivGuardHits = 0;
+    RuleOutcome Outcome =
+        evaluateRule(R, Info, Profiler, &S, Led ? &DivGuardHits : nullptr);
+    if (Led) {
+      obs::DecisionRecord Rec;
+      Rec.CtxId = Info.id();
+      Rec.Epoch = Ledger.currentEpoch();
+      Rec.Kind = obs::DecisionKind::RuleOutcome;
+      Rec.Rule = RuleIdx;
+      Rec.Outcome = ledgerOutcome(Outcome);
+      Rec.DivGuard = static_cast<uint16_t>(
+          DivGuardHits > 0xffff ? 0xffff : DivGuardHits);
+      if (Outcome == RuleOutcome::Fired && S.Action == ActionKind::Replace)
+        Rec.Impl = static_cast<uint8_t>(implIndex(S.NewImpl));
+      if (Outcome == RuleOutcome::Fired)
+        Rec.Capacity = S.Capacity.value_or(0);
+      Ledger.record(Rec);
+    }
+    if (Outcome == RuleOutcome::Fired) {
       Out.push_back(std::move(S));
       ++Fired;
     }
+    ++RuleIdx;
   }
   RuleEvaluations.add(Rules.size());
   RuleFired.add(Fired);

@@ -6,6 +6,7 @@
 
 #include "runtime/GcHeap.h"
 
+#include "obs/DecisionLog.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
@@ -39,6 +40,11 @@ CHAM_METRIC_GAUGE(GcBytesInUse, "cham.gc.bytes_in_use");
 CHAM_METRIC_GAUGE(GcObjectsInUse, "cham.gc.objects_in_use");
 CHAM_METRIC_HISTOGRAM(GcPauseNanos, "cham.gc.pause_nanos", 10000, 100000,
                       1000000, 10000000, 100000000, 1000000000);
+// HDR (log-linear) companions to the fixed-bucket histograms: bounded
+// 3.125% relative error at any magnitude, so the exporters can render
+// honest p50/p90/p99/p999 tail percentiles (DESIGN.md §16).
+CHAM_METRIC_HDR(GcPauseHdrNanos, "cham.gc.pause_hdr_nanos");
+CHAM_METRIC_HDR(SafepointStallHdrNanos, "cham.gc.safepoint_stall_hdr_nanos");
 
 // Slot-grant side of the allocation substrate (cham.alloc.*, DESIGN.md
 // §12). Hits are tallied per thread (MutatorThread::SlotHits) and drained
@@ -195,6 +201,7 @@ void GcHeap::safepointSlow() {
   MutatorThread *M = selfMutatorOrNull();
   if (!M)
     return; // unregistered threads don't participate in the handshake
+  auto StallStart = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> L(SpMu);
   while (SafepointRequested.load(std::memory_order_relaxed)) {
     M->AtSafepoint = true;
@@ -204,6 +211,10 @@ void GcHeap::safepointSlow() {
     });
   }
   M->AtSafepoint = false;
+  SafepointStallHdrNanos.observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - StallStart)
+          .count()));
 }
 
 void GcHeap::enterSafeRegion() {
@@ -1013,8 +1024,29 @@ const GcCycleRecord &GcHeap::collectStopped(bool Forced) {
   GcFreedBytes.add(Record.FreedBytes);
   GcFreedObjects.add(Record.FreedObjects);
   GcPauseNanos.observe(Record.DurationNanos);
+  GcPauseHdrNanos.observe(Record.DurationNanos);
   GcBytesInUse.set(static_cast<int64_t>(bytesInUse()));
   GcObjectsInUse.set(static_cast<int64_t>(objectsInUse()));
+
+  // Decision-provenance epoch boundary: advance the ledger's epoch to this
+  // cycle and append the global EpochMark so every decision recorded during
+  // the upcoming fold (and until the next cycle) is attributable to the
+  // heap state it actually saw. Appended while the world is stopped (under
+  // SpMu for threaded cycles) — record() never allocates, so the spinlock
+  // discipline holds.
+  if (obs::DecisionLog &Ledger = obs::DecisionLog::instance();
+      Ledger.enabled()) {
+    Ledger.setEpoch(Record.Cycle);
+    obs::DecisionRecord Mark;
+    Mark.Epoch = Record.Cycle;
+    Mark.Kind = obs::DecisionKind::EpochMark;
+    Mark.Allocations = objectsInUse();
+    Mark.TotLive = bytesInUse();
+    Mark.TotUsed = Record.FreedBytes;
+    Mark.Capacity = static_cast<uint32_t>(
+        Record.FreedObjects > ~0u ? ~0u : Record.FreedObjects);
+    Ledger.record(Mark);
+  }
 
   CycleRecords.push_back(std::move(Record));
   InCollection = false;

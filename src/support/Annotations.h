@@ -25,11 +25,14 @@
 ///    (`SpinLock Mu CHAM_LOCK_RANK(10);`) and assigns it a deadlock-
 ///    avoidance rank. Locks must be acquired in strictly decreasing rank
 ///    order; the checker reports `check-lock-rank` on inversions. The
-///    repo's hierarchy (outermost first): FleetAgent::Mu (55) >
-///    FleetAggregator::Mu (50) > InMemoryHub::Mu (45) >
-///    InMemoryHub::Pipe::Mu (44) > GcHeap::SpMu (40) >
-///    GcHeap::AllocMu (30) > GcHeap::SlotMu (20) > CentralFreeList::Mu
-///    (10) > PageArena::Mu (5).
+///    repo's hierarchy (outermost first): FlightRecorder::Mu (60) >
+///    FleetAgent::Mu (55) > FleetAggregator::Mu (50) > InMemoryHub::Mu
+///    (45) > InMemoryHub::Pipe::Mu (44) > GcHeap::SpMu (40) >
+///    DecisionLog::Mu (35) > GcHeap::AllocMu (30) > GcHeap::SlotMu (20)
+///    > CentralFreeList::Mu (10) > PageArena::Mu (5). DecisionLog sits
+///    between SpMu and AllocMu because GC-boundary records are appended
+///    while the world is stopped; FlightRecorder is outermost because
+///    checkpoint() snapshots every other subsystem.
 ///
 /// Findings the checker gets wrong (its frontend is token-level: macros,
 /// templates and overload sets are resolved heuristically) are silenced in

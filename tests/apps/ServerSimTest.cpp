@@ -14,6 +14,7 @@
 
 #include "apps/ServerSim.h"
 #include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <gtest/gtest.h>
@@ -62,12 +63,25 @@ std::string slurp(const std::string &Path) {
   return Out;
 }
 
+/// Sum of every live instance of one metric.
+uint64_t metricValue(const std::string &Name) {
+  uint64_t V = 0;
+  for (const obs::MetricSnapshot &S :
+       obs::MetricsRegistry::instance().snapshot(Name))
+    V += S.Value;
+  return V;
+}
+
 /// Telemetry is strictly read-only: exporting a bundle must not perturb
-/// the simulation, so the report stays byte-identical to a plain run.
+/// the simulation, so the report stays byte-identical to a plain run —
+/// and the trace ring must be sized so a tier-1 workload never overflows
+/// it (cham.obs.trace_dropped stays zero; a dropped event would make the
+/// exported timeline depend on scheduling).
 TEST(ServerSim, TelemetryDoesNotChangeTheReport) {
   ServerSimResult Plain = runWithThreads(4);
   ASSERT_FALSE(Plain.Report.empty());
 
+  const uint64_t Dropped0 = metricValue("cham.obs.trace_dropped");
   CollectionRuntime RT(serverSimRuntimeConfig());
   ServerSimConfig Config;
   Config.MutatorThreads = 4;
@@ -78,6 +92,8 @@ TEST(ServerSim, TelemetryDoesNotChangeTheReport) {
       << "telemetry export perturbed the simulation";
   EXPECT_FALSE(obs::TraceRecorder::enabled())
       << "runServerSim must disarm the recorder before returning";
+  EXPECT_EQ(metricValue("cham.obs.trace_dropped") - Dropped0, 0u)
+      << "trace ring overflowed during a tier-1 workload";
 }
 
 /// The exported bundle is complete and well-formed: valid JSON with GC

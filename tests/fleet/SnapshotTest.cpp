@@ -181,7 +181,8 @@ TEST_F(SnapshotTest, HeaderBitFlipIsTyped) {
 
 TEST_F(SnapshotTest, VersionSkewIsTyped) {
   std::string Bytes = encodeSnapshot(sampleState());
-  const std::string Want = std::string(SnapshotMagic) + " 1";
+  const std::string Want =
+      std::string(SnapshotMagic) + " " + std::to_string(SnapshotVersion);
   ASSERT_EQ(Bytes.compare(0, Want.size(), Want), 0);
   std::string Broken = Want.substr(0, Want.size() - 1) + "9" +
                        Bytes.substr(Want.size());

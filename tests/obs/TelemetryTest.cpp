@@ -151,13 +151,25 @@ TEST(TraceTest, DisarmedRecorderKeepsNoEvents) {
   EXPECT_EQ(Rec.recordedEvents(), 0u);
 }
 
+/// Sum of every live instance of the trace-overflow counter.
+uint64_t traceDropped() {
+  uint64_t V = 0;
+  for (const MetricSnapshot &S :
+       MetricsRegistry::instance().snapshot("cham.obs.trace_dropped"))
+    V += S.Value;
+  return V;
+}
+
 TEST(TraceTest, RingOverwriteKeepsNewestEvents) {
   RecorderScope Scope(/*Capacity=*/4);
   TraceRecorder &Rec = TraceRecorder::instance();
+  const uint64_t Dropped0 = traceDropped();
   for (uint64_t I = 1; I <= 6; ++I)
     Rec.recordInstant("test", "ev", "i", I);
   EXPECT_EQ(Rec.recordedEvents(), 6u);
   EXPECT_EQ(Rec.droppedEvents(), 2u);
+  // The overflow is a first-class metric too, one tick per overwrite.
+  EXPECT_EQ(traceDropped() - Dropped0, 2u);
   std::vector<TraceEvent> Events = Rec.snapshot();
   ASSERT_EQ(Events.size(), 4u);
   // Oldest two were overwritten; survivors are in chronological order.
@@ -201,6 +213,7 @@ TEST(TraceTest, RecentByArgFiltersAndBounds) {
 TEST(TraceTest, ConcurrentWritersLoseNothingWithinCapacity) {
   RecorderScope Scope;
   TraceRecorder &Rec = TraceRecorder::instance();
+  const uint64_t Dropped0 = traceDropped();
   constexpr int Threads = 8;
   constexpr uint64_t PerThread = 2000;
   std::vector<std::thread> Workers;
@@ -214,6 +227,8 @@ TEST(TraceTest, ConcurrentWritersLoseNothingWithinCapacity) {
   EXPECT_EQ(Rec.recordedEvents(), Threads * PerThread);
   EXPECT_EQ(Rec.droppedEvents(), 0u);
   EXPECT_EQ(Rec.snapshot().size(), Threads * PerThread);
+  EXPECT_EQ(traceDropped() - Dropped0, 0u)
+      << "within-capacity workload must not tick cham.obs.trace_dropped";
 }
 
 TEST(TraceTest, MacrosCompileOutWithNoTelemetry) {

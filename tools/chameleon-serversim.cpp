@@ -26,6 +26,7 @@
 
 #include "apps/ServerSim.h"
 #include "apps/TraceWorkload.h"
+#include "obs/FlightRecorder.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +48,12 @@ void printUsage(const char *Argv0) {
               "  --requests N       requests per epoch (default 240)\n"
               "  --telemetry-out D  write trace.json/metrics.json/metrics.prom"
               " into directory D\n"
+              "  --ledger           arm the decision ledger; barrier-time\n"
+              "                     rule evaluation + deterministic"
+              " migrations\n"
+              "  --flight-recorder F  install the crash dump handler writing"
+              " to F\n"
+              "                     (CHAM_FLIGHT_RECORDER env works too)\n"
               "  --ticker           print a per-epoch telemetry line to"
               " stderr\n"
               "  --record FILE      record the run's op stream to FILE\n"
@@ -105,6 +112,10 @@ int main(int argc, char **argv) {
           parseU64(needValue("--requests"), "--requests"));
     } else if (std::strcmp(Arg, "--telemetry-out") == 0) {
       Config.TelemetryOutDir = needValue("--telemetry-out");
+    } else if (std::strcmp(Arg, "--ledger") == 0) {
+      Config.DecisionLedger = true;
+    } else if (std::strcmp(Arg, "--flight-recorder") == 0) {
+      Config.FlightRecorderPath = needValue("--flight-recorder");
     } else if (std::strcmp(Arg, "--ticker") == 0) {
       Config.TelemetryTicker = true;
     } else if (std::strcmp(Arg, "--record") == 0) {
@@ -125,6 +136,11 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+
+  // Honor $CHAM_FLIGHT_RECORDER (the CI chaos/soak jobs set it) when no
+  // explicit --flight-recorder path was given.
+  if (Config.FlightRecorderPath.empty())
+    obs::FlightRecorder::instance().installFromEnv("cham.");
 
   if (!ReplayPath.empty()) {
     Trace T;

@@ -30,6 +30,7 @@
 
 #include "fleet/Aggregator.h"
 #include "fleet/Snapshot.h"
+#include "obs/DecisionLog.h"
 #include "obs/Json.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
@@ -51,6 +52,16 @@ void printUsage(const char *Argv0) {
               "  --format table|prom|json  output format (default table)\n"
               "  --trace                   also summarize the bundle's"
               " trace.json\n"
+              "  --percentiles             HDR percentile table"
+              " (p50/p90/p99/p999)\n"
+              "  --why CTX                 decision timeline for contexts"
+              " matching CTX\n"
+              "                            (id or label substring; '*' for"
+              " all); reads\n"
+              "                            decisions.json or a"
+              " flight-recorder dump\n"
+              "  --json                    with --why: re-emit the canonical"
+              " decisions.json\n"
               "  --fleet SNAP              render a fleet snapshot's merged"
               " profile\n"
               "  --diff SNAP_A SNAP_B      diff two fleet snapshots\n"
@@ -101,10 +112,70 @@ std::string renderTable(const std::vector<obs::MetricSnapshot> &Snaps) {
       }
       break;
     }
+    case obs::MetricKind::Hdr:
+      Value = "count=" + u64Str(S.Count) + " min=" + u64Str(S.MinValue) +
+              " p50=" + u64Str(obs::hdrSnapshotQuantile(S, 0.5)) +
+              " p99=" + u64Str(obs::hdrSnapshotQuantile(S, 0.99)) +
+              " max=" + u64Str(S.MaxValue);
+      break;
     }
     Table.addRow({S.Name, metricKindName(S.Kind), Value});
   }
   return Table.render();
+}
+
+/// The --percentiles view: one row per HDR metric with its tail quantiles
+/// (the same estimator the exporters used, over the same sparse buckets).
+std::string renderPercentiles(const std::vector<obs::MetricSnapshot> &Snaps) {
+  TextTable Table(
+      {"metric", "count", "min", "p50", "p90", "p99", "p999", "max"});
+  size_t Rows = 0;
+  for (const obs::MetricSnapshot &S : Snaps) {
+    if (S.Kind != obs::MetricKind::Hdr)
+      continue;
+    Table.addRow({S.Name, u64Str(S.Count), u64Str(S.MinValue),
+                  u64Str(obs::hdrSnapshotQuantile(S, 0.5)),
+                  u64Str(obs::hdrSnapshotQuantile(S, 0.9)),
+                  u64Str(obs::hdrSnapshotQuantile(S, 0.99)),
+                  u64Str(obs::hdrSnapshotQuantile(S, 0.999)),
+                  u64Str(S.MaxValue)});
+    ++Rows;
+  }
+  if (Rows == 0)
+    return "no hdr metrics in bundle\n";
+  return Table.render();
+}
+
+//===----------------------------------------------------------------------===//
+// Decision ledger (--why)
+//===----------------------------------------------------------------------===//
+
+/// Renders the decision timeline (or canonical JSON) from decisions.json —
+/// either the bundle's or the "decisions" section of a flight-recorder
+/// dump (decisionsFromJson finds the key in both shapes).
+int whyMode(const std::string &Path, const std::string &Filter, bool Json) {
+  std::string DecisionsPath = Path;
+  std::error_code Ec;
+  if (std::filesystem::is_directory(Path, Ec))
+    DecisionsPath = Path + "/decisions.json";
+  std::string Text, Error;
+  if (!readFile(DecisionsPath, Text, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  obs::DecisionExport E;
+  if (!obs::decisionsFromJson(Text, E, &Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", DecisionsPath.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  if (Json) {
+    std::fputs(obs::decisionsJson(E).c_str(), stdout);
+    return 0;
+  }
+  std::string CtxFilter = Filter == "*" ? std::string() : Filter;
+  std::fputs(obs::renderDecisionTimeline(E, CtxFilter).c_str(), stdout);
+  return 0;
 }
 
 /// Summarizes a Chrome trace_event document: event counts per category,
@@ -256,11 +327,27 @@ int diffMode(const std::string &PathA, const std::string &PathB) {
 int main(int argc, char **argv) {
   std::string Format = "table";
   bool WithTrace = false;
+  bool Percentiles = false;
+  bool Why = false;
+  bool WhyJson = false;
+  std::string WhyFilter;
   std::string Path;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
-    if (std::strcmp(Arg, "--format") == 0) {
+    if (std::strcmp(Arg, "--why") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --why expects a context filter"
+                             " ('*' for all)\n");
+        return 2;
+      }
+      Why = true;
+      WhyFilter = argv[++I];
+    } else if (std::strcmp(Arg, "--json") == 0) {
+      WhyJson = true;
+    } else if (std::strcmp(Arg, "--percentiles") == 0) {
+      Percentiles = true;
+    } else if (std::strcmp(Arg, "--format") == 0) {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "error: --format expects a value\n");
         return 2;
@@ -302,6 +389,12 @@ int main(int argc, char **argv) {
     printUsage(argv[0]);
     return 2;
   }
+  if (WhyJson && !Why) {
+    std::fprintf(stderr, "error: --json requires --why\n");
+    return 2;
+  }
+  if (Why)
+    return whyMode(Path, WhyFilter, WhyJson);
 
   std::string MetricsPath = Path;
   std::string TracePath;
@@ -333,7 +426,9 @@ int main(int argc, char **argv) {
   }
 
   std::string Out;
-  if (Format == "prom")
+  if (Percentiles)
+    Out = renderPercentiles(Snaps);
+  else if (Format == "prom")
     Out = obs::prometheusFromSnapshots(Snaps);
   else if (Format == "json")
     Out = obs::jsonFromSnapshots(Snaps);
